@@ -1,0 +1,28 @@
+"""Table-rendering helpers shared by the benchmark files.
+
+Every file in this directory regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §3). Each test times the experiment through
+pytest-benchmark, prints the reproduced rows/series, and asserts the
+*shape* of the paper's result — orderings, win counts, geomean bands — not
+exact numbers (our substrate is a simulator, not the authors' testbed).
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render one reproduced table the way the paper prints it."""
+    widths = [
+        max(len(str(cell)) for cell in [name] + [row[idx] for row in rows])
+        for idx, name in enumerate(header)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(name).ljust(width) for name, width in zip(header, widths)))
+    for row in rows:
+        print(
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        )
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"

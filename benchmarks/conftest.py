@@ -1,0 +1,9 @@
+"""Pytest configuration for the benchmark/experiment harness.
+
+Every file in this directory regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §3). Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+`-s` shows the reproduced tables alongside the timing statistics.
+"""

@@ -1,0 +1,57 @@
+"""§VI-D "Latency v.s. Throughput": VGG16 at batch 8/16 vs Nvidia A10.
+
+Paper: "We tested the VGG16 model ... using batch sizes equaling 8 and 16.
+Cloudblazer i20 is able to perform better than Nvidia's A10 with
+improvements of 1.11x and 1.17x, respectively."
+"""
+
+from _tables import fmt, print_table
+
+from repro.perfmodel.latency import estimate_model
+
+BATCHES = (1, 2, 4, 8, 16)
+
+
+def _batch_sweep():
+    table = {}
+    for batch in BATCHES:
+        i20 = estimate_model("vgg16", "i20", batch=batch)
+        a10 = estimate_model("vgg16", "a10", batch=batch)
+        table[batch] = {
+            "i20_ms": i20.latency_ms,
+            "a10_ms": a10.latency_ms,
+            "i20_tput": i20.throughput_samples_per_s,
+            "a10_tput": a10.throughput_samples_per_s,
+            "ratio": a10.latency_ns / i20.latency_ns,
+        }
+    return table
+
+
+def test_discussion_vgg16_batch_throughput(benchmark):
+    table = benchmark.pedantic(_batch_sweep, rounds=1, iterations=1)
+    print_table(
+        "§VI-D — VGG16 throughput scaling: i20 vs A10",
+        ["Batch", "i20 ms", "A10 ms", "i20 img/s", "A10 img/s", "i20/A10"],
+        [
+            [batch, fmt(row["i20_ms"]), fmt(row["a10_ms"]),
+             fmt(row["i20_tput"], 0), fmt(row["a10_tput"], 0),
+             fmt(row["ratio"], 3)]
+            for batch, row in table.items()
+        ],
+    )
+    print(f"paper: 1.11x at batch 8, 1.17x at batch 16; measured "
+          f"{table[8]['ratio']:.2f}x / {table[16]['ratio']:.2f}x")
+
+    # The paper's measured factors, within 10%.
+    assert table[8]["ratio"] > 1.0
+    assert table[16]["ratio"] > 1.0
+    assert abs(table[8]["ratio"] - 1.11) < 0.11
+    assert abs(table[16]["ratio"] - 1.17) < 0.12
+
+    # "The results reveal the potential of improving task throughput with
+    # multi-batches": i20's advantage grows from batch 8 to 16.
+    assert table[16]["ratio"] > table[8]["ratio"]
+
+    # Throughput itself must scale with batch on both devices.
+    for device in ("i20_tput", "a10_tput"):
+        assert table[16][device] > table[8][device] > table[1][device]

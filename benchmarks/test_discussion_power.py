@@ -1,0 +1,83 @@
+"""§VI-D "Power management ON v.s. OFF": Resnet50 v1.5 and Bert Large.
+
+Paper: with power management ON the clock adjusts dynamically in
+1.0-1.4 GHz; OFF pins 1.4 GHz. "We observed comparable performance with
+only 0.85% and 3.2% performance drop when power management is turned on.
+However, in terms of energy efficiency, we saw 13% improvements for both
+DNNs."
+
+This experiment runs the full closed-loop simulation: the event-driven
+executor drives the CPME/LPME observation windows and the 4-stage DVFS
+governor of Fig. 10.
+"""
+
+from _tables import fmt, print_table
+
+from repro.core.accelerator import Accelerator
+from repro.core.config import FeatureFlags
+from repro.models.zoo import build
+from repro.runtime.runtime import Device
+
+MODELS = ("resnet50", "bert_large")
+
+
+def _run(model, power_management):
+    accelerator = Accelerator.cloudblazer_i20(
+        FeatureFlags(power_management=power_management)
+    )
+    device = Device(accelerator)
+    compiled = device.compile(build(model), batch=1)
+    result = device.launch(compiled, num_groups=6)
+    return result, accelerator
+
+
+def _experiment():
+    table = {}
+    for model in MODELS:
+        on, accelerator = _run(model, True)
+        off, _ = _run(model, False)
+        table[model] = {
+            "on_ms": on.latency_ms,
+            "off_ms": off.latency_ms,
+            "on_mj": on.energy_joules * 1e3,
+            "off_mj": off.energy_joules * 1e3,
+            "mean_ghz": on.mean_frequency_ghz,
+            "perf_drop": on.latency_ns / off.latency_ns - 1.0,
+            "efficiency_gain": off.energy_joules / on.energy_joules - 1.0,
+            "profile": accelerator.dvfs.frequency_profile(),
+        }
+    return table
+
+
+def test_discussion_power_management(benchmark):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    print_table(
+        "§VI-D — power management ON vs OFF (DVFS 1.0-1.4 GHz)",
+        ["DNN", "ON ms", "OFF ms", "ON mJ", "OFF mJ", "mean GHz",
+         "perf drop", "energy-eff gain"],
+        [
+            [model, fmt(row["on_ms"], 3), fmt(row["off_ms"], 3),
+             fmt(row["on_mj"], 1), fmt(row["off_mj"], 1),
+             fmt(row["mean_ghz"]), f"{row['perf_drop']:+.2%}",
+             f"{row['efficiency_gain']:+.1%}"]
+            for model, row in table.items()
+        ],
+    )
+    print("paper: perf drop 0.85% (resnet50) / 3.2% (bert), "
+          "energy efficiency +13% for both")
+
+    for model, row in table.items():
+        # "comparable performance": drop stays below 5 %.
+        assert 0.0 <= row["perf_drop"] < 0.05, model
+        # DVFS must actually save energy, never cost it.
+        assert row["efficiency_gain"] > 0.0, model
+        # The governor must have exercised the 1.0-1.4 GHz range.
+        assert min(row["profile"]) < 1.4, model
+
+    # Resnet50's mixed compute/memory phases give the double-digit saving
+    # the paper reports (13%); our simulated BERT is more compute-bound so
+    # its saving is smaller (divergence documented in EXPERIMENTS.md).
+    assert table["resnet50"]["efficiency_gain"] > 0.05
+    assert table["resnet50"]["perf_drop"] < 0.02
+    # BERT's drop lands near the paper's 3.2 %.
+    assert table["bert_large"]["perf_drop"] < 0.05

@@ -1,0 +1,86 @@
+"""Fig. 12: peak performance / memory capacity / bandwidth comparisons.
+
+(a) Cloudblazer i20 vs i10, normalized to i10.
+(b) i20 vs Nvidia T4 / A10, normalized to T4.
+"""
+
+import pytest
+from _tables import fmt, print_table
+
+from repro.core.datatypes import DType
+from repro.perfmodel.devices import (
+    CLOUDBLAZER_I10,
+    CLOUDBLAZER_I20,
+    NVIDIA_A10,
+    NVIDIA_T4,
+)
+
+METRICS = ("FP32", "FP16", "INT8", "Memory", "Bandwidth")
+
+
+def _metric(spec, metric):
+    return {
+        "FP32": spec.fp32_tflops,
+        "FP16": spec.fp16_tflops,
+        "INT8": spec.int8_tops,
+        "Memory": float(spec.memory_gb),
+        "Bandwidth": spec.bandwidth_gbps,
+    }[metric]
+
+
+def _fig12():
+    versus_i10 = {
+        metric: _metric(CLOUDBLAZER_I20, metric) / _metric(CLOUDBLAZER_I10, metric)
+        for metric in METRICS
+    }
+    normalized_t4 = {
+        name: {
+            metric: _metric(spec, metric) / _metric(NVIDIA_T4, metric)
+            for metric in METRICS
+        }
+        for name, spec in (
+            ("T4", NVIDIA_T4),
+            ("A10", NVIDIA_A10),
+            ("i20", CLOUDBLAZER_I20),
+        )
+    }
+    return versus_i10, normalized_t4
+
+
+def test_fig12a_i20_vs_i10(benchmark):
+    versus_i10, _ = benchmark(_fig12)
+    print_table(
+        "Fig. 12(a) — i20 vs i10 (normalized with i10)",
+        ["Metric", "i20 / i10"],
+        [[metric, fmt(value)] for metric, value in versus_i10.items()],
+    )
+    # §IV: 1.6x on FP32/FP16, 3.2x on INT8, same memory, 1.6x bandwidth.
+    assert versus_i10["FP32"] == pytest.approx(1.6)
+    assert versus_i10["FP16"] == pytest.approx(1.6)
+    assert versus_i10["INT8"] == pytest.approx(3.2)
+    assert versus_i10["Memory"] == pytest.approx(1.0)
+    assert versus_i10["Bandwidth"] == pytest.approx(1.6, rel=0.01)
+
+
+def test_fig12b_i20_vs_gpus(benchmark):
+    _, normalized = benchmark(_fig12)
+    print_table(
+        "Fig. 12(b) — i20 vs Nvidia T4/A10 (normalized with T4)",
+        ["Device"] + list(METRICS),
+        [
+            [name] + [fmt(normalized[name][metric]) for metric in METRICS]
+            for name in ("T4", "A10", "i20")
+        ],
+    )
+    i20 = normalized["i20"]
+    a10 = normalized["A10"]
+    # §VI-B: "Cloudblazer i20 is the most powerful accelerator in terms of
+    # the peak performance on FP32, FP16, and INT8 data types."
+    for metric in ("FP32", "FP16", "INT8"):
+        assert i20[metric] >= a10[metric] >= 1.0
+    # "Its memory bandwidth is ... 2.56x and 1.36x higher than T4 and A10."
+    assert i20["Bandwidth"] == pytest.approx(2.56, rel=0.01)
+    assert i20["Bandwidth"] / a10["Bandwidth"] == pytest.approx(1.365, rel=0.01)
+    # "Nvidia A10 has the largest memory capacity (1.5x larger than others)."
+    assert a10["Memory"] == pytest.approx(1.5)
+    assert i20["Memory"] == pytest.approx(1.0)

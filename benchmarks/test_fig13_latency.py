@@ -1,0 +1,79 @@
+"""Fig. 13: DNN latency across platforms, normalized with T4, FP16, batch 1.
+
+Paper headline: i20 outperforms T4 by 2.22x and A10 by 1.16x (GeoMean);
+SRResnet is the biggest win (4.34x / 2.37x); A10 wins a small minority of
+models (3/10 in the paper); i10 is worse than i20 everywhere (omitted from
+the paper's figure for that reason).
+"""
+
+from _tables import fmt, print_table
+
+from repro.models.zoo import MODEL_NAMES, entry
+from repro.perfmodel.latency import estimate_model, geomean, speedup
+
+DETECTION_MODELS = ("yolo_v3", "centernet", "retinaface")
+
+
+def _fig13():
+    table = {}
+    for model in MODEL_NAMES:
+        t4 = estimate_model(model, "t4")
+        table[model] = {
+            "t4_ms": t4.latency_ms,
+            "i20_vs_t4": speedup(model, "i20", "t4"),
+            "a10_vs_t4": speedup(model, "a10", "t4"),
+            "i20_vs_a10": speedup(model, "i20", "a10"),
+            "i20_vs_i10": speedup(model, "i20", "i10"),
+        }
+    return table
+
+
+def test_fig13_dnn_latency(benchmark):
+    table = benchmark.pedantic(_fig13, rounds=1, iterations=1)
+    rows = [
+        [
+            entry(model).display_name,
+            fmt(row["t4_ms"], 3),
+            fmt(row["i20_vs_t4"]),
+            fmt(row["a10_vs_t4"]),
+            fmt(row["i20_vs_a10"]),
+        ]
+        for model, row in table.items()
+    ]
+    vs_t4 = geomean([row["i20_vs_t4"] for row in table.values()])
+    vs_a10 = geomean([row["i20_vs_a10"] for row in table.values()])
+    rows.append(["GeoMean", "", fmt(vs_t4), "", fmt(vs_a10)])
+    print_table(
+        "Fig. 13 — DNN latency speedups (normalized with T4, FP16)",
+        ["DNN", "T4 ms", "i20/T4", "A10/T4", "i20/A10"],
+        rows,
+    )
+    print(f"paper: GeoMean 2.22x vs T4, 1.16x vs A10; "
+          f"measured {vs_t4:.2f}x / {vs_a10:.2f}x")
+
+    # --- shape assertions ---------------------------------------------------
+    # Headline geomeans in band around the paper's 2.22x / 1.16x.
+    assert 1.9 < vs_t4 < 2.7
+    assert 1.0 < vs_a10 < 1.4
+
+    # SRResnet is the extreme win (paper: 4.34x over T4, 2.37x over A10).
+    best = max(table, key=lambda model: table[model]["i20_vs_t4"])
+    assert best == "srresnet"
+    assert table["srresnet"]["i20_vs_t4"] > 3.5
+    assert table["srresnet"]["i20_vs_a10"] > 2.0
+
+    # i20 wins every object-detection model (§VI-D: "performs the best for
+    # all 3 DNNs of object detection").
+    for model in DETECTION_MODELS:
+        assert table[model]["i20_vs_a10"] > 1.0, model
+
+    # A10 wins a small minority of models (paper: 3 of 10).
+    a10_wins = [m for m in MODEL_NAMES if table[m]["i20_vs_a10"] < 1.0]
+    assert 1 <= len(a10_wins) <= 4
+    assert "bert_large" in a10_wins
+
+    # A10 consistently beats T4 (§VI-B).
+    assert all(row["a10_vs_t4"] > 1.0 for row in table.values())
+
+    # i10 is strictly worse than i20 (why the paper omits it from Fig. 13).
+    assert all(row["i20_vs_i10"] > 1.0 for row in table.values())

@@ -1,0 +1,62 @@
+"""Fig. 14: TDP and peak power efficiency (Perf/TDP) across platforms."""
+
+import pytest
+from _tables import fmt, print_table
+
+from repro.core.datatypes import DType
+from repro.perfmodel.devices import (
+    ALL_DEVICES,
+    CLOUDBLAZER_I10,
+    CLOUDBLAZER_I20,
+    NVIDIA_A10,
+    NVIDIA_T4,
+)
+
+
+def _fig14():
+    return {
+        spec.name: {
+            "tdp": spec.tdp_watts,
+            "fp32": spec.power_efficiency(DType.FP32),
+            "fp16": spec.power_efficiency(DType.FP16),
+            "int8": spec.power_efficiency(DType.INT8),
+        }
+        for spec in ALL_DEVICES
+    }
+
+
+def test_fig14_power_and_efficiency(benchmark):
+    table = benchmark(_fig14)
+    print_table(
+        "Fig. 14 — TDP and peak Perf/TDP (GFLOPS/W or GOPS/W)",
+        ["Device", "TDP W", "FP32", "FP16", "INT8"],
+        [
+            [name, fmt(row["tdp"], 0), fmt(row["fp32"], 1), fmt(row["fp16"], 1),
+             fmt(row["int8"], 1)]
+            for name, row in table.items()
+        ],
+    )
+    t4 = table["Nvidia T4"]
+    a10 = table["Nvidia A10"]
+    i10 = table["Cloudblazer i10"]
+    i20 = table["Cloudblazer i20"]
+
+    # "Nvidia T4 has the lowest TDP, around 47% of the others."
+    assert t4["tdp"] == min(row["tdp"] for row in table.values())
+    assert t4["tdp"] / 150.0 == pytest.approx(0.47, abs=0.01)
+
+    # "Its power efficiency on FP16 (INT8) is 1.11x (1.11x), 1.74x (3.48x),
+    # and 1.09x (1.09x) higher than Nvidia A10, Cloudblazer i10, and i20."
+    assert t4["fp16"] / a10["fp16"] == pytest.approx(1.11, abs=0.01)
+    assert t4["fp16"] / i10["fp16"] == pytest.approx(1.74, abs=0.01)
+    assert t4["fp16"] / i20["fp16"] == pytest.approx(1.09, abs=0.01)
+    assert t4["int8"] / a10["int8"] == pytest.approx(1.11, abs=0.01)
+    assert t4["int8"] / i10["int8"] == pytest.approx(3.48, abs=0.01)
+    assert t4["int8"] / i20["int8"] == pytest.approx(1.09, abs=0.01)
+
+    # "for FP32, Cloudblazer i20's power efficiency is the best, which is
+    # 1.6x, 1.84x, and 1.03x higher than Cloudblazer i10, Nvidia T4, A10."
+    assert i20["fp32"] == max(row["fp32"] for row in table.values())
+    assert i20["fp32"] / i10["fp32"] == pytest.approx(1.6, abs=0.01)
+    assert i20["fp32"] / t4["fp32"] == pytest.approx(1.84, abs=0.01)
+    assert i20["fp32"] / a10["fp32"] == pytest.approx(1.03, abs=0.01)

@@ -1,0 +1,61 @@
+"""Fig. 15: DNN energy efficiency (Perf/TDP) normalized with T4, FP16.
+
+Paper headline: i20's energy efficiency beats T4 by 4% and A10 by 17% on
+average; SRResnet shows the largest gain (2.03x / 2.39x).
+"""
+
+from _tables import fmt, print_table
+
+from repro.models.zoo import MODEL_NAMES, entry
+from repro.perfmodel.latency import energy_efficiency_ratio, geomean
+
+
+def _fig15():
+    return {
+        model: {
+            "vs_t4": energy_efficiency_ratio(model, "i20", "t4"),
+            "vs_a10": energy_efficiency_ratio(model, "i20", "a10"),
+            "a10_vs_t4": energy_efficiency_ratio(model, "a10", "t4"),
+        }
+        for model in MODEL_NAMES
+    }
+
+
+def test_fig15_energy_efficiency(benchmark):
+    table = benchmark.pedantic(_fig15, rounds=1, iterations=1)
+    vs_t4 = geomean([row["vs_t4"] for row in table.values()])
+    vs_a10 = geomean([row["vs_a10"] for row in table.values()])
+    rows = [
+        [entry(model).display_name, fmt(row["vs_t4"]), fmt(row["vs_a10"])]
+        for model, row in table.items()
+    ]
+    rows.append(["GeoMean", fmt(vs_t4), fmt(vs_a10)])
+    print_table(
+        "Fig. 15 — DNN energy efficiency of i20 (normalized with T4, FP16)",
+        ["DNN", "i20 vs T4", "i20 vs A10"],
+        rows,
+    )
+    print(f"paper: +4% vs T4, +17% vs A10; measured "
+          f"{(vs_t4 - 1):+.0%} / {(vs_a10 - 1):+.0%}")
+
+    # Geomean bands around the paper's 1.04x / 1.17x.
+    assert 0.90 < vs_t4 < 1.30
+    assert 1.00 < vs_a10 < 1.40
+
+    # SRResnet shows the largest improvement (paper: 2.03x / 2.39x).
+    best = max(table, key=lambda model: table[model]["vs_t4"])
+    assert best == "srresnet"
+    assert table["srresnet"]["vs_t4"] > 1.6
+    assert table["srresnet"]["vs_a10"] > 2.0
+
+    # "its power efficiency is better than Nvidia T4 for half of the
+    # tested DNNs" — the crossover must land mid-pack, not at an extreme.
+    t4_wins = sum(1 for row in table.values() if row["vs_t4"] > 1.0)
+    assert 3 <= t4_wins <= 8
+
+    # Energy efficiency is perf/TDP: i20 vs A10 (equal TDP) must equal the
+    # latency speedup exactly — sanity of the Fig. 15 definition.
+    from repro.perfmodel.latency import speedup
+
+    for model in MODEL_NAMES:
+        assert abs(table[model]["vs_a10"] - speedup(model, "i20", "a10")) < 1e-9

@@ -1,0 +1,54 @@
+"""Table I interconnect: PCIe Gen4 64 GB/s — end-to-end latency breakdown.
+
+Not a paper figure, but the deployment-facing consequence of a Table I spec:
+how much of a cloud request's latency the host link costs, per model, and
+what stream pipelining recovers.
+"""
+
+from _tables import fmt, print_table
+
+from repro.models.zoo import build
+from repro.runtime.host import HostSession
+from repro.runtime.runtime import Device
+
+MODELS = ("resnet50", "yolo_v3", "srresnet", "bert_large")
+
+
+def _experiment():
+    table = {}
+    for model in MODELS:
+        device = Device.open("i20")
+        session = HostSession(device)
+        compiled = device.compile(build(model), batch=1)
+        result = session.infer(compiled, num_groups=6)
+        table[model] = {
+            "h2d_us": result.h2d_ns / 1e3,
+            "device_ms": result.device_ns / 1e6,
+            "d2h_us": result.d2h_ns / 1e3,
+            "total_ms": result.total_ms,
+            "pcie_share": result.pcie_share,
+            "pipelined_per_s": session.pipelined_throughput_per_s(result),
+        }
+    return table
+
+
+def test_pcie_end_to_end(benchmark):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    print_table(
+        "End-to-end latency over PCIe Gen4 (64 GB/s)",
+        ["Model", "H2D us", "device ms", "D2H us", "total ms",
+         "PCIe share", "pipelined/s"],
+        [
+            [model, fmt(row["h2d_us"], 1), fmt(row["device_ms"], 3),
+             fmt(row["d2h_us"], 1), fmt(row["total_ms"], 3),
+             f"{row['pcie_share']:.1%}", fmt(row["pipelined_per_s"], 0)]
+            for model, row in table.items()
+        ],
+    )
+    for model, row in table.items():
+        # A 64 GB/s link must never dominate these device-bound workloads.
+        assert row["pcie_share"] < 0.30, model
+        # Pipelining hides the copies: throughput beats 1/total.
+        assert row["pipelined_per_s"] >= 1e3 / row["total_ms"] - 1e-6, model
+    # Larger inputs cost more H2D time (yolo's 608^2 vs resnet's 224^2).
+    assert table["yolo_v3"]["h2d_us"] > table["resnet50"]["h2d_us"]

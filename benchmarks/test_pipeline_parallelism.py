@@ -1,0 +1,67 @@
+"""Extension: pipeline vs data parallelism over the processing groups.
+
+The resource abstraction (§IV-E) admits two mappings for a 6-group chip
+serving a request stream: replicate the whole model data-parallel, or
+partition it into pipeline stages (handoffs on the §IV-D sync engine).
+This bench measures the trade the paper's flexibility argument implies:
+pipelining trades single-request latency for steady-state throughput.
+"""
+
+from _tables import fmt, print_table
+
+from repro.core.accelerator import Accelerator
+from repro.models.zoo import build
+from repro.runtime.pipeline import PipelineExecutor
+from repro.runtime.runtime import Device
+
+MODEL = "resnet50"
+REQUESTS = 8
+
+
+def _experiment():
+    device = Device.open("i20")
+    compiled = device.compile(build(MODEL), batch=1)
+    data_parallel = device.launch(compiled, num_groups=6)
+
+    rows = {
+        "data-parallel x6": {
+            "first_ms": data_parallel.latency_ms,
+            "steady_us": data_parallel.latency_ns / 1e3,
+            "throughput": 1e9 / data_parallel.latency_ns,
+        }
+    }
+    for stages in (2, 3, 6):
+        accelerator = Accelerator.cloudblazer_i20()
+        pipeline_device = Device(accelerator)
+        pipeline_compiled = pipeline_device.compile(build(MODEL), batch=1)
+        result = PipelineExecutor(accelerator).run(
+            pipeline_compiled, num_stages=stages, requests=REQUESTS
+        )
+        rows[f"pipeline x{stages}"] = {
+            "first_ms": result.first_latency_ns / 1e6,
+            "steady_us": result.steady_interval_ns / 1e3,
+            "throughput": result.throughput_per_s,
+        }
+    return rows
+
+
+def test_pipeline_vs_data_parallel(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    print_table(
+        f"{MODEL}: pipeline vs data parallelism ({REQUESTS}-request stream)",
+        ["Mapping", "first-req ms", "steady us/req", "req/s"],
+        [
+            [label, fmt(row["first_ms"], 3), fmt(row["steady_us"], 1),
+             fmt(row["throughput"], 0)]
+            for label, row in rows.items()
+        ],
+    )
+    baseline = rows["data-parallel x6"]
+    best_pipeline = max(
+        (row for label, row in rows.items() if label.startswith("pipeline")),
+        key=lambda row: row["throughput"],
+    )
+    # The trade: some pipeline depth beats data parallelism on throughput...
+    assert best_pipeline["throughput"] > baseline["throughput"]
+    # ...at the cost of single-request latency.
+    assert best_pipeline["first_ms"] > baseline["first_ms"]

@@ -1,0 +1,42 @@
+"""Table I: technical specifications of the Cloudblazer i20 accelerator."""
+
+from _tables import print_table
+
+from repro.core.config import GB, dtu2_config
+from repro.core.datatypes import DType
+
+
+def _table1():
+    chip = dtu2_config()
+    rows = [
+        ["FP32", f"{chip.peak_tflops[DType.FP32]:.0f} teraFLOPS",
+         "Memory", f"{chip.l3.capacity_bytes // GB}GB"],
+        ["TF32", f"{chip.peak_tflops[DType.TF32]:.0f} teraFLOPS",
+         "Bandwidth", f"{chip.l3.bandwidth_gbps:.0f}GB/s"],
+        ["FP16", f"{chip.peak_tflops[DType.FP16]:.0f} teraFLOPS",
+         "Board TDP", f"{chip.tdp_watts:.0f}W"],
+        ["BF16", f"{chip.peak_tflops[DType.BF16]:.0f} teraFLOPS",
+         "Interconnect", f"PCIe Gen4 {chip.pcie_gbps:.0f}GB/s"],
+        ["INT8", f"{chip.peak_tflops[DType.INT8]:.0f} TOPS",
+         "Software", "Enflame Customized"],
+    ]
+    return chip, rows
+
+
+def test_table1_specifications(benchmark):
+    chip, rows = benchmark(_table1)
+    print_table(
+        "Table I — Cloudblazer i20 technical specifications",
+        ["Perf", "Value", "Feature", "Value"],
+        rows,
+    )
+    # Paper Table I, verbatim.
+    assert chip.peak_tflops[DType.FP32] == 32.0
+    assert chip.peak_tflops[DType.TF32] == 128.0
+    assert chip.peak_tflops[DType.FP16] == 128.0
+    assert chip.peak_tflops[DType.BF16] == 128.0
+    assert chip.peak_tflops[DType.INT8] == 256.0
+    assert chip.l3.capacity_bytes == 16 * GB
+    assert chip.l3.bandwidth_gbps == 819.0
+    assert chip.tdp_watts == 150.0
+    assert chip.pcie_gbps == 64.0

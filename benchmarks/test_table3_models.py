@@ -1,0 +1,55 @@
+"""Table III: the 10 DNN benchmarks — reproduced as compile-time statistics."""
+
+from _tables import print_table
+
+from repro.compiler.lowering import lower_graph
+from repro.core.config import dtu2_config
+from repro.graph.passes import optimize
+from repro.graph.shape_inference import bind_shapes
+from repro.models.zoo import TABLE_III, build
+
+
+def _table3():
+    chip = dtu2_config()
+    rows = []
+    for entry in TABLE_III:
+        graph = bind_shapes(build(entry.name), batch=1)
+        nodes_before = len(graph.nodes)
+        optimized, report = optimize(graph)  # optimizes in place
+        compiled = lower_graph(optimized, chip)
+        rows.append(
+            [
+                entry.category,
+                entry.display_name,
+                entry.source,
+                entry.input_size,
+                nodes_before,
+                len(compiled.kernels),
+                f"{compiled.total_flops / 1e9:.1f}",
+                f"{graph.weight_bytes() / 1e6:.0f}",
+            ]
+        )
+    return rows
+
+
+def test_table3_model_zoo(benchmark):
+    rows = benchmark.pedantic(_table3, rounds=1, iterations=1)
+    print_table(
+        "Table III — DNN benchmarks (plus compile statistics)",
+        ["Category", "DNN", "Source", "Input", "Nodes", "Kernels",
+         "GFLOPs", "WeightsMB"],
+        rows,
+    )
+    assert len(rows) == 10
+    # Paper Table III rows, verbatim metadata.
+    names = [row[1] for row in rows]
+    assert names == [
+        "Yolo v3", "CenterNet", "Retinaface", "VGG16", "Resnet50 v1.5",
+        "Inception v4", "Unet", "SRResnet", "Bert large", "Conformer",
+    ]
+    inputs = {row[1]: row[3] for row in rows}
+    assert inputs["Yolo v3"] == "3x608x608"
+    assert inputs["Bert large"] == "384"
+    assert inputs["Conformer"] == "80x401"
+    # fusion must have shrunk every model
+    assert all(row[5] < row[4] for row in rows)

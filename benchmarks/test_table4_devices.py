@@ -1,0 +1,40 @@
+"""Table IV: AI inference accelerators adopted for evaluation."""
+
+from _tables import print_table
+
+from repro.perfmodel.devices import ALL_DEVICES, CLOUDBLAZER_I10, NVIDIA_A10, NVIDIA_T4
+
+
+def _table4():
+    return [
+        [
+            spec.name,
+            spec.fp32_tflops,
+            spec.fp16_tflops,
+            spec.int8_tops,
+            spec.memory_gb,
+            spec.bandwidth_gbps,
+            spec.tdp_watts,
+            spec.technology_nm,
+            spec.interconnect,
+        ]
+        for spec in ALL_DEVICES
+    ]
+
+
+def test_table4_accelerators(benchmark):
+    rows = benchmark(_table4)
+    print_table(
+        "Table IV — accelerators adopted for evaluation",
+        ["Device", "FP32", "FP16", "INT8", "GB", "GB/s", "TDP", "nm", "Link"],
+        rows,
+    )
+    # Paper Table IV, verbatim.
+    assert CLOUDBLAZER_I10.fp32_tflops == 20 and CLOUDBLAZER_I10.fp16_tflops == 80
+    assert CLOUDBLAZER_I10.int8_tops == 80 and CLOUDBLAZER_I10.bandwidth_gbps == 512
+    assert NVIDIA_T4.fp32_tflops == 8.1 and NVIDIA_T4.fp16_tflops == 65
+    assert NVIDIA_T4.int8_tops == 130 and NVIDIA_T4.bandwidth_gbps == 320
+    assert NVIDIA_T4.tdp_watts == 70 and NVIDIA_T4.interconnect == "PCIe3"
+    assert NVIDIA_A10.fp32_tflops == 31.2 and NVIDIA_A10.fp16_tflops == 125
+    assert NVIDIA_A10.int8_tops == 250 and NVIDIA_A10.memory_gb == 24
+    assert NVIDIA_A10.bandwidth_gbps == 600 and NVIDIA_A10.technology_nm == 7

@@ -1,0 +1,97 @@
+"""Operator development: the TopsEngine DSL flow, down to the metal.
+
+§V-B gives developers two interfaces: a C-style language and "a customized
+domain-specific language (DSL) exposing the architecture design details".
+This example is the DSL path — a custom fused *bias + gelu* operator written
+directly against the VLIW ISA, pushed through the real compiler back end
+(packetizer with alias analysis, bank-conflict-free register allocation) and
+executed bit-for-bit on the functional compute core. It finishes with the
+§IV-A1 party trick: Top-K selection on the matrix engine's sorting facility.
+
+Run: ``python examples/operator_development.py``
+"""
+
+import numpy as np
+
+from repro.compiler.packetizer import packetize
+from repro.compiler.regalloc import allocate_registers
+from repro.engines.compute_core import ComputeCore
+from repro.engines.matrix import MatrixEngine
+from repro.engines.sorting import top_k
+from repro.engines.vliw import Instruction
+
+
+def build_bias_gelu_kernel() -> list[Instruction]:
+    """Straight-line virtual-register code: out[i] = gelu(x[i] + bias[i]).
+
+    Two independent 16-lane strips — the packetizer should overlap their
+    loads and math across slots.
+    """
+    code: list[Instruction] = []
+    for strip in range(2):
+        base = strip * 10
+        code += [
+            Instruction("ld", f"t{base}", imm=(f"x{strip}",)),
+            Instruction("ld", f"t{base + 1}", imm=(f"bias{strip}",)),
+            Instruction("vadd", f"t{base + 2}", (f"t{base}", f"t{base + 1}")),
+            Instruction("sfu", f"t{base + 3}", (f"t{base + 2}",), imm=("gelu",)),
+            Instruction("st", None, (f"t{base + 3}",), imm=(f"out{strip}",)),
+        ]
+    return code
+
+
+def main() -> None:
+    print("=== custom operator: fused bias + gelu ===")
+    virtual_code = build_bias_gelu_kernel()
+    print(f"wrote {len(virtual_code)} instructions over virtual registers")
+
+    program, schedule = packetize(virtual_code, alias_analysis=True)
+    print(f"packetizer: {schedule.packets} packets, "
+          f"ILP {schedule.ilp:.2f} instructions/packet, "
+          f"{schedule.memory_edges} memory dependence edges")
+
+    _, naive = packetize(virtual_code, alias_analysis=False)
+    print(f"without alias analysis: {naive.packets} packets "
+          f"({naive.memory_edges} ambiguous memory edges) — "
+          "the §V-B enhancement at work")
+
+    allocation = allocate_registers(program)
+    print(f"register allocator: {allocation.conflicts_before} bank "
+          f"conflict(s) -> {allocation.conflicts_after} after renaming")
+
+    core = ComputeCore()
+    rng = np.random.default_rng(0)
+    inputs, biases = {}, {}
+    for strip in range(2):
+        inputs[strip] = rng.normal(size=16)
+        biases[strip] = rng.normal(size=16)
+        core.l1.write(f"x{strip}", inputs[strip])
+        core.l1.write(f"bias{strip}", biases[strip])
+
+    cycles = core.run(allocation.program)
+    print(f"executed in {cycles} cycles ({core.stall_cycles} stall cycles)")
+
+    import math
+
+    for strip in range(2):
+        got = core.l1.read(f"out{strip}")
+        summed = inputs[strip] + biases[strip]
+        want = 0.5 * summed * (1 + np.vectorize(math.erf)(summed / math.sqrt(2)))
+        error = float(np.max(np.abs(got - want)))
+        print(f"strip {strip}: max error vs exact gelu = {error:.2e}")
+        assert error < 1e-3
+
+    print("\n=== Top-K on the matrix-engine sorter (Fig. 4) ===")
+    scores = rng.normal(size=1000)
+    engine = MatrixEngine()
+    values, indices = top_k(engine, scores, 5)
+    print(f"top-5 of 1000 recommendation scores: "
+          f"{[round(v, 3) for v in values.tolist()]}")
+    print(f"at indices {indices.tolist()}; "
+          f"used {engine.vmm_issued} VMM issues / {engine.macs_executed} MACs")
+    assert np.allclose(values, np.sort(scores)[::-1][:5])
+    print("matches numpy argsort — sorted entirely by vector-matrix products")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Regenerate the paper's headline evaluation (Figs. 13 & 15) in one run.
+
+Prints the per-model latency and energy-efficiency comparison of the
+Cloudblazer i20 against the Nvidia T4 and A10 over all 10 Table III DNNs,
+plus the geometric means the abstract quotes (2.22x / 1.16x performance,
+1.04x / 1.17x energy efficiency).
+
+Run: ``python examples/paper_evaluation.py``
+(The benchmark harness under ``benchmarks/`` runs the same experiments with
+shape assertions; this script is the human-readable tour.)
+"""
+
+from repro import MODEL_NAMES, energy_efficiency_ratio, estimate_model, geomean, speedup
+from repro.models.zoo import entry
+
+
+def main() -> None:
+    header = (f"{'DNN':<16} {'i20 ms':>8} {'T4 ms':>8} {'A10 ms':>8} "
+              f"{'i20/T4':>7} {'i20/A10':>8} {'eff/T4':>7} {'eff/A10':>8}")
+    print("=== Fig. 13 + Fig. 15 — batch 1, FP16, normalized to T4 ===")
+    print(header)
+    print("-" * len(header))
+
+    perf_t4, perf_a10, energy_t4, energy_a10 = [], [], [], []
+    for model in MODEL_NAMES:
+        i20 = estimate_model(model, "i20")
+        t4 = estimate_model(model, "t4")
+        a10 = estimate_model(model, "a10")
+        s_t4 = speedup(model, "i20", "t4")
+        s_a10 = speedup(model, "i20", "a10")
+        e_t4 = energy_efficiency_ratio(model, "i20", "t4")
+        e_a10 = energy_efficiency_ratio(model, "i20", "a10")
+        perf_t4.append(s_t4)
+        perf_a10.append(s_a10)
+        energy_t4.append(e_t4)
+        energy_a10.append(e_a10)
+        print(f"{entry(model).display_name:<16} {i20.latency_ms:>8.3f} "
+              f"{t4.latency_ms:>8.3f} {a10.latency_ms:>8.3f} "
+              f"{s_t4:>6.2f}x {s_a10:>7.2f}x {e_t4:>6.2f}x {e_a10:>7.2f}x")
+
+    print("-" * len(header))
+    print(f"{'GeoMean':<16} {'':>8} {'':>8} {'':>8} "
+          f"{geomean(perf_t4):>6.2f}x {geomean(perf_a10):>7.2f}x "
+          f"{geomean(energy_t4):>6.2f}x {geomean(energy_a10):>7.2f}x")
+    print(f"{'paper':<16} {'':>8} {'':>8} {'':>8} "
+          f"{'2.22x':>7} {'1.16x':>8} {'1.04x':>7} {'1.17x':>8}")
+
+    best = max(MODEL_NAMES, key=lambda model: speedup(model, "i20", "t4"))
+    print(f"\nbiggest win: {entry(best).display_name} at "
+          f"{speedup(best, 'i20', 't4'):.2f}x over T4 "
+          f"(paper: SRResnet at 4.34x)")
+    losses = [
+        entry(model).display_name
+        for model in MODEL_NAMES
+        if speedup(model, "i20", "a10") < 1.0
+    ]
+    print(f"A10 wins on: {', '.join(losses)} (paper: 3 of 10, incl. VGG16 "
+          f"and Inception v4 — see EXPERIMENTS.md for the divergence note)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: run ResNet-50 v1.5 on a simulated Cloudblazer i20.
+
+The canonical user flow from the paper's Fig. 11 software stack:
+
+1. get a model as a computation graph (here from the built-in zoo; your own
+   graphs come from :class:`repro.GraphBuilder` or the ONNX-like importer),
+2. compile it — TopsInference optimizes/fuses, TopsEngine tiles/tensorizes,
+3. launch on the device and read back latency / power / per-op profile.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import Device, Profile, build_model
+
+
+def main() -> None:
+    device = Device.open("i20")
+    print(f"opened {device.accelerator.chip.name}: "
+          f"{device.accelerator.chip.total_cores} cores, "
+          f"{device.accelerator.chip.total_groups} processing groups")
+
+    graph = build_model("resnet50")
+    print(f"built {graph.name}: {len(graph.nodes)} operators, symbolic batch")
+
+    compiled = device.compile(graph, batch=1)
+    print(
+        f"compiled to {len(compiled.kernels)} kernels "
+        f"({compiled.fusion_groups} fused), "
+        f"{compiled.total_flops / 1e9:.1f} GFLOPs, "
+        f"{compiled.total_boundary_bytes / 1e6:.0f} MB off-chip traffic"
+    )
+
+    result = device.launch(compiled)
+    print(
+        f"\nlatency {result.latency_ms:.3f} ms | "
+        f"throughput {result.throughput_samples_per_s():.0f} img/s | "
+        f"mean power {result.mean_power_watts:.1f} W | "
+        f"energy {result.energy_joules * 1e3:.2f} mJ | "
+        f"mean clock {result.mean_frequency_ghz:.2f} GHz"
+    )
+
+    print("\nper-category profile:")
+    print(Profile(compiled, result).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` falls back to this legacy path when
+PEP 517 editable wheels are unavailable; configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

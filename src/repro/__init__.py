@@ -1,0 +1,51 @@
+"""repro — reproduction of "High Performance and Power Efficient Accelerator
+for Cloud Inference" (HPCA 2023): the Enflame Cloudblazer i20 / DTU 2.0
+accelerator, its software stack, and every experiment in the paper's
+evaluation, as a pure-Python functional + performance model.
+
+Quickstart::
+
+    from repro import Device, build_model
+
+    device = Device.open("i20")
+    graph = build_model("resnet50")
+    compiled = device.compile(graph, batch=1)
+    result = device.launch(compiled)
+    print(result.latency_ms, result.mean_power_watts)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.accelerator import Accelerator
+from repro.core.config import ChipConfig, FeatureFlags, dtu1_config, dtu2_config
+from repro.core.datatypes import DType
+from repro.core.resource import Assignment, ResourceManager, recommend_groups
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph, Node, TensorType
+from repro.graph.passes import optimize
+from repro.graph.shape_inference import bind_shapes, infer_shapes
+from repro.models.zoo import MODEL_NAMES, TABLE_III, build as build_model
+from repro.perfmodel.devices import ALL_DEVICES, DeviceSpec, device
+from repro.perfmodel.latency import (
+    ModelEstimate,
+    energy_efficiency_ratio,
+    estimate_model,
+    geomean,
+    speedup,
+)
+from repro.runtime.executor import ExecutionResult, Executor
+from repro.runtime.profiler import Profile
+from repro.runtime.runtime import Device
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_DEVICES", "Accelerator", "Assignment", "ChipConfig", "DType",
+    "Device", "DeviceSpec", "ExecutionResult", "Executor", "FeatureFlags",
+    "Graph", "GraphBuilder", "MODEL_NAMES", "ModelEstimate", "Node",
+    "Profile", "ResourceManager", "TABLE_III", "TensorType", "bind_shapes",
+    "build_model", "device", "dtu1_config", "dtu2_config",
+    "energy_efficiency_ratio", "estimate_model", "geomean", "infer_shapes",
+    "optimize", "recommend_groups", "speedup",
+]

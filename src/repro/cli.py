@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``specs`` — print Table I / Table IV device specifications,
+- ``models`` — list the Table III zoo with compile statistics,
+- ``run MODEL`` — simulate one inference on the i20 (or i10),
+- ``estimate MODEL`` — analytical latency on every device,
+- ``evaluate`` — the full Fig. 13 / Fig. 15 comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_specs(_args) -> int:
+    from repro.core.datatypes import DType
+    from repro.perfmodel.devices import ALL_DEVICES
+
+    header = (f"{'Device':<16} {'FP32':>6} {'FP16':>6} {'INT8':>6} "
+              f"{'GB':>4} {'GB/s':>6} {'TDP':>5} {'nm':>3}  Link")
+    print(header)
+    print("-" * len(header))
+    for spec in ALL_DEVICES:
+        print(f"{spec.name:<16} {spec.fp32_tflops:>6.1f} "
+              f"{spec.fp16_tflops:>6.1f} {spec.int8_tops:>6.1f} "
+              f"{spec.memory_gb:>4} {spec.bandwidth_gbps:>6.0f} "
+              f"{spec.tdp_watts:>5.0f} {spec.technology_nm:>3}  "
+              f"{spec.interconnect}")
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    from repro.compiler.lowering import lower_graph
+    from repro.core.config import dtu2_config
+    from repro.graph.passes import optimize
+    from repro.graph.shape_inference import bind_shapes
+    from repro.models.zoo import TABLE_III, build
+
+    chip = dtu2_config()
+    header = (f"{'Model':<14} {'Category':<20} {'Input':<10} {'Nodes':>6} "
+              f"{'Kernels':>8} {'GFLOPs':>8} {'WeightMB':>9}")
+    print(header)
+    print("-" * len(header))
+    for entry in TABLE_III:
+        graph = bind_shapes(build(entry.name), batch=1)
+        nodes = len(graph.nodes)
+        optimized, _ = optimize(graph)
+        compiled = lower_graph(optimized, chip)
+        print(f"{entry.name:<14} {entry.category:<20} {entry.input_size:<10} "
+              f"{nodes:>6} {len(compiled.kernels):>8} "
+              f"{compiled.total_flops / 1e9:>8.1f} "
+              f"{graph.weight_bytes() / 1e6:>9.1f}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.models.zoo import MODEL_NAMES, build
+    from repro.runtime.profiler import Profile
+    from repro.runtime.runtime import Device
+
+    if args.model not in MODEL_NAMES:
+        print(f"unknown model {args.model!r}; choose from {list(MODEL_NAMES)}",
+              file=sys.stderr)
+        return 2
+    device = Device.open(args.device)
+    compiled = device.compile(build(args.model), batch=args.batch)
+    result = device.launch(compiled, num_groups=args.groups)
+    print(f"{args.model} on {device.accelerator.chip.name} "
+          f"(batch {args.batch}, {args.groups or 'auto'} groups):")
+    print(f"  latency      {result.latency_ms:.3f} ms")
+    print(f"  throughput   {result.throughput_samples_per_s(args.batch):.0f} samples/s")
+    print(f"  mean power   {result.mean_power_watts:.1f} W")
+    print(f"  energy       {result.energy_joules * 1e3:.2f} mJ")
+    print(f"  mean clock   {result.mean_frequency_ghz:.2f} GHz")
+    if args.profile:
+        print()
+        print(Profile(compiled, result).summary())
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.models.zoo import MODEL_NAMES
+    from repro.perfmodel.latency import estimate_model
+
+    if args.model not in MODEL_NAMES:
+        print(f"unknown model {args.model!r}; choose from {list(MODEL_NAMES)}",
+              file=sys.stderr)
+        return 2
+    print(f"{'Device':<6} {'latency ms':>11} {'samples/s':>10}")
+    for device in ("i20", "i10", "t4", "a10"):
+        estimate = estimate_model(args.model, device, batch=args.batch)
+        print(f"{device:<6} {estimate.latency_ms:>11.3f} "
+              f"{estimate.throughput_samples_per_s:>10.0f}")
+    return 0
+
+
+def _cmd_evaluate(_args) -> int:
+    from repro.models.zoo import MODEL_NAMES, entry
+    from repro.perfmodel.latency import (
+        energy_efficiency_ratio,
+        geomean,
+        speedup,
+    )
+
+    header = (f"{'DNN':<16} {'i20/T4':>8} {'i20/A10':>8} "
+              f"{'eff/T4':>8} {'eff/A10':>8}")
+    print(header)
+    print("-" * len(header))
+    perf_t4, perf_a10, eff_t4, eff_a10 = [], [], [], []
+    for model in MODEL_NAMES:
+        s4 = speedup(model, "i20", "t4")
+        sa = speedup(model, "i20", "a10")
+        e4 = energy_efficiency_ratio(model, "i20", "t4")
+        ea = energy_efficiency_ratio(model, "i20", "a10")
+        perf_t4.append(s4)
+        perf_a10.append(sa)
+        eff_t4.append(e4)
+        eff_a10.append(ea)
+        print(f"{entry(model).display_name:<16} {s4:>7.2f}x {sa:>7.2f}x "
+              f"{e4:>7.2f}x {ea:>7.2f}x")
+    print("-" * len(header))
+    print(f"{'GeoMean':<16} {geomean(perf_t4):>7.2f}x {geomean(perf_a10):>7.2f}x "
+          f"{geomean(eff_t4):>7.2f}x {geomean(eff_a10):>7.2f}x")
+    print(f"{'paper':<16} {'2.22x':>8} {'1.16x':>8} {'1.04x':>8} {'1.17x':>8}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cloudblazer i20 / DTU 2.0 reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("specs", help="device spec tables (I & IV)")
+    commands.add_parser("models", help="the Table III model zoo")
+
+    run = commands.add_parser("run", help="simulate one inference")
+    run.add_argument("model")
+    run.add_argument("--device", default="i20", choices=("i20", "i10"))
+    run.add_argument("--batch", type=int, default=1)
+    run.add_argument("--groups", type=int, default=None)
+    run.add_argument("--profile", action="store_true")
+
+    estimate = commands.add_parser(
+        "estimate", help="analytical latency on every device"
+    )
+    estimate.add_argument("model")
+    estimate.add_argument("--batch", type=int, default=1)
+
+    commands.add_parser("evaluate", help="Fig. 13/15 comparison table")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "specs": _cmd_specs,
+        "models": _cmd_models,
+        "run": _cmd_run,
+        "estimate": _cmd_estimate,
+        "evaluate": _cmd_evaluate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

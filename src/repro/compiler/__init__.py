@@ -1,0 +1,35 @@
+"""Operator compiler ("TopsEngine"): tiling, vectorize, tensorize, regalloc, packetize."""
+
+from repro.compiler.codegen import CodegenError, GeneratedKernel, execute_kernel, generate_elementwise_kernel
+from repro.compiler.kernel import Kernel, KernelCost
+from repro.compiler.lowering import CompiledModel, LoweringError, lower_graph, lower_node
+from repro.compiler.packetizer import PacketizeReport, dependence_graph, packetize
+from repro.compiler.regalloc import AllocationError, AllocationResult, allocate_registers, total_conflicts
+from repro.compiler.tensorize import (
+    GemmShape,
+    TensorizationPlan,
+    TensorizeError,
+    conv2d_as_gemm,
+    matrix_engine_efficiency,
+    tensorize_gemm,
+)
+from repro.compiler.tiling import TilingError, TilingPlan, TilingSearchSpace, tune_tiling
+from repro.compiler.vectorize import (
+    ScalarLoop,
+    ScalarOp,
+    SuperwordGroup,
+    VectorizationResult,
+    pack_superwords,
+    vectorize_loop,
+)
+
+__all__ = [
+    "AllocationError", "CodegenError", "GeneratedKernel",
+    "execute_kernel", "generate_elementwise_kernel", "AllocationResult", "CompiledModel", "GemmShape",
+    "Kernel", "KernelCost", "LoweringError", "PacketizeReport", "ScalarLoop",
+    "ScalarOp", "SuperwordGroup", "TensorizationPlan", "TensorizeError",
+    "TilingError", "TilingPlan", "TilingSearchSpace", "VectorizationResult",
+    "allocate_registers", "conv2d_as_gemm", "dependence_graph", "lower_graph",
+    "lower_node", "matrix_engine_efficiency", "pack_superwords", "packetize",
+    "tensorize_gemm", "total_conflicts", "tune_tiling", "vectorize_loop",
+]

@@ -1,0 +1,60 @@
+"""Compiled kernel descriptor: what lowering hands to the runtime.
+
+A :class:`Kernel` carries everything the executor and the performance model
+need about one fused operator: arithmetic work, memory traffic at the fusion
+boundary, code size (for instruction-buffer behaviour), and the tiling /
+tensorization plans the auto-tuners chose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.datatypes import DType
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Raw resource demands of one kernel."""
+
+    flops: float
+    input_bytes: int
+    output_bytes: int
+    weight_bytes: int
+    internal_bytes: int = 0
+    """Intermediate tensors fusion keeps on-chip (saved L3 traffic)."""
+
+    @property
+    def boundary_bytes(self) -> int:
+        """Bytes that must cross the L3 boundary."""
+        return self.input_bytes + self.output_bytes + self.weight_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per boundary byte — the roofline x-coordinate."""
+        if self.boundary_bytes == 0:
+            return float("inf")
+        return self.flops / self.boundary_bytes
+
+
+@dataclass
+class Kernel:
+    """One schedulable unit of work on a processing group."""
+
+    name: str
+    category: str
+    dtype: DType
+    cost: KernelCost
+    code_bytes: int
+    members: int = 1
+    """How many graph nodes fused into this kernel."""
+    tiling: "object | None" = None
+    tensorization: "object | None" = None
+    vectorization: "object | None" = None
+    sparsity: float = 0.0
+    """Fraction of zero elements in this kernel's activations."""
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def is_fused(self) -> bool:
+        return self.members > 1

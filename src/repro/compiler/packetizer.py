@@ -1,0 +1,143 @@
+"""VLIW packetizer with alias analysis (paper §V-B).
+
+"VLIW packetizer is enhanced along with the instruction scheduler. We made
+enhancements on alias analysis to reduce ambiguous dependencies. Independent
+instructions are discovered and packed into one instruction packet, then
+issued all at once. Besides the improvements in runtime performance, kernel
+code size is optimized."
+
+Input: a straight-line list of instructions over virtual registers.
+The packetizer:
+
+1. builds the dependence graph — register RAW/WAR/WAW edges plus memory
+   edges between loads/stores that *may alias*;
+2. with alias analysis ON, two memory ops alias only when they touch the
+   same tensor name (our symbolic addressing makes this exact); OFF (the
+   pre-enhancement behaviour), every store conflicts with every other
+   memory op — the "ambiguous dependencies" the paper removed;
+3. greedy list-scheduling packs ready instructions into packets, one per
+   functional slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.engines.vliw import Instruction, Packet, Program, Slot
+
+
+@dataclass(frozen=True)
+class PacketizeReport:
+    """Scheduling statistics for one packetization run."""
+
+    instructions: int
+    packets: int
+    memory_edges: int
+
+    @property
+    def ilp(self) -> float:
+        """Instructions per packet — the parallelism the scheduler found."""
+        if self.packets == 0:
+            return 0.0
+        return self.instructions / self.packets
+
+
+def _memory_tensor(instruction: Instruction) -> str | None:
+    """The tensor a ld/st touches (symbolic address = first immediate)."""
+    if instruction.opcode in ("ld", "st") and instruction.imm:
+        return str(instruction.imm[0])
+    return None
+
+
+def dependence_graph(
+    instructions: list[Instruction], alias_analysis: bool = True
+) -> nx.DiGraph:
+    """Edges point from an instruction to ones that must follow it."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(instructions)))
+    last_writer: dict[str, int] = {}
+    readers_since_write: dict[str, list[int]] = {}
+    memory_ops: list[int] = []
+
+    for index, instruction in enumerate(instructions):
+        # Register dependencies.
+        for register in instruction.registers_read:
+            if register in last_writer:
+                graph.add_edge(last_writer[register], index, kind="raw")
+            readers_since_write.setdefault(register, []).append(index)
+        for register in instruction.registers_written:
+            if register in last_writer:
+                graph.add_edge(last_writer[register], index, kind="waw")
+            for reader in readers_since_write.get(register, []):
+                if reader != index:
+                    graph.add_edge(reader, index, kind="war")
+            last_writer[register] = index
+            readers_since_write[register] = []
+
+        # Memory dependencies.
+        tensor = _memory_tensor(instruction)
+        if tensor is not None:
+            is_store = instruction.opcode == "st"
+            for earlier in memory_ops:
+                other = instructions[earlier]
+                other_store = other.opcode == "st"
+                if not (is_store or other_store):
+                    continue  # two loads never conflict
+                if alias_analysis:
+                    conflict = _memory_tensor(other) == tensor
+                else:
+                    conflict = True  # ambiguous: assume everything aliases
+                if conflict:
+                    graph.add_edge(earlier, index, kind="mem")
+            memory_ops.append(index)
+    return graph
+
+
+def packetize(
+    instructions: list[Instruction], alias_analysis: bool = True
+) -> tuple[Program, PacketizeReport]:
+    """List-schedule ``instructions`` into legal VLIW packets."""
+    graph = dependence_graph(instructions, alias_analysis=alias_analysis)
+    remaining_preds = {node: graph.in_degree(node) for node in graph.nodes}
+    scheduled: set[int] = set()
+    packets: list[Packet] = []
+
+    while len(scheduled) < len(instructions):
+        ready = sorted(
+            node
+            for node in graph.nodes
+            if node not in scheduled and remaining_preds[node] == 0
+        )
+        if not ready:
+            raise RuntimeError("dependence graph has a cycle — packetizer bug")
+        used_slots: set[Slot] = set()
+        written: set[str] = set()
+        chosen: list[int] = []
+        for node in ready:
+            instruction = instructions[node]
+            if instruction.slot in used_slots:
+                continue
+            # The Packet invariant forbids intra-packet WAW; dependence
+            # edges already forbid RAW/WAR among ready instructions.
+            if any(register in written for register in instruction.registers_written):
+                continue
+            chosen.append(node)
+            used_slots.add(instruction.slot)
+            written.update(instruction.registers_written)
+        packets.append(Packet(tuple(instructions[node] for node in chosen)))
+        for node in chosen:
+            scheduled.add(node)
+            for successor in graph.successors(node):
+                remaining_preds[successor] -= 1
+
+    memory_edges = sum(
+        1 for _u, _v, kind in graph.edges(data="kind") if kind == "mem"
+    )
+    report = PacketizeReport(
+        instructions=len(instructions),
+        packets=len(packets),
+        memory_edges=memory_edges,
+    )
+    return Program(packets=packets), report

@@ -1,0 +1,166 @@
+"""Register allocation avoiding bank conflicts (paper §V-B).
+
+"Register allocator tries to avoid register bank conflicts that lead to
+pipeline stalls. By preventing register bank conflicts during compilation,
+the VLIW pipeline can access required instruction operands without incurring
+hardware/software overheads."
+
+The allocator renames *virtual* registers (``t0``, ``t1``...) to the 32
+physical registers (``v0``..``v31``, 4 banks) such that
+
+- registers with overlapping **live ranges** never share a physical
+  register (classic liveness-based coloring — long strip-mined kernels
+  reuse registers across strips), and
+- within each packet, source operands prefer **distinct banks**, because a
+  packet reading two same-bank registers stalls a cycle per extra operand
+  (:meth:`repro.engines.vliw.Packet.stall_cycles`).
+
+Greedy coloring in live-range order; bank choice minimizes same-packet read
+collisions. Residual conflicts are reported, not hidden — a packet reading
+five operands cannot be conflict-free on four banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engines.vliw import (
+    REGISTER_BANKS,
+    Instruction,
+    Packet,
+    Program,
+    register_bank,
+)
+
+NUM_PHYSICAL_REGISTERS = 32
+
+
+class AllocationError(RuntimeError):
+    """The program needs more live registers than the file provides."""
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Output of one allocation run."""
+
+    program: Program
+    mapping: dict[str, str]
+    conflicts_before: int
+    conflicts_after: int
+
+    @property
+    def conflicts_removed(self) -> int:
+        return self.conflicts_before - self.conflicts_after
+
+
+def total_conflicts(program: Program) -> int:
+    return sum(packet.bank_conflicts() for packet in program.packets)
+
+
+def _live_ranges(program: Program) -> dict[str, tuple[int, int]]:
+    """[first definition or use, last use] packet index per register."""
+    ranges: dict[str, tuple[int, int]] = {}
+    for index, packet in enumerate(program.packets):
+        for instruction in packet.instructions:
+            for register in (
+                instruction.registers_read + instruction.registers_written
+            ):
+                if register in ranges:
+                    start, _ = ranges[register]
+                    ranges[register] = (start, index)
+                else:
+                    ranges[register] = (index, index)
+    return ranges
+
+
+def _co_read_sets(program: Program) -> list[set[str]]:
+    """Registers read together in one packet (the bank-conflict domain)."""
+    return [
+        {
+            register
+            for instruction in packet.instructions
+            for register in instruction.registers_read
+        }
+        for packet in program.packets
+    ]
+
+
+def allocate_registers(program: Program, prefix: str = "v") -> AllocationResult:
+    """Rename every register to a liveness-safe, bank-conflict-poor layout."""
+    conflicts_before = total_conflicts(program)
+    ranges = _live_ranges(program)
+    co_reads = _co_read_sets(program)
+
+    # Which packets each register is co-read in (for bank preference).
+    read_in: dict[str, list[int]] = {register: [] for register in ranges}
+    for index, group in enumerate(co_reads):
+        for register in group:
+            read_in[register].append(index)
+
+    def overlaps(a: tuple[int, int], b: tuple[int, int]) -> bool:
+        return a[0] <= b[1] and b[0] <= a[1]
+
+    mapping: dict[str, str] = {}
+    assigned_ranges: dict[str, list[tuple[str, tuple[int, int]]]] = {}
+    # allocate in order of first definition for determinism
+    order = sorted(ranges, key=lambda register: (ranges[register], register))
+    for register in order:
+        live = ranges[register]
+        # Physical registers whose current occupants' ranges all avoid ours.
+        free: list[int] = []
+        for physical in range(NUM_PHYSICAL_REGISTERS):
+            name = f"{prefix}{physical}"
+            occupants = assigned_ranges.get(name, [])
+            if all(not overlaps(live, other) for _virt, other in occupants):
+                free.append(physical)
+        if not free:
+            raise AllocationError(
+                f"program needs more than {NUM_PHYSICAL_REGISTERS} "
+                "simultaneously-live registers"
+            )
+        # Bank preference: count collisions with already-assigned co-reads.
+        def collision_count(physical: int) -> int:
+            bank = physical % REGISTER_BANKS
+            collisions = 0
+            for packet_index in read_in[register]:
+                for other in co_reads[packet_index]:
+                    if other == register or other not in mapping:
+                        continue
+                    if register_bank(mapping[other]) == bank:
+                        collisions += 1
+            return collisions
+
+        best = min(free, key=lambda physical: (collision_count(physical), physical))
+        name = f"{prefix}{best}"
+        mapping[register] = name
+        assigned_ranges.setdefault(name, []).append((register, live))
+
+    rewritten = _rewrite(program, mapping)
+    return AllocationResult(
+        program=rewritten,
+        mapping=mapping,
+        conflicts_before=conflicts_before,
+        conflicts_after=total_conflicts(rewritten),
+    )
+
+
+def _rewrite(program: Program, mapping: dict[str, str]) -> Program:
+    packets = []
+    for packet in program.packets:
+        packets.append(
+            Packet(
+                tuple(
+                    Instruction(
+                        opcode=instruction.opcode,
+                        dest=mapping.get(instruction.dest, instruction.dest),
+                        srcs=tuple(
+                            mapping.get(register, register)
+                            for register in instruction.srcs
+                        ),
+                        imm=instruction.imm,
+                    )
+                    for instruction in packet.instructions
+                )
+            )
+        )
+    return Program(packets=packets)

@@ -1,0 +1,170 @@
+"""Auto-tensorization: mapping linear algebra onto VMM patterns (§V-B).
+
+"Auto-tensorization is developed to harness DTU's matrix engine. It targets
+special computation patterns, such as matrix multiplication and convolution.
+Loop transformations, e.g., loop tiling and loop switching, are applied to
+help identify VMM computations according to the various vector/matrix shapes
+the matrix engine supports."
+
+Given a GEMM-shaped computation ``(M, N, K)`` the tensorizer picks the VMM
+pattern that wastes the fewest MACs on padding. Fine-grained VMM (DTU 2.0)
+may choose any supported ``rows x cols``; the coarse GEMM engine (DTU 1.0
+behaviour / ablation) is locked to the full square tile, which hurts the
+tall-and-skinny matrices §III calls out (group/depth-wise convolutions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.datatypes import DType
+from repro.engines.matrix import supported_patterns
+from repro.engines.vector import lanes_for
+
+
+class TensorizeError(ValueError):
+    """The computation cannot map onto the matrix engine."""
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Problem shape: ``C[M, N] += A[M, K] @ B[K, N]``."""
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise TensorizeError(f"degenerate GEMM shape {self}")
+
+    @property
+    def useful_macs(self) -> int:
+        return self.m * self.n * self.k
+
+    @property
+    def is_tall_skinny(self) -> bool:
+        """Heavily rectangular shapes where coarse tiling wastes work."""
+        longest = max(self.m, self.n, self.k)
+        shortest = min(self.m, self.n, self.k)
+        return longest >= 8 * shortest
+
+
+def conv2d_as_gemm(
+    batch: int,
+    out_channels: int,
+    out_height: int,
+    out_width: int,
+    in_channels_per_group: int,
+    kernel_h: int,
+    kernel_w: int,
+) -> GemmShape:
+    """The im2col view of a convolution (per group)."""
+    return GemmShape(
+        m=batch * out_height * out_width,
+        n=out_channels,
+        k=in_channels_per_group * kernel_h * kernel_w,
+    )
+
+
+@dataclass(frozen=True)
+class TensorizationPlan:
+    """Chosen VMM mapping for one GEMM."""
+
+    shape: GemmShape
+    pattern_rows: int
+    pattern_cols: int
+    vmm_count: int
+    issued_macs: int
+
+    @property
+    def utilization(self) -> float:
+        """Useful MACs / issued MACs — padding waste brings this below 1."""
+        if self.issued_macs == 0:
+            return 0.0
+        return self.shape.useful_macs / self.issued_macs
+
+
+def _candidate_patterns(dtype: DType, fine_grained: bool) -> list[tuple[int, int]]:
+    patterns = sorted(
+        {
+            (pattern.rows, pattern.cols)
+            for pattern in supported_patterns()
+            if pattern.dtype is dtype
+        }
+    )
+    if fine_grained:
+        return patterns
+    # Coarse GEMM engine: only the largest (square-most) tile exists.
+    return [max(patterns, key=lambda rc: rc[0] * rc[1])]
+
+
+def tensorize_gemm(
+    shape: GemmShape,
+    dtype: DType = DType.FP32,
+    fine_grained: bool = True,
+) -> TensorizationPlan:
+    """Choose the VMM pattern minimizing issued MACs for this GEMM.
+
+    The loop nest maps as: K tiles over pattern rows (vector length),
+    N tiles over pattern cols (output lanes), M iterations of VMM issues.
+    "Loop switching" (§V-B) also tries the transposed mapping — computing
+    ``C^T = B^T A^T`` swaps M and N, which rescues narrow-output GEMMs
+    (e.g. a 3-channel conv) from catastrophic column padding.
+    """
+    best: TensorizationPlan | None = None
+    mappings = [shape]
+    if fine_grained and shape.m != shape.n:
+        mappings.append(GemmShape(m=shape.n, n=shape.m, k=shape.k))
+    for mapped in mappings:
+        for rows, cols in _candidate_patterns(dtype, fine_grained):
+            k_tiles = math.ceil(mapped.k / rows)
+            n_tiles = math.ceil(mapped.n / cols)
+            vmm_count = mapped.m * k_tiles * n_tiles
+            issued = vmm_count * rows * cols
+            plan = TensorizationPlan(
+                shape=shape,
+                pattern_rows=rows,
+                pattern_cols=cols,
+                vmm_count=vmm_count,
+                issued_macs=issued,
+            )
+            if best is None or plan.issued_macs < best.issued_macs:
+                best = plan
+    if best is None:
+        raise TensorizeError(f"no VMM pattern available for {dtype}")
+    return best
+
+
+def matrix_engine_efficiency(
+    shape: GemmShape, dtype: DType = DType.FP16, fine_grained: bool = True
+) -> float:
+    """Shortcut: utilization of the chosen plan (performance-model input)."""
+    return tensorize_gemm(shape, dtype, fine_grained).utilization
+
+
+def gpu_tile_utilization(
+    shape: GemmShape,
+    tile_m: int = 64,
+    tile_n: int = 64,
+    tile_k: int = 32,
+) -> float:
+    """Tensor-core tile utilization of a GPU GEMM kernel.
+
+    GPU tensor-core kernels tile the problem with large thread-block tiles;
+    dimensions that do not fill a tile pad and waste MACs — the GPU-side
+    analogue of our VMM padding, and the reason small / tall-skinny GEMMs
+    (Conformer blocks, depthwise convs) underuse GPUs while big square ones
+    (BERT, VGG) run near peak. Both problem orientations are considered,
+    mirroring library kernel selection.
+    """
+    best = 0.0
+    for m, n in ((shape.m, shape.n), (shape.n, shape.m)):
+        padded = (
+            math.ceil(m / tile_m) * tile_m
+            * math.ceil(n / tile_n) * tile_n
+            * math.ceil(shape.k / tile_k) * tile_k
+        )
+        best = max(best, shape.useful_macs / padded)
+    return min(best, 1.0)

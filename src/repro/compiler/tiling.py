@@ -1,0 +1,144 @@
+"""Auto-tuning on data flows: tiling search over the memory hierarchy.
+
+Paper §V-B: "Auto-tuning on data flows searches for efficient data tiling
+solutions that benefit most from DTU's memory hierarchy and bandwidth. The
+generated data flows are mapped to specific DMA transactions, performing
+data layout transformations on the fly. By pipelining the computation and
+data flow, DTU's computational power is effectively utilized."
+
+The tuner models the canonical load-compute-store pipeline with
+multiple-buffering: a kernel's working set is cut into ``tiles`` slices;
+each slice is DMA'd L3->L1 while the previous slice computes. Given compute
+throughput and DMA bandwidth it evaluates candidate tile counts and buffer
+depths, returning the plan with the best pipelined time — and, because tiles
+follow a fixed stride, the plan maps onto one repeat-mode DMA configuration
+(Fig. 6) when the hardware supports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.kernel import KernelCost
+
+
+class TilingError(ValueError):
+    """No legal tiling exists (e.g. working set below one element)."""
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """One evaluated data-flow solution."""
+
+    tiles: int
+    buffers: int
+    tile_bytes: int
+    compute_time_ns: float
+    dma_time_ns: float
+    pipelined_time_ns: float
+    dma_configurations: int
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Serial time / pipelined time; > 1 means overlap is paying off."""
+        serial = self.compute_time_ns + self.dma_time_ns
+        if self.pipelined_time_ns == 0:
+            return 1.0
+        return serial / self.pipelined_time_ns
+
+
+@dataclass(frozen=True)
+class TilingSearchSpace:
+    """Bounds of the tuner's search."""
+
+    max_tiles: int = 64
+    buffer_depths: tuple[int, ...] = (2, 3)
+    """Double and triple buffering, the schemes §III mentions."""
+
+
+def _pipeline_time(
+    tiles: int,
+    buffers: int,
+    compute_per_tile_ns: float,
+    dma_per_tile_ns: float,
+    config_overhead_ns: float,
+    configurations: int,
+) -> float:
+    """Makespan of a ``tiles``-stage load-compute-store software pipeline.
+
+    With >= 2 buffers, steady-state advances at max(compute, dma) per tile;
+    the pipeline prologue pays one DMA fill. A single buffer serializes.
+    """
+    config_time = configurations * config_overhead_ns
+    if buffers < 2:
+        return config_time + tiles * (compute_per_tile_ns + dma_per_tile_ns)
+    bottleneck = max(compute_per_tile_ns, dma_per_tile_ns)
+    return config_time + dma_per_tile_ns + tiles * bottleneck
+
+
+def tune_tiling(
+    cost: KernelCost,
+    l1_capacity_bytes: int,
+    compute_flops_per_ns: float,
+    dma_bandwidth_gbps: float,
+    dma_config_overhead_ns: float,
+    repeat_mode: bool = True,
+    search: TilingSearchSpace | None = None,
+) -> TilingPlan:
+    """Pick the best tiling for one kernel; deterministic exhaustive search."""
+    search = search or TilingSearchSpace()
+    working_set = cost.boundary_bytes + cost.internal_bytes
+    if working_set <= 0:
+        raise TilingError("kernel moves no data; nothing to tile")
+    if compute_flops_per_ns <= 0 or dma_bandwidth_gbps <= 0:
+        raise TilingError("throughputs must be positive")
+
+    best: TilingPlan | None = None
+    for buffers in search.buffer_depths:
+        for tiles in range(1, search.max_tiles + 1):
+            tile_bytes = -(-working_set // tiles)  # ceil
+            if tile_bytes * buffers > l1_capacity_bytes:
+                continue  # tile (x buffering copies) must fit in L1
+            compute_per_tile = (cost.flops / tiles) / compute_flops_per_ns
+            dma_per_tile = tile_bytes / dma_bandwidth_gbps
+            configurations = 1 if repeat_mode else tiles
+            time = _pipeline_time(
+                tiles,
+                buffers,
+                compute_per_tile,
+                dma_per_tile,
+                dma_config_overhead_ns,
+                configurations,
+            )
+            plan = TilingPlan(
+                tiles=tiles,
+                buffers=buffers,
+                tile_bytes=tile_bytes,
+                compute_time_ns=compute_per_tile * tiles,
+                dma_time_ns=dma_per_tile * tiles,
+                pipelined_time_ns=time,
+                dma_configurations=configurations,
+            )
+            if best is None or plan.pipelined_time_ns < best.pipelined_time_ns:
+                best = plan
+    if best is None:
+        # Working set so large that even max_tiles slices overflow L1:
+        # fall back to the finest slicing and accept spilling through L2.
+        tiles = search.max_tiles
+        tile_bytes = -(-working_set // tiles)
+        compute_per_tile = (cost.flops / tiles) / compute_flops_per_ns
+        dma_per_tile = tile_bytes / dma_bandwidth_gbps
+        configurations = 1 if repeat_mode else tiles
+        best = TilingPlan(
+            tiles=tiles,
+            buffers=2,
+            tile_bytes=tile_bytes,
+            compute_time_ns=compute_per_tile * tiles,
+            dma_time_ns=dma_per_tile * tiles,
+            pipelined_time_ns=_pipeline_time(
+                tiles, 2, compute_per_tile, dma_per_tile,
+                dma_config_overhead_ns, configurations,
+            ),
+            dma_configurations=configurations,
+        )
+    return best

@@ -1,0 +1,148 @@
+"""Auto-vectorization at the loop and super-word levels (paper §V-B).
+
+A tiny loop IR stands in for the operator compiler's internal form:
+:class:`ScalarLoop` is a counted loop over a body of scalar operations.
+:func:`vectorize_loop` strip-mines it by the vector lane count, producing a
+vector main loop plus a scalar tail, and reports the expected speedup.
+:func:`pack_superwords` models SLP: isomorphic independent scalar statements
+inside a straight-line block pack into vector lanes.
+
+Transcendental calls are diverted to the SFU slot ("TopsEngine ensures
+transcendental functions the DTU supports are properly vectorized").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.datatypes import DType
+from repro.engines.sfu import SpecialFunctionUnit
+from repro.engines.vector import lanes_for
+
+_SFU_FUNCTIONS = frozenset(
+    SpecialFunctionUnit().supported_functions
+) | {"gelu", "swish"}
+
+
+@dataclass(frozen=True)
+class ScalarOp:
+    """One scalar statement inside a loop body."""
+
+    op: str
+    dest: str
+    srcs: tuple[str, ...] = ()
+
+    @property
+    def is_transcendental(self) -> bool:
+        return self.op in _SFU_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class ScalarLoop:
+    """``for i in range(extent): body`` over element ``i`` of each operand."""
+
+    extent: int
+    body: tuple[ScalarOp, ...]
+
+    def __post_init__(self) -> None:
+        if self.extent < 0:
+            raise ValueError(f"negative loop extent {self.extent}")
+        if not self.body:
+            raise ValueError("empty loop body")
+
+
+@dataclass(frozen=True)
+class VectorizationResult:
+    """What the vectorizer produced for one loop."""
+
+    lanes: int
+    vector_iterations: int
+    tail_iterations: int
+    vector_ops: int
+    sfu_ops: int
+    scalar_ops: int
+
+    @property
+    def total_issued_ops(self) -> int:
+        return self.vector_ops + self.sfu_ops + self.scalar_ops
+
+    @property
+    def speedup(self) -> float:
+        """Issue-slot speedup vs fully scalar execution.
+
+        Every iteration of the original loop issued the whole body; after
+        vectorization, each vector iteration covers ``lanes`` of them.
+        """
+        original_iterations = self.vector_iterations * self.lanes + self.tail_iterations
+        issued_iterations = self.vector_iterations + self.tail_iterations
+        if issued_iterations == 0:
+            return 1.0
+        return original_iterations / issued_iterations
+
+
+def vectorize_loop(
+    loop: ScalarLoop, dtype: DType = DType.FP32
+) -> VectorizationResult:
+    """Strip-mine ``loop`` by the SIMD width for ``dtype``."""
+    lanes = lanes_for(dtype)
+    vector_iterations = loop.extent // lanes
+    tail = loop.extent - vector_iterations * lanes
+    sfu_per_body = sum(1 for op in loop.body if op.is_transcendental)
+    vector_per_body = len(loop.body) - sfu_per_body
+    return VectorizationResult(
+        lanes=lanes,
+        vector_iterations=vector_iterations,
+        tail_iterations=tail,
+        vector_ops=vector_iterations * vector_per_body,
+        sfu_ops=vector_iterations * sfu_per_body,
+        scalar_ops=tail * len(loop.body),
+    )
+
+
+@dataclass(frozen=True)
+class SuperwordGroup:
+    """Isomorphic scalar statements packed into one vector operation."""
+
+    op: str
+    width: int
+
+
+def pack_superwords(
+    block: list[ScalarOp], dtype: DType = DType.FP32
+) -> tuple[list[SuperwordGroup], list[ScalarOp]]:
+    """SLP packing: group independent same-opcode statements into lanes.
+
+    Statements are independent when no statement reads another's dest within
+    the group (a conservative, order-preserving check). Returns the packed
+    groups and the scalar leftovers.
+    """
+    lanes = lanes_for(dtype)
+    groups: list[SuperwordGroup] = []
+    leftovers: list[ScalarOp] = []
+    pending: dict[str, list[ScalarOp]] = {}
+    for op in block:
+        bucket = pending.setdefault(op.op, [])
+        # Dependence check: op must not read any dest already in its bucket.
+        if any(prior.dest in op.srcs for prior in bucket):
+            _flush_bucket(bucket, lanes, groups, leftovers)
+            bucket = pending[op.op] = []
+        bucket.append(op)
+        if len(bucket) == lanes:
+            groups.append(SuperwordGroup(op=op.op, width=lanes))
+            pending[op.op] = []
+    for bucket in pending.values():
+        _flush_bucket(bucket, lanes, groups, leftovers)
+    return groups, leftovers
+
+
+def _flush_bucket(
+    bucket: list[ScalarOp],
+    lanes: int,
+    groups: list[SuperwordGroup],
+    leftovers: list[ScalarOp],
+) -> None:
+    # Packing fewer than 2 statements buys nothing.
+    if len(bucket) >= 2:
+        groups.append(SuperwordGroup(op=bucket[0].op, width=len(bucket)))
+    else:
+        leftovers.extend(bucket)

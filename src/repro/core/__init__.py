@@ -1,0 +1,9 @@
+"""Chip-level configuration and the accelerator facade."""
+
+from repro.core.config import ChipConfig, FeatureFlags, MemoryLevelConfig, dtu1_config, dtu2_config
+from repro.core.datatypes import DType, DTypeKind, tensor_bytes
+
+__all__ = [
+    "ChipConfig", "DType", "DTypeKind", "FeatureFlags",
+    "MemoryLevelConfig", "dtu1_config", "dtu2_config", "tensor_bytes",
+]

@@ -1,0 +1,93 @@
+"""Numeric data types supported by the DTU compute core.
+
+The paper's Table I lists per-dtype peak rates for DTU 2.0 (FP32 32 TFLOPS;
+TF32/FP16/BF16 128 TFLOPS; INT8 256 TOPS) and §II-A lists DTU 1.0's.  The
+compute core "supports a full range of widely used data types, i.e., from
+8-bit up to 32-bit integer and floating-point types" (§IV-A).
+
+Functional engines in this repository carry all arithmetic in float64/float32
+numpy arrays; :class:`DType` captures the *architectural* properties that the
+performance and memory models need — element width and the throughput
+multiplier relative to FP32 lanes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class DTypeKind(enum.Enum):
+    FLOAT = "float"
+    INT = "int"
+
+
+@dataclass(frozen=True)
+class _DTypeSpec:
+    bits: int
+    kind: DTypeKind
+    rate_multiplier: float
+    """Peak-throughput multiplier vs FP32 on DTU 2.0 (Table I ratios)."""
+
+
+class DType(enum.Enum):
+    """Architecturally visible element types."""
+
+    FP32 = _DTypeSpec(32, DTypeKind.FLOAT, 1.0)
+    TF32 = _DTypeSpec(32, DTypeKind.FLOAT, 4.0)
+    FP16 = _DTypeSpec(16, DTypeKind.FLOAT, 4.0)
+    BF16 = _DTypeSpec(16, DTypeKind.FLOAT, 4.0)
+    INT32 = _DTypeSpec(32, DTypeKind.INT, 1.0)
+    INT16 = _DTypeSpec(16, DTypeKind.INT, 4.0)
+    INT8 = _DTypeSpec(8, DTypeKind.INT, 8.0)
+
+    @property
+    def bits(self) -> int:
+        return self.value.bits
+
+    @property
+    def bytes(self) -> int:
+        return self.value.bits // 8
+
+    @property
+    def kind(self) -> DTypeKind:
+        return self.value.kind
+
+    @property
+    def is_float(self) -> bool:
+        return self.value.kind is DTypeKind.FLOAT
+
+    @property
+    def rate_multiplier(self) -> float:
+        return self.value.rate_multiplier
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Carrier numpy dtype used by the functional engines."""
+        if self.is_float:
+            return np.dtype(np.float32) if self.bits <= 32 else np.dtype(np.float64)
+        return {8: np.dtype(np.int8), 16: np.dtype(np.int16), 32: np.dtype(np.int32)}[
+            self.bits
+        ]
+
+    @classmethod
+    def parse(cls, name: "str | DType") -> "DType":
+        """Accept either a DType or its case-insensitive name."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown dtype {name!r}") from None
+
+
+def tensor_bytes(shape: tuple[int, ...], dtype: DType) -> int:
+    """Size in bytes of a dense tensor of ``shape`` and ``dtype``."""
+    count = 1
+    for dim in shape:
+        if dim < 0:
+            raise ValueError(f"negative dimension in shape {shape}")
+        count *= dim
+    return count * dtype.bytes

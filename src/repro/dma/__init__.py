@@ -1,0 +1,31 @@
+"""DMA engine substrate: transforms, sparse codec, repeat mode, broadcast."""
+
+from repro.dma.broadcast import BroadcastError, BroadcastResult, broadcast_to_groups
+from repro.dma.engine import DmaEngine, DmaRouteError, DmaStats
+from repro.dma.repeat import RepeatDescriptor
+from repro.dma.sparse import (
+    CompressedTensor,
+    SparseCodecError,
+    SparseFormat,
+    best_format,
+    compress,
+    decompress,
+)
+from repro.dma.transforms import (
+    Broadcast,
+    Pad,
+    Reshape,
+    Slice,
+    TransformChain,
+    TransformError,
+    Transpose,
+    concatenate,
+)
+
+__all__ = [
+    "Broadcast", "BroadcastError", "BroadcastResult", "CompressedTensor",
+    "DmaEngine", "DmaRouteError", "DmaStats", "Pad", "RepeatDescriptor",
+    "Reshape", "Slice", "SparseCodecError", "SparseFormat", "TransformChain",
+    "TransformError", "Transpose", "best_format", "broadcast_to_groups",
+    "compress", "concatenate", "decompress",
+]

@@ -1,0 +1,67 @@
+"""Repeat mode: one configuration, many regular DMA transactions (Fig. 6).
+
+§IV-C: "It triggers multiple DMA transactions that follow a repetitive and
+regular pattern with one single DMA configuration. [...] Here, the large
+tensor is consumed in small slices (labeled from 1 to 9) with fixed strides.
+Without the repeat mode, N DMA transactions/configurations are required.
+Enabling repeat mode eliminates (N-1)/N of the DMA configuration overheads."
+
+:class:`RepeatDescriptor` is the single configuration; expanding it yields
+the per-transaction slice windows (functional), while the cost model charges
+one configuration overhead for the whole sequence instead of N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dma.transforms import Slice, TransformError
+
+
+@dataclass(frozen=True)
+class RepeatDescriptor:
+    """Strided slicing of a large tensor into ``count`` equal windows."""
+
+    dim: int
+    window: int
+    stride: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.stride < 1 or self.count < 1:
+            raise TransformError(f"degenerate repeat descriptor: {self}")
+
+    def required_extent(self) -> int:
+        """Minimum extent of ``dim`` the source tensor must have."""
+        return (self.count - 1) * self.stride + self.window
+
+    def slices(self) -> list[Slice]:
+        """The N individual transactions this one configuration triggers."""
+        return [
+            Slice(
+                dim=self.dim,
+                start=index * self.stride,
+                stop=index * self.stride + self.window,
+            )
+            for index in range(self.count)
+        ]
+
+    def expand(self, array: np.ndarray) -> list[np.ndarray]:
+        """Functionally produce every window (what lands at the destination)."""
+        extent = array.shape[self.dim % array.ndim]
+        if extent < self.required_extent():
+            raise TransformError(
+                f"repeat needs extent >= {self.required_extent()} on dim "
+                f"{self.dim}, tensor has {extent}"
+            )
+        return [window.apply(array) for window in self.slices()]
+
+    def configurations_needed(self, repeat_mode: bool) -> int:
+        """DMA configuration writes: 1 with repeat mode, N without (Fig. 6)."""
+        return 1 if repeat_mode else self.count
+
+    def config_overhead_saved(self) -> float:
+        """Fraction of configuration overhead repeat mode eliminates."""
+        return (self.count - 1) / self.count

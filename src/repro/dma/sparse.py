@@ -1,0 +1,184 @@
+"""Hardware-defined sparse compression for DMA transfers (paper §IV-C).
+
+"to optimize bandwidth for transferring sparse data, DMA engines in DTU 2.0
+supports automatic data decompression. Given the data compressed in
+hardware-defined formats, DMA engines decompress the data while storing them
+at the destination memory locations."
+
+Two hardware formats are modelled, matching common accelerator practice:
+
+- **bitmask**: a 1-bit-per-element validity mask plus packed non-zero
+  payload. Compression ratio ~``1 / (density + 1/8/element_bytes)``.
+- **run-length (RLE)** over zero runs: ``(zero_run_u16, value)`` pairs,
+  better for long zero bursts (e.g. post-ReLU feature maps).
+
+Both round-trip exactly (tests verify) and expose ``compressed_bytes`` so
+the DMA timing model can charge the wire for compressed traffic only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class SparseFormat(enum.Enum):
+    BITMASK = "bitmask"
+    RLE = "rle"
+
+
+class SparseCodecError(ValueError):
+    """Malformed compressed payload or unsupported configuration."""
+
+
+@dataclass(frozen=True)
+class CompressedTensor:
+    """Wire format of one compressed DMA payload."""
+
+    format: SparseFormat
+    shape: tuple[int, ...]
+    element_bytes: int
+    payload: bytes
+
+    @property
+    def compressed_bytes(self) -> int:
+        # Header: format byte + rank + dims (4 B each) + element size.
+        return len(self.payload) + 2 + 4 * len(self.shape)
+
+    @property
+    def dense_bytes(self) -> int:
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count * self.element_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.dense_bytes / self.compressed_bytes
+
+
+def _as_flat_f32(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.float32).ravel()
+
+
+def compress(array: np.ndarray, format: SparseFormat) -> CompressedTensor:
+    """Compress a dense tensor into the hardware wire format."""
+    array = np.asarray(array)
+    flat = _as_flat_f32(array)
+    if format is SparseFormat.BITMASK:
+        payload = _compress_bitmask(flat)
+    elif format is SparseFormat.RLE:
+        payload = _compress_rle(flat)
+    else:
+        raise SparseCodecError(f"unsupported format {format}")
+    return CompressedTensor(
+        format=format,
+        shape=tuple(array.shape),
+        element_bytes=4,
+        payload=payload,
+    )
+
+
+def decompress(compressed: CompressedTensor) -> np.ndarray:
+    """Invert :func:`compress`; what the DMA does while storing."""
+    if compressed.format is SparseFormat.BITMASK:
+        flat = _decompress_bitmask(compressed)
+    elif compressed.format is SparseFormat.RLE:
+        flat = _decompress_rle(compressed)
+    else:
+        raise SparseCodecError(f"unsupported format {compressed.format}")
+    expected = 1
+    for extent in compressed.shape:
+        expected *= extent
+    if flat.size != expected:
+        raise SparseCodecError(
+            f"payload decodes to {flat.size} elements, shape wants {expected}"
+        )
+    return flat.reshape(compressed.shape)
+
+
+def _compress_bitmask(flat: np.ndarray) -> bytes:
+    mask = flat != 0
+    packed_mask = np.packbits(mask)
+    values = flat[mask]
+    return packed_mask.tobytes() + values.tobytes()
+
+
+def _decompress_bitmask(compressed: CompressedTensor) -> np.ndarray:
+    count = 1
+    for extent in compressed.shape:
+        count *= extent
+    mask_bytes = (count + 7) // 8
+    raw = compressed.payload
+    if len(raw) < mask_bytes:
+        raise SparseCodecError("bitmask payload truncated")
+    mask = np.unpackbits(
+        np.frombuffer(raw[:mask_bytes], dtype=np.uint8), count=count
+    ).astype(bool)
+    values = np.frombuffer(raw[mask_bytes:], dtype=np.float32)
+    if values.size != int(mask.sum()):
+        raise SparseCodecError(
+            f"bitmask says {int(mask.sum())} values, payload has {values.size}"
+        )
+    flat = np.zeros(count, dtype=np.float32)
+    flat[mask] = values
+    return flat
+
+
+def _compress_rle(flat: np.ndarray) -> bytes:
+    """(zero_run: u16, value: f32) records; runs > 65535 split with 0-value
+    sentinels carrying value NaN? No — a zero *value* record is legal and
+    simply emits the run then one literal zero, keeping the format simple."""
+    records_runs: list[int] = []
+    records_values: list[float] = []
+    run = 0
+    for value in flat:
+        if value == 0 and run < 0xFFFF:
+            run += 1
+            continue
+        records_runs.append(run)
+        records_values.append(float(value))
+        run = 0
+    # Trailing zeros: emit (run-1, 0.0) so decode reproduces them.
+    if run:
+        records_runs.append(run - 1)
+        records_values.append(0.0)
+    runs = np.asarray(records_runs, dtype=np.uint16)
+    values = np.asarray(records_values, dtype=np.float32)
+    return runs.tobytes() + values.tobytes()
+
+
+def _decompress_rle(compressed: CompressedTensor) -> np.ndarray:
+    count = 1
+    for extent in compressed.shape:
+        count *= extent
+    raw = compressed.payload
+    if len(raw) % 6 != 0:
+        raise SparseCodecError("RLE payload is not a whole number of records")
+    records = len(raw) // 6
+    runs = np.frombuffer(raw[: records * 2], dtype=np.uint16)
+    values = np.frombuffer(raw[records * 2 :], dtype=np.float32)
+    pieces: list[np.ndarray] = []
+    for run, value in zip(runs, values):
+        if run:
+            pieces.append(np.zeros(int(run), dtype=np.float32))
+        pieces.append(np.asarray([value], dtype=np.float32))
+    flat = np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.float32)
+    if flat.size != count:
+        raise SparseCodecError(
+            f"RLE decodes to {flat.size} elements, shape wants {count}"
+        )
+    return flat
+
+
+def best_format(array: np.ndarray) -> SparseFormat:
+    """Pick the format with the smaller wire size for this tensor."""
+    bitmask = compress(array, SparseFormat.BITMASK)
+    rle = compress(array, SparseFormat.RLE)
+    if rle.compressed_bytes < bitmask.compressed_bytes:
+        return SparseFormat.RLE
+    return SparseFormat.BITMASK

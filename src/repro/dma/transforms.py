@@ -1,0 +1,175 @@
+"""On-the-fly tensor layout transformations performed by the DMA engine.
+
+§IV-C: "During data transfer, DMA engines can perform tensor layout
+transformations on the fly according to the configuration, such as padding,
+slicing, transposing, and concatenation on specified tensor dimensions."
+
+Each transform is a small declarative config object with an ``apply`` method
+(the functional semantics, on numpy arrays) and an ``output_shape`` method
+(for planning without data). A :class:`TransformChain` composes them the way
+one DMA descriptor chains its stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class TransformError(ValueError):
+    """A transform configuration is inconsistent with its input."""
+
+
+@dataclass(frozen=True)
+class Pad:
+    """Zero-pad ``dim`` with ``before``/``after`` elements."""
+
+    dim: int
+    before: int
+    after: int
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.before < 0 or self.after < 0:
+            raise TransformError(f"negative padding: {self}")
+
+    def output_shape(self, shape: tuple[int, ...]) -> tuple[int, ...]:
+        if not -len(shape) <= self.dim < len(shape):
+            raise TransformError(f"pad dim {self.dim} out of range for {shape}")
+        dim = self.dim % len(shape)
+        return tuple(
+            size + (self.before + self.after if axis == dim else 0)
+            for axis, size in enumerate(shape)
+        )
+
+    def apply(self, array: np.ndarray) -> np.ndarray:
+        dim = self.dim % array.ndim
+        widths = [(0, 0)] * array.ndim
+        widths[dim] = (self.before, self.after)
+        return np.pad(array, widths, constant_values=self.value)
+
+
+@dataclass(frozen=True)
+class Slice:
+    """Take ``[start:stop:step]`` along ``dim``."""
+
+    dim: int
+    start: int
+    stop: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step < 1:
+            raise TransformError(f"slice step must be >= 1: {self}")
+        if self.stop < self.start:
+            raise TransformError(f"slice stop before start: {self}")
+
+    def output_shape(self, shape: tuple[int, ...]) -> tuple[int, ...]:
+        if not -len(shape) <= self.dim < len(shape):
+            raise TransformError(f"slice dim {self.dim} out of range for {shape}")
+        dim = self.dim % len(shape)
+        if self.stop > shape[dim]:
+            raise TransformError(f"slice {self} exceeds extent {shape[dim]}")
+        length = (self.stop - self.start + self.step - 1) // self.step
+        return tuple(
+            length if axis == dim else size for axis, size in enumerate(shape)
+        )
+
+    def apply(self, array: np.ndarray) -> np.ndarray:
+        self.output_shape(array.shape)  # validate
+        dim = self.dim % array.ndim
+        index: list = [slice(None)] * array.ndim
+        index[dim] = slice(self.start, self.stop, self.step)
+        return array[tuple(index)]
+
+
+@dataclass(frozen=True)
+class Transpose:
+    """Permute dimensions."""
+
+    axes: tuple[int, ...]
+
+    def output_shape(self, shape: tuple[int, ...]) -> tuple[int, ...]:
+        if sorted(self.axes) != list(range(len(shape))):
+            raise TransformError(
+                f"axes {self.axes} are not a permutation for rank {len(shape)}"
+            )
+        return tuple(shape[axis] for axis in self.axes)
+
+    def apply(self, array: np.ndarray) -> np.ndarray:
+        self.output_shape(array.shape)  # validate
+        return np.transpose(array, self.axes)
+
+
+@dataclass(frozen=True)
+class Reshape:
+    """Reinterpret the buffer with a new shape of equal element count."""
+
+    shape: tuple[int, ...]
+
+    def output_shape(self, shape: tuple[int, ...]) -> tuple[int, ...]:
+        if int(np.prod(shape)) != int(np.prod(self.shape)):
+            raise TransformError(f"cannot reshape {shape} to {self.shape}")
+        return self.shape
+
+    def apply(self, array: np.ndarray) -> np.ndarray:
+        return array.reshape(self.shape)
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Materialize a size-1 dimension to ``size`` copies."""
+
+    dim: int
+    size: int
+
+    def output_shape(self, shape: tuple[int, ...]) -> tuple[int, ...]:
+        dim = self.dim % len(shape)
+        if shape[dim] != 1:
+            raise TransformError(f"broadcast dim {dim} has extent {shape[dim]} != 1")
+        return tuple(
+            self.size if axis == dim else extent for axis, extent in enumerate(shape)
+        )
+
+    def apply(self, array: np.ndarray) -> np.ndarray:
+        self.output_shape(array.shape)  # validate
+        return np.repeat(array, self.size, axis=self.dim % array.ndim)
+
+
+Transform = Pad | Slice | Transpose | Reshape | Broadcast
+
+
+def concatenate(arrays: list[np.ndarray], dim: int) -> np.ndarray:
+    """DMA-side concatenation of several source regions along ``dim``."""
+    if not arrays:
+        raise TransformError("concatenate needs at least one array")
+    ranks = {array.ndim for array in arrays}
+    if len(ranks) != 1:
+        raise TransformError(f"rank mismatch in concatenate: {ranks}")
+    return np.concatenate(arrays, axis=dim)
+
+
+@dataclass(frozen=True)
+class TransformChain:
+    """A DMA descriptor's ordered transformation pipeline."""
+
+    stages: tuple[Transform, ...] = ()
+
+    def output_shape(self, shape: tuple[int, ...]) -> tuple[int, ...]:
+        for stage in self.stages:
+            shape = stage.output_shape(shape)
+        return shape
+
+    def apply(self, array: np.ndarray) -> np.ndarray:
+        for stage in self.stages:
+            array = stage.apply(array)
+        return array
+
+    def moved_bytes(self, shape: tuple[int, ...], element_bytes: int) -> int:
+        """Bytes the DMA writes at the destination after all stages."""
+        out_shape = self.output_shape(shape)
+        count = 1
+        for extent in out_shape:
+            count *= extent
+        return count * element_bytes

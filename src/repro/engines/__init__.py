@@ -1,0 +1,15 @@
+"""Functional models of the DTU 2.0 compute-core engines."""
+
+from repro.engines.compute_core import ComputeCore, ExecutionError, L1Buffer
+from repro.engines.matrix import MatrixEngine, VmmPattern, VmmPatternError, supported_patterns
+from repro.engines.sfu import SpecialFunctionUnit
+from repro.engines.sorting import sort_vector, top_k
+from repro.engines.vector import VectorEngine, VectorLengthError, lanes_for
+from repro.engines.vliw import Instruction, Packet, Program, Slot
+
+__all__ = [
+    "ComputeCore", "ExecutionError", "Instruction", "L1Buffer", "MatrixEngine",
+    "Packet", "Program", "Slot", "SpecialFunctionUnit", "VectorEngine",
+    "VectorLengthError", "VmmPattern", "VmmPatternError", "lanes_for",
+    "sort_vector", "supported_patterns", "top_k",
+]

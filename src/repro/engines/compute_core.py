@@ -1,0 +1,257 @@
+"""Compute core: a functional interpreter over the DTU VLIW ISA.
+
+Ties the scalar/vector/matrix/SFU engines together behind the VLIW packet
+model of :mod:`repro.engines.vliw`. The core executes straight-line packet
+programs against an explicit register file and an attached L1 buffer,
+producing both *results* (numpy arrays) and *costs* (cycles, stalls) — the
+former validate correctness, the latter feed the performance simulator.
+
+The ISA here is the subset TopsEngine's code generator targets; it is rich
+enough to run real fused DNN kernels (see ``examples/operator_dev.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.datatypes import DType
+from repro.engines.matrix import MatrixEngine
+from repro.engines.sfu import SpecialFunctionUnit
+from repro.engines.vector import VectorEngine
+from repro.engines.vliw import Instruction, Packet, Program, Slot
+from repro.sim.trace import Trace
+
+
+class ExecutionError(RuntimeError):
+    """The core hit an illegal runtime condition (bad register, bad op)."""
+
+
+@dataclass
+class L1Buffer:
+    """The core's private L1 data buffer, addressed by symbolic names.
+
+    Capacity accounting is real: storing beyond ``capacity_bytes`` raises,
+    which is exactly the constraint the tiling auto-tuner must respect.
+    """
+
+    capacity_bytes: int
+    tensors: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(array.nbytes for array in self.tensors.values())
+
+    def write(self, name: str, array: np.ndarray) -> None:
+        array = np.asarray(array)
+        existing = self.tensors.get(name)
+        projected = self.used_bytes - (existing.nbytes if existing is not None else 0)
+        if projected + array.nbytes > self.capacity_bytes:
+            raise ExecutionError(
+                f"L1 overflow: {projected + array.nbytes} bytes > "
+                f"{self.capacity_bytes} capacity writing {name!r}"
+            )
+        self.tensors[name] = array
+
+    def read(self, name: str) -> np.ndarray:
+        if name not in self.tensors:
+            raise ExecutionError(f"L1 read of absent tensor {name!r}")
+        return self.tensors[name]
+
+    def free(self, name: str) -> None:
+        self.tensors.pop(name, None)
+
+
+@dataclass
+class CoreState:
+    """Architectural state of one core."""
+
+    scalar: dict[str, float] = field(default_factory=dict)
+    vector: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def read_scalar(self, register: str) -> float:
+        if register not in self.scalar:
+            raise ExecutionError(f"read of unwritten scalar register {register}")
+        return self.scalar[register]
+
+    def read_vector(self, register: str) -> np.ndarray:
+        if register not in self.vector:
+            raise ExecutionError(f"read of unwritten vector register {register}")
+        return self.vector[register]
+
+
+class ComputeCore:
+    """One VLIW compute core with attached functional engines and L1."""
+
+    def __init__(
+        self,
+        core_id: int = 0,
+        dtype: DType = DType.FP32,
+        l1_capacity_bytes: int = 1024 * 1024,
+        trace: Trace | None = None,
+    ) -> None:
+        self.core_id = core_id
+        self.dtype = dtype
+        self.trace = trace
+        self.vector_engine = VectorEngine(dtype=dtype, trace=trace)
+        self.matrix_engine = MatrixEngine(dtype=dtype, trace=trace)
+        self.sfu = SpecialFunctionUnit(trace=trace)
+        self.l1 = L1Buffer(capacity_bytes=l1_capacity_bytes)
+        self.state = CoreState()
+        self.cycles_retired = 0
+        self.stall_cycles = 0
+        self.halted = False
+
+    # -- program execution ------------------------------------------------
+
+    def run(self, program: Program) -> int:
+        """Execute every packet; returns total cycles including stalls."""
+        self.halted = False
+        for packet in program.packets:
+            self._execute_packet(packet)
+            if self.halted:
+                break
+        return self.cycles_retired
+
+    def _execute_packet(self, packet: Packet) -> None:
+        # Reads happen before writes within a packet (VLIW semantics), which
+        # the Packet legality check already guarantees by construction.
+        for instruction in packet.instructions:
+            self._execute(instruction)
+        self.cycles_retired += packet.latency
+        self.stall_cycles += packet.stall_cycles
+        self.cycles_retired += packet.stall_cycles
+
+    def _execute(self, instruction: Instruction) -> None:
+        handler = {
+            Slot.SCALAR: self._run_scalar,
+            Slot.VECTOR: self._run_vector,
+            Slot.MATRIX: self._run_matrix,
+            Slot.SFU: self._run_sfu,
+            Slot.LOAD: self._run_load,
+            Slot.STORE: self._run_store,
+            Slot.CONTROL: self._run_control,
+        }[instruction.slot]
+        handler(instruction)
+
+    # -- slot handlers -----------------------------------------------------
+
+    def _run_scalar(self, instruction: Instruction) -> None:
+        op = instruction.opcode
+        if op == "smov":
+            self.state.scalar[instruction.dest] = float(instruction.imm[0])
+        elif op in ("sadd", "smul"):
+            a = self.state.read_scalar(instruction.srcs[0])
+            b = self.state.read_scalar(instruction.srcs[1])
+            self.state.scalar[instruction.dest] = a + b if op == "sadd" else a * b
+        else:
+            raise ExecutionError(f"unhandled scalar op {op}")
+
+    def _run_vector(self, instruction: Instruction) -> None:
+        op = instruction.opcode
+        engine = self.vector_engine
+        read = self.state.read_vector
+        if op in ("vadd", "vsub", "vmul", "vdiv", "vmax", "vmin"):
+            result = engine.binary(op[1:], read(instruction.srcs[0]), read(instruction.srcs[1]))
+        elif op == "vfma":
+            result = engine.fma(
+                read(instruction.srcs[0]),
+                read(instruction.srcs[1]),
+                read(instruction.srcs[2]),
+            )
+        elif op == "vrelu":
+            result = engine.unary("relu", read(instruction.srcs[0]))
+        elif op == "vcmp":
+            result = engine.compare(
+                instruction.imm[0], read(instruction.srcs[0]), read(instruction.srcs[1])
+            )
+        elif op == "vsel":
+            result = engine.select(
+                read(instruction.srcs[0]),
+                read(instruction.srcs[1]),
+                read(instruction.srcs[2]),
+            )
+        elif op == "vreduce":
+            value = engine.reduce(instruction.imm[0], read(instruction.srcs[0]))
+            self.state.scalar[instruction.dest] = value
+            return
+        else:
+            raise ExecutionError(f"unhandled vector op {op}")
+        self.state.vector[instruction.dest] = result
+
+    def _run_matrix(self, instruction: Instruction) -> None:
+        op = instruction.opcode
+        if op == "mload":
+            # imm = (tensor name in L1, matrix-register slot); tensor names
+            # are symbolic addresses, not registers, so they ride in imm.
+            name = instruction.imm[0]
+            slot = int(instruction.imm[1]) if len(instruction.imm) > 1 else 0
+            self.matrix_engine.load_matrix(slot, self.l1.read(name))
+        elif op == "vmm":
+            slot, acc = int(instruction.imm[0]), int(instruction.imm[1])
+            transposed = bool(instruction.imm[2]) if len(instruction.imm) > 2 else False
+            accumulate = bool(instruction.imm[3]) if len(instruction.imm) > 3 else False
+            result = self.matrix_engine.vmm(
+                self.state.read_vector(instruction.srcs[0]),
+                slot=slot,
+                acc=acc,
+                transposed=transposed,
+                accumulate=accumulate,
+            )
+            if instruction.dest:
+                self.state.vector[instruction.dest] = result
+        elif op == "maccread":
+            acc = int(instruction.imm[0])
+            self.state.vector[instruction.dest] = self.matrix_engine.read_accumulator(acc)
+        else:
+            raise ExecutionError(f"unhandled matrix op {op}")
+
+    def _run_sfu(self, instruction: Instruction) -> None:
+        function = instruction.imm[0]
+        operand = self.state.read_vector(instruction.srcs[0])
+        composite = {
+            "gelu": self.sfu.gelu,
+            "swish": self.sfu.swish,
+            "softplus": self.sfu.softplus,
+        }
+        if function in composite:
+            result = composite[function](operand)
+        else:
+            result = self.sfu.evaluate(function, operand)
+        self.state.vector[instruction.dest] = result
+
+    def _run_load(self, instruction: Instruction) -> None:
+        name = instruction.imm[0]
+        array = self.l1.read(name)
+        if len(instruction.imm) > 1:
+            start, stop = instruction.imm[1], instruction.imm[2]
+            array = array[start:stop]
+        flat = np.asarray(array, dtype=np.float64).ravel()
+        if flat.size > self.vector_engine.lanes:
+            raise ExecutionError(
+                f"load of {flat.size} elements exceeds {self.vector_engine.lanes} lanes"
+            )
+        self.state.vector[instruction.dest] = flat
+
+    def _run_store(self, instruction: Instruction) -> None:
+        name = instruction.imm[0]
+        value = self.state.read_vector(instruction.srcs[0])
+        if len(instruction.imm) > 2:
+            # Strided store into a pre-allocated region: imm = (name, start,
+            # stop); strip-mined kernels write their output this way.
+            start, stop = instruction.imm[1], instruction.imm[2]
+            target = self.l1.read(name)
+            if stop - start != value.size:
+                raise ExecutionError(
+                    f"store of {value.size} elements into [{start}:{stop}]"
+                )
+            target[start:stop] = value
+        else:
+            self.l1.write(name, value.copy())
+
+    def _run_control(self, instruction: Instruction) -> None:
+        if instruction.opcode == "halt":
+            self.halted = True
+        # sync/prefetch/nop have timing effects modelled at the simulator
+        # level; functionally they are no-ops here.

@@ -1,0 +1,269 @@
+"""Matrix engine: fine-grained vector-matrix multiplication (VMM).
+
+§IV-A1 + Fig. 3: the engine owns 2 matrix registers (32 rows x 512 bits),
+32 vector registers (512-bit) and 1024 accumulation registers (512-bit).
+For FP32 the supported matrix shapes are 16x16, 8x16 and 4x16 with vector
+lengths 16, 8 and 4; other dtypes scale the lane count with element width.
+Computation proceeds as a series of outer-product steps — the input vector
+is "operated with each row of the input matrix" and the running sum lives
+in an accumulation register, maximizing reuse and minimizing data movement.
+
+Table II advertises "more than 40 VMM patterns"; :func:`supported_patterns`
+enumerates ours (shape x dtype x transpose x accumulate), and the engine
+rejects anything outside the list, the same way the fixed-function hardware
+would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.datatypes import DType
+from repro.engines.vector import VECTOR_BITS, lanes_for
+from repro.sim.trace import Trace
+
+MATRIX_REGISTER_ROWS = 32
+NUM_MATRIX_REGISTERS = 2
+NUM_ACCUMULATION_REGISTERS = 1024
+
+
+class VmmPatternError(ValueError):
+    """Requested a VMM shape the matrix engine does not implement."""
+
+
+@dataclass(frozen=True)
+class VmmPattern:
+    """One hardware-supported VMM configuration."""
+
+    dtype: DType
+    rows: int
+    cols: int
+    transposed: bool
+    accumulate: bool
+
+    @property
+    def vector_length(self) -> int:
+        """Length of the input vector: rows normally, cols when transposed."""
+        return self.cols if self.transposed else self.rows
+
+    @property
+    def output_length(self) -> int:
+        return self.rows if self.transposed else self.cols
+
+    @property
+    def macs(self) -> int:
+        return self.rows * self.cols
+
+
+def supported_patterns() -> tuple[VmmPattern, ...]:
+    """All VMM patterns DTU 2.0's matrix engine accepts (>40, per Table II).
+
+    For each dtype with ``L = 512 / bits`` lanes the matrix is ``m x L`` with
+    ``m`` in ``{L/4, L/2, L}`` capped at the 32 matrix-register rows, each
+    pattern available transposed / plain and accumulating / overwriting.
+    """
+    patterns = []
+    for dtype in DType:
+        lanes = lanes_for(dtype)
+        for rows in (lanes // 4, lanes // 2, lanes):
+            rows = min(rows, MATRIX_REGISTER_ROWS)
+            for transposed in (False, True):
+                for accumulate in (False, True):
+                    pattern = VmmPattern(
+                        dtype=dtype,
+                        rows=rows,
+                        cols=lanes,
+                        transposed=transposed,
+                        accumulate=accumulate,
+                    )
+                    if pattern not in patterns:
+                        patterns.append(pattern)
+    return tuple(patterns)
+
+
+_SUPPORTED: frozenset[tuple] = frozenset(
+    (p.dtype, p.rows, p.cols, p.transposed) for p in supported_patterns()
+)
+
+
+def is_supported(dtype: DType, rows: int, cols: int, transposed: bool = False) -> bool:
+    return (dtype, rows, cols, transposed) in _SUPPORTED
+
+
+@dataclass
+class MatrixEngine:
+    """Functional model of the VMM facility.
+
+    The register files are explicit: a matrix must be *loaded* into one of
+    the two matrix registers before VMM, and results accumulate into one of
+    the 1024 accumulation registers — mirroring Fig. 3's data-preparation
+    stage and letting tests assert capacity limits.
+    """
+
+    dtype: DType = DType.FP32
+    trace: Trace | None = None
+    matrix_registers: list = field(
+        default_factory=lambda: [None] * NUM_MATRIX_REGISTERS
+    )
+    accumulators: dict[int, np.ndarray] = field(default_factory=dict)
+    macs_executed: int = field(default=0, init=False)
+    vmm_issued: int = field(default=0, init=False)
+
+    @property
+    def lanes(self) -> int:
+        return lanes_for(self.dtype)
+
+    def _charge(self, macs: int) -> None:
+        self.macs_executed += macs
+        self.vmm_issued += 1
+        if self.trace is not None:
+            self.trace.bump("matrix.vmm")
+            self.trace.bump("matrix.macs", macs)
+
+    def load_matrix(self, slot: int, matrix: np.ndarray) -> None:
+        """Fill matrix register ``slot`` (Fig. 3 data-preparation stage)."""
+        if not 0 <= slot < NUM_MATRIX_REGISTERS:
+            raise VmmPatternError(
+                f"matrix register slot {slot} out of range "
+                f"[0, {NUM_MATRIX_REGISTERS})"
+            )
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise VmmPatternError(f"matrix register holds 2-D data, got {matrix.shape}")
+        rows, cols = matrix.shape
+        if rows > MATRIX_REGISTER_ROWS:
+            raise VmmPatternError(
+                f"{rows} rows exceed the {MATRIX_REGISTER_ROWS}-row matrix register"
+            )
+        if cols * self.dtype.bits > VECTOR_BITS:
+            raise VmmPatternError(
+                f"{cols} columns of {self.dtype.name} exceed a 512-bit row"
+            )
+        self.matrix_registers[slot] = matrix
+
+    def vmm(
+        self,
+        vector: np.ndarray,
+        slot: int = 0,
+        acc: int = 0,
+        transposed: bool = False,
+        accumulate: bool = False,
+    ) -> np.ndarray:
+        """vector x matrix -> accumulation register ``acc``.
+
+        With ``transposed`` the loaded matrix acts as its transpose, which is
+        how the hardware reuses one loaded operand for both GEMM directions.
+        """
+        matrix = self.matrix_registers[slot]
+        if matrix is None:
+            raise VmmPatternError(f"matrix register {slot} is empty")
+        rows, cols = matrix.shape
+        if not is_supported(self.dtype, rows, cols, transposed):
+            raise VmmPatternError(
+                f"VMM pattern {rows}x{cols} transposed={transposed} for "
+                f"{self.dtype.name} is not hardware-supported"
+            )
+        if not 0 <= acc < NUM_ACCUMULATION_REGISTERS:
+            raise VmmPatternError(f"accumulator {acc} out of range")
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1:
+            raise VmmPatternError(f"VMM input must be 1-D, got {vector.shape}")
+        operand = matrix.T if transposed else matrix
+        if vector.shape[0] != operand.shape[0]:
+            raise VmmPatternError(
+                f"vector length {vector.shape[0]} does not match matrix "
+                f"rows {operand.shape[0]}"
+            )
+        # Outer-product accumulation, one matrix row per step (Fig. 3): the
+        # running partial sum never leaves the accumulation register.
+        partial = np.zeros(operand.shape[1], dtype=np.float64)
+        for element, row in zip(vector, operand):
+            partial += element * row
+        self._charge(rows * cols)
+        if accumulate and acc in self.accumulators:
+            if self.accumulators[acc].shape != partial.shape:
+                raise VmmPatternError(
+                    f"accumulator {acc} holds length "
+                    f"{self.accumulators[acc].shape[0]}, cannot accumulate "
+                    f"length {partial.shape[0]}"
+                )
+            partial = partial + self.accumulators[acc]
+        self.accumulators[acc] = partial
+        return partial
+
+    def read_accumulator(self, acc: int) -> np.ndarray:
+        if acc not in self.accumulators:
+            raise VmmPatternError(f"accumulator {acc} has no value")
+        return self.accumulators[acc]
+
+    def clear_accumulator(self, acc: int) -> None:
+        self.accumulators.pop(acc, None)
+
+    def vmm_quantized(
+        self,
+        q_vector: np.ndarray,
+        q_matrix: np.ndarray,
+        vector_scale: float,
+        matrix_scale: float,
+        slot: int = 0,
+        acc: int = 0,
+    ) -> np.ndarray:
+        """INT8 VMM: integer operands, wide accumulation, one dequantize.
+
+        This is how Table I's 256 TOPS mode computes: operands arrive as
+        INT8 codes (range [-127, 127]), the outer-product accumulation runs
+        exactly in the wide accumulation registers (integers are exact in
+        float64 up to 2^53), and the result dequantizes once with the
+        product of the two scales — no per-MAC rounding error.
+        """
+        q_vector = np.asarray(q_vector)
+        q_matrix = np.asarray(q_matrix)
+        for operand, label in ((q_vector, "vector"), (q_matrix, "matrix")):
+            if np.any(np.abs(operand) > 127) or np.any(operand != np.rint(operand)):
+                raise VmmPatternError(
+                    f"quantized {label} must hold integer codes in [-127, 127]"
+                )
+        self.load_matrix(slot, q_matrix.astype(np.float64))
+        integer_result = self.vmm(q_vector.astype(np.float64), slot=slot, acc=acc)
+        return integer_result * (vector_scale * matrix_scale)
+
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        tile_rows: int | None = None,
+    ) -> np.ndarray:
+        """Library-level GEMM built from tiled VMM calls.
+
+        This is how TopsDNN composes matrix multiplication on DTU 2.0: each
+        row of ``a`` drives VMM against column tiles of ``b``, accumulating
+        over the K dimension in accumulation registers. The result equals
+        ``a @ b`` (tests check against numpy).
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise VmmPatternError(f"bad GEMM shapes {a.shape} x {b.shape}")
+        m, k = a.shape
+        _, n = b.shape
+        lanes = self.lanes
+        tile_k = tile_rows or lanes
+        tile_k = min(tile_k, lanes, MATRIX_REGISTER_ROWS)
+        out = np.zeros((m, n), dtype=np.float64)
+        for col0 in range(0, n, lanes):
+            col1 = min(col0 + lanes, n)
+            for row in range(m):
+                acc_id = row % NUM_ACCUMULATION_REGISTERS
+                self.clear_accumulator(acc_id)
+                for k0 in range(0, k, tile_k):
+                    k1 = min(k0 + tile_k, k)
+                    tile = np.zeros((tile_k, lanes), dtype=np.float64)
+                    tile[: k1 - k0, : col1 - col0] = b[k0:k1, col0:col1]
+                    vec = np.zeros(tile_k, dtype=np.float64)
+                    vec[: k1 - k0] = a[row, k0:k1]
+                    self.load_matrix(0, tile)
+                    self.vmm(vec, slot=0, acc=acc_id, accumulate=True)
+                out[row, col0:col1] = self.read_accumulator(acc_id)[: col1 - col0]
+        return out

@@ -1,0 +1,148 @@
+"""VMM-assisted data sorting for Top-K queries (paper Fig. 4).
+
+The matrix engine sorts a vector in four hardware steps:
+
+1. Generate the **relationship matrix** ``R`` by comparing vector elements
+   against each other; ``R[i, j] = 1`` when element ``j`` outranks element
+   ``i``. "Identical elements in the input vector are appropriately handled
+   according to their original indices" — we break ties by original index,
+   which makes the sort *stable*.
+2. Column sums of ``R`` give the **order vector**: the rank of each element.
+3. The order vector turns into the **transformation matrix** — a permutation
+   matrix with the 1 in row ``i`` placed at the column named by the ``i``-th
+   order entry.
+4. A single VMM of the input vector with the transformation matrix emits the
+   sorted vector.
+
+Everything below runs on the :class:`~repro.engines.matrix.MatrixEngine` so
+the functional path is the same silicon path the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.matrix import MATRIX_REGISTER_ROWS, MatrixEngine, VmmPatternError
+
+
+def relationship_matrix(vector: np.ndarray, descending: bool = True) -> np.ndarray:
+    """Step 1: pairwise comparison matrix with index tie-breaking.
+
+    ``R[i, j] = 1`` iff element ``j`` must be placed before element ``i`` in
+    the output order.
+    """
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.ndim != 1:
+        raise ValueError(f"sorting operates on 1-D vectors, got {vector.shape}")
+    values_i = vector[:, None]
+    values_j = vector[None, :]
+    if descending:
+        wins = values_j > values_i
+    else:
+        wins = values_j < values_i
+    index_i = np.arange(vector.size)[:, None]
+    index_j = np.arange(vector.size)[None, :]
+    ties = (values_j == values_i) & (index_j < index_i)
+    return (wins | ties).astype(np.float64)
+
+
+def order_vector(relationship: np.ndarray) -> np.ndarray:
+    """Step 2: rank of each element = its column sum in ``R``."""
+    relationship = np.asarray(relationship, dtype=np.float64)
+    if relationship.ndim != 2 or relationship.shape[0] != relationship.shape[1]:
+        raise ValueError(f"relationship matrix must be square, got {relationship.shape}")
+    # Element j's rank is how many elements beat it: the sum over column j
+    # counts every i that j does NOT precede... the paper sums columns of R,
+    # where R[i, j]=1 means j precedes i, i.e. column j counts elements that
+    # j outranks; rank = (n - 1) - outranked.
+    n = relationship.shape[0]
+    outranked = relationship.sum(axis=0)
+    return (n - 1) - outranked.astype(np.int64)
+
+
+def transformation_matrix(order: np.ndarray) -> np.ndarray:
+    """Step 3: permutation matrix with ``T[order[j], j] = 1``.
+
+    Applying it via VMM (``sorted = input @ T``... computed as
+    ``T.T @ input``) routes element ``j`` of the input to position
+    ``order[j]`` of the output.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    n = order.size
+    if sorted(order.tolist()) != list(range(n)):
+        raise ValueError(f"order vector {order} is not a permutation of 0..{n - 1}")
+    transform = np.zeros((n, n), dtype=np.float64)
+    transform[order, np.arange(n)] = 1.0
+    return transform
+
+
+def sort_vector(
+    engine: MatrixEngine,
+    vector: np.ndarray,
+    descending: bool = True,
+) -> np.ndarray:
+    """Steps 1-4 end to end on the matrix engine (Fig. 4)."""
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.size > engine.lanes or vector.size > MATRIX_REGISTER_ROWS:
+        raise VmmPatternError(
+            f"hardware sort handles up to min(lanes={engine.lanes}, "
+            f"{MATRIX_REGISTER_ROWS}) elements per pass, got {vector.size}"
+        )
+    relationship = relationship_matrix(vector, descending=descending)
+    order = order_vector(relationship)
+    transform = transformation_matrix(order)
+    # Step 4: one VMM applies the permutation. Pad to a hardware pattern of
+    # ``rows x lanes`` (rows capped at the 32-row matrix register); identity
+    # padding on the diagonal leaves the payload untouched.
+    lanes = engine.lanes
+    rows = min(lanes, MATRIX_REGISTER_ROWS)
+    size = vector.size
+    padded = np.zeros((rows, lanes), dtype=np.float64)
+    padded[:size, :size] = transform
+    for extra in range(size, rows):
+        padded[extra, extra] = 1.0
+    vec = np.zeros(lanes, dtype=np.float64)
+    vec[:size] = vector
+    engine.load_matrix(0, padded)
+    result = engine.vmm(vec, slot=0, transposed=True)
+    return result[:size]
+
+
+def top_k(
+    engine: MatrixEngine,
+    values: np.ndarray,
+    k: int,
+    largest: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-K selection built on the hardware sorter.
+
+    Long inputs are processed in engine-sized chunks whose per-chunk winners
+    are merged, the way TopsDNN implements Top-K recommendation (§IV-A1).
+    Returns ``(values, indices)`` with stable ordering among ties.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"top_k expects a 1-D array, got {values.shape}")
+    if not 1 <= k <= values.size:
+        raise ValueError(f"k={k} out of range for {values.size} elements")
+    chunk = min(engine.lanes, MATRIX_REGISTER_ROWS)
+    # Candidate pool: the best min(k, chunk) of every chunk survive.
+    candidate_indices: list[int] = []
+    for start in range(0, values.size, chunk):
+        segment = values[start : start + chunk]
+        sorted_segment = sort_vector(engine, segment, descending=largest)
+        keep = min(k, segment.size)
+        for position in range(keep):
+            target = sorted_segment[position]
+            # Recover the original index with stable tie handling: first
+            # occurrence not already claimed within this chunk.
+            local = np.where(segment == target)[0]
+            for candidate in local:
+                absolute = int(start + candidate)
+                if absolute not in candidate_indices:
+                    candidate_indices.append(absolute)
+                    break
+    pool = np.array(candidate_indices, dtype=np.int64)
+    order = np.argsort(-values[pool] if largest else values[pool], kind="stable")
+    winners = pool[order][:k]
+    return values[winners], winners

@@ -1,0 +1,146 @@
+"""Vector engine: the 512-bit SIMD unit of the DTU compute core.
+
+DTU cores process 512-bit vectors (§IV-A: 32 vector registers of 512 bits).
+The lane count therefore depends on element width: 16 lanes for 32-bit
+types, 32 for 16-bit, 64 for INT8. The engine is *functional* — it computes
+real results on numpy arrays — while also charging architectural costs
+(operation counts) to an optional :class:`~repro.sim.trace.Trace` so the
+performance model can account for vectorized work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.datatypes import DType
+from repro.sim.trace import Trace
+
+VECTOR_BITS = 512
+NUM_VECTOR_REGISTERS = 32
+
+_BINARY_OPS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+_UNARY_OPS = {
+    "neg": np.negative,
+    "abs": np.abs,
+    "relu": lambda x: np.maximum(x, 0.0),
+}
+
+_REDUCTIONS = {
+    "sum": np.sum,
+    "max": np.max,
+    "min": np.min,
+    "prod": np.prod,
+}
+
+
+def lanes_for(dtype: DType) -> int:
+    """Number of SIMD lanes a 512-bit vector holds for ``dtype``."""
+    return VECTOR_BITS // dtype.bits
+
+
+class VectorLengthError(ValueError):
+    """An operand does not fit the engine's lane count."""
+
+
+@dataclass
+class VectorEngine:
+    """Functional model of one core's vector unit.
+
+    All operands must be 1-D numpy arrays no longer than the lane count for
+    the configured dtype; longer workloads are strip-mined by the compiler
+    (see :mod:`repro.compiler.vectorize`), not by the hardware.
+    """
+
+    dtype: DType = DType.FP32
+    trace: Trace | None = None
+    ops_executed: int = field(default=0, init=False)
+
+    @property
+    def lanes(self) -> int:
+        return lanes_for(self.dtype)
+
+    def _check(self, *operands: np.ndarray) -> None:
+        for operand in operands:
+            if operand.ndim != 1:
+                raise VectorLengthError(
+                    f"vector engine operates on 1-D arrays, got shape {operand.shape}"
+                )
+            if operand.shape[0] > self.lanes:
+                raise VectorLengthError(
+                    f"operand of length {operand.shape[0]} exceeds "
+                    f"{self.lanes} lanes for {self.dtype.name}"
+                )
+
+    def _charge(self, op: str) -> None:
+        self.ops_executed += 1
+        if self.trace is not None:
+            self.trace.bump(f"vector.{op}")
+
+    def binary(self, op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lane-wise binary operation (add/sub/mul/div/max/min)."""
+        if op not in _BINARY_OPS:
+            raise ValueError(f"unknown binary vector op {op!r}")
+        self._check(a, b)
+        if a.shape != b.shape:
+            raise VectorLengthError(f"shape mismatch {a.shape} vs {b.shape}")
+        self._charge(op)
+        return _BINARY_OPS[op](a.astype(np.float64), b.astype(np.float64))
+
+    def unary(self, op: str, a: np.ndarray) -> np.ndarray:
+        """Lane-wise unary operation (neg/abs/relu)."""
+        if op not in _UNARY_OPS:
+            raise ValueError(f"unknown unary vector op {op!r}")
+        self._check(a)
+        self._charge(op)
+        return _UNARY_OPS[op](a.astype(np.float64))
+
+    def fma(self, a: np.ndarray, b: np.ndarray, acc: np.ndarray) -> np.ndarray:
+        """Fused multiply-add: ``a * b + acc`` in one issue slot."""
+        self._check(a, b, acc)
+        if not (a.shape == b.shape == acc.shape):
+            raise VectorLengthError("fma operands must share a shape")
+        self._charge("fma")
+        return a.astype(np.float64) * b.astype(np.float64) + acc.astype(np.float64)
+
+    def reduce(self, op: str, a: np.ndarray) -> float:
+        """Horizontal reduction across lanes."""
+        if op not in _REDUCTIONS:
+            raise ValueError(f"unknown reduction {op!r}")
+        self._check(a)
+        if a.size == 0:
+            raise VectorLengthError("cannot reduce an empty vector")
+        self._charge(f"reduce_{op}")
+        return float(_REDUCTIONS[op](a.astype(np.float64)))
+
+    def select(self, mask: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lane-wise select: ``a`` where mask is truthy, else ``b``."""
+        self._check(mask, a, b)
+        if not (mask.shape == a.shape == b.shape):
+            raise VectorLengthError("select operands must share a shape")
+        self._charge("select")
+        return np.where(mask.astype(bool), a, b).astype(np.float64)
+
+    def compare(self, op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lane-wise comparison producing a 0/1 mask."""
+        comparators = {
+            "lt": np.less, "le": np.less_equal,
+            "gt": np.greater, "ge": np.greater_equal,
+            "eq": np.equal, "ne": np.not_equal,
+        }
+        if op not in comparators:
+            raise ValueError(f"unknown comparison {op!r}")
+        self._check(a, b)
+        if a.shape != b.shape:
+            raise VectorLengthError(f"shape mismatch {a.shape} vs {b.shape}")
+        self._charge(f"cmp_{op}")
+        return comparators[op](a, b).astype(np.float64)

@@ -1,0 +1,191 @@
+"""VLIW instruction and packet model.
+
+DTU cores are VLIW machines (§II-A, §IV-A): each cycle issues one *packet*
+of independent instructions, one per functional slot. This module defines
+the instruction set the operator compiler targets and the legality rules a
+packet must satisfy:
+
+- at most one instruction per slot class (scalar / vector / matrix / sfu /
+  load / store / control),
+- no intra-packet read-after-write or write-after-write hazards,
+- register operands must respect the register-file bank structure (the
+  register allocator in :mod:`repro.compiler.regalloc` removes bank
+  conflicts; packets still *detect* them so the model can charge stalls
+  when unallocated code executes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Slot(enum.Enum):
+    """Functional-unit issue slots of the DTU VLIW core."""
+
+    SCALAR = "scalar"
+    VECTOR = "vector"
+    MATRIX = "matrix"
+    SFU = "sfu"
+    LOAD = "load"
+    STORE = "store"
+    CONTROL = "control"
+
+
+#: opcode -> (slot, issue latency in cycles)
+OPCODES: dict[str, tuple[Slot, int]] = {
+    # scalar
+    "sadd": (Slot.SCALAR, 1),
+    "smul": (Slot.SCALAR, 1),
+    "smov": (Slot.SCALAR, 1),
+    # vector
+    "vadd": (Slot.VECTOR, 1),
+    "vsub": (Slot.VECTOR, 1),
+    "vmul": (Slot.VECTOR, 1),
+    "vdiv": (Slot.VECTOR, 4),
+    "vmax": (Slot.VECTOR, 1),
+    "vmin": (Slot.VECTOR, 1),
+    "vfma": (Slot.VECTOR, 1),
+    "vrelu": (Slot.VECTOR, 1),
+    "vcmp": (Slot.VECTOR, 1),
+    "vsel": (Slot.VECTOR, 1),
+    "vreduce": (Slot.VECTOR, 2),
+    # matrix
+    "mload": (Slot.MATRIX, 2),
+    "vmm": (Slot.MATRIX, 4),
+    "maccread": (Slot.MATRIX, 1),
+    # sfu
+    "sfu": (Slot.SFU, 4),
+    # memory
+    "ld": (Slot.LOAD, 2),
+    "st": (Slot.STORE, 2),
+    # control
+    "sync": (Slot.CONTROL, 1),
+    "prefetch": (Slot.CONTROL, 1),
+    "nop": (Slot.CONTROL, 1),
+    "halt": (Slot.CONTROL, 1),
+}
+
+#: Number of register banks per register file; same-bank operands in one
+#: packet collide (§V-B register allocator motivation).
+REGISTER_BANKS = 4
+
+
+class IllegalPacketError(ValueError):
+    """A packet violates VLIW issue rules."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One VLIW operation.
+
+    ``dest``/``srcs`` name registers ("v3", "s1", "a0"...); ``imm`` carries
+    literal operands (shapes, function names, addresses).
+    """
+
+    opcode: str
+    dest: str | None = None
+    srcs: tuple[str, ...] = ()
+    imm: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.opcode not in OPCODES:
+            raise IllegalPacketError(f"unknown opcode {self.opcode!r}")
+
+    @property
+    def slot(self) -> Slot:
+        return OPCODES[self.opcode][0]
+
+    @property
+    def latency(self) -> int:
+        return OPCODES[self.opcode][1]
+
+    @property
+    def registers_read(self) -> tuple[str, ...]:
+        return self.srcs
+
+    @property
+    def registers_written(self) -> tuple[str, ...]:
+        return (self.dest,) if self.dest else ()
+
+
+def register_bank(register: str) -> int:
+    """Bank a register maps to: index modulo the bank count."""
+    digits = "".join(ch for ch in register if ch.isdigit())
+    if not digits:
+        raise ValueError(f"register {register!r} has no index")
+    return int(digits) % REGISTER_BANKS
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One issue group: a set of instructions dispatched together."""
+
+    instructions: tuple[Instruction, ...]
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise IllegalPacketError("empty packet")
+        slots = [instruction.slot for instruction in self.instructions]
+        if len(slots) != len(set(slots)):
+            raise IllegalPacketError(f"slot reuse within packet: {slots}")
+        written: set[str] = set()
+        for instruction in self.instructions:
+            for register in instruction.registers_written:
+                if register in written:
+                    raise IllegalPacketError(
+                        f"intra-packet WAW hazard on {register}"
+                    )
+                written.add(register)
+        read = {
+            register
+            for instruction in self.instructions
+            for register in instruction.registers_read
+        }
+        hazard = read & written
+        if hazard:
+            raise IllegalPacketError(f"intra-packet RAW hazard on {sorted(hazard)}")
+
+    @property
+    def latency(self) -> int:
+        """Issue-to-complete cycles: the slowest slot in the packet."""
+        return max(instruction.latency for instruction in self.instructions)
+
+    def bank_conflicts(self) -> int:
+        """Same-bank source-register collisions this packet would suffer.
+
+        Each extra operand mapped to an already-used bank costs one stall
+        cycle on hardware; the register allocator's job is to drive this
+        to zero.
+        """
+        seen: dict[int, int] = {}
+        for instruction in self.instructions:
+            for register in instruction.registers_read:
+                bank = register_bank(register)
+                seen[bank] = seen.get(bank, 0) + 1
+        return sum(count - 1 for count in seen.values() if count > 1)
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.bank_conflicts()
+
+
+@dataclass
+class Program:
+    """A straight-line VLIW program: the unit the packetizer emits."""
+
+    packets: list[Packet] = field(default_factory=list)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(packet.instructions) for packet in self.packets)
+
+    @property
+    def cycle_count(self) -> int:
+        """Cycles to drain the program, including bank-conflict stalls."""
+        return sum(packet.latency + packet.stall_cycles for packet in self.packets)
+
+    @property
+    def code_bytes(self) -> int:
+        """Encoded size: 16 bytes per instruction + 4 per packet header."""
+        return self.instruction_count * 16 + len(self.packets) * 4

@@ -1,0 +1,19 @@
+"""Graph compiler front end ("TopsInference"): IR, import, passes, fusion."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.fusion import FusionReport, fuse_operators, fused_members
+from repro.graph.ir import Graph, GraphError, Node, TensorType
+from repro.graph.onnx_like import export_graph, import_graph, load, save
+from repro.graph.ops import OpError, infer_node, node_flops, spec
+from repro.graph.reference import EvaluationError, ReferenceExecutor, materialize_weight
+from repro.graph.passes import PassManager, dead_code_elimination, eliminate_identities, optimize
+from repro.graph.shape_inference import bind_shapes, dynamic_symbols, infer_shapes
+
+__all__ = [
+    "FusionReport", "Graph", "GraphBuilder", "GraphError", "Node", "OpError",
+    "PassManager", "TensorType", "bind_shapes", "dead_code_elimination",
+    "dynamic_symbols", "eliminate_identities", "EvaluationError",
+    "ReferenceExecutor", "materialize_weight", "export_graph", "fuse_operators",
+    "fused_members", "import_graph", "infer_node", "infer_shapes", "load",
+    "node_flops", "optimize", "save", "spec",
+]

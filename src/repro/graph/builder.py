@@ -1,0 +1,283 @@
+"""Fluent construction API for graphs — the importer's and model zoo's tool.
+
+:class:`GraphBuilder` names tensors automatically, declares weight
+initializers with their shapes, and finishes with shape inference, so model
+definitions read like framework code:
+
+>>> b = GraphBuilder("tiny")
+>>> x = b.input("x", (1, 3, 32, 32))
+>>> y = b.conv2d(x, out_channels=8, kernel=3, pad=1)
+>>> y = b.relu(y)
+>>> g = b.finish(outputs=[y])
+>>> g.tensor_type(y).shape
+(1, 8, 32, 32)
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.datatypes import DType
+from repro.graph.ir import Graph, GraphError, Node, Shape, TensorType
+from repro.graph.shape_inference import infer_shapes
+
+
+class GraphBuilder:
+    """Accumulates nodes and tensors for one graph."""
+
+    def __init__(self, name: str, dtype: DType = DType.FP32) -> None:
+        self.graph = Graph(name=name)
+        self.dtype = dtype
+        self._counters = itertools.count()
+        self._op_counts: dict[str, int] = {}
+
+    # -- naming -----------------------------------------------------------
+
+    def _fresh(self, op_type: str) -> str:
+        count = self._op_counts.get(op_type, 0)
+        self._op_counts[op_type] = count + 1
+        return f"{op_type}_{count}"
+
+    # -- declarations --------------------------------------------------------
+
+    def input(self, name: str, shape: Shape, dtype: DType | None = None) -> str:
+        if name in self.graph.tensor_types:
+            raise GraphError(f"tensor {name!r} already declared")
+        self.graph.inputs.append(name)
+        self.graph.tensor_types[name] = TensorType(tuple(shape), dtype or self.dtype)
+        return name
+
+    def weight(self, name: str, shape: Shape, dtype: DType | None = None) -> str:
+        if name in self.graph.tensor_types:
+            raise GraphError(f"tensor {name!r} already declared")
+        self.graph.initializers.add(name)
+        self.graph.tensor_types[name] = TensorType(tuple(shape), dtype or self.dtype)
+        return name
+
+    def node(
+        self,
+        op_type: str,
+        inputs: list[str],
+        attrs: dict | None = None,
+        name: str | None = None,
+        num_outputs: int = 1,
+    ) -> str | tuple[str, ...]:
+        """Append a node; returns its output tensor name(s)."""
+        node_name = name or self._fresh(op_type)
+        outputs = tuple(
+            f"{node_name}.out{index}" if num_outputs > 1 else f"{node_name}.out"
+            for index in range(num_outputs)
+        )
+        node = Node(
+            name=node_name,
+            op_type=op_type,
+            inputs=list(inputs),
+            outputs=list(outputs),
+            attrs=attrs or {},
+        )
+        self.graph.nodes.append(node)
+        # Eager shape inference lets the next layer query this one's shape
+        # (e.g. conv2d reads its input's channel count to size the weight).
+        input_types = [self.graph.tensor_type(tensor) for tensor in inputs]
+        from repro.graph.ops import infer_node
+
+        for tensor, tensor_type in zip(outputs, infer_node(node, input_types)):
+            self.graph.tensor_types[tensor] = tensor_type
+        return outputs if num_outputs > 1 else outputs[0]
+
+    # -- common layers (thin sugar over .node) -------------------------------
+
+    def conv2d(
+        self,
+        data: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        name: str | None = None,
+    ) -> str:
+        node_name = name or self._fresh("conv2d")
+        in_channels = self.graph.tensor_type(data).shape[1]
+        if isinstance(in_channels, str):
+            raise GraphError("conv2d needs a static channel dim")
+        weight = self.weight(
+            f"{node_name}.w", (out_channels, in_channels // groups, kernel, kernel)
+        )
+        inputs = [data, weight]
+        if bias:
+            inputs.append(self.weight(f"{node_name}.b", (out_channels,)))
+        return self.node(
+            "conv2d",
+            inputs,
+            attrs={"stride": stride, "pad": pad, "groups": groups},
+            name=node_name,
+        )
+
+    def conv1d(
+        self,
+        data: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        bias: bool = True,
+        name: str | None = None,
+    ) -> str:
+        node_name = name or self._fresh("conv1d")
+        in_channels = self.graph.tensor_type(data).shape[1]
+        weight = self.weight(f"{node_name}.w", (out_channels, in_channels, kernel))
+        inputs = [data, weight]
+        if bias:
+            inputs.append(self.weight(f"{node_name}.b", (out_channels,)))
+        return self.node(
+            "conv1d", inputs, attrs={"stride": stride, "pad": pad}, name=node_name
+        )
+
+    def dense(
+        self, data: str, out_features: int, bias: bool = True, name: str | None = None
+    ) -> str:
+        node_name = name or self._fresh("dense")
+        in_features = self.graph.tensor_type(data).shape[-1]
+        if isinstance(in_features, str):
+            raise GraphError("dense needs a static feature dim")
+        weight = self.weight(f"{node_name}.w", (out_features, in_features))
+        inputs = [data, weight]
+        if bias:
+            inputs.append(self.weight(f"{node_name}.b", (out_features,)))
+        return self.node("dense", inputs, name=node_name)
+
+    def batch_norm(self, data: str, name: str | None = None) -> str:
+        node_name = name or self._fresh("batch_norm")
+        channels = self.graph.tensor_type(data).shape[1]
+        params = [
+            self.weight(f"{node_name}.{suffix}", (channels,))
+            for suffix in ("scale", "shift", "mean", "var")
+        ]
+        return self.node("batch_norm", [data] + params, name=node_name)
+
+    def layer_norm(self, data: str, name: str | None = None) -> str:
+        node_name = name or self._fresh("layer_norm")
+        features = self.graph.tensor_type(data).shape[-1]
+        params = [
+            self.weight(f"{node_name}.{suffix}", (features,))
+            for suffix in ("scale", "shift")
+        ]
+        return self.node("layer_norm", [data] + params, name=node_name)
+
+    def __getattr__(self, op_type: str):
+        """Unary/binary ops fall through to plain nodes: ``b.relu(x)``."""
+        simple = {
+            "relu", "leaky_relu", "sigmoid", "tanh", "gelu", "swish",
+            "softplus", "erf", "exp", "mish", "identity", "sqrt", "neg",
+            "softmax", "flatten", "glu",
+            "add", "sub", "mul", "div", "maximum", "minimum", "pow",
+            "matmul",
+        }
+        if op_type not in simple:
+            raise AttributeError(op_type)
+
+        def _make(*inputs: str, name: str | None = None, **attrs) -> str:
+            return self.node(op_type, list(inputs), attrs=attrs or None, name=name)
+
+        return _make
+
+    def max_pool(self, data: str, kernel: int, stride: int | None = None, pad: int = 0) -> str:
+        return self.node(
+            "max_pool", [data], attrs={"kernel": kernel, "stride": stride or kernel, "pad": pad}
+        )
+
+    def avg_pool(self, data: str, kernel: int, stride: int | None = None, pad: int = 0) -> str:
+        return self.node(
+            "avg_pool", [data], attrs={"kernel": kernel, "stride": stride or kernel, "pad": pad}
+        )
+
+    def global_avg_pool(self, data: str) -> str:
+        return self.node("global_avg_pool", [data])
+
+    def upsample(self, data: str, scale: int = 2) -> str:
+        return self.node("upsample", [data], attrs={"scale": scale})
+
+    def pixel_shuffle(self, data: str, scale: int = 2) -> str:
+        return self.node("pixel_shuffle", [data], attrs={"scale": scale})
+
+    def concat(self, inputs: list[str], axis: int) -> str:
+        return self.node("concat", inputs, attrs={"axis": axis})
+
+    def reshape(self, data: str, shape: Shape) -> str:
+        return self.node("reshape", [data], attrs={"shape": tuple(shape)})
+
+    def transpose(self, data: str, axes: tuple[int, ...]) -> str:
+        return self.node("transpose", [data], attrs={"axes": tuple(axes)})
+
+    def embedding(self, indices: str, vocab: int, features: int, name: str | None = None) -> str:
+        node_name = name or self._fresh("embedding")
+        table = self.weight(f"{node_name}.table", (vocab, features))
+        return self.node("embedding", [indices, table], name=node_name)
+
+    def top_k(self, data: str, k: int) -> tuple[str, str]:
+        return self.node("top_k", [data], attrs={"k": k}, num_outputs=2)
+
+    def prelu(self, data: str, name: str | None = None) -> str:
+        node_name = name or self._fresh("prelu")
+        channels = self.graph.tensor_type(data).shape[1]
+        slope = self.weight(f"{node_name}.slope", (channels,))
+        return self.node("prelu", [data, slope], name=node_name)
+
+    def clip(self, data: str, min: float = 0.0, max: float = 6.0) -> str:
+        return self.node("clip", [data], attrs={"min": min, "max": max})
+
+    def split(self, data: str, sections: list[int], axis: int) -> tuple[str, ...]:
+        return self.node(
+            "split", [data],
+            attrs={"axis": axis, "sections": list(sections)},
+            num_outputs=len(sections),
+        )
+
+    # -- composite layers ----------------------------------------------------
+
+    def multi_head_attention(
+        self, data: str, heads: int, name: str | None = None
+    ) -> str:
+        """Standard MHA block expanded into primitive nodes.
+
+        Keeps individual matmul/softmax nodes visible so the fusion pass can
+        find and fuse the attention pattern, as TopsInference does.
+        """
+        prefix = name or self._fresh("mha")
+        batch, seq, features = self.graph.tensor_type(data).shape
+        if isinstance(features, str):
+            raise GraphError("attention needs a static feature dim")
+        head_dim = features // heads
+        query = self.dense(data, features, name=f"{prefix}.q")
+        key = self.dense(data, features, name=f"{prefix}.k")
+        value = self.dense(data, features, name=f"{prefix}.v")
+
+        def _split(tensor: str, tag: str) -> str:
+            reshaped = self.reshape(tensor, (batch, seq, heads, head_dim))
+            return self.transpose(reshaped, (0, 2, 1, 3))
+
+        query_heads = _split(query, "q")
+        key_heads = _split(key, "k")
+        value_heads = _split(value, "v")
+        key_t = self.transpose(key_heads, (0, 1, 3, 2))
+        scores = self.node("matmul", [query_heads, key_t], name=f"{prefix}.scores")
+        scaled = self.node(
+            "mul",
+            [scores, self.weight(f"{prefix}.scale", (1,))],
+            name=f"{prefix}.scale_mul",
+        )
+        probabilities = self.node("softmax", [scaled], name=f"{prefix}.softmax")
+        context = self.node(
+            "matmul", [probabilities, value_heads], name=f"{prefix}.context"
+        )
+        merged = self.transpose(context, (0, 2, 1, 3))
+        merged = self.reshape(merged, (batch, seq, features))
+        return self.dense(merged, features, name=f"{prefix}.proj")
+
+    # -- finalization ----------------------------------------------------------
+
+    def finish(self, outputs: list[str]) -> Graph:
+        self.graph.outputs = list(outputs)
+        return infer_shapes(self.graph)

@@ -1,0 +1,228 @@
+"""Graph intermediate representation for the TopsInference compiler.
+
+A :class:`Graph` is a DAG of :class:`Node` operations over named tensors,
+the shape every framework importer lowers to (paper Fig. 11: ONNX models
+convert into this IR, get optimized, then lower to kernels).
+
+Dynamic shapes (§V-B "Dynamic tensor and shape inference have been
+supported") are first-class: a dimension may be a string symbol ("batch",
+"seq") that stays symbolic through shape inference until bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import networkx as nx
+
+from repro.core.datatypes import DType
+
+Dim = int | str
+Shape = tuple[Dim, ...]
+
+
+class GraphError(ValueError):
+    """The graph is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class TensorType:
+    """Element type + (possibly symbolic) shape of one tensor."""
+
+    shape: Shape
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        for dim in self.shape:
+            if isinstance(dim, int) and dim < 0:
+                raise GraphError(f"negative dimension in {self.shape}")
+            if isinstance(dim, str) and not dim:
+                raise GraphError("empty symbolic dimension name")
+
+    @property
+    def is_static(self) -> bool:
+        return all(isinstance(dim, int) for dim in self.shape)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def num_elements(self) -> int:
+        """Element count; raises on symbolic shapes."""
+        if not self.is_static:
+            raise GraphError(f"shape {self.shape} is symbolic; bind it first")
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    def nbytes(self) -> int:
+        return self.num_elements() * self.dtype.bytes
+
+    def bind(self, bindings: dict[str, int]) -> "TensorType":
+        """Substitute symbolic dims; unknown symbols stay symbolic."""
+        shape = tuple(
+            bindings.get(dim, dim) if isinstance(dim, str) else dim
+            for dim in self.shape
+        )
+        return replace(self, shape=shape)
+
+
+@dataclass
+class Node:
+    """One operation instance."""
+
+    name: str
+    op_type: str
+    inputs: list[str]
+    outputs: list[str]
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("node needs a name")
+        if not self.outputs:
+            raise GraphError(f"node {self.name} produces no outputs")
+
+    def attr(self, key: str, default=None):
+        return self.attrs.get(key, default)
+
+
+@dataclass
+class Graph:
+    """A dataflow graph: nodes over named tensors.
+
+    ``tensor_types`` holds the type of every graph input and (after shape
+    inference) every intermediate; ``initializers`` names the weight tensors
+    (their types also live in ``tensor_types``).
+    """
+
+    name: str
+    nodes: list[Node] = field(default_factory=list)
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    tensor_types: dict[str, TensorType] = field(default_factory=dict)
+    initializers: set[str] = field(default_factory=set)
+
+    # -- structure ----------------------------------------------------------
+
+    def node_by_name(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise GraphError(f"no node named {name!r}")
+
+    def producers(self) -> dict[str, Node]:
+        """tensor name -> the node that writes it."""
+        table: dict[str, Node] = {}
+        for node in self.nodes:
+            for output in node.outputs:
+                if output in table:
+                    raise GraphError(
+                        f"tensor {output!r} produced twice "
+                        f"({table[output].name} and {node.name})"
+                    )
+                table[output] = node
+        return table
+
+    def consumers(self) -> dict[str, list[Node]]:
+        """tensor name -> nodes that read it."""
+        table: dict[str, list[Node]] = {}
+        for node in self.nodes:
+            for tensor in node.inputs:
+                table.setdefault(tensor, []).append(node)
+        return table
+
+    def to_networkx(self) -> nx.DiGraph:
+        digraph = nx.DiGraph()
+        producers = self.producers()
+        for node in self.nodes:
+            digraph.add_node(node.name)
+        for node in self.nodes:
+            for tensor in node.inputs:
+                producer = producers.get(tensor)
+                if producer is not None:
+                    digraph.add_edge(producer.name, node.name, tensor=tensor)
+        return digraph
+
+    def topological_nodes(self) -> list[Node]:
+        """Nodes in execution order; raises on cycles."""
+        digraph = self.to_networkx()
+        try:
+            order = list(nx.topological_sort(digraph))
+        except nx.NetworkXUnfeasible:
+            raise GraphError(f"graph {self.name!r} contains a cycle") from None
+        by_name = {node.name: node for node in self.nodes}
+        return [by_name[name] for name in order]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`GraphError`."""
+        producers = self.producers()
+        available = set(self.inputs) | self.initializers | set(producers)
+        for node in self.nodes:
+            for tensor in node.inputs:
+                if tensor not in available:
+                    raise GraphError(
+                        f"node {node.name} reads undefined tensor {tensor!r}"
+                    )
+        for tensor in self.outputs:
+            if tensor not in available:
+                raise GraphError(f"graph output {tensor!r} is never produced")
+        for tensor in self.inputs:
+            if tensor not in self.tensor_types:
+                raise GraphError(f"graph input {tensor!r} has no declared type")
+        self.topological_nodes()  # cycle check
+
+    # -- convenience ----------------------------------------------------------
+
+    def tensor_type(self, name: str) -> TensorType:
+        if name not in self.tensor_types:
+            raise GraphError(
+                f"tensor {name!r} has no type; run shape inference first"
+            )
+        return self.tensor_types[name]
+
+    def weight_bytes(self) -> int:
+        """Total parameter footprint (static shapes only)."""
+        return sum(
+            self.tensor_types[name].nbytes()
+            for name in self.initializers
+            if name in self.tensor_types
+        )
+
+    def bind(self, bindings: dict[str, int]) -> "Graph":
+        """Return a copy with symbolic dimensions substituted.
+
+        Substitution covers tensor types *and* shape-valued node attributes
+        (a reshape target may carry a symbolic batch dim).
+        """
+
+        def _bind_attrs(attrs: dict) -> dict:
+            bound = dict(attrs)
+            if isinstance(bound.get("shape"), tuple):
+                bound["shape"] = tuple(
+                    bindings.get(dim, dim) if isinstance(dim, str) else dim
+                    for dim in bound["shape"]
+                )
+            return bound
+
+        return Graph(
+            name=self.name,
+            nodes=[
+                Node(
+                    name=node.name,
+                    op_type=node.op_type,
+                    inputs=list(node.inputs),
+                    outputs=list(node.outputs),
+                    attrs=_bind_attrs(node.attrs),
+                )
+                for node in self.nodes
+            ],
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            tensor_types={
+                name: tensor_type.bind(bindings)
+                for name, tensor_type in self.tensor_types.items()
+            },
+            initializers=set(self.initializers),
+        )

@@ -1,0 +1,117 @@
+"""Serialization: an ONNX-like interchange format for graphs.
+
+TopsInference "leverages ONNX to import/convert DNN models developed with
+various frameworks" (paper §V-B). Offline, we model the interchange step
+with a stable JSON document format: :func:`export_graph` /
+:func:`import_graph` round-trip a :class:`~repro.graph.ir.Graph` through a
+plain dict, and :func:`save` / :func:`load` put it on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.datatypes import DType
+from repro.graph.ir import Graph, GraphError, Node, TensorType
+
+FORMAT_VERSION = 1
+
+
+def _shape_to_json(shape) -> list:
+    return list(shape)
+
+
+def _shape_from_json(shape) -> tuple:
+    return tuple(
+        dim if isinstance(dim, str) else int(dim) for dim in shape
+    )
+
+
+def export_graph(graph: Graph) -> dict:
+    """Serialize to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "inputs": list(graph.inputs),
+        "outputs": list(graph.outputs),
+        "initializers": sorted(graph.initializers),
+        "tensor_types": {
+            name: {
+                "shape": _shape_to_json(tensor_type.shape),
+                "dtype": tensor_type.dtype.name,
+            }
+            for name, tensor_type in sorted(graph.tensor_types.items())
+        },
+        "nodes": [
+            {
+                "name": node.name,
+                "op_type": node.op_type,
+                "inputs": list(node.inputs),
+                "outputs": list(node.outputs),
+                "attrs": _attrs_to_json(node.attrs),
+            }
+            for node in graph.nodes
+        ],
+    }
+
+
+def _attrs_to_json(attrs: dict) -> dict:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        out[key] = value
+    return out
+
+
+def import_graph(document: dict) -> Graph:
+    """Deserialize; validates structure and format version."""
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise GraphError(f"unsupported format version {version!r}")
+    graph = Graph(
+        name=document["name"],
+        inputs=list(document["inputs"]),
+        outputs=list(document["outputs"]),
+        initializers=set(document["initializers"]),
+        tensor_types={
+            name: TensorType(
+                shape=_shape_from_json(entry["shape"]),
+                dtype=DType[entry["dtype"]],
+            )
+            for name, entry in document["tensor_types"].items()
+        },
+        nodes=[
+            Node(
+                name=entry["name"],
+                op_type=entry["op_type"],
+                inputs=list(entry["inputs"]),
+                outputs=list(entry["outputs"]),
+                attrs=_attrs_from_json(entry.get("attrs", {})),
+            )
+            for entry in document["nodes"]
+        ],
+    )
+    graph.validate()
+    return graph
+
+
+_TUPLE_ATTRS = {"shape", "axes", "pads"}
+
+
+def _attrs_from_json(attrs: dict) -> dict:
+    out = {}
+    for key, value in attrs.items():
+        if key in _TUPLE_ATTRS and isinstance(value, list):
+            value = tuple(value)
+        out[key] = value
+    return out
+
+
+def save(graph: Graph, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(export_graph(graph), indent=1))
+
+
+def load(path: str | Path) -> Graph:
+    return import_graph(json.loads(Path(path).read_text()))

@@ -1,0 +1,672 @@
+"""Operator registry: shape inference + arithmetic cost for every op.
+
+Each operator the model zoo uses is registered with:
+
+- a **category** the performance model keys efficiency factors on
+  (convolution, GEMM, elementwise, ...),
+- a **shape-inference rule** mapping input types to output types
+  (symbol-aware, so dynamic batch/sequence dims flow through),
+- a **FLOP counter** (2 * MACs for linear-algebra ops, per-element costs
+  for the rest) used by the roofline and simulator cost models.
+
+Layout convention is NCHW for images and ``(batch, seq, features)`` for
+sequences, matching the paper's Table III input sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph.ir import Dim, GraphError, Node, Shape, TensorType
+
+
+class OpError(GraphError):
+    """Operator misuse: wrong arity, bad attributes, or shape mismatch."""
+
+
+def _static(dim: Dim, context: str) -> int:
+    if isinstance(dim, str):
+        raise OpError(f"{context}: dimension {dim!r} must be static here")
+    return dim
+
+
+def _numel(shape: Shape) -> int:
+    count = 1
+    for dim in shape:
+        count *= _static(dim, "numel")
+    return count
+
+
+def _conv_out(size: Dim, kernel: int, stride: int, pad: int, dilation: int = 1) -> Dim:
+    if isinstance(size, str):
+        return size  # symbolic spatial dims stay symbolic
+    effective = dilation * (kernel - 1) + 1
+    out = (size + 2 * pad - effective) // stride + 1
+    if out < 1:
+        raise OpError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+InferFn = Callable[[Node, list[TensorType]], list[TensorType]]
+FlopsFn = Callable[[Node, list[TensorType], list[TensorType]], float]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Registered behaviour of one operator type."""
+
+    name: str
+    category: str
+    arity: tuple[int, int]
+    """(min_inputs, max_inputs); max of -1 means unbounded."""
+    infer: InferFn
+    flops: FlopsFn
+
+    def check_arity(self, node: Node) -> None:
+        low, high = self.arity
+        count = len(node.inputs)
+        if count < low or (high != -1 and count > high):
+            raise OpError(
+                f"{node.op_type} node {node.name!r} takes "
+                f"{low}..{'∞' if high == -1 else high} inputs, got {count}"
+            )
+
+
+REGISTRY: dict[str, OpSpec] = {}
+
+
+def register(
+    name: str,
+    category: str,
+    arity: tuple[int, int],
+    infer: InferFn,
+    flops: FlopsFn,
+) -> None:
+    if name in REGISTRY:
+        raise OpError(f"operator {name!r} registered twice")
+    REGISTRY[name] = OpSpec(
+        name=name, category=category, arity=arity, infer=infer, flops=flops
+    )
+
+
+def spec(op_type: str) -> OpSpec:
+    if op_type not in REGISTRY:
+        raise OpError(f"unknown operator {op_type!r}")
+    return REGISTRY[op_type]
+
+
+# ---------------------------------------------------------------------------
+# convolution family
+# ---------------------------------------------------------------------------
+
+
+def _infer_conv2d(node: Node, types: list[TensorType]) -> list[TensorType]:
+    data, weight = types[0], types[1]
+    if data.rank != 4 or weight.rank != 4:
+        raise OpError(f"conv2d wants NCHW data and OIHW weight, got {data.shape} {weight.shape}")
+    batch, in_channels, height, width = data.shape
+    out_channels, weight_in, k_h, k_w = weight.shape
+    groups = node.attr("groups", 1)
+    stride = node.attr("stride", 1)
+    pad = node.attr("pad", 0)
+    pad_h = node.attr("pad_h", pad)
+    pad_w = node.attr("pad_w", pad)
+    dilation = node.attr("dilation", 1)
+    if isinstance(in_channels, int) and isinstance(weight_in, int):
+        if in_channels != _static(weight_in, "conv2d") * groups:
+            raise OpError(
+                f"{node.name}: in_channels {in_channels} != "
+                f"weight_in {weight_in} * groups {groups}"
+            )
+    out_shape = (
+        batch,
+        out_channels,
+        _conv_out(height, _static(k_h, "conv2d"), stride, pad_h, dilation),
+        _conv_out(width, _static(k_w, "conv2d"), stride, pad_w, dilation),
+    )
+    return [TensorType(out_shape, data.dtype)]
+
+
+def _flops_conv2d(node: Node, types: list[TensorType], outs: list[TensorType]) -> float:
+    weight = types[1]
+    out = outs[0]
+    _out_c, weight_in, k_h, k_w = (
+        _static(dim, "conv2d flops") for dim in weight.shape
+    )
+    macs_per_output = weight_in * k_h * k_w
+    return 2.0 * _numel(out.shape) * macs_per_output
+
+
+register("conv2d", "conv", (2, 3), _infer_conv2d, _flops_conv2d)
+
+
+def _infer_conv1d(node: Node, types: list[TensorType]) -> list[TensorType]:
+    data, weight = types[0], types[1]
+    if data.rank != 3 or weight.rank != 3:
+        raise OpError(f"conv1d wants NCL data and OIL weight, got {data.shape} {weight.shape}")
+    batch, _in_channels, length = data.shape
+    out_channels, _weight_in, kernel = weight.shape
+    stride = node.attr("stride", 1)
+    pad = node.attr("pad", 0)
+    out_shape = (
+        batch,
+        out_channels,
+        _conv_out(length, _static(kernel, "conv1d"), stride, pad),
+    )
+    return [TensorType(out_shape, data.dtype)]
+
+
+def _flops_conv1d(node: Node, types: list[TensorType], outs: list[TensorType]) -> float:
+    weight = types[1]
+    _out_c, weight_in, kernel = (_static(dim, "conv1d flops") for dim in weight.shape)
+    return 2.0 * _numel(outs[0].shape) * weight_in * kernel
+
+
+register("conv1d", "conv", (2, 3), _infer_conv1d, _flops_conv1d)
+
+
+def _infer_conv_transpose2d(node: Node, types: list[TensorType]) -> list[TensorType]:
+    data, weight = types[0], types[1]
+    batch, _in_c, height, width = data.shape
+    _w_in, out_channels, k_h, k_w = weight.shape
+    stride = node.attr("stride", 1)
+    pad = node.attr("pad", 0)
+
+    def _out(size: Dim, kernel: int) -> Dim:
+        if isinstance(size, str):
+            return size
+        return (size - 1) * stride - 2 * pad + kernel
+
+    out_shape = (
+        batch,
+        out_channels,
+        _out(height, _static(k_h, "conv_transpose2d")),
+        _out(width, _static(k_w, "conv_transpose2d")),
+    )
+    return [TensorType(out_shape, data.dtype)]
+
+
+def _flops_conv_transpose2d(
+    node: Node, types: list[TensorType], outs: list[TensorType]
+) -> float:
+    weight = types[1]
+    w_in, _out_c, k_h, k_w = (_static(d, "conv_transpose2d") for d in weight.shape)
+    return 2.0 * _numel(types[0].shape) * _static(weight.shape[1], "ct") * k_h * k_w
+
+
+register(
+    "conv_transpose2d", "conv", (2, 3), _infer_conv_transpose2d, _flops_conv_transpose2d
+)
+
+
+# ---------------------------------------------------------------------------
+# GEMM family
+# ---------------------------------------------------------------------------
+
+
+def _infer_dense(node: Node, types: list[TensorType]) -> list[TensorType]:
+    data, weight = types[0], types[1]
+    if weight.rank != 2:
+        raise OpError(f"dense weight must be 2-D (out, in), got {weight.shape}")
+    out_features, in_features = weight.shape
+    last = data.shape[-1]
+    if isinstance(last, int) and isinstance(in_features, int) and last != in_features:
+        raise OpError(
+            f"{node.name}: input features {last} != weight in_features {in_features}"
+        )
+    return [TensorType(data.shape[:-1] + (out_features,), data.dtype)]
+
+
+def _flops_dense(node: Node, types: list[TensorType], outs: list[TensorType]) -> float:
+    in_features = _static(types[1].shape[1], "dense flops")
+    return 2.0 * _numel(outs[0].shape) * in_features
+
+
+register("dense", "gemm", (2, 3), _infer_dense, _flops_dense)
+
+
+def _infer_matmul(node: Node, types: list[TensorType]) -> list[TensorType]:
+    a, b = types[0], types[1]
+    if a.rank < 2 or b.rank < 2:
+        raise OpError(f"matmul wants rank >= 2, got {a.shape} x {b.shape}")
+    k_a, k_b = a.shape[-1], b.shape[-2]
+    if isinstance(k_a, int) and isinstance(k_b, int) and k_a != k_b:
+        raise OpError(f"{node.name}: contraction mismatch {a.shape} x {b.shape}")
+    batch = a.shape[:-2] if a.rank >= b.rank else b.shape[:-2]
+    return [TensorType(batch + (a.shape[-2], b.shape[-1]), a.dtype)]
+
+
+def _flops_matmul(node: Node, types: list[TensorType], outs: list[TensorType]) -> float:
+    k = _static(types[0].shape[-1], "matmul flops")
+    return 2.0 * _numel(outs[0].shape) * k
+
+
+register("matmul", "gemm", (2, 2), _infer_matmul, _flops_matmul)
+
+
+def _infer_embedding(node: Node, types: list[TensorType]) -> list[TensorType]:
+    indices, table = types[0], types[1]
+    if table.rank != 2:
+        raise OpError(f"embedding table must be 2-D, got {table.shape}")
+    return [TensorType(indices.shape + (table.shape[1],), table.dtype)]
+
+
+def _flops_embedding(node: Node, types: list[TensorType], outs: list[TensorType]) -> float:
+    return float(_numel(outs[0].shape))  # a gather: one move per element
+
+
+register("embedding", "embedding", (2, 2), _infer_embedding, _flops_embedding)
+
+
+# ---------------------------------------------------------------------------
+# elementwise / activation
+# ---------------------------------------------------------------------------
+
+
+def _broadcast_shapes(a: Shape, b: Shape, context: str) -> Shape:
+    rank = max(len(a), len(b))
+    a_pad = (1,) * (rank - len(a)) + a
+    b_pad = (1,) * (rank - len(b)) + b
+    out: list[Dim] = []
+    for dim_a, dim_b in zip(a_pad, b_pad):
+        if dim_a == dim_b:
+            out.append(dim_a)
+        elif dim_a == 1:
+            out.append(dim_b)
+        elif dim_b == 1:
+            out.append(dim_a)
+        elif isinstance(dim_a, str) or isinstance(dim_b, str):
+            out.append(dim_a if isinstance(dim_a, str) else dim_b)
+        else:
+            raise OpError(f"{context}: cannot broadcast {a} with {b}")
+    return tuple(out)
+
+
+def _infer_binary(node: Node, types: list[TensorType]) -> list[TensorType]:
+    shape = _broadcast_shapes(types[0].shape, types[1].shape, node.name)
+    return [TensorType(shape, types[0].dtype)]
+
+
+def _flops_per_element(cost: float) -> FlopsFn:
+    def _flops(node: Node, types: list[TensorType], outs: list[TensorType]) -> float:
+        return cost * _numel(outs[0].shape)
+
+    return _flops
+
+
+for _binary in ("add", "sub", "mul", "div", "maximum", "minimum", "pow"):
+    register(_binary, "elementwise", (2, 2), _infer_binary, _flops_per_element(1.0))
+
+
+def _infer_unary(node: Node, types: list[TensorType]) -> list[TensorType]:
+    return [TensorType(types[0].shape, types[0].dtype)]
+
+
+for _unary, _cost in (
+    ("relu", 1.0),
+    ("leaky_relu", 2.0),
+    ("identity", 0.0),
+    ("sqrt", 4.0),
+    ("neg", 1.0),
+):
+    register(_unary, "elementwise", (1, 1), _infer_unary, _flops_per_element(_cost))
+
+# transcendental activations: SFU work, costed higher per element
+for _activation, _cost in (
+    ("sigmoid", 4.0),
+    ("tanh", 4.0),
+    ("gelu", 8.0),
+    ("swish", 5.0),
+    ("softplus", 5.0),
+    ("erf", 6.0),
+    ("exp", 4.0),
+    ("mish", 8.0),
+):
+    register(_activation, "activation", (1, 1), _infer_unary, _flops_per_element(_cost))
+
+
+def _infer_glu(node: Node, types: list[TensorType]) -> list[TensorType]:
+    shape = list(types[0].shape)
+    axis = node.attr("axis", -1) % len(shape)
+    dim = shape[axis]
+    if isinstance(dim, int):
+        if dim % 2:
+            raise OpError(f"GLU axis extent {dim} must be even")
+        shape[axis] = dim // 2
+    return [TensorType(tuple(shape), types[0].dtype)]
+
+
+register("glu", "activation", (1, 1), _infer_glu, _flops_per_element(5.0))
+
+
+def _infer_prelu(node: Node, types: list[TensorType]) -> list[TensorType]:
+    data, slope = types[0], types[1]
+    if slope.rank != 1:
+        raise OpError(f"prelu slope must be per-channel 1-D, got {slope.shape}")
+    if (
+        data.rank >= 2
+        and isinstance(data.shape[1], int)
+        and isinstance(slope.shape[0], int)
+        and data.shape[1] != slope.shape[0]
+    ):
+        raise OpError(
+            f"{node.name}: slope length {slope.shape[0]} != channels "
+            f"{data.shape[1]}"
+        )
+    return [TensorType(data.shape, data.dtype)]
+
+
+register("prelu", "activation", (2, 2), _infer_prelu, _flops_per_element(2.0))
+
+
+def _infer_clip(node: Node, types: list[TensorType]) -> list[TensorType]:
+    lo, hi = node.attr("min", 0.0), node.attr("max")
+    if hi is None:
+        raise OpError(f"{node.name}: clip needs 'max'")
+    if hi < lo:
+        raise OpError(f"{node.name}: clip max {hi} < min {lo}")
+    return [TensorType(types[0].shape, types[0].dtype)]
+
+
+register("clip", "elementwise", (1, 1), _infer_clip, _flops_per_element(2.0))
+
+
+def _infer_split(node: Node, types: list[TensorType]) -> list[TensorType]:
+    axis = node.attr("axis", 0)
+    sections = node.attr("sections")
+    if not sections:
+        raise OpError(f"{node.name}: split needs 'sections'")
+    shape = types[0].shape
+    axis = axis % len(shape)
+    extent = shape[axis]
+    if isinstance(extent, int) and sum(sections) != extent:
+        raise OpError(
+            f"{node.name}: sections {sections} do not sum to extent {extent}"
+        )
+    return [
+        TensorType(
+            tuple(
+                section if index == axis else dim
+                for index, dim in enumerate(shape)
+            ),
+            types[0].dtype,
+        )
+        for section in sections
+    ]
+
+
+register("split", "layout", (1, 1), _infer_split, _flops_per_element(0.0))
+
+
+# ---------------------------------------------------------------------------
+# normalization / softmax / reduce
+# ---------------------------------------------------------------------------
+
+register("batch_norm", "norm", (1, 5), _infer_unary, _flops_per_element(2.0))
+register("layer_norm", "norm", (1, 3), _infer_unary, _flops_per_element(8.0))
+register("softmax", "softmax", (1, 1), _infer_unary, _flops_per_element(6.0))
+
+
+def _infer_reduce_mean(node: Node, types: list[TensorType]) -> list[TensorType]:
+    axes = node.attr("axes")
+    if axes is None:
+        raise OpError(f"{node.name}: reduce_mean needs 'axes'")
+    keepdims = node.attr("keepdims", False)
+    shape = list(types[0].shape)
+    normalized = sorted(axis % len(shape) for axis in axes)
+    for axis in reversed(normalized):
+        if keepdims:
+            shape[axis] = 1
+        else:
+            del shape[axis]
+    return [TensorType(tuple(shape), types[0].dtype)]
+
+
+def _flops_reduce(node: Node, types: list[TensorType], outs: list[TensorType]) -> float:
+    return float(_numel(types[0].shape))
+
+
+register("reduce_mean", "reduce", (1, 1), _infer_reduce_mean, _flops_reduce)
+register("reduce_max", "reduce", (1, 1), _infer_reduce_mean, _flops_reduce)
+
+
+def _infer_top_k(node: Node, types: list[TensorType]) -> list[TensorType]:
+    k = node.attr("k")
+    if not k:
+        raise OpError(f"{node.name}: top_k needs attribute 'k'")
+    shape = types[0].shape[:-1] + (k,)
+    return [TensorType(shape, types[0].dtype), TensorType(shape, types[0].dtype)]
+
+
+def _flops_top_k(node: Node, types: list[TensorType], outs: list[TensorType]) -> float:
+    last = _static(types[0].shape[-1], "top_k")
+    rows = _numel(types[0].shape) // last
+    # VMM-assisted sort: the relationship matrix costs O(n^2) per row chunk.
+    return float(rows) * last * math.ceil(math.log2(max(last, 2)))
+
+
+register("top_k", "sort", (1, 1), _infer_top_k, _flops_top_k)
+
+
+# ---------------------------------------------------------------------------
+# pooling / resize
+# ---------------------------------------------------------------------------
+
+
+def _infer_pool(node: Node, types: list[TensorType]) -> list[TensorType]:
+    data = types[0]
+    if data.rank != 4:
+        raise OpError(f"pooling wants NCHW, got {data.shape}")
+    kernel = node.attr("kernel")
+    if kernel is None:
+        raise OpError(f"{node.name}: pooling needs 'kernel'")
+    stride = node.attr("stride", kernel)
+    pad = node.attr("pad", 0)
+    batch, channels, height, width = data.shape
+    out_shape = (
+        batch,
+        channels,
+        _conv_out(height, kernel, stride, pad),
+        _conv_out(width, kernel, stride, pad),
+    )
+    return [TensorType(out_shape, data.dtype)]
+
+
+def _flops_pool(node: Node, types: list[TensorType], outs: list[TensorType]) -> float:
+    kernel = node.attr("kernel")
+    return float(_numel(outs[0].shape)) * kernel * kernel
+
+
+register("max_pool", "pool", (1, 1), _infer_pool, _flops_pool)
+register("avg_pool", "pool", (1, 1), _infer_pool, _flops_pool)
+
+
+def _infer_global_avg_pool(node: Node, types: list[TensorType]) -> list[TensorType]:
+    batch, channels = types[0].shape[0], types[0].shape[1]
+    return [TensorType((batch, channels, 1, 1), types[0].dtype)]
+
+
+register(
+    "global_avg_pool", "pool", (1, 1), _infer_global_avg_pool, _flops_reduce
+)
+
+
+def _infer_upsample(node: Node, types: list[TensorType]) -> list[TensorType]:
+    scale = node.attr("scale", 2)
+    batch, channels, height, width = types[0].shape
+    out = (
+        batch,
+        channels,
+        height if isinstance(height, str) else height * scale,
+        width if isinstance(width, str) else width * scale,
+    )
+    return [TensorType(out, types[0].dtype)]
+
+
+register("upsample", "layout", (1, 1), _infer_upsample, _flops_per_element(1.0))
+
+
+def _infer_pixel_shuffle(node: Node, types: list[TensorType]) -> list[TensorType]:
+    scale = node.attr("scale", 2)
+    batch, channels, height, width = types[0].shape
+    channels = _static(channels, "pixel_shuffle")
+    if channels % (scale * scale):
+        raise OpError(f"pixel_shuffle channels {channels} not divisible by {scale}^2")
+    out = (
+        batch,
+        channels // (scale * scale),
+        height if isinstance(height, str) else height * scale,
+        width if isinstance(width, str) else width * scale,
+    )
+    return [TensorType(out, types[0].dtype)]
+
+
+register("pixel_shuffle", "layout", (1, 1), _infer_pixel_shuffle, _flops_per_element(0.0))
+
+
+# ---------------------------------------------------------------------------
+# layout / shape ops
+# ---------------------------------------------------------------------------
+
+
+def _infer_concat(node: Node, types: list[TensorType]) -> list[TensorType]:
+    axis = node.attr("axis", 0)
+    first = types[0]
+    axis = axis % first.rank
+    total: Dim = 0
+    for tensor_type in types:
+        if tensor_type.rank != first.rank:
+            raise OpError(f"{node.name}: concat rank mismatch")
+        dim = tensor_type.shape[axis]
+        if isinstance(dim, str) or isinstance(total, str):
+            total = dim if isinstance(dim, str) else total
+        else:
+            total += dim
+    shape = tuple(
+        total if index == axis else dim for index, dim in enumerate(first.shape)
+    )
+    return [TensorType(shape, first.dtype)]
+
+
+register("concat", "layout", (1, -1), _infer_concat, _flops_per_element(0.0))
+
+
+def _infer_reshape(node: Node, types: list[TensorType]) -> list[TensorType]:
+    shape = node.attr("shape")
+    if shape is None:
+        raise OpError(f"{node.name}: reshape needs 'shape'")
+    shape = tuple(shape)
+    if list(shape).count(-1) > 1:
+        raise OpError(f"{node.name}: more than one -1 in reshape target {shape}")
+
+    def _split(dims):
+        """(product of static dims, sorted symbolic dims)."""
+        product, symbols = 1, []
+        for dim in dims:
+            if isinstance(dim, str):
+                symbols.append(dim)
+            elif dim != -1:
+                product *= dim
+        return product, sorted(symbols)
+
+    in_product, in_symbols = _split(types[0].shape)
+    out_product, out_symbols = _split(shape)
+    if -1 in shape:
+        if in_symbols == out_symbols and out_product > 0:
+            # Matching symbols cancel, so -1 resolves from the static parts
+            # (e.g. ('batch', 8, 32, 32) -> ('batch', -1) gives 8192).
+            if in_product % out_product:
+                raise OpError(
+                    f"{node.name}: cannot reshape {types[0].shape} to {shape}"
+                )
+            shape = tuple(
+                in_product // out_product if dim == -1 else dim for dim in shape
+            )
+        else:
+            # Unresolvable: stand in a fresh symbol so inference can proceed.
+            shape = tuple(
+                f"{node.name}.dim" if dim == -1 else dim for dim in shape
+            )
+    elif in_symbols == out_symbols and in_product != out_product:
+        raise OpError(f"{node.name}: cannot reshape {types[0].shape} to {shape}")
+    return [TensorType(shape, types[0].dtype)]
+
+
+register("reshape", "layout", (1, 1), _infer_reshape, _flops_per_element(0.0))
+
+
+def _infer_transpose(node: Node, types: list[TensorType]) -> list[TensorType]:
+    axes = node.attr("axes")
+    if axes is None:
+        raise OpError(f"{node.name}: transpose needs 'axes'")
+    shape = tuple(types[0].shape[axis] for axis in axes)
+    return [TensorType(shape, types[0].dtype)]
+
+
+register("transpose", "layout", (1, 1), _infer_transpose, _flops_per_element(0.0))
+
+
+def _infer_flatten(node: Node, types: list[TensorType]) -> list[TensorType]:
+    data = types[0]
+    head = data.shape[0]
+    if data.is_static:
+        tail = _numel(data.shape[1:])
+    else:
+        static_tail = [dim for dim in data.shape[1:] if isinstance(dim, int)]
+        if len(static_tail) == data.rank - 1:
+            tail = _numel(tuple(static_tail))
+        else:
+            tail = "flatten_" + node.name
+    return [TensorType((head, tail), data.dtype)]
+
+
+register("flatten", "layout", (1, 1), _infer_flatten, _flops_per_element(0.0))
+
+
+def _infer_pad(node: Node, types: list[TensorType]) -> list[TensorType]:
+    pads = node.attr("pads")
+    if pads is None or len(pads) != 2 * types[0].rank:
+        raise OpError(f"{node.name}: pad needs 'pads' of length 2*rank")
+    rank = types[0].rank
+    shape = tuple(
+        dim if isinstance(dim, str) else dim + pads[index] + pads[index + rank]
+        for index, dim in enumerate(types[0].shape)
+    )
+    return [TensorType(shape, types[0].dtype)]
+
+
+register("pad", "layout", (1, 1), _infer_pad, _flops_per_element(0.0))
+
+
+def _infer_slice_op(node: Node, types: list[TensorType]) -> list[TensorType]:
+    axis = node.attr("axis", 0)
+    start = node.attr("start", 0)
+    stop = node.attr("stop")
+    if stop is None:
+        raise OpError(f"{node.name}: slice needs 'stop'")
+    shape = list(types[0].shape)
+    axis = axis % len(shape)
+    shape[axis] = stop - start
+    return [TensorType(tuple(shape), types[0].dtype)]
+
+
+register("slice", "layout", (1, 1), _infer_slice_op, _flops_per_element(0.0))
+
+
+def infer_node(node: Node, input_types: list[TensorType]) -> list[TensorType]:
+    """Shape-infer one node after arity validation."""
+    op_spec = spec(node.op_type)
+    op_spec.check_arity(node)
+    return op_spec.infer(node, input_types)
+
+
+def node_flops(
+    node: Node, input_types: list[TensorType], output_types: list[TensorType]
+) -> float:
+    """Arithmetic cost of one node in FLOPs (or elementary ops)."""
+    return spec(node.op_type).flops(node, input_types, output_types)

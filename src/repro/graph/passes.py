@@ -1,0 +1,95 @@
+"""Graph optimization passes and the pass manager (TopsInference pipeline).
+
+The standard pipeline :func:`optimize` runs:
+
+1. ``eliminate_identities`` — drop identity/dropout-style no-ops,
+2. ``dead_code_elimination`` — remove nodes whose outputs nobody reads,
+3. ``fuse_operators`` — the expert-rule fusion of :mod:`repro.graph.fusion`.
+
+Passes mutate the graph in place and return it, so they compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.graph.fusion import FusionReport, fuse_operators
+from repro.graph.ir import Graph
+
+
+def eliminate_identities(graph: Graph) -> Graph:
+    """Remove identity nodes, rewiring consumers to the identity's input."""
+    removed = True
+    while removed:
+        removed = False
+        for node in list(graph.nodes):
+            if node.op_type != "identity":
+                continue
+            source = node.inputs[0]
+            alias = node.outputs[0]
+            for other in graph.nodes:
+                other.inputs = [
+                    source if tensor == alias else tensor for tensor in other.inputs
+                ]
+            graph.outputs = [
+                source if tensor == alias else tensor for tensor in graph.outputs
+            ]
+            graph.nodes.remove(node)
+            graph.tensor_types.pop(alias, None)
+            removed = True
+    return graph
+
+
+def dead_code_elimination(graph: Graph) -> Graph:
+    """Drop nodes that contribute to no graph output."""
+    live: set[str] = set(graph.outputs)
+    changed = True
+    while changed:
+        changed = False
+        for node in graph.nodes:
+            if any(output in live for output in node.outputs):
+                new_live = set(node.inputs) - live
+                if new_live:
+                    live |= new_live
+                    changed = True
+    graph.nodes = [
+        node for node in graph.nodes if any(output in live for output in node.outputs)
+    ]
+    return graph
+
+
+@dataclass
+class PassManager:
+    """Ordered pipeline of graph passes with a run report."""
+
+    passes: list[Callable[[Graph], Graph]] = field(default_factory=list)
+    reports: dict[str, object] = field(default_factory=dict)
+
+    def add(self, name: str, pass_fn: Callable[[Graph], Graph]) -> "PassManager":
+        pass_fn.__pass_name__ = name  # type: ignore[attr-defined]
+        self.passes.append(pass_fn)
+        return self
+
+    def run(self, graph: Graph) -> Graph:
+        for pass_fn in self.passes:
+            name = getattr(pass_fn, "__pass_name__", pass_fn.__name__)
+            result = pass_fn(graph)
+            if isinstance(result, tuple):
+                graph, report = result
+                self.reports[name] = report
+            else:
+                graph = result
+        graph.validate()
+        return graph
+
+
+def optimize(graph: Graph, fusion: bool = True) -> tuple[Graph, FusionReport]:
+    """The default TopsInference pipeline; returns (graph, fusion report)."""
+    manager = PassManager()
+    manager.add("identities", eliminate_identities)
+    manager.add("dce", dead_code_elimination)
+    graph = manager.run(graph)
+    report = fuse_operators(graph, enable=fusion)
+    graph.validate()
+    return graph, report

@@ -1,0 +1,66 @@
+"""Shape inference over the graph IR (paper §V-B: dynamic shapes supported).
+
+:func:`infer_shapes` walks the graph in topological order, filling
+``graph.tensor_types`` for every intermediate. Symbolic dims propagate
+unchanged, so one inference pass serves all batch sizes; :func:`bind_shapes`
+specializes a symbolic graph to concrete values (what the runtime does when
+a dynamic tensor arrives).
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph, GraphError, TensorType
+from repro.graph.ops import infer_node
+
+
+def infer_shapes(graph: Graph) -> Graph:
+    """Populate every tensor's type, in place; returns the graph."""
+    graph.validate()
+    for node in graph.topological_nodes():
+        input_types = []
+        for tensor in node.inputs:
+            if tensor not in graph.tensor_types:
+                raise GraphError(
+                    f"node {node.name} input {tensor!r} has no type; "
+                    "declare graph inputs and initializers first"
+                )
+            input_types.append(graph.tensor_types[tensor])
+        output_types = infer_node(node, input_types)
+        if len(output_types) != len(node.outputs):
+            raise GraphError(
+                f"node {node.name} declares {len(node.outputs)} outputs but "
+                f"inference produced {len(output_types)}"
+            )
+        for name, tensor_type in zip(node.outputs, output_types):
+            existing = graph.tensor_types.get(name)
+            if existing is not None and existing != tensor_type:
+                raise GraphError(
+                    f"tensor {name!r} re-inferred as {tensor_type}, "
+                    f"conflicting with {existing}"
+                )
+            graph.tensor_types[name] = tensor_type
+    return graph
+
+
+def bind_shapes(graph: Graph, **bindings: int) -> Graph:
+    """Specialize symbolic dimensions (e.g. ``batch=8``) and re-infer."""
+    bound = graph.bind(bindings)
+    # Drop intermediate types so inference recomputes them from the bound
+    # inputs/initializers (stale symbolic intermediates would conflict).
+    produced = {output for node in bound.nodes for output in node.outputs}
+    bound.tensor_types = {
+        name: tensor_type
+        for name, tensor_type in bound.tensor_types.items()
+        if name not in produced
+    }
+    return infer_shapes(bound)
+
+
+def dynamic_symbols(graph: Graph) -> set[str]:
+    """All symbolic dimension names appearing anywhere in the graph."""
+    symbols: set[str] = set()
+    for tensor_type in graph.tensor_types.values():
+        for dim in tensor_type.shape:
+            if isinstance(dim, str):
+                symbols.add(dim)
+    return symbols

@@ -1,0 +1,20 @@
+"""Memory hierarchy substrate: L1/L2/L3 levels, ports, HBM, icache."""
+
+from repro.memory.allocator import AffinityAllocator, Placement, PlacementError
+from repro.memory.hbm import HBM2, HBM2E, HbmConfig, HbmModel
+from repro.memory.hierarchy import (
+    Allocation,
+    HierarchyStats,
+    MemoryHierarchy,
+    MemoryLevel,
+    OutOfMemoryError,
+)
+from repro.memory.icache import FetchResult, InstructionBuffer
+from repro.memory.ports import PortAccess, PortedL2
+
+__all__ = [
+    "AffinityAllocator", "Allocation", "FetchResult", "HBM2", "HBM2E",
+    "HbmConfig", "HbmModel", "HierarchyStats", "InstructionBuffer",
+    "MemoryHierarchy", "MemoryLevel", "OutOfMemoryError", "Placement",
+    "PlacementError", "PortAccess", "PortedL2",
+]

@@ -1,0 +1,117 @@
+"""Affinity-aware shared-memory allocation (paper §V-B, Table II row 6).
+
+"TopsEngine allocates shared L2 memory wisely to take advantage of the
+memory affinity and improve data access efficiency": each of the 4 L2 ports
+is bonded to one core of the processing group, so a tensor consumed mostly
+by core *c* should live in core *c*'s affine bank.
+
+:class:`AffinityAllocator` packs tensor placements over the banks of one L2
+slice. With affinity enabled it honours the consumer hint when the bank has
+room, spilling to the least-loaded bank otherwise; disabled (the DTU 1.0
+behaviour / ablation), it round-robins blindly, so cross-bank penalties show
+up in the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.ports import PortedL2
+
+
+class PlacementError(RuntimeError):
+    """No bank can hold the requested tensor."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Resolved home of one tensor inside an L2 slice."""
+
+    tensor: str
+    bank: int
+    nbytes: int
+    affine: bool
+    """Whether the placement matches the consumer's bonded bank."""
+
+
+@dataclass
+class AffinityAllocator:
+    """Places tensors into L2 banks for one processing group."""
+
+    ported_l2: PortedL2
+    affinity_enabled: bool = True
+    _bank_used: list[int] = field(default_factory=list)
+    _placements: dict[str, Placement] = field(default_factory=dict)
+    _round_robin: int = 0
+
+    def __post_init__(self) -> None:
+        self._bank_used = [0] * self.ported_l2.banks
+
+    @property
+    def bank_capacity_bytes(self) -> int:
+        return self.ported_l2.level.capacity_bytes // self.ported_l2.banks
+
+    def bank_free_bytes(self, bank: int) -> int:
+        return self.bank_capacity_bytes - self._bank_used[bank]
+
+    def place(self, tensor: str, nbytes: int, consumer_core: int) -> Placement:
+        """Choose a bank for ``tensor`` consumed mainly by ``consumer_core``."""
+        if tensor in self._placements:
+            raise PlacementError(f"{tensor!r} already placed")
+        if nbytes > self.bank_capacity_bytes:
+            raise PlacementError(
+                f"{tensor!r} ({nbytes} B) exceeds bank capacity "
+                f"{self.bank_capacity_bytes} B"
+            )
+        preferred = self.ported_l2.bank_of_core(consumer_core)
+        bank = self._choose_bank(preferred, nbytes)
+        self._bank_used[bank] += nbytes
+        placement = Placement(
+            tensor=tensor, bank=bank, nbytes=nbytes, affine=(bank == preferred)
+        )
+        self._placements[tensor] = placement
+        return placement
+
+    def _choose_bank(self, preferred: int, nbytes: int) -> int:
+        if self.affinity_enabled:
+            if self.bank_free_bytes(preferred) >= nbytes:
+                return preferred
+            candidates = sorted(
+                range(self.ported_l2.banks),
+                key=lambda bank: self._bank_used[bank],
+            )
+        else:
+            candidates = [
+                (self._round_robin + offset) % self.ported_l2.banks
+                for offset in range(self.ported_l2.banks)
+            ]
+            self._round_robin = (self._round_robin + 1) % self.ported_l2.banks
+        for bank in candidates:
+            if self.bank_free_bytes(bank) >= nbytes:
+                return bank
+        raise PlacementError(f"no bank has {nbytes} free bytes")
+
+    def release(self, tensor: str) -> None:
+        placement = self._placements.pop(tensor, None)
+        if placement is None:
+            raise PlacementError(f"release of unplaced tensor {tensor!r}")
+        self._bank_used[placement.bank] -= placement.nbytes
+
+    def lookup(self, tensor: str) -> Placement:
+        if tensor not in self._placements:
+            raise PlacementError(f"unknown tensor {tensor!r}")
+        return self._placements[tensor]
+
+    def access_time_ns(self, tensor: str, core: int, nbytes: int | None = None) -> float:
+        """Unloaded L2 access time for ``core`` reaching ``tensor``."""
+        placement = self.lookup(tensor)
+        size = placement.nbytes if nbytes is None else nbytes
+        return self.ported_l2.access_time_ns(core, placement.bank, size)
+
+    def affine_fraction(self) -> float:
+        """Share of placed bytes living in their consumer's affine bank."""
+        total = sum(p.nbytes for p in self._placements.values())
+        if total == 0:
+            return 1.0
+        affine = sum(p.nbytes for p in self._placements.values() if p.affine)
+        return affine / total

@@ -1,0 +1,72 @@
+"""HBM device model: HBM2 (DTU 1.0) and HBM2E (DTU 2.0).
+
+The paper's only architectural statement is the 1.6x bandwidth step from
+512 GB/s HBM2 to 819 GB/s HBM2E at unchanged 16 GB capacity (§IV, Table I).
+This module adds the well-known first-order behaviours any bandwidth-bound
+DNN study depends on:
+
+- peak bandwidth is split across independent channels,
+- small requests do not amortize the row-activation overhead, so effective
+  bandwidth ramps with request size toward the peak,
+- concurrent streams share the channels fairly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HbmConfig:
+    """Static parameters of one HBM stack pair."""
+
+    name: str
+    capacity_gb: int
+    peak_bandwidth_gbps: float
+    channels: int = 16
+    access_granularity_bytes: int = 256
+    """Burst size below which a request wastes row bandwidth."""
+    row_overhead_ns: float = 30.0
+
+
+HBM2 = HbmConfig(name="HBM2", capacity_gb=16, peak_bandwidth_gbps=512.0)
+HBM2E = HbmConfig(name="HBM2E", capacity_gb=16, peak_bandwidth_gbps=819.0)
+
+
+class HbmModel:
+    """Effective-bandwidth calculator for an HBM configuration."""
+
+    def __init__(self, config: HbmConfig) -> None:
+        self.config = config
+
+    @property
+    def channel_bandwidth_gbps(self) -> float:
+        return self.config.peak_bandwidth_gbps / self.config.channels
+
+    def efficiency(self, request_bytes: int) -> float:
+        """Fraction of peak bandwidth a request of this size sustains.
+
+        A request spanning many access granules amortizes the per-row
+        overhead; tiny requests approach the granularity floor. The curve is
+        ``n / (n + 1)`` in granules — 50 % at one granule, >95 % beyond ~19.
+        """
+        if request_bytes <= 0:
+            raise ValueError(f"request of {request_bytes} bytes")
+        granules = request_bytes / self.config.access_granularity_bytes
+        return granules / (granules + 1.0)
+
+    def effective_bandwidth_gbps(self, request_bytes: int, streams: int = 1) -> float:
+        """Bandwidth one of ``streams`` equal concurrent requesters sees."""
+        if streams < 1:
+            raise ValueError(f"streams must be >= 1, got {streams}")
+        usable_channels = max(1, self.config.channels // streams)
+        share = usable_channels * self.channel_bandwidth_gbps
+        if streams <= self.config.channels:
+            # Channels divide exactly or nearly; cap at a fair share of peak.
+            share = min(share, self.config.peak_bandwidth_gbps / streams)
+        return share * self.efficiency(request_bytes)
+
+    def transfer_time_ns(self, request_bytes: int, streams: int = 1) -> float:
+        """Latency + occupancy of one request under the efficiency model."""
+        bandwidth = self.effective_bandwidth_gbps(request_bytes, streams)
+        return self.config.row_overhead_ns + request_bytes / bandwidth

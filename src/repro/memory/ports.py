@@ -1,0 +1,84 @@
+"""Multi-port L2 access with core-port affinity (paper §IV-B, §V-B).
+
+"the L2 memory equips with 4 parallel read/write ports. Therefore, 4 compute
+cores in the processing group can access L2 memory without interference."
+And §V-B: "L2 memory's 4 read/write ports are bonded to 4 computer cores in
+each processing group. The latency of accessing different memory locations
+varies for compute cores through their dedicated memory ports."
+
+The model: the L2 slice is divided into as many banks as ports; a core's
+dedicated port reaches its *affine* bank at base latency, while a cross-bank
+access pays :attr:`cross_bank_penalty_ns`. With a single port (DTU 1.0, or
+the L2-ports ablation) every core contends on the same port resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.hierarchy import MemoryLevel
+from repro.sim.kernel import Timeout
+
+
+@dataclass(frozen=True)
+class PortAccess:
+    """Resolved routing for one L2 access."""
+
+    port: int
+    affine: bool
+    extra_latency_ns: float
+
+
+class PortedL2:
+    """Routing + timing wrapper over one processing group's L2 slice."""
+
+    def __init__(
+        self,
+        level: MemoryLevel,
+        cores_per_group: int,
+        cross_bank_penalty_ns: float = 8.0,
+    ) -> None:
+        self.level = level
+        self.cores_per_group = cores_per_group
+        self.cross_bank_penalty_ns = cross_bank_penalty_ns
+
+    @property
+    def banks(self) -> int:
+        return self.level.config.ports
+
+    def bank_of_core(self, core_index: int) -> int:
+        """The bank whose port is bonded to ``core_index`` (within group)."""
+        if not 0 <= core_index < self.cores_per_group:
+            raise ValueError(
+                f"core index {core_index} outside group of {self.cores_per_group}"
+            )
+        return core_index % self.banks
+
+    def route(self, core_index: int, bank: int) -> PortAccess:
+        """How core ``core_index`` reaches data living in ``bank``."""
+        if not 0 <= bank < self.banks:
+            raise ValueError(f"bank {bank} out of range [0, {self.banks})")
+        home = self.bank_of_core(core_index)
+        affine = bank == home
+        return PortAccess(
+            port=home,
+            affine=affine,
+            extra_latency_ns=0.0 if affine else self.cross_bank_penalty_ns,
+        )
+
+    def access(self, core_index: int, bank: int, nbytes: int):
+        """Simulation process: one core's read/write of an L2 region."""
+        routing = self.route(core_index, bank)
+        grant = self.level.ports.request()
+        yield grant
+        try:
+            service = self.level.transfer_time_ns(nbytes) + routing.extra_latency_ns
+            yield Timeout(service)
+            self.level.bytes_transferred += nbytes
+        finally:
+            self.level.ports.release()
+
+    def access_time_ns(self, core_index: int, bank: int, nbytes: int) -> float:
+        """Unloaded access time (no port contention) for planning."""
+        routing = self.route(core_index, bank)
+        return self.level.transfer_time_ns(nbytes) + routing.extra_latency_ns

@@ -1,0 +1,5 @@
+"""Model zoo: the 10 evaluation DNNs of paper Table III."""
+
+from repro.models.zoo import MODEL_NAMES, TABLE_III, ZooEntry, build, entry
+
+__all__ = ["MODEL_NAMES", "TABLE_III", "ZooEntry", "build", "entry"]

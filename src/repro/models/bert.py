@@ -1,0 +1,35 @@
+"""BERT-Large (Table III: NLP, Tensorflow, sequence length 384).
+
+Devlin et al. (2018): 24 post-LN transformer encoder layers, hidden 1024,
+16 heads, FFN 4096, plus token/position embeddings and the QA span head
+(SQuAD configuration, matching the seq-384 input the paper uses).
+The sequence length is symbolic by default — the dynamic-shape path of
+§V-B ("DNNs become more dynamic") flows through shape inference until the
+runtime binds it.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.models.layers import transformer_encoder_layer
+
+HIDDEN = 1024
+LAYERS = 24
+HEADS = 16
+FFN_INNER = 4096
+VOCAB = 30522
+
+
+def build_bert_large(batch: int | str = "batch", seq: int = 384) -> Graph:
+    """340 M parameters, ~450 GFLOPs at sequence length 384."""
+    builder = GraphBuilder("bert_large")
+    tokens = builder.input("tokens", (batch, seq))
+    embedded = builder.embedding(tokens, VOCAB, HIDDEN, name="word_embed")
+    positions = builder.weight("position_embed", (1, seq, HIDDEN))
+    out = builder.add(embedded, positions)
+    out = builder.layer_norm(out)
+    for _ in range(LAYERS):
+        out = transformer_encoder_layer(builder, out, HIDDEN, HEADS, FFN_INNER)
+    span_logits = builder.dense(out, 2, name="qa_head")
+    return builder.finish([span_logits])

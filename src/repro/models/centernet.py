@@ -1,0 +1,59 @@
+"""CenterNet (Table III: object detection, Pytorch, 3x512x512).
+
+Keypoint-triplet detector of Duan et al. (2019): ResNet-50 backbone,
+three transposed-convolution upsampling stages back to stride 4, then the
+center-heatmap / width-height / offset heads. The heatmap head ends in a
+sigmoid followed by the top-k peak extraction — the operator the DTU 2.0
+matrix engine's sorting facility accelerates (§IV-A1).
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.models.layers import resnet50_backbone
+
+
+def _deconv_stage(builder: GraphBuilder, data: str, channels: int) -> str:
+    node_name = builder._fresh("conv_transpose2d")
+    in_channels = builder.graph.tensor_type(data).shape[1]
+    weight = builder.weight(f"{node_name}.w", (in_channels, channels, 4, 4))
+    out = builder.node(
+        "conv_transpose2d",
+        [data, weight],
+        attrs={"stride": 2, "pad": 1},
+        name=node_name,
+    )
+    out = builder.batch_norm(out)
+    return builder.relu(out)
+
+
+def _head(builder: GraphBuilder, data: str, channels: int, outputs: int) -> str:
+    out = builder.conv2d(data, channels, 3, pad=1)
+    out = builder.relu(out)
+    return builder.conv2d(out, outputs, 1)
+
+
+def build_centernet(batch: int | str = "batch", image: int = 512,
+                    classes: int = 80, top_k: int = 100) -> Graph:
+    """ResNet-50 CenterNet, ~70 GFLOPs at 512^2."""
+    builder = GraphBuilder("centernet")
+    data = builder.input("image", (batch, 3, image, image))
+    taps = resnet50_backbone(builder, data)
+    out = taps["C5"]
+    for channels in (256, 128, 64):
+        out = _deconv_stage(builder, out, channels)
+
+    heatmap = _head(builder, out, 64, classes)
+    heatmap = builder.sigmoid(heatmap)
+    size_head = _head(builder, out, 64, 2)
+    offset_head = _head(builder, out, 64, 2)
+
+    # Peak extraction: flatten the heatmap and take the top-K responses.
+    heat_type = builder.graph.tensor_type(heatmap)
+    flattened = builder.reshape(
+        heatmap, (heat_type.shape[0], -1) if isinstance(heat_type.shape[0], int)
+        else heat_type.shape[:1] + (classes * (image // 4) * (image // 4),)
+    )
+    scores, _indices = builder.top_k(flattened, top_k)
+    return builder.finish([scores, size_head, offset_head])

@@ -1,0 +1,89 @@
+"""Conformer (Table III: speech recognition, Pytorch, input 80x401).
+
+Gulati et al. (2020), the "large" ASR encoder: conv subsampling of the
+80-mel x 401-frame spectrogram to ~1/4 rate, then 17 conformer blocks —
+half-step FFN, multi-head self-attention, the convolution module (pointwise
+conv + GLU + depthwise conv1d + swish) and a second half FFN. The depthwise
+conv1d is a canonical tall-and-skinny matrix workload (§III), exercising
+the fine-grained VMM patterns.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+
+HIDDEN = 512
+LAYERS = 17
+HEADS = 8
+FFN_INNER = 2048
+DEPTHWISE_KERNEL = 31
+
+
+def _half_ffn(builder: GraphBuilder, data: str) -> str:
+    """Macaron half-step FFN: 0.5 * FFN(x) + x, with layer norm."""
+    out = builder.layer_norm(data)
+    out = builder.dense(out, FFN_INNER)
+    out = builder.swish(out)
+    out = builder.dense(out, HIDDEN)
+    half = builder.weight(builder._fresh("half_scale"), (1,))
+    out = builder.mul(out, half)
+    out = builder.add(out, data)
+    return out
+
+
+def _conv_module(builder: GraphBuilder, data: str) -> str:
+    """Pointwise conv -> GLU -> depthwise conv1d -> BN -> swish -> pointwise."""
+    out = builder.layer_norm(data)
+    # (batch, seq, hidden) -> (batch, hidden, seq) for conv1d
+    out = builder.transpose(out, (0, 2, 1))
+    out = builder.conv1d(out, 2 * HIDDEN, 1)
+    # GLU halves the channel dim (axis 1 in NCL layout)
+    out = builder.glu(out, axis=1)
+    # Depthwise conv: one independent 1-D filter per channel. Our conv1d is
+    # dense; a grouped variant is modelled as HIDDEN-channel conv with a
+    # 1-channel-deep kernel via explicit weight shape.
+    node_name = builder._fresh("depthwise_conv1d")
+    weight = builder.weight(f"{node_name}.w", (HIDDEN, 1, DEPTHWISE_KERNEL))
+    out = builder.node(
+        "conv1d",
+        [out, weight],
+        attrs={"stride": 1, "pad": DEPTHWISE_KERNEL // 2},
+        name=node_name,
+    )
+    out = builder.batch_norm(out)
+    out = builder.swish(out)
+    out = builder.conv1d(out, HIDDEN, 1)
+    out = builder.transpose(out, (0, 2, 1))
+    return builder.add(out, data)
+
+
+def _conformer_block(builder: GraphBuilder, data: str) -> str:
+    out = _half_ffn(builder, data)
+    attention = builder.multi_head_attention(out, HEADS)
+    out = builder.add(out, attention)
+    out = _conv_module(builder, out)
+    out = _half_ffn(builder, out)
+    return builder.layer_norm(out)
+
+
+def build_conformer(batch: int | str = "batch", frames: int = 401,
+                    mels: int = 80, vocab: int = 1024) -> Graph:
+    """~118 M parameters; encoder for 401 frames of 80-mel features."""
+    builder = GraphBuilder("conformer")
+    spectrogram = builder.input("spectrogram", (batch, 1, mels, frames))
+    # Conv subsampling: two stride-2 3x3 convs -> ~1/4 time rate.
+    out = builder.conv2d(spectrogram, HIDDEN // 4, 3, stride=2, pad=1)
+    out = builder.relu(out)
+    out = builder.conv2d(out, HIDDEN // 4, 3, stride=2, pad=1)
+    out = builder.relu(out)
+    shape = builder.graph.tensor_type(out).shape
+    _batch, channels, mel_sub, time_sub = shape
+    out = builder.transpose(out, (0, 3, 1, 2))
+    out = builder.reshape(out, (_batch, time_sub, channels * mel_sub))
+    out = builder.dense(out, HIDDEN)
+    for _ in range(LAYERS):
+        out = _conformer_block(builder, out)
+    logits = builder.dense(out, vocab, name="ctc_head")
+    probabilities = builder.softmax(logits)
+    return builder.finish([probabilities])

@@ -1,0 +1,127 @@
+"""Shared layer builders for the model zoo.
+
+Common composite blocks (conv+BN+activation, residual bottlenecks,
+transformer encoder layers...) used across the 10 Table III networks.
+Post-ReLU feature maps are annotated with an activation-sparsity estimate
+(``sparsity`` node attr) so the sparse-DMA path has realistic inputs —
+ReLU zeroes roughly half of a centred activation distribution.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+
+#: typical fraction of zeros in post-ReLU CNN activations
+RELU_SPARSITY = 0.45
+
+
+def _mark_sparsity(builder: GraphBuilder, tensor: str, sparsity: float) -> None:
+    """Tag the producing node so lowering can plan compressed DMA."""
+    producers = builder.graph.producers()
+    node = producers.get(tensor)
+    if node is not None:
+        node.attrs["sparsity"] = sparsity
+
+
+def conv_bn_act(
+    builder: GraphBuilder,
+    data: str,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    pad: int | None = None,
+    groups: int = 1,
+    activation: str = "relu",
+) -> str:
+    """conv2d + batch_norm + activation — the CNN workhorse."""
+    if pad is None:
+        pad = kernel // 2
+    out = builder.conv2d(
+        data, out_channels, kernel, stride=stride, pad=pad, groups=groups, bias=False
+    )
+    out = builder.batch_norm(out)
+    if activation:
+        out = getattr(builder, activation)(out)
+        # Only hard ReLU produces genuinely sparse maps; leaky variants map
+        # negatives to small non-zeros the codec cannot drop.
+        if activation == "relu":
+            _mark_sparsity(builder, out, RELU_SPARSITY)
+    return out
+
+
+def residual_block(
+    builder: GraphBuilder,
+    data: str,
+    channels: int,
+    stride: int = 1,
+    bottleneck: bool = True,
+    expansion: int = 4,
+) -> str:
+    """ResNet v1.5 block: stride lives on the 3x3 (the "v1.5" change)."""
+    identity = data
+    in_channels = builder.graph.tensor_type(data).shape[1]
+    out_channels = channels * expansion if bottleneck else channels
+    if bottleneck:
+        out = conv_bn_act(builder, data, channels, 1)
+        out = conv_bn_act(builder, out, channels, 3, stride=stride)
+        out = conv_bn_act(builder, out, out_channels, 1, activation="")
+    else:
+        out = conv_bn_act(builder, data, channels, 3, stride=stride)
+        out = conv_bn_act(builder, out, channels, 3, activation="")
+    if stride != 1 or in_channels != out_channels:
+        identity = conv_bn_act(
+            builder, data, out_channels, 1, stride=stride, activation=""
+        )
+    out = builder.add(out, identity)
+    out = builder.relu(out)
+    _mark_sparsity(builder, out, RELU_SPARSITY)
+    return out
+
+
+def resnet50_backbone(builder: GraphBuilder, data: str) -> dict[str, str]:
+    """ResNet-50 v1.5 trunk; returns the C2..C5 feature pyramid taps."""
+    out = conv_bn_act(builder, data, 64, 7, stride=2, pad=3)
+    out = builder.max_pool(out, 3, stride=2, pad=1)
+    taps: dict[str, str] = {}
+    for tap, (channels, blocks, stride) in {
+        "C2": (64, 3, 1),
+        "C3": (128, 4, 2),
+        "C4": (256, 6, 2),
+        "C5": (512, 3, 2),
+    }.items():
+        for index in range(blocks):
+            out = residual_block(
+                builder, out, channels, stride=stride if index == 0 else 1
+            )
+        taps[tap] = out
+    return taps
+
+
+def ffn_block(
+    builder: GraphBuilder,
+    data: str,
+    hidden: int,
+    inner: int,
+    activation: str = "gelu",
+) -> str:
+    """Transformer position-wise FFN with residual + layer norm."""
+    out = builder.dense(data, inner)
+    out = getattr(builder, activation)(out)
+    out = builder.dense(out, hidden)
+    out = builder.add(out, data)
+    return builder.layer_norm(out)
+
+
+def transformer_encoder_layer(
+    builder: GraphBuilder,
+    data: str,
+    hidden: int,
+    heads: int,
+    inner: int,
+    activation: str = "gelu",
+) -> str:
+    """Post-LN encoder layer (BERT style)."""
+    attention = builder.multi_head_attention(data, heads)
+    out = builder.add(attention, data)
+    out = builder.layer_norm(out)
+    return ffn_block(builder, out, hidden, inner, activation=activation)

@@ -1,0 +1,24 @@
+"""ResNet-50 v1.5 (Table III: image classification, Pytorch, 3x224x224).
+
+The "v1.5" variant puts the stride-2 downsampling on each bottleneck's 3x3
+convolution instead of the 1x1 — exactly what
+:func:`repro.models.layers.residual_block` builds.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.models.layers import resnet50_backbone
+
+
+def build_resnet50(batch: int | str = "batch", image: int = 224) -> Graph:
+    """25.6 M parameters, ~4.1 GFLOPs per 224^2 image."""
+    builder = GraphBuilder("resnet50_v1_5")
+    data = builder.input("image", (batch, 3, image, image))
+    taps = resnet50_backbone(builder, data)
+    out = builder.global_avg_pool(taps["C5"])
+    out = builder.flatten(out)
+    out = builder.dense(out, 1000)
+    out = builder.softmax(out)
+    return builder.finish([out])

@@ -1,0 +1,58 @@
+"""RetinaFace (Table III: object detection, Pytorch, 3x640x640).
+
+Single-stage dense face localiser (Deng et al. 2019): ResNet-50 backbone,
+3-level FPN, SSH context modules per level, and per-level class / box /
+landmark heads (2 + 4 + 10 outputs per anchor, 2 anchors per position).
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.models.layers import conv_bn_act, resnet50_backbone
+
+_FPN_CHANNELS = 256
+_ANCHORS = 2
+
+
+def _fpn(builder: GraphBuilder, taps: dict[str, str]) -> list[str]:
+    """Top-down pyramid over C3..C5."""
+    lateral5 = conv_bn_act(builder, taps["C5"], _FPN_CHANNELS, 1)
+    lateral4 = conv_bn_act(builder, taps["C4"], _FPN_CHANNELS, 1)
+    lateral3 = conv_bn_act(builder, taps["C3"], _FPN_CHANNELS, 1)
+    up4 = builder.upsample(lateral5, 2)
+    merged4 = builder.add(lateral4, up4)
+    merged4 = conv_bn_act(builder, merged4, _FPN_CHANNELS, 3)
+    up3 = builder.upsample(merged4, 2)
+    merged3 = builder.add(lateral3, up3)
+    merged3 = conv_bn_act(builder, merged3, _FPN_CHANNELS, 3)
+    return [merged3, merged4, lateral5]
+
+
+def _ssh(builder: GraphBuilder, data: str) -> str:
+    """SSH context module: 3x3 + two stacked-3x3 branches, concatenated."""
+    half = _FPN_CHANNELS // 2
+    quarter = _FPN_CHANNELS // 4
+    branch3 = conv_bn_act(builder, data, half, 3, activation="")
+    context = conv_bn_act(builder, data, quarter, 3)
+    branch5 = conv_bn_act(builder, context, quarter, 3, activation="")
+    context7 = conv_bn_act(builder, context, quarter, 3)
+    branch7 = conv_bn_act(builder, context7, quarter, 3, activation="")
+    out = builder.concat([branch3, branch5, branch7], axis=1)
+    return builder.relu(out)
+
+
+def build_retinaface(batch: int | str = "batch", image: int = 640) -> Graph:
+    """ResNet-50 RetinaFace, ~37 GFLOPs at 640^2."""
+    builder = GraphBuilder("retinaface")
+    data = builder.input("image", (batch, 3, image, image))
+    taps = resnet50_backbone(builder, data)
+    levels = _fpn(builder, taps)
+    outputs: list[str] = []
+    for level in levels:
+        context = _ssh(builder, level)
+        class_head = builder.conv2d(context, _ANCHORS * 2, 1)
+        box_head = builder.conv2d(context, _ANCHORS * 4, 1)
+        landmark_head = builder.conv2d(context, _ANCHORS * 10, 1)
+        outputs.extend([class_head, box_head, landmark_head])
+    return builder.finish(outputs)

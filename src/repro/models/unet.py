@@ -1,0 +1,49 @@
+"""U-Net (Table III: segmentation, Tensorflow, 3x512x512).
+
+Ronneberger et al. (2015) encoder-decoder: 4 downsampling stages of double
+3x3 convolutions, a bottleneck, and 4 upsampling stages with skip
+concatenations — the layout-transform-heavy workload (concat + upsample)
+the DMA engine's on-the-fly tensor manipulation targets.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.models.layers import conv_bn_act
+
+_BASE_CHANNELS = 64
+_DEPTH = 4
+
+
+def _double_conv(builder: GraphBuilder, data: str, channels: int) -> str:
+    out = conv_bn_act(builder, data, channels, 3)
+    return conv_bn_act(builder, out, channels, 3)
+
+
+def build_unet(batch: int | str = "batch", image: int = 512,
+               classes: int = 2) -> Graph:
+    """31 M parameters, ~260 GFLOPs at 512^2 (spatially heavy)."""
+    builder = GraphBuilder("unet")
+    out = builder.input("image", (batch, 3, image, image))
+
+    skips: list[str] = []
+    channels = _BASE_CHANNELS
+    for _ in range(_DEPTH):
+        out = _double_conv(builder, out, channels)
+        skips.append(out)
+        out = builder.max_pool(out, 2)
+        channels *= 2
+
+    out = _double_conv(builder, out, channels)
+
+    for skip in reversed(skips):
+        channels //= 2
+        out = builder.upsample(out, 2)
+        out = conv_bn_act(builder, out, channels, 1)
+        out = builder.concat([skip, out], axis=1)
+        out = _double_conv(builder, out, channels)
+
+    logits = builder.conv2d(out, classes, 1)
+    probabilities = builder.softmax(logits)
+    return builder.finish([probabilities])

@@ -1,0 +1,30 @@
+"""VGG16 (Table III: image classification, Pytorch, 3x224x224)."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.models.layers import _mark_sparsity, RELU_SPARSITY
+
+#: channels per stage; each stage ends with a 2x2 max pool
+_STAGES = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))
+
+
+def build_vgg16(batch: int | str = "batch", image: int = 224) -> Graph:
+    """The 13-conv / 3-FC VGG16, 138 M parameters, ~15.5 GFLOPs at 224^2."""
+    builder = GraphBuilder("vgg16")
+    out = builder.input("image", (batch, 3, image, image))
+    for channels, convs in _STAGES:
+        for _ in range(convs):
+            out = builder.conv2d(out, channels, 3, pad=1)
+            out = builder.relu(out)
+            _mark_sparsity(builder, out, RELU_SPARSITY)
+        out = builder.max_pool(out, 2)
+    out = builder.flatten(out)
+    out = builder.dense(out, 4096)
+    out = builder.relu(out)
+    out = builder.dense(out, 4096)
+    out = builder.relu(out)
+    out = builder.dense(out, 1000)
+    out = builder.softmax(out)
+    return builder.finish([out])

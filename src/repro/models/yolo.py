@@ -1,0 +1,80 @@
+"""YOLOv3 (Table III: object detection, Pytorch, 3x608x608).
+
+Darknet-53 backbone (52 convolutions in residual pairs) + the three-scale
+FPN-style detection head of Redmon & Farhadi (2018). LeakyReLU activations
+throughout; detection outputs are 3 anchor maps at strides 32/16/8 with
+255 = 3 * (80 classes + 5) channels.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.models.layers import conv_bn_act
+
+
+def _dark_conv(builder: GraphBuilder, data: str, channels: int, kernel: int,
+               stride: int = 1) -> str:
+    return conv_bn_act(
+        builder, data, channels, kernel, stride=stride, activation="leaky_relu"
+    )
+
+
+def _dark_residual(builder: GraphBuilder, data: str, channels: int) -> str:
+    out = _dark_conv(builder, data, channels // 2, 1)
+    out = _dark_conv(builder, out, channels, 3)
+    return builder.add(out, data)
+
+
+def _darknet53(builder: GraphBuilder, data: str) -> dict[str, str]:
+    out = _dark_conv(builder, data, 32, 3)
+    taps: dict[str, str] = {}
+    for tap, (channels, blocks) in {
+        "s2": (64, 1),
+        "s4": (128, 2),
+        "s8": (256, 8),
+        "s16": (512, 8),
+        "s32": (1024, 4),
+    }.items():
+        out = _dark_conv(builder, out, channels, 3, stride=2)
+        for _ in range(blocks):
+            out = _dark_residual(builder, out, channels)
+        taps[tap] = out
+    return taps
+
+
+def _detection_block(builder: GraphBuilder, data: str, channels: int) -> tuple[str, str]:
+    """5-conv neck block; returns (branch tap, detection feature)."""
+    out = _dark_conv(builder, data, channels, 1)
+    out = _dark_conv(builder, out, channels * 2, 3)
+    out = _dark_conv(builder, out, channels, 1)
+    out = _dark_conv(builder, out, channels * 2, 3)
+    tap = _dark_conv(builder, out, channels, 1)
+    feature = _dark_conv(builder, tap, channels * 2, 3)
+    return tap, feature
+
+
+def build_yolo_v3(batch: int | str = "batch", image: int = 608,
+                  classes: int = 80) -> Graph:
+    """61.9 M parameters, ~65.9 GFLOPs at 608^2."""
+    builder = GraphBuilder("yolo_v3")
+    data = builder.input("image", (batch, 3, image, image))
+    taps = _darknet53(builder, data)
+    anchors_channels = 3 * (classes + 5)
+
+    tap32, feature32 = _detection_block(builder, taps["s32"], 512)
+    head32 = builder.conv2d(feature32, anchors_channels, 1)
+
+    up16 = _dark_conv(builder, tap32, 256, 1)
+    up16 = builder.upsample(up16, 2)
+    merged16 = builder.concat([up16, taps["s16"]], axis=1)
+    tap16, feature16 = _detection_block(builder, merged16, 256)
+    head16 = builder.conv2d(feature16, anchors_channels, 1)
+
+    up8 = _dark_conv(builder, tap16, 128, 1)
+    up8 = builder.upsample(up8, 2)
+    merged8 = builder.concat([up8, taps["s8"]], axis=1)
+    _tap8, feature8 = _detection_block(builder, merged8, 128)
+    head8 = builder.conv2d(feature8, anchors_channels, 1)
+
+    return builder.finish([head32, head16, head8])

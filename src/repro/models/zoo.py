@@ -1,0 +1,80 @@
+"""The benchmark model zoo: the 10 DNNs of paper Table III.
+
+Each entry records the paper's metadata (category, source framework, input
+size) and a builder producing the network as a graph with a symbolic batch
+dimension. :func:`build` instantiates one by name:
+
+>>> graph = build("resnet50")
+>>> graph.tensor_type("image").shape
+('batch', 3, 224, 224)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph.ir import Graph
+from repro.models.bert import build_bert_large
+from repro.models.centernet import build_centernet
+from repro.models.conformer import build_conformer
+from repro.models.inception import build_inception_v4
+from repro.models.resnet import build_resnet50
+from repro.models.retinaface import build_retinaface
+from repro.models.srresnet import build_srresnet
+from repro.models.unet import build_unet
+from repro.models.vgg import build_vgg16
+from repro.models.yolo import build_yolo_v3
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """Table III row: one evaluation DNN."""
+
+    name: str
+    display_name: str
+    category: str
+    source: str
+    input_size: str
+    builder: Callable[..., Graph]
+    dense_op_heavy: bool
+    """Whether conv/GEMM dominate (the §VI-D computational-density split)."""
+
+
+TABLE_III: tuple[ZooEntry, ...] = (
+    ZooEntry("yolo_v3", "Yolo v3", "Object Detection", "Pytorch",
+             "3x608x608", build_yolo_v3, dense_op_heavy=True),
+    ZooEntry("centernet", "CenterNet", "Object Detection", "Pytorch",
+             "3x512x512", build_centernet, dense_op_heavy=True),
+    ZooEntry("retinaface", "Retinaface", "Object Detection", "Pytorch",
+             "3x640x640", build_retinaface, dense_op_heavy=True),
+    ZooEntry("vgg16", "VGG16", "Image Classification", "Pytorch",
+             "3x224x224", build_vgg16, dense_op_heavy=True),
+    ZooEntry("resnet50", "Resnet50 v1.5", "Image Classification", "Pytorch",
+             "3x224x224", build_resnet50, dense_op_heavy=True),
+    ZooEntry("inception_v4", "Inception v4", "Image Classification",
+             "Tensorflow", "3x299x299", build_inception_v4, dense_op_heavy=True),
+    ZooEntry("unet", "Unet", "Segmentation", "Tensorflow",
+             "3x512x512", build_unet, dense_op_heavy=True),
+    ZooEntry("srresnet", "SRResnet", "Super Resolution", "Tensorflow",
+             "224x224x3", build_srresnet, dense_op_heavy=True),
+    ZooEntry("bert_large", "Bert large", "NLP", "Tensorflow",
+             "384", build_bert_large, dense_op_heavy=True),
+    ZooEntry("conformer", "Conformer", "Speech Recognition", "Pytorch",
+             "80x401", build_conformer, dense_op_heavy=True),
+)
+
+_BY_NAME = {entry.name: entry for entry in TABLE_III}
+
+MODEL_NAMES: tuple[str, ...] = tuple(entry.name for entry in TABLE_III)
+
+
+def entry(name: str) -> ZooEntry:
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown model {name!r}; zoo has {sorted(_BY_NAME)}")
+    return _BY_NAME[name]
+
+
+def build(name: str, **kwargs) -> Graph:
+    """Instantiate one zoo model (symbolic batch unless overridden)."""
+    return entry(name).builder(**kwargs)

@@ -1,0 +1,27 @@
+"""Analytical performance models: device specs, roofline, calibration."""
+
+from repro.perfmodel.calibration import DeviceCalibration, calibration
+from repro.perfmodel.devices import (
+    ALL_DEVICES,
+    CLOUDBLAZER_I10,
+    CLOUDBLAZER_I20,
+    DeviceSpec,
+    NVIDIA_A10,
+    NVIDIA_T4,
+    device,
+)
+from repro.perfmodel.latency import (
+    ModelEstimate,
+    energy_efficiency_ratio,
+    estimate_model,
+    geomean,
+    speedup,
+)
+from repro.perfmodel.roofline import KernelEstimate, estimate_kernel, kernel_memory_bytes
+
+__all__ = [
+    "ALL_DEVICES", "CLOUDBLAZER_I10", "CLOUDBLAZER_I20", "DeviceCalibration",
+    "DeviceSpec", "KernelEstimate", "ModelEstimate", "NVIDIA_A10", "NVIDIA_T4",
+    "calibration", "device", "energy_efficiency_ratio", "estimate_kernel",
+    "estimate_model", "geomean", "kernel_memory_bytes", "speedup",
+]

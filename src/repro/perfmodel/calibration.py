@@ -1,0 +1,175 @@
+"""Calibrated software-efficiency factors per device (see DESIGN.md §4).
+
+The roofline needs, per device, the fraction of datasheet peak each kernel
+category sustains in practice. Those fractions depend on the vendor's
+kernel library and compiler (TensorRT for the GPUs, TopsDNN/TopsEngine for
+the DTUs) and cannot be derived from spec sheets — they are the ONLY fitted
+constants in this repository. Each is pinned by paper evidence:
+
+- Fig. 13's headline geomeans (i20 = 2.22x T4, 1.16x A10 at FP16, batch 1),
+- SRResnet as the extreme win (4.34x / 2.37x) — a bandwidth-bound model
+  where i20's deeper fusion avoids materializing intermediates,
+- A10 beating i20 on VGG16 / Inception v4 / BERT (3 of 10 models), credited
+  to "kernel libraries well-optimized for typical CNN operators" (§VI-D),
+- §VI-D batch discussion: at VGG16 batch 8/16, i20 overtakes A10 by
+  1.11x / 1.17x thanks to multi-group parallel processing.
+
+Physical anchors: GPUs at batch 1 run far below peak (tail effects, kernel
+launch); the VLIW DTU with fewer, fatter cores sustains more of its peak on
+the big fused kernels but has a younger elementwise library; everyone's
+effective bandwidth is 65-80 % of the datasheet number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceCalibration:
+    """Software-efficiency profile of one device."""
+
+    name: str
+    compute_efficiency: dict[str, float]
+    """Sustained fraction of peak FLOPs per kernel category (batch 1)."""
+    bandwidth_efficiency: float
+    """Sustained fraction of datasheet memory bandwidth."""
+    fusion_effectiveness: float
+    """Fraction of fusable intermediate traffic the stack eliminates."""
+    kernel_overhead_ns: float
+    """Fixed launch/dispatch cost per kernel."""
+    batch_half_point: float
+    """Batch size at which compute efficiency reaches ~2/3 of its ceiling
+    (smaller = saturates earlier). Models the utilization-vs-batch curve."""
+    batch_ceiling: float
+    """Compute-efficiency multiplier at large batch relative to batch 1."""
+
+    def category_efficiency(self, category: str) -> float:
+        return self.compute_efficiency.get(
+            category, self.compute_efficiency.get("default", 0.35)
+        )
+
+    def batch_scale(self, batch: int) -> float:
+        """Compute-efficiency multiplier for a given batch size.
+
+        A saturating curve normalized to 1.0 at batch 1: utilization climbs
+        toward ``batch_ceiling`` as batching fills the device.
+        """
+        if batch < 1:
+            raise ValueError(f"batch {batch} < 1")
+        progress = (batch - 1.0) / (batch - 1.0 + self.batch_half_point)
+        return 1.0 + (self.batch_ceiling - 1.0) * progress
+
+
+_I20 = DeviceCalibration(
+    name="i20",
+    compute_efficiency={
+        # Fused conv/GEMM kernels on the 24 fat VLIW cores sustain a high
+        # share of peak; auto-tensorization handles odd shapes (Table II).
+        "conv": 0.549,
+        "gemm": 0.412,
+        "elementwise": 0.30,
+        "activation": 0.30,
+        "norm": 0.26,
+        "softmax": 0.24,
+        "pool": 0.30,
+        "reduce": 0.26,
+        "layout": 0.60,
+        "embedding": 0.20,
+        "sort": 0.40,  # the VMM sorting facility (§IV-A1)
+        "default": 0.30,
+    },
+    bandwidth_efficiency=0.8,  # HBM2E + 4-port L2 + affinity allocation
+    fusion_effectiveness=0.95,  # aggressive auto-fusion w/ 4x L1, 6x L2
+    kernel_overhead_ns=3500.0,  # prefetched kernels, repeat-mode DMA
+    # Six isolated processing groups (Fig. 7) fill progressively with
+    # batch: throughput keeps climbing until every group is busy, so the
+    # curve saturates late but high (the §VI-D batch-8/16 behaviour).
+    batch_half_point=8.0,
+    batch_ceiling=2.0,
+)
+
+_I10 = DeviceCalibration(
+    name="i10",
+    compute_efficiency={
+        # Coarse-grained GEMM engine (pre-VMM): good on square shapes,
+        # poor on tall-skinny ones; fewer fused kernels fit the small L1/L2.
+        "conv": 0.4,
+        "gemm": 0.3,
+        "elementwise": 0.22,
+        "activation": 0.22,
+        "norm": 0.19,
+        "softmax": 0.17,
+        "pool": 0.22,
+        "reduce": 0.19,
+        "layout": 0.45,
+        "embedding": 0.15,
+        "sort": 0.15,  # no hardware sort assist
+        "default": 0.22,
+    },
+    bandwidth_efficiency=0.62,  # single-port L2, HBM2
+    fusion_effectiveness=0.5,  # 1/4 the L1, 1/6 the per-cluster L2
+    kernel_overhead_ns=9000.0,  # no icache/prefetch, per-transfer DMA config
+    batch_half_point=2.5,
+    batch_ceiling=1.45,
+)
+
+_T4 = DeviceCalibration(
+    name="t4",
+    compute_efficiency={
+        # Turing at batch 1: kernels too small to fill 40 SMs, and the
+        # 70 W envelope clock-throttles sustained tensor-core work.
+        "conv": 0.645,
+        "gemm": 0.483,
+        "elementwise": 0.30,
+        "activation": 0.30,
+        "norm": 0.26,
+        "softmax": 0.24,
+        "pool": 0.30,
+        "reduce": 0.26,
+        "layout": 0.55,
+        "embedding": 0.22,
+        "sort": 0.25,
+        "default": 0.30,
+    },
+    bandwidth_efficiency=0.66,
+    fusion_effectiveness=0.55,  # TensorRT fuses epilogues but spills more
+    kernel_overhead_ns=3983.0,  # CUDA launch latency, batch-1 tail effects
+    batch_half_point=5.0,       # needs big batches to fill the SM array
+    batch_ceiling=1.85,
+)
+
+_A10 = DeviceCalibration(
+    name="a10",
+    compute_efficiency={
+        # Ampere + mature TensorRT CNN kernels (§VI-D credits exactly this
+        # for the VGG16 / Inception v4 wins).
+        "conv": 0.609,
+        "gemm": 0.495,
+        "elementwise": 0.34,
+        "activation": 0.34,
+        "norm": 0.30,
+        "softmax": 0.28,
+        "pool": 0.34,
+        "reduce": 0.30,
+        "layout": 0.60,
+        "embedding": 0.26,
+        "sort": 0.30,
+        "default": 0.34,
+    },
+    bandwidth_efficiency=0.7,
+    fusion_effectiveness=0.58,
+    kernel_overhead_ns=2489.0,
+    # One monolithic SM array: utilization climbs fast then flattens.
+    batch_half_point=1.5,
+    batch_ceiling=1.5,
+)
+
+_CALIBRATIONS = {"i20": _I20, "i10": _I10, "t4": _T4, "a10": _A10}
+
+
+def calibration(name: str) -> DeviceCalibration:
+    key = name.lower()
+    if key not in _CALIBRATIONS:
+        raise KeyError(f"no calibration for {name!r}; have {sorted(_CALIBRATIONS)}")
+    return _CALIBRATIONS[key]

@@ -1,0 +1,115 @@
+"""Device spec database: paper Table I (i20) and Table IV (i10, T4, A10).
+
+These are the datasheet numbers the paper's Fig. 12 and Fig. 14 plot
+directly; the roofline + calibration layers turn them into per-model
+latency estimates for Fig. 13 / Fig. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.datatypes import DType
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One accelerator as its spec sheet describes it."""
+
+    name: str
+    vendor: str
+    fp32_tflops: float
+    fp16_tflops: float
+    int8_tops: float
+    memory_gb: int
+    bandwidth_gbps: float
+    tdp_watts: float
+    technology_nm: int
+    interconnect: str
+
+    def peak_tflops(self, dtype: DType) -> float:
+        if dtype in (DType.FP16, DType.BF16, DType.TF32):
+            return self.fp16_tflops
+        if dtype is DType.INT8:
+            return self.int8_tops
+        return self.fp32_tflops
+
+    def peak_flops(self, dtype: DType) -> float:
+        return self.peak_tflops(dtype) * 1e12
+
+    def power_efficiency(self, dtype: DType) -> float:
+        """Peak perf / TDP in GFLOPS-per-watt (the Fig. 14 metric)."""
+        return self.peak_flops(dtype) / 1e9 / self.tdp_watts
+
+
+CLOUDBLAZER_I20 = DeviceSpec(
+    name="Cloudblazer i20",
+    vendor="Enflame",
+    fp32_tflops=32.0,
+    fp16_tflops=128.0,
+    int8_tops=256.0,
+    memory_gb=16,
+    bandwidth_gbps=819.0,
+    tdp_watts=150.0,
+    technology_nm=12,
+    interconnect="PCIe4",
+)
+
+CLOUDBLAZER_I10 = DeviceSpec(
+    name="Cloudblazer i10",
+    vendor="Enflame",
+    fp32_tflops=20.0,
+    fp16_tflops=80.0,
+    int8_tops=80.0,
+    memory_gb=16,
+    bandwidth_gbps=512.0,
+    tdp_watts=150.0,
+    technology_nm=12,
+    interconnect="PCIe4",
+)
+
+NVIDIA_T4 = DeviceSpec(
+    name="Nvidia T4",
+    vendor="Nvidia",
+    fp32_tflops=8.1,
+    fp16_tflops=65.0,
+    int8_tops=130.0,
+    memory_gb=16,
+    bandwidth_gbps=320.0,
+    tdp_watts=70.0,
+    technology_nm=12,
+    interconnect="PCIe3",
+)
+
+NVIDIA_A10 = DeviceSpec(
+    name="Nvidia A10",
+    vendor="Nvidia",
+    fp32_tflops=31.2,
+    fp16_tflops=125.0,
+    int8_tops=250.0,
+    memory_gb=24,
+    bandwidth_gbps=600.0,
+    tdp_watts=150.0,
+    technology_nm=7,
+    interconnect="PCIe4",
+)
+
+ALL_DEVICES: tuple[DeviceSpec, ...] = (
+    CLOUDBLAZER_I20,
+    CLOUDBLAZER_I10,
+    NVIDIA_T4,
+    NVIDIA_A10,
+)
+
+
+def device(name: str) -> DeviceSpec:
+    """Lookup by short name: 'i20', 'i10', 't4', 'a10'."""
+    table = {
+        "i20": CLOUDBLAZER_I20,
+        "i10": CLOUDBLAZER_I10,
+        "t4": NVIDIA_T4,
+        "a10": NVIDIA_A10,
+    }
+    if name.lower() not in table:
+        raise KeyError(f"unknown device {name!r}; have {sorted(table)}")
+    return table[name.lower()]

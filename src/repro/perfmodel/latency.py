@@ -1,0 +1,141 @@
+"""End-to-end DNN latency / energy estimation per device (Figs. 13 & 15).
+
+:func:`estimate_model` compiles a zoo model once per device family (the
+DTUs lower with their own chip configs so auto-tensorization reflects their
+matrix engines; the GPUs share the fused graph with tensor-core behaviour
+folded into their calibrated efficiencies) and sums the roofline estimate
+over the kernels.
+
+Energy efficiency follows the paper's Fig. 14/15 definition — performance
+per TDP watt — so relative energy efficiency of device A vs B equals
+``speedup(A, B) * TDP_B / TDP_A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.compiler.lowering import CompiledModel, lower_graph
+from repro.compiler.tensorize import gpu_tile_utilization
+from repro.core.config import dtu1_config, dtu2_config
+from repro.core.datatypes import DType
+from repro.graph.passes import optimize
+from repro.graph.shape_inference import bind_shapes
+from repro.models.zoo import build
+from repro.perfmodel.calibration import DeviceCalibration, calibration
+from repro.perfmodel.devices import DeviceSpec, device
+from repro.perfmodel.roofline import KernelEstimate, estimate_kernel
+
+
+@dataclass(frozen=True)
+class ModelEstimate:
+    """Latency/energy prediction for one (model, device, batch) point."""
+
+    model: str
+    device: str
+    batch: int
+    dtype: DType
+    latency_ns: float
+    kernels: tuple[KernelEstimate, ...]
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_ns / 1e6
+
+    @property
+    def throughput_samples_per_s(self) -> float:
+        return self.batch * 1e9 / self.latency_ns
+
+    def energy_per_sample_j(self, tdp_watts: float) -> float:
+        """TDP-based energy per inference (the paper's Perf/TDP metric)."""
+        return tdp_watts * self.latency_ns * 1e-9 / self.batch
+
+
+@lru_cache(maxsize=128)
+def _compiled_for(model_name: str, family: str, batch: int, dtype: DType) -> CompiledModel:
+    graph = build(model_name)
+    bound = bind_shapes(graph, batch=batch)
+    optimized, _ = optimize(bound, fusion=True)
+    chip = dtu1_config() if family == "i10" else dtu2_config()
+    return lower_graph(optimized, chip, dtype)
+
+
+def _family(device_name: str) -> str:
+    return "i10" if device_name.lower() == "i10" else "dtu2"
+
+
+def estimate_model(
+    model_name: str,
+    device_name: str,
+    batch: int = 1,
+    dtype: DType = DType.FP16,
+) -> ModelEstimate:
+    """Predict one model's latency on one device."""
+    spec: DeviceSpec = device(device_name)
+    cal: DeviceCalibration = calibration(device_name)
+    compiled = _compiled_for(model_name, _family(device_name), batch, dtype)
+    is_dtu = device_name.lower() in ("i10", "i20")
+    batch_scale = cal.batch_scale(batch)
+
+    estimates = []
+    for kernel in compiled.kernels:
+        utilization = None
+        if kernel.tensorization is not None:
+            if is_dtu:
+                utilization = kernel.tensorization.utilization
+            else:
+                # GPUs pay their own padding tax: tensor-core CTA tiles.
+                utilization = gpu_tile_utilization(kernel.tensorization.shape)
+        estimates.append(
+            estimate_kernel(
+                kernel,
+                spec,
+                cal,
+                dtype=dtype,
+                batch_scale=batch_scale,
+                tensorization_utilization=utilization,
+                sparse_dma=(device_name.lower() == "i20"),
+            )
+        )
+    latency = sum(estimate.time_ns for estimate in estimates)
+    return ModelEstimate(
+        model=model_name,
+        device=device_name,
+        batch=batch,
+        dtype=dtype,
+        latency_ns=latency,
+        kernels=tuple(estimates),
+    )
+
+
+def speedup(
+    model_name: str,
+    device_a: str,
+    device_b: str,
+    batch: int = 1,
+    dtype: DType = DType.FP16,
+) -> float:
+    """How much faster ``device_a`` runs the model than ``device_b``."""
+    a = estimate_model(model_name, device_a, batch, dtype)
+    b = estimate_model(model_name, device_b, batch, dtype)
+    return b.latency_ns / a.latency_ns
+
+
+def energy_efficiency_ratio(
+    model_name: str,
+    device_a: str,
+    device_b: str,
+    batch: int = 1,
+    dtype: DType = DType.FP16,
+) -> float:
+    """Perf/TDP of A relative to B (Fig. 15 metric)."""
+    ratio = speedup(model_name, device_a, device_b, batch, dtype)
+    return ratio * device(device_b).tdp_watts / device(device_a).tdp_watts
+
+
+def geomean(values: list[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else 0.0

@@ -1,0 +1,87 @@
+"""Roofline model: per-kernel latency from peaks, bandwidth and efficiency.
+
+The classical model: a kernel needs ``flops / attained_compute`` to crunch
+and ``bytes / attained_bandwidth`` to stream; on a machine that overlaps
+DMA with compute (every device here double-buffers), its time is the max of
+the two plus a fixed dispatch overhead. Attained rates are the datasheet
+peaks de-rated by the :mod:`~repro.perfmodel.calibration` factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.kernel import Kernel
+from repro.core.datatypes import DType
+from repro.perfmodel.calibration import DeviceCalibration
+from repro.perfmodel.devices import DeviceSpec
+
+#: bitmask sparse-DMA wire overhead at FP16 (see repro.dma.sparse)
+_SPARSE_MASK_FRACTION = 1.0 / 16.0
+
+
+@dataclass(frozen=True)
+class KernelEstimate:
+    """Roofline outcome for one kernel on one device."""
+
+    name: str
+    category: str
+    compute_ns: float
+    memory_ns: float
+    overhead_ns: float
+
+    @property
+    def time_ns(self) -> float:
+        return max(self.compute_ns, self.memory_ns) + self.overhead_ns
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_ns >= self.memory_ns else "memory"
+
+
+def kernel_memory_bytes(
+    kernel: Kernel,
+    calibration: DeviceCalibration,
+    sparse_dma: bool = False,
+) -> float:
+    """Traffic one kernel pushes through HBM on this device.
+
+    Boundary activations/weights always cross; fused-away intermediates
+    cross in proportion to how much of the fusion the device's stack fails
+    to realise; sparse activations travel compressed when supported.
+    """
+    activations = float(kernel.cost.input_bytes + kernel.cost.output_bytes)
+    if sparse_dma and kernel.sparsity > 0:
+        compressed = activations * (1.0 - kernel.sparsity + _SPARSE_MASK_FRACTION)
+        activations = min(activations, compressed)
+    unfused = (1.0 - calibration.fusion_effectiveness) * kernel.cost.internal_bytes
+    return activations + kernel.cost.weight_bytes + unfused
+
+
+def estimate_kernel(
+    kernel: Kernel,
+    device: DeviceSpec,
+    calibration: DeviceCalibration,
+    dtype: DType = DType.FP16,
+    batch_scale: float = 1.0,
+    tensorization_utilization: float | None = None,
+    sparse_dma: bool = False,
+) -> KernelEstimate:
+    """Roofline time of one kernel on one device."""
+    efficiency = calibration.category_efficiency(kernel.category) * batch_scale
+    if tensorization_utilization is not None:
+        efficiency *= tensorization_utilization
+    attained_flops = device.peak_flops(dtype) * min(efficiency, 1.0)
+    compute_ns = kernel.cost.flops / attained_flops * 1e9 if kernel.cost.flops else 0.0
+
+    traffic = kernel_memory_bytes(kernel, calibration, sparse_dma=sparse_dma)
+    attained_bandwidth = device.bandwidth_gbps * calibration.bandwidth_efficiency
+    memory_ns = traffic / attained_bandwidth  # GB/s == bytes/ns
+
+    return KernelEstimate(
+        name=kernel.name,
+        category=kernel.category,
+        compute_ns=compute_ns,
+        memory_ns=memory_ns,
+        overhead_ns=calibration.kernel_overhead_ns,
+    )

@@ -1,0 +1,116 @@
+"""Central Power Management Engine (paper §IV-F1, Figs. 8-9).
+
+"On system booting, CPME conservatively assigns a baseline power budget to
+every function unit (i.e., the minimal power budget the function unit
+requires) and reserves the remaining budgets for runtime distribution."
+
+The CPME owns the board power limit. It grants LPME borrow requests out of
+the reserve pool while guaranteeing the sum of all outstanding budgets never
+exceeds the limit (power integrity), and it reabsorbs budget the LPMEs
+return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.lpme import Lpme, WindowReport
+from repro.power.model import UnitPowerModel
+
+
+class PowerIntegrityError(RuntimeError):
+    """An operation would push committed budgets past the board limit."""
+
+
+@dataclass
+class Cpme:
+    """The central engine for one chip."""
+
+    power_limit_watts: float
+    baseline_fraction: float = 0.35
+    """Boot-time budget as a fraction of each unit's max draw (>= static)."""
+    grant_step_watts: float = 1.0
+    lpmes: dict[str, Lpme] = field(default_factory=dict)
+    grants_issued: int = 0
+    grants_denied: int = 0
+
+    def register_units(self, units: dict[str, UnitPowerModel]) -> None:
+        """Boot: create one LPME per unit with a conservative baseline."""
+        if self.lpmes:
+            raise PowerIntegrityError("units already registered")
+        for name, model in units.items():
+            baseline = max(
+                model.min_power_watts() + 0.05,
+                model.max_power_watts() * self.baseline_fraction,
+            )
+            self.lpmes[name] = Lpme(unit_model=model, budget_watts=baseline)
+        if self.committed_watts > self.power_limit_watts:
+            raise PowerIntegrityError(
+                f"baseline budgets {self.committed_watts:.1f} W exceed the "
+                f"{self.power_limit_watts:.1f} W limit"
+            )
+
+    @property
+    def committed_watts(self) -> float:
+        return sum(lpme.budget_watts for lpme in self.lpmes.values())
+
+    @property
+    def reserve_watts(self) -> float:
+        return self.power_limit_watts - self.committed_watts
+
+    def handle_reports(self, reports: list[WindowReport]) -> dict[str, float]:
+        """Process one window's LPME reports; returns grants made by unit.
+
+        Returned budget is absorbed first, then borrow requests are served
+        in order of how hard each unit is throttled (worst first), each in
+        ``grant_step_watts`` increments while the reserve lasts — assuring
+        "the overall power integrity is risk-free".
+        """
+        for report in reports:
+            if report.returned_watts and report.unit not in self.lpmes:
+                raise PowerIntegrityError(f"report from unknown unit {report.unit}")
+        grants: dict[str, float] = {}
+        requests = sorted(
+            (report for report in reports if report.borrow_requested),
+            key=lambda report: report.throttle,
+            reverse=True,
+        )
+        for report in requests:
+            lpme = self.lpmes[report.unit]
+            needed = max(
+                self.grant_step_watts,
+                report.projected_watts - report.budget_watts,
+            )
+            grant = min(needed, self.reserve_watts)
+            if grant <= 0:
+                self.grants_denied += 1
+                continue
+            lpme.grant(grant)
+            grants[report.unit] = grant
+            self.grants_issued += 1
+        self._assert_integrity()
+        return grants
+
+    def _assert_integrity(self) -> None:
+        if self.committed_watts > self.power_limit_watts + 1e-9:
+            raise PowerIntegrityError(
+                f"committed {self.committed_watts:.2f} W exceeds limit "
+                f"{self.power_limit_watts:.2f} W"
+            )
+
+    def run_window(
+        self,
+        activities: dict[str, float],
+        frequencies: dict[str, float],
+        window_ns: float,
+    ) -> dict[str, WindowReport]:
+        """Convenience: observe every LPME then process the reports."""
+        reports = {}
+        for name, lpme in self.lpmes.items():
+            reports[name] = lpme.observe(
+                activities.get(name, 0.0),
+                frequencies.get(name, lpme.unit_model.curve.f_max_ghz),
+                window_ns,
+            )
+        self.handle_reports(list(reports.values()))
+        return reports

@@ -1,0 +1,129 @@
+"""Local Power Management Engine (paper §IV-F1, Fig. 9).
+
+One LPME sits at each function unit. Per observation window it:
+
+1. projects the power the unit needs from its observed activity,
+2. enforces its assigned budget by inserting pipeline stalls/bubbles via a
+   negative-feedback throttle when the projection exceeds the budget,
+3. tracks the stall ratio over recent windows; when stalls exceed the
+   *budget-borrow threshold* in M of the last N windows, it asks the CPME
+   for more budget,
+4. returns budget it demonstrably does not need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.power.model import UnitPowerModel
+
+
+@dataclass(frozen=True)
+class WindowReport:
+    """What one LPME observed and decided in one observation window."""
+
+    unit: str
+    activity: float
+    projected_watts: float
+    budget_watts: float
+    throttle: float
+    """Fraction of the window spent stalled to stay under budget (0 = free)."""
+    borrow_requested: bool
+    returned_watts: float
+
+
+@dataclass
+class Lpme:
+    """The local engine for one function unit."""
+
+    unit_model: UnitPowerModel
+    budget_watts: float
+    borrow_threshold: float = 0.05
+    """Stall ratio above which a window counts as budget-starved."""
+    borrow_m: int = 3
+    borrow_n: int = 5
+    """Request more budget when M of the last N windows were starved."""
+    return_headroom: float = 1.25
+    """Keep this multiple of projected need before returning the excess."""
+    history: deque = field(default_factory=lambda: deque(maxlen=5))
+    stall_time_total: float = 0.0
+    windows_observed: int = 0
+
+    def __post_init__(self) -> None:
+        self.history = deque(maxlen=self.borrow_n)
+        floor = self.unit_model.min_power_watts()
+        if self.budget_watts < floor:
+            raise ValueError(
+                f"{self.unit_model.params.name}: budget {self.budget_watts} W "
+                f"below static floor {floor} W"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.unit_model.params.name
+
+    def observe(
+        self,
+        activity: float,
+        f_ghz: float,
+        window_ns: float,
+    ) -> WindowReport:
+        """Run one observation window; returns the regulation decision.
+
+        ``activity`` is the duty-cycle the workload *wants*; the throttle is
+        how much of it the budget forces the unit to forgo.
+        """
+        projected = self.unit_model.power_watts(activity, f_ghz)
+        throttle = 0.0
+        if projected > self.budget_watts and activity > 0:
+            # Negative feedback: scale activity down until the projection
+            # meets the budget. Dynamic power is linear in activity, so the
+            # fixpoint is closed-form.
+            static = self.unit_model.params.static_watts
+            dynamic = projected - static
+            allowed_dynamic = max(0.0, self.budget_watts - static)
+            achievable = allowed_dynamic / dynamic if dynamic > 0 else 1.0
+            throttle = max(0.0, 1.0 - achievable)
+        self.stall_time_total += throttle * window_ns
+        self.windows_observed += 1
+        self.history.append(throttle > self.borrow_threshold)
+
+        borrow = (
+            len(self.history) == self.borrow_n
+            and sum(self.history) >= self.borrow_m
+        )
+        returned = 0.0
+        if not borrow and throttle == 0.0:
+            keep = max(
+                self.unit_model.min_power_watts(), projected * self.return_headroom
+            )
+            if self.budget_watts > keep:
+                returned = self.budget_watts - keep
+                self.budget_watts = keep
+        return WindowReport(
+            unit=self.name,
+            activity=activity,
+            projected_watts=projected,
+            budget_watts=self.budget_watts,
+            throttle=throttle,
+            borrow_requested=borrow,
+            returned_watts=returned,
+        )
+
+    def grant(self, watts: float) -> None:
+        """CPME granted additional budget."""
+        if watts < 0:
+            raise ValueError(f"negative grant {watts}")
+        self.budget_watts += watts
+        self.history.clear()
+
+    def effective_slowdown(self, report: WindowReport) -> float:
+        """Workload time dilation the throttle causes this window.
+
+        A unit stalled for fraction ``t`` of a window delivers ``1 - t`` of
+        its work, i.e. runs ``1 / (1 - t)`` slower.
+        """
+        if report.throttle >= 1.0:
+            raise RuntimeError(f"{self.name}: budget below static floor")
+        return 1.0 / (1.0 - report.throttle)

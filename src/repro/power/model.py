@@ -1,0 +1,156 @@
+"""Power models for DTU function units.
+
+Standard CMOS first-order model: a unit draws static (leakage) power plus
+dynamic power proportional to activity, frequency, and the square of supply
+voltage. DVFS couples voltage to frequency linearly across the chip's
+operating range (1.0-1.4 GHz on DTU 2.0, §VI-D), so stepping the clock down
+saves super-linear dynamic power — the physics behind the paper's 13 %
+energy-efficiency win at a 0.85-3.2 % performance cost.
+
+Unit budgets are sized so that a fully busy chip at maximum frequency sits
+at the 150 W board TDP (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DvfsCurve:
+    """Frequency/voltage operating range of a clock domain."""
+
+    f_min_ghz: float
+    f_max_ghz: float
+    v_min: float = 0.72
+    v_max: float = 0.90
+
+    def __post_init__(self) -> None:
+        if not 0 < self.f_min_ghz <= self.f_max_ghz:
+            raise ValueError(f"bad frequency range {self.f_min_ghz}..{self.f_max_ghz}")
+        if not 0 < self.v_min <= self.v_max:
+            raise ValueError(f"bad voltage range {self.v_min}..{self.v_max}")
+
+    def clamp(self, f_ghz: float) -> float:
+        return min(max(f_ghz, self.f_min_ghz), self.f_max_ghz)
+
+    def voltage(self, f_ghz: float) -> float:
+        """Supply voltage required to close timing at ``f_ghz``."""
+        f_ghz = self.clamp(f_ghz)
+        if self.f_max_ghz == self.f_min_ghz:
+            return self.v_max
+        alpha = (f_ghz - self.f_min_ghz) / (self.f_max_ghz - self.f_min_ghz)
+        return self.v_min + alpha * (self.v_max - self.v_min)
+
+
+@dataclass(frozen=True)
+class UnitPowerParams:
+    """Calibration of one function unit's power draw."""
+
+    name: str
+    static_watts: float
+    dynamic_watts_peak: float
+    """Dynamic power at 100 % activity, f_max, v_max."""
+
+
+class UnitPowerModel:
+    """Instantaneous power of one unit given activity and frequency."""
+
+    def __init__(self, params: UnitPowerParams, curve: DvfsCurve) -> None:
+        self.params = params
+        self.curve = curve
+
+    def power_watts(self, activity: float, f_ghz: float | None = None) -> float:
+        """P = P_static + P_dyn_peak * activity * (f/f_max) * (V/V_max)^2."""
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity {activity} outside [0, 1]")
+        f_ghz = self.curve.f_max_ghz if f_ghz is None else self.curve.clamp(f_ghz)
+        f_scale = f_ghz / self.curve.f_max_ghz
+        v_scale = self.curve.voltage(f_ghz) / self.curve.v_max
+        return (
+            self.params.static_watts
+            + self.params.dynamic_watts_peak * activity * f_scale * v_scale**2
+        )
+
+    def max_power_watts(self) -> float:
+        return self.power_watts(1.0, self.curve.f_max_ghz)
+
+    def min_power_watts(self) -> float:
+        return self.params.static_watts
+
+    def energy_joules(
+        self, activity: float, f_ghz: float, duration_ns: float
+    ) -> float:
+        return self.power_watts(activity, f_ghz) * duration_ns * 1e-9
+
+
+def chip_power_units(
+    cores: int,
+    dma_engines: int,
+    tdp_watts: float,
+    curve: DvfsCurve | None = None,
+) -> dict[str, UnitPowerModel]:
+    """Per-unit power budget for a chip: cores + DMA + HBM + fabric = TDP.
+
+    The fixed blocks (HBM 18 W, fabric 11 W, 1.3 W per DMA engine) come off
+    the top; the remainder splits over the compute cores, 11 % static /
+    89 % dynamic — the standard FinFET leakage share at these nodes.
+    """
+    curve = curve or DvfsCurve(f_min_ghz=1.0, f_max_ghz=1.4)
+    hbm_watts, fabric_watts, dma_watts = 18.0, 11.0, 1.3
+    fixed = hbm_watts + fabric_watts + dma_engines * dma_watts
+    if tdp_watts <= fixed:
+        raise ValueError(f"TDP {tdp_watts} W below fixed blocks {fixed} W")
+    per_core = (tdp_watts - fixed) / cores
+    units: dict[str, UnitPowerModel] = {}
+    for core in range(cores):
+        units[f"core{core}"] = UnitPowerModel(
+            UnitPowerParams(
+                f"core{core}",
+                static_watts=0.11 * per_core,
+                dynamic_watts_peak=0.89 * per_core,
+            ),
+            curve,
+        )
+    # DMA engines and HBM run on a fixed clock domain (flat DVFS curve): the
+    # paper scales the compute cores, not the memory path.
+    flat = DvfsCurve(f_min_ghz=1.0, f_max_ghz=1.0)
+    for dma in range(dma_engines):
+        units[f"dma{dma}"] = UnitPowerModel(
+            UnitPowerParams(
+                f"dma{dma}", static_watts=0.3, dynamic_watts_peak=dma_watts - 0.3
+            ),
+            flat,
+        )
+    units["hbm"] = UnitPowerModel(
+        UnitPowerParams(
+            "hbm", static_watts=4.0, dynamic_watts_peak=hbm_watts - 4.0
+        ),
+        flat,
+    )
+    units["fabric"] = UnitPowerModel(
+        UnitPowerParams(
+            "fabric", static_watts=5.0, dynamic_watts_peak=fabric_watts - 5.0
+        ),
+        flat,
+    )
+    return units
+
+
+def dtu2_power_units(curve: DvfsCurve | None = None) -> dict[str, UnitPowerModel]:
+    """Per-unit power calibration for DTU 2.0 (24 cores, 6 groups, 150 W)."""
+    return chip_power_units(cores=24, dma_engines=6, tdp_watts=150.0, curve=curve)
+
+
+def chip_power_watts(
+    units: dict[str, UnitPowerModel],
+    activities: dict[str, float],
+    frequencies: dict[str, float] | None = None,
+) -> float:
+    """Total chip draw for a snapshot of per-unit activities/frequencies."""
+    frequencies = frequencies or {}
+    total = 0.0
+    for name, unit in units.items():
+        activity = activities.get(name, 0.0)
+        total += unit.power_watts(activity, frequencies.get(name))
+    return total

@@ -1,0 +1,17 @@
+"""INT8 post-training quantization with accuracy verification (§VI-A)."""
+
+from repro.quant.quantize import (
+    AccuracyReport,
+    CalibrationTable,
+    QuantizationScale,
+    QuantizedExecutor,
+    calibrate,
+    verify_accuracy,
+    weight_compression_bytes,
+)
+
+__all__ = [
+    "AccuracyReport", "CalibrationTable", "QuantizationScale",
+    "QuantizedExecutor", "calibrate", "verify_accuracy",
+    "weight_compression_bytes",
+]

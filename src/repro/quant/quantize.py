@@ -1,0 +1,193 @@
+"""Post-training INT8 quantization with accuracy verification.
+
+The i20 advertises 256 TOPS at INT8 (Table I), and the paper's methodology
+fixes an accuracy budget against the CPU reference: "the differences in
+inference precision of the tests run on CPU and accelerators are configured
+as 0.01% for all tested DNNs except for Bert Large, which is 0.05%"
+(§VI-A). This module provides the standard PTQ flow those numbers imply:
+
+1. **Observe** — run calibration batches through the FP reference executor,
+   recording per-tensor dynamic ranges at every conv/GEMM boundary.
+2. **Quantize** — derive symmetric per-tensor INT8 scales (abs-max or a
+   percentile of it, the usual outlier guard).
+3. **Verify** — evaluate the graph with fake-quantization (quantize ->
+   dequantize around each matrix operand) and measure the deviation from
+   the FP reference, the §VI-A precision metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.fusion import fused_members
+from repro.graph.ir import Graph
+from repro.graph.reference import EvaluationError, ReferenceExecutor
+
+#: operator types whose operands run on the INT8 matrix engine
+QUANTIZED_OPS = frozenset({"conv2d", "conv1d", "dense", "matmul"})
+
+INT8_LEVELS = 127
+
+
+@dataclass(frozen=True)
+class QuantizationScale:
+    """Symmetric per-tensor scale: real = int8 * scale."""
+
+    tensor: str
+    scale: float
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        if self.scale == 0.0:
+            return np.zeros_like(values)
+        return np.clip(np.rint(values / self.scale), -INT8_LEVELS, INT8_LEVELS)
+
+    def fake_quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantize then dequantize: the INT8 rounding the hardware sees."""
+        return self.quantize(values) * self.scale
+
+
+@dataclass
+class CalibrationTable:
+    """Per-tensor dynamic ranges observed over calibration data."""
+
+    abs_max: dict[str, float] = field(default_factory=dict)
+    samples: int = 0
+
+    def observe(self, tensor: str, values: np.ndarray) -> None:
+        peak = float(np.max(np.abs(values))) if values.size else 0.0
+        self.abs_max[tensor] = max(self.abs_max.get(tensor, 0.0), peak)
+
+    def scale_for(self, tensor: str, headroom: float = 1.0) -> QuantizationScale:
+        if tensor not in self.abs_max:
+            raise EvaluationError(f"tensor {tensor!r} was never observed")
+        return QuantizationScale(
+            tensor=tensor, scale=self.abs_max[tensor] * headroom / INT8_LEVELS
+        )
+
+
+class _ObservingExecutor(ReferenceExecutor):
+    """FP executor that records ranges at every quantized-op boundary."""
+
+    def __init__(self, graph: Graph, table: CalibrationTable, seed: int = 0):
+        super().__init__(graph, seed=seed)
+        self.table = table
+
+    def _evaluate(self, node, env):
+        if node.op_type in QUANTIZED_OPS:
+            for name in node.inputs:
+                self.table.observe(name, self._fetch(name, env))
+        super()._evaluate(node, env)
+
+
+def calibrate(
+    graph: Graph, batches: list[dict[str, np.ndarray]], seed: int = 0
+) -> CalibrationTable:
+    """Run calibration batches, returning observed dynamic ranges."""
+    if not batches:
+        raise EvaluationError("calibration needs at least one batch")
+    table = CalibrationTable()
+    for batch in batches:
+        executor = _ObservingExecutor(graph, table, seed=seed)
+        executor.run(**batch)
+        table.samples += 1
+    return table
+
+
+class QuantizedExecutor(ReferenceExecutor):
+    """Evaluates with INT8 fake-quantization on every matrix operand."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        table: CalibrationTable,
+        seed: int = 0,
+        headroom: float = 1.0,
+    ) -> None:
+        super().__init__(graph, seed=seed)
+        self.table = table
+        self.headroom = headroom
+        self.quantized_tensors = 0
+
+    def _evaluate(self, node, env):
+        if node.op_type in QUANTIZED_OPS:
+            quantized = list(node.inputs)
+            operands = []
+            for name in quantized:
+                values = self._fetch(name, env)
+                scale = self.table.scale_for(name, self.headroom)
+                operands.append(scale.fake_quantize(values))
+                self.quantized_tensors += 1
+            handler = getattr(self, f"_op_{node.op_type}")
+            results = handler(node, operands)
+            if not isinstance(results, tuple):
+                results = (results,)
+            for name, value in zip(node.outputs, results):
+                env[name] = np.asarray(value, dtype=np.float64)
+        else:
+            super()._evaluate(node, env)
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """FP-vs-INT8 deviation, the §VI-A precision metric."""
+
+    mean_relative_error: float
+    max_relative_error: float
+    top1_agreement: float
+    """Fraction of rows whose argmax matches the FP reference (1.0 when the
+    output is not a classification head)."""
+
+    @property
+    def precision_difference_percent(self) -> float:
+        return self.mean_relative_error * 100.0
+
+
+def verify_accuracy(
+    graph: Graph,
+    table: CalibrationTable,
+    batches: list[dict[str, np.ndarray]],
+    seed: int = 0,
+) -> AccuracyReport:
+    """Measure INT8 deviation from the FP reference on held-out batches."""
+    relative_errors = []
+    max_error = 0.0
+    agreements = []
+    for batch in batches:
+        reference = ReferenceExecutor(graph, seed=seed).run(**batch)
+        quantized = QuantizedExecutor(graph, table, seed=seed).run(**batch)
+        for name in graph.outputs:
+            fp_out, q_out = reference[name], quantized[name]
+            denom = np.maximum(np.abs(fp_out), 1e-6)
+            errors = np.abs(q_out - fp_out) / denom
+            relative_errors.append(float(errors.mean()))
+            max_error = max(max_error, float(errors.max()))
+            if fp_out.ndim >= 2 and fp_out.shape[-1] > 1:
+                agreements.append(
+                    float(
+                        (fp_out.argmax(axis=-1) == q_out.argmax(axis=-1)).mean()
+                    )
+                )
+    return AccuracyReport(
+        mean_relative_error=float(np.mean(relative_errors)),
+        max_relative_error=max_error,
+        top1_agreement=float(np.mean(agreements)) if agreements else 1.0,
+    )
+
+
+def weight_compression_bytes(graph: Graph) -> tuple[int, int]:
+    """(fp16_bytes, int8_bytes) of the quantizable weights — the memory and
+    bandwidth win INT8 deployment buys on top of the 2x compute rate."""
+    fp16 = 0
+    int8 = 0
+    for node in graph.topological_nodes():
+        for member in fused_members(node):
+            if member.op_type not in QUANTIZED_OPS:
+                continue
+            for name in member.inputs:
+                if name in graph.initializers:
+                    elements = graph.tensor_type(name).num_elements()
+                    fp16 += elements * 2
+                    int8 += elements + 4  # payload + per-tensor scale
+    return fp16, int8

@@ -1,0 +1,13 @@
+"""Runtime ("TopsRuntime"): device handle, executor, profiler."""
+
+from repro.runtime.executor import ExecutionResult, Executor, KernelTiming
+from repro.runtime.host import EndToEndResult, HostSession, PcieLink, model_io_bytes
+from repro.runtime.pipeline import PipelineExecutor, PipelineResult, StagePlan
+from repro.runtime.profiler import CategoryStat, Profile
+from repro.runtime.runtime import Device
+
+__all__ = [
+    "CategoryStat", "Device", "EndToEndResult", "ExecutionResult",
+    "Executor", "HostSession", "KernelTiming", "PcieLink", "Profile",
+    "model_io_bytes", "PipelineExecutor", "PipelineResult", "StagePlan",
+]

@@ -1,0 +1,513 @@
+"""The execution engine: compiled kernels on the simulated accelerator.
+
+This is where all the substrates meet. For each kernel, on each assigned
+processing group:
+
+1. the instruction buffer is consulted (cache hit / prefetch / miss stall),
+   and a prefetch for the *next* kernel is issued (§IV-B);
+2. the group's DMA engine pulls the kernel's share of inputs + weights from
+   L3 — weights go through one hardware broadcast per cluster when several
+   groups share them (§IV-C); sparse activations travel compressed when the
+   chip supports it; repeat mode collapses the tiling plan's N transactions
+   into one configuration (Fig. 6);
+3. compute proceeds overlapped with the remaining DMA (double buffering:
+   makespan is max(compute, dma) plus the first-tile prologue);
+4. groups rendezvous through the synchronization engine before the next
+   kernel.
+
+A power-manager process samples fixed observation windows, feeding measured
+core/DMA duty cycles to the CPME/LPMEs (power integrity) and the DVFS
+governor (energy efficiency), whose frequency choice changes the compute
+time of subsequent kernels — the closed loop of Fig. 10. Energy integrates
+the unit power models over every window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.kernel import Kernel
+from repro.compiler.lowering import CompiledModel
+from repro.core.accelerator import Accelerator
+from repro.core.processing_group import ProcessingGroup
+from repro.core.resource import Assignment
+from repro.power.dvfs import Observation
+from repro.power.model import chip_power_watts
+from repro.sim.kernel import AllOf, Timeout
+from repro.sync.events import Barrier
+
+#: sustained fraction of peak the compute engines reach per kernel category
+#: (vector/matrix pipelines never hit 100 % of the datasheet number)
+DTU_CATEGORY_EFFICIENCY = {
+    "conv": 0.82,
+    "gemm": 0.80,
+    "elementwise": 0.55,
+    "activation": 0.55,
+    "norm": 0.50,
+    "softmax": 0.45,
+    "pool": 0.55,
+    "reduce": 0.50,
+    "layout": 0.90,
+    "embedding": 0.35,
+    "sort": 0.50,
+}
+
+#: bitmask sparse format overhead: 1 mask bit per element; at FP16 that is
+#: 1/16 of the dense payload (see repro.dma.sparse)
+_SPARSE_MASK_FRACTION = 1.0 / 16.0
+
+#: dynamic-power fraction a core burns while stalled (clock tree, issue
+#: logic) relative to full activity — imperfect clock gating
+_STALL_CLOCK_ACTIVITY = 0.60
+
+
+@dataclass
+class KernelTiming:
+    """Measured timeline of one kernel execution."""
+
+    name: str
+    category: str
+    start_ns: float
+    end_ns: float
+    compute_ns: float
+    dma_ns: float
+    icache_stall_ns: float
+    sync_ns: float
+    clock_ghz: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one model run produced."""
+
+    latency_ns: float
+    energy_joules: float
+    kernel_timings: list[KernelTiming]
+    mean_power_watts: float
+    mean_frequency_ghz: float
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_ns / 1e6
+
+    def throughput_samples_per_s(self, batch: int = 1) -> float:
+        if self.latency_ns == 0:
+            return float("inf")
+        return batch * 1e9 / self.latency_ns
+
+
+class Executor:
+    """Runs compiled models on one accelerator instance."""
+
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        window_ns: float = 15_000.0,
+    ) -> None:
+        self.accelerator = accelerator
+        self.window_ns = window_ns
+        self._finished = False
+        self._energy_joules = 0.0
+        self._power_samples: list[float] = []
+
+    # -- kernel-level timing math --------------------------------------------
+
+    def _compute_time_ns(
+        self, kernel: Kernel, cores: int, clock_ghz: float, num_groups: int = 1
+    ) -> float:
+        """Time one group needs for its 1/num_groups share of the kernel."""
+        if kernel.cost.flops <= 0:
+            return 0.0
+        chip = self.accelerator.chip
+        rate = chip.core_flops_per_ns(kernel.dtype, clock_ghz) * cores
+        efficiency = DTU_CATEGORY_EFFICIENCY.get(kernel.category, 0.5)
+        if kernel.tensorization is not None:
+            efficiency *= kernel.tensorization.utilization
+        effective = rate * efficiency
+        if effective <= 0:
+            raise RuntimeError(f"kernel {kernel.name}: zero compute throughput")
+        return kernel.cost.flops / num_groups / effective
+
+    def _wire_bytes(self, kernel: Kernel, activation_bytes: int) -> int:
+        """Bytes activations occupy on the L3 wire, after sparse compression."""
+        chip = self.accelerator.chip
+        if not chip.features.sparse_dma or kernel.sparsity <= 0.0:
+            return activation_bytes
+        dense_kept = 1.0 - kernel.sparsity
+        compressed = activation_bytes * (dense_kept + _SPARSE_MASK_FRACTION)
+        return min(activation_bytes, int(compressed))
+
+    # -- per-group kernel process ---------------------------------------------
+
+    def _run_kernel_on_group(
+        self,
+        kernel: Kernel,
+        next_kernel: Kernel | None,
+        group: ProcessingGroup,
+        num_groups: int,
+        barrier: Barrier,
+        weight_leader: bool,
+        timings: dict,
+    ):
+        sim = self.accelerator.sim
+        chip = self.accelerator.chip
+        trace = self.accelerator.trace
+        start = sim.now
+        clock = self.accelerator.clock_ghz
+
+        # 1. Instruction buffer: fetch this kernel, prefetch the next.
+        icache = group.icaches[0]
+        fetch = icache.fetch(kernel.name, kernel.code_bytes, sim.now)
+        if next_kernel is not None:
+            icache.prefetch(next_kernel.name, next_kernel.code_bytes, sim.now)
+        if fetch.stall_ns > 0:
+            trace.record(f"icache.{group.name}", kernel.name, sim.now, sim.now + fetch.stall_ns)
+            yield Timeout(fetch.stall_ns)
+
+        # 2. DMA: this group's share of activations, plus weights.
+        share_in = kernel.cost.input_bytes // num_groups
+        share_out = kernel.cost.output_bytes // num_groups
+        wire_in = self._wire_bytes(kernel, share_in)
+        weight_bytes = kernel.cost.weight_bytes
+        broadcast = (
+            chip.features.l2_broadcast and num_groups > 1 and weight_leader
+        )
+        if num_groups > 1 and chip.features.l2_broadcast and not weight_leader:
+            weight_bytes = 0  # the leader's broadcast delivers our copy
+        configurations = 1
+        if kernel.tiling is not None:
+            configurations = kernel.tiling.dma_configurations
+
+        l2_level = group.l2.level
+        l3 = self.accelerator.l3
+        dma_bytes = wire_in + share_out + (0 if broadcast else weight_bytes)
+
+        compute_ns = self._compute_time_ns(
+            kernel, cores=group.num_cores, clock_ghz=clock, num_groups=num_groups
+        )
+
+        dma_start = sim.now
+        dma_processes = []
+        if broadcast:
+            destinations = [
+                other.l2.level
+                for other in self.accelerator.groups
+                if other.group_id.cluster == group.group_id.cluster
+            ]
+            dma_processes.append(
+                sim.spawn(
+                    group.dma.transfer(
+                        kernel.cost.weight_bytes,
+                        l3,
+                        destinations,
+                        configurations=1,
+                        hardware_broadcast=True,
+                        label=f"{kernel.name}.weights",
+                    )
+                )
+            )
+        if dma_bytes > 0:
+            dma_processes.append(
+                sim.spawn(
+                    group.dma.transfer(
+                        dma_bytes,
+                        l3,
+                        l2_level,
+                        configurations=configurations,
+                        wire_bytes=wire_in + share_out + (0 if broadcast else weight_bytes),
+                        label=kernel.name,
+                    )
+                )
+            )
+
+        # 3. Compute overlapped with DMA (double buffering).
+        compute_process = sim.spawn(self._busy(compute_ns))
+        compute_start = sim.now
+        waits = [process.done_event for process in dma_processes]
+        waits.append(compute_process.done_event)
+        yield AllOf(waits)
+        dma_ns = sim.now - dma_start
+        trace.record(f"core.{group.name}", kernel.name, compute_start, compute_start + compute_ns)
+        # LPME event counters (§IV-F): time the core spent stalled waiting
+        # for L3-bound DMA after its compute share finished. This is the
+        # "ratio of DMA stalls" signal the DVFS loop classifies on.
+        if sim.now > compute_start + compute_ns:
+            trace.record(
+                f"stall.{group.name}",
+                kernel.name,
+                compute_start + compute_ns,
+                sim.now,
+            )
+
+        # 4. Rendezvous with sibling groups before the next kernel.
+        sync_start = sim.now
+        yield Timeout(group.sync.latency_ns)
+        yield barrier.arrive()
+        sync_ns = sim.now - sync_start
+
+        timings.setdefault(kernel.name, []).append(
+            KernelTiming(
+                name=kernel.name,
+                category=kernel.category,
+                start_ns=start,
+                end_ns=sim.now,
+                compute_ns=compute_ns,
+                dma_ns=dma_ns,
+                icache_stall_ns=fetch.stall_ns,
+                sync_ns=sync_ns,
+                clock_ghz=clock,
+            )
+        )
+
+    @staticmethod
+    def _busy(duration_ns: float):
+        if duration_ns > 0:
+            yield Timeout(duration_ns)
+        return None
+        yield  # pragma: no cover - make this a generator even for 0 ns
+
+    # -- power manager ----------------------------------------------------------
+
+    def _power_manager(self):
+        sim = self.accelerator.sim
+        trace = self.accelerator.trace
+        chip = self.accelerator.chip
+        units = self.accelerator.power_units
+        cpme = self.accelerator.cpme
+        dvfs = self.accelerator.dvfs
+        group_names = [group.name for group in self.accelerator.groups]
+        cores_per_group = chip.cores_per_group
+
+        while not self._finished:
+            window_start = sim.now
+            yield Timeout(self.window_ns)
+            window_end = sim.now
+            if self._finished:
+                # Clamp the last window to the workload's actual end so the
+                # idle tail is neither billed for energy nor latency.
+                window_end = min(window_end, self._main_end)
+            span = window_end - window_start
+            if span <= 0:
+                break
+
+            core_utils = [
+                trace.utilization(f"core.{name}", window_start, window_end)
+                for name in group_names
+            ]
+            dma_utils = [
+                trace.utilization(f"dma.{name}", window_start, window_end)
+                for name in group_names
+            ]
+            mean_core = sum(core_utils) / len(core_utils)
+            mean_dma = sum(dma_utils) / len(dma_utils)
+
+            # DVFS loop: Observation -> Evaluation -> Decision -> Action.
+            # LPMEs report event time, not wall-clock: of the cycles spent
+            # inside kernels, how many computed vs stalled on L3-bound DMA.
+            busy_time = sum(
+                trace.busy_time(f"core.{name}", window_start, window_end)
+                for name in group_names
+            )
+            stall_time = sum(
+                trace.busy_time(f"stall.{name}", window_start, window_end)
+                for name in group_names
+            )
+            in_kernel = busy_time + stall_time
+            if in_kernel > 0:
+                dvfs.update(
+                    Observation(
+                        busy_ratio=min(1.0, busy_time / in_kernel),
+                        dma_stall_ratio=min(1.0, stall_time / in_kernel),
+                    )
+                )
+
+            # Power integrity: LPMEs observe, CPME redistributes budget.
+            # A stalled core is not free: its clock tree and issue pipeline
+            # keep toggling while it waits on DMA, so stalled time counts as
+            # partial activity — the power DVFS reclaims by downclocking
+            # bandwidth-bound phases.
+            stall_utils = [
+                trace.utilization(f"stall.{name}", window_start, window_end)
+                for name in group_names
+            ]
+            activities: dict[str, float] = {}
+            for index in range(chip.total_cores):
+                group_index = min(index // cores_per_group, len(core_utils) - 1)
+                activities[f"core{index}"] = min(
+                    1.0,
+                    core_utils[group_index]
+                    + _STALL_CLOCK_ACTIVITY * stall_utils[group_index],
+                )
+            for index in range(chip.total_groups):
+                activities[f"dma{index}"] = min(1.0, dma_utils[min(index, len(dma_utils) - 1)])
+            activities["hbm"] = min(1.0, mean_dma)
+            activities["fabric"] = min(1.0, (mean_core + mean_dma) / 2)
+            frequencies = {
+                name: self.accelerator.clock_ghz
+                for name in units
+                if name.startswith("core")
+            }
+            cpme.run_window(activities, frequencies, span)
+
+            power = chip_power_watts(units, activities, frequencies)
+            self._power_samples.append(power)
+            self._energy_joules += power * span * 1e-9
+
+    # -- top level ------------------------------------------------------------
+
+    def run(
+        self,
+        compiled: CompiledModel,
+        num_groups: int | None = None,
+        tenant: str = "default",
+    ) -> ExecutionResult:
+        """Execute ``compiled`` once; returns latency/energy/timelines."""
+        accelerator = self.accelerator
+        sim = accelerator.sim
+        if num_groups is None:
+            num_groups = accelerator.chip.groups_per_cluster
+        assignment = accelerator.resources.assign(tenant, num_groups)
+        try:
+            return self.run_on(compiled, assignment)
+        finally:
+            accelerator.resources.release(tenant)
+
+    def _model_process(
+        self,
+        compiled: CompiledModel,
+        groups: list[ProcessingGroup],
+        timings: dict,
+        completions: dict[str, float],
+        label: str,
+    ):
+        """Generator: run one compiled model's kernels on its group slice."""
+        sim = self.accelerator.sim
+        kernels = compiled.kernels
+        for index, kernel in enumerate(kernels):
+            next_kernel = kernels[index + 1] if index + 1 < len(kernels) else None
+            barrier = Barrier(
+                sim, parties=len(groups), name=f"{label}.{kernel.name}.sync"
+            )
+            processes = [
+                sim.spawn(
+                    self._run_kernel_on_group(
+                        kernel,
+                        next_kernel,
+                        group,
+                        len(groups),
+                        barrier,
+                        weight_leader=(position == 0),
+                        timings=timings,
+                    )
+                )
+                for position, group in enumerate(groups)
+            ]
+            yield AllOf([process.done_event for process in processes])
+        completions[label] = sim.now
+
+    def _collect(
+        self,
+        compiled: CompiledModel,
+        groups: list[ProcessingGroup],
+        timings: dict,
+        latency_ns: float,
+    ) -> ExecutionResult:
+        flat_timings = [
+            timing
+            for kernel in compiled.kernels
+            for timing in timings.get(kernel.name, [])[:1]
+        ]
+        mean_power = (
+            sum(self._power_samples) / len(self._power_samples)
+            if self._power_samples
+            else 0.0
+        )
+        counters = {
+            "icache_hits": sum(g.icaches[0].hits for g in groups),
+            "icache_misses": sum(g.icaches[0].misses for g in groups),
+            "icache_prefetch_hits": sum(g.icaches[0].prefetch_hits for g in groups),
+            "dma_configurations": sum(g.dma.stats.configurations for g in groups),
+            "dma_bytes": sum(g.dma.stats.bytes_moved for g in groups),
+            "dma_wire_bytes": sum(g.dma.stats.wire_bytes for g in groups),
+        }
+        return ExecutionResult(
+            latency_ns=latency_ns,
+            energy_joules=self._energy_joules,
+            kernel_timings=flat_timings,
+            mean_power_watts=mean_power,
+            mean_frequency_ghz=self.accelerator.dvfs.mean_frequency_ghz()
+            if self.accelerator.dvfs.decisions
+            else self.accelerator.clock_ghz,
+            counters=counters,
+        )
+
+    def run_on(
+        self, compiled: CompiledModel, assignment: Assignment
+    ) -> ExecutionResult:
+        """Execute on an assignment the caller already holds (multi-tenant
+        serving keeps long-lived assignments across many launches)."""
+        results = self.run_concurrent({assignment.tenant: (compiled, assignment)})
+        return results[assignment.tenant]
+
+    def run_concurrent(
+        self, jobs: dict[str, tuple[CompiledModel, Assignment]]
+    ) -> dict[str, ExecutionResult]:
+        """Execute several tenants' models *simultaneously* on their slices.
+
+        This is §IV-E running in the detailed simulator: every tenant's
+        kernels progress in parallel on isolated processing groups, sharing
+        only the L3 port and the chip-wide power envelope. Returns one
+        ExecutionResult per tenant (energy/power fields are chip-wide).
+        """
+        if not jobs:
+            raise ValueError("run_concurrent needs at least one job")
+        sim = self.accelerator.sim
+        self._finished = False
+        self._energy_joules = 0.0
+        self._power_samples = []
+        start_time = sim.now
+        self._main_end = start_time
+
+        groups_by_tenant = {
+            tenant: [self.accelerator.group(gid) for gid in assignment.groups]
+            for tenant, (_compiled, assignment) in jobs.items()
+        }
+        timings_by_tenant: dict[str, dict] = {tenant: {} for tenant in jobs}
+        completions: dict[str, float] = {}
+
+        def _supervisor():
+            mains = [
+                sim.spawn(
+                    self._model_process(
+                        compiled,
+                        groups_by_tenant[tenant],
+                        timings_by_tenant[tenant],
+                        completions,
+                        label=tenant,
+                    ),
+                    name=f"executor.{tenant}",
+                )
+                for tenant, (compiled, _assignment) in jobs.items()
+            ]
+            yield AllOf([main.done_event for main in mains])
+            self._finished = True
+            self._main_end = sim.now
+
+        sim.spawn(_supervisor(), name="executor.supervisor")
+        sim.spawn(self._power_manager(), name="executor.power")
+        sim.run()
+
+        return {
+            tenant: self._collect(
+                compiled,
+                groups_by_tenant[tenant],
+                timings_by_tenant[tenant],
+                latency_ns=completions[tenant] - start_time,
+            )
+            for tenant, (compiled, _assignment) in jobs.items()
+        }

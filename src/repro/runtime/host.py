@@ -1,0 +1,118 @@
+"""Host-device interface: PCIe transfers and end-to-end inference latency.
+
+Table I lists the i20's interconnect as PCIe Gen4 x16 at 64 GB/s, and §V-B
+describes the CUDA-like host flow: "the developer needs to allocate device
+memory and launch the kernel to interact with accelerator from the host
+CPU". This module completes the latency picture a cloud operator sees —
+host-to-device input upload, device execution, device-to-host readback —
+with optional stream pipelining (upload of request *n+1* overlaps compute
+of request *n*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.lowering import CompiledModel
+from repro.runtime.executor import ExecutionResult
+from repro.runtime.runtime import Device
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """One direction-agnostic PCIe link."""
+
+    bandwidth_gbps: float = 64.0
+    latency_us: float = 5.0
+    """Round-trip submission latency (driver + doorbell + DMA setup)."""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(f"bandwidth must be positive: {self.bandwidth_gbps}")
+
+    def transfer_time_ns(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        return self.latency_us * 1e3 + nbytes / self.bandwidth_gbps
+
+
+@dataclass(frozen=True)
+class EndToEndResult:
+    """Latency breakdown of one host-visible inference."""
+
+    h2d_ns: float
+    device_ns: float
+    d2h_ns: float
+    device_result: ExecutionResult
+
+    @property
+    def total_ns(self) -> float:
+        return self.h2d_ns + self.device_ns + self.d2h_ns
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_ns / 1e6
+
+    @property
+    def pcie_share(self) -> float:
+        """Fraction of end-to-end latency spent on the interconnect."""
+        if self.total_ns == 0:
+            return 0.0
+        return (self.h2d_ns + self.d2h_ns) / self.total_ns
+
+    def pipelined_interval_ns(self) -> float:
+        """Steady-state per-request interval with stream overlap.
+
+        With separate copy and compute queues, the bottleneck stage sets
+        the request interval: max(upload, execute, readback).
+        """
+        return max(self.h2d_ns, self.device_ns, self.d2h_ns)
+
+
+def model_io_bytes(compiled: CompiledModel) -> tuple[int, int]:
+    """(input_bytes, output_bytes) crossing PCIe for one inference.
+
+    The first kernel's activation inputs arrive from the host; the last
+    kernel's outputs return. Weights are resident on the device after the
+    one-time model load (not charged per inference).
+    """
+    if not compiled.kernels:
+        return 0, 0
+    first = compiled.kernels[0]
+    last = compiled.kernels[-1]
+    return first.cost.input_bytes, last.cost.output_bytes
+
+
+class HostSession:
+    """A host process driving one simulated device over PCIe."""
+
+    def __init__(self, device: Device, link: PcieLink | None = None) -> None:
+        self.device = device
+        self.link = link or PcieLink(
+            bandwidth_gbps=device.accelerator.chip.pcie_gbps
+        )
+
+    def infer(
+        self,
+        compiled: CompiledModel,
+        num_groups: int | None = None,
+        tenant: str = "host",
+    ) -> EndToEndResult:
+        """One synchronous end-to-end inference."""
+        input_bytes, output_bytes = model_io_bytes(compiled)
+        device_result = self.device.launch(
+            compiled, num_groups=num_groups, tenant=tenant
+        )
+        return EndToEndResult(
+            h2d_ns=self.link.transfer_time_ns(input_bytes),
+            device_ns=device_result.latency_ns,
+            d2h_ns=self.link.transfer_time_ns(output_bytes),
+            device_result=device_result,
+        )
+
+    def pipelined_throughput_per_s(self, result: EndToEndResult) -> float:
+        """Requests/second with copy/compute stream overlap."""
+        interval = result.pipelined_interval_ns()
+        if interval == 0:
+            return float("inf")
+        return 1e9 / interval

@@ -1,0 +1,99 @@
+"""Profiler: per-operator breakdowns of an execution (the trtexec analogue).
+
+The paper's §VI-D discussion leans on "profiling statistics" such as the
+share of high-computational-density operators per model; :class:`Profile`
+computes those summaries from an :class:`~repro.runtime.executor.ExecutionResult`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.compiler.lowering import CompiledModel
+from repro.runtime.executor import ExecutionResult
+
+#: categories the paper counts as "high computational density"
+DENSE_CATEGORIES = frozenset({"conv", "gemm"})
+
+
+@dataclass(frozen=True)
+class CategoryStat:
+    """Aggregated contribution of one operator category."""
+
+    category: str
+    kernels: int
+    time_ns: float
+    flops: float
+    time_share: float
+    flops_share: float
+
+
+@dataclass
+class Profile:
+    """Post-run analysis of one execution."""
+
+    compiled: CompiledModel
+    result: ExecutionResult
+
+    def by_category(self) -> list[CategoryStat]:
+        time_by_category: dict[str, float] = defaultdict(float)
+        count_by_category: dict[str, int] = defaultdict(int)
+        flops_by_category: dict[str, float] = defaultdict(float)
+        for timing in self.result.kernel_timings:
+            time_by_category[timing.category] += timing.duration_ns
+            count_by_category[timing.category] += 1
+        for kernel in self.compiled.kernels:
+            flops_by_category[kernel.category] += kernel.cost.flops
+        total_time = sum(time_by_category.values()) or 1.0
+        total_flops = sum(flops_by_category.values()) or 1.0
+        return sorted(
+            (
+                CategoryStat(
+                    category=category,
+                    kernels=count_by_category.get(category, 0),
+                    time_ns=time_by_category.get(category, 0.0),
+                    flops=flops_by_category.get(category, 0.0),
+                    time_share=time_by_category.get(category, 0.0) / total_time,
+                    flops_share=flops_by_category.get(category, 0.0) / total_flops,
+                )
+                for category in set(time_by_category) | set(flops_by_category)
+            ),
+            key=lambda stat: stat.time_ns,
+            reverse=True,
+        )
+
+    def dense_flops_share(self) -> float:
+        """FLOP share of conv/GEMM ops — §VI-D's "computational density"."""
+        total = sum(kernel.cost.flops for kernel in self.compiled.kernels)
+        if total == 0:
+            return 0.0
+        dense = sum(
+            kernel.cost.flops
+            for kernel in self.compiled.kernels
+            if kernel.category in DENSE_CATEGORIES
+        )
+        return dense / total
+
+    def slowest_kernels(self, count: int = 10) -> list[tuple[str, float]]:
+        ordered = sorted(
+            self.result.kernel_timings,
+            key=lambda timing: timing.duration_ns,
+            reverse=True,
+        )
+        return [(timing.name, timing.duration_ns) for timing in ordered[:count]]
+
+    def summary(self) -> str:
+        """Human-readable report, one line per category."""
+        lines = [
+            f"model {self.compiled.name}: {self.result.latency_ms:.3f} ms, "
+            f"{self.result.mean_power_watts:.1f} W mean, "
+            f"{self.result.energy_joules * 1e3:.2f} mJ"
+        ]
+        for stat in self.by_category():
+            lines.append(
+                f"  {stat.category:<12} {stat.kernels:>4} kernels  "
+                f"{stat.time_ns / 1e3:>10.1f} us  "
+                f"time {stat.time_share:>6.1%}  flops {stat.flops_share:>6.1%}"
+            )
+        return "\n".join(lines)

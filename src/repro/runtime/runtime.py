@@ -1,0 +1,125 @@
+"""TopsRuntime: device management, memory allocation, task launch (§V-B).
+
+"TopsRuntime is a library for DTU runtime management. It triggers resource
+allocation and task execution, which is critical for efficient deployment of
+heterogeneous systems."
+
+:class:`Device` is the user-facing handle mirroring the CUDA-style flow the
+paper describes for TopsEngine ("the developer needs to allocate device
+memory and launch the kernel to interact with accelerator from the host
+CPU"): allocate L3 buffers, upload graphs through the compiler, launch, and
+read back profiling results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.lowering import CompiledModel, lower_graph
+from repro.core.accelerator import Accelerator
+from repro.core.datatypes import DType
+from repro.core.resource import recommend_groups
+from repro.graph.ir import Graph
+from repro.graph.passes import optimize
+from repro.graph.shape_inference import bind_shapes, dynamic_symbols
+from repro.runtime.executor import ExecutionResult, Executor
+
+
+class RuntimeError_(RuntimeError):
+    """Runtime misuse (kept distinct from builtins.RuntimeError)."""
+
+
+@dataclass
+class Device:
+    """One accelerator card as the host runtime sees it."""
+
+    accelerator: Accelerator
+    _buffers: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def open(cls, name: str = "i20") -> "Device":
+        """Open a simulated device by product name ('i20' or 'i10')."""
+        if name == "i20":
+            return cls(Accelerator.cloudblazer_i20())
+        if name == "i10":
+            return cls(Accelerator.cloudblazer_i10())
+        raise RuntimeError_(f"unknown device {name!r}")
+
+    # -- memory ---------------------------------------------------------------
+
+    def malloc(self, name: str, nbytes: int) -> None:
+        """Allocate a named L3 buffer (device global memory)."""
+        self.accelerator.l3.allocate(name, nbytes)
+        self._buffers[name] = nbytes
+
+    def free(self, name: str) -> None:
+        self.accelerator.l3.free(name)
+        self._buffers.pop(name, None)
+
+    @property
+    def memory_in_use(self) -> int:
+        return self.accelerator.l3.used_bytes
+
+    # -- compile & launch -------------------------------------------------------
+
+    def compile(
+        self,
+        graph: Graph,
+        dtype: DType = DType.FP16,
+        fusion: bool | None = None,
+        **shape_bindings: int,
+    ) -> CompiledModel:
+        """TopsInference + TopsEngine pipeline: optimize, bind, lower."""
+        if shape_bindings:
+            graph = bind_shapes(graph, **shape_bindings)
+        unbound = dynamic_symbols(graph)
+        if unbound:
+            raise RuntimeError_(
+                f"graph has unbound dynamic dims {sorted(unbound)}; pass "
+                "bindings to compile()"
+            )
+        if fusion is None:
+            fusion = self.accelerator.chip.features.operator_fusion
+        optimized, _report = optimize(graph, fusion=fusion)
+        return lower_graph(optimized, self.accelerator.chip, dtype)
+
+    def launch(
+        self,
+        compiled: CompiledModel,
+        num_groups: int | None = None,
+        tenant: str = "default",
+    ) -> ExecutionResult:
+        """Run one inference; groups default to the Fig. 7 recommendation.
+
+        Refuses models whose resident footprint (weights + code + buffered
+        activations, see :meth:`CompiledModel.memory_footprint_bytes`)
+        exceeds the device's L3 capacity — the constraint the Fig. 12
+        memory-capacity row is about.
+        """
+        l3 = self.accelerator.l3
+        available = l3.capacity_bytes - l3.used_bytes
+        if not compiled.fits(available):
+            raise RuntimeError_(
+                f"{compiled.name} needs "
+                f"{compiled.memory_footprint_bytes() / 1e9:.2f} GB but only "
+                f"{available / 1e9:.2f} GB of device memory is free"
+            )
+        if num_groups is None:
+            working_set = max(
+                (kernel.cost.boundary_bytes for kernel in compiled.kernels),
+                default=0,
+            )
+            num_groups = recommend_groups(working_set, self.accelerator.chip)
+        executor = Executor(self.accelerator)
+        return executor.run(compiled, num_groups=num_groups, tenant=tenant)
+
+    def run(
+        self,
+        graph: Graph,
+        dtype: DType = DType.FP16,
+        num_groups: int | None = None,
+        **shape_bindings: int,
+    ) -> ExecutionResult:
+        """compile + launch in one call."""
+        compiled = self.compile(graph, dtype=dtype, **shape_bindings)
+        return self.launch(compiled, num_groups=num_groups)

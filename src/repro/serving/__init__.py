@@ -1,0 +1,17 @@
+"""Cloud inference serving: traces, queueing, SLAs, tenant isolation."""
+
+from repro.serving.server import (
+    CompletedRequest,
+    InferenceServer,
+    TenantConfig,
+    TenantReport,
+    batch_service_time_ns,
+    measure_service_time_ns,
+)
+from repro.serving.workload import Request, TrafficPattern, generate_trace
+
+__all__ = [
+    "CompletedRequest", "InferenceServer", "Request", "TenantConfig",
+    "TenantReport", "TrafficPattern", "batch_service_time_ns",
+    "generate_trace", "measure_service_time_ns",
+]

@@ -1,0 +1,224 @@
+"""Inference-server simulation: queueing + batching over processing groups.
+
+Implements the paper's §IV-E serving story quantitatively:
+
+- each tenant owns an **isolated slice** of processing groups (Fig. 7);
+  its requests queue only behind its own traffic;
+- alternatively, a **shared** deployment funnels every tenant through one
+  queue over the whole chip — the interference case isolation prevents
+  ("isolated hardware resources prevent interference among each other,
+  system throughput is increased without compromising inference latency");
+- dynamic batching: requests waiting in a queue coalesce up to
+  ``max_batch``, with sub-linear batch service times taken from the i20's
+  calibrated utilization-vs-batch curve.
+
+Service times come from one measured executor run per (model, groups)
+configuration, so the queueing layer stays fast while staying anchored to
+the detailed simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.accelerator import Accelerator
+from repro.models.zoo import build
+from repro.perfmodel.calibration import calibration
+from repro.runtime.runtime import Device
+from repro.serving.workload import Request
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's deployment: model + slice size + SLA + batching."""
+
+    name: str
+    model: str
+    groups: int
+    max_batch: int = 1
+    sla_ms: float | None = None
+
+
+@dataclass
+class CompletedRequest:
+    """Outcome of one request."""
+
+    request: Request
+    start_ns: float
+    finish_ns: float
+    batch_size: int
+
+    @property
+    def latency_ms(self) -> float:
+        return (self.finish_ns - self.request.arrival_ns) / 1e6
+
+    @property
+    def queue_ms(self) -> float:
+        return (self.start_ns - self.request.arrival_ns) / 1e6
+
+
+@dataclass
+class TenantReport:
+    """Serving statistics for one tenant over a run."""
+
+    tenant: str
+    completed: int
+    throughput_per_s: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_batch: float
+    sla_ms: float | None
+    sla_violations: int
+
+    @property
+    def sla_violation_rate(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.sla_violations / self.completed
+
+
+def measure_service_time_ns(model: str, groups: int) -> float:
+    """One detailed-simulator run: the per-inference service time."""
+    accelerator = Accelerator.cloudblazer_i20()
+    device = Device(accelerator)
+    compiled = device.compile(build(model), batch=1)
+    result = device.launch(compiled, num_groups=groups)
+    return result.latency_ns
+
+
+def batch_service_time_ns(base_ns: float, batch: int) -> float:
+    """Sub-linear batch scaling from the i20 calibration curve."""
+    if batch < 1:
+        raise ValueError(f"batch {batch} < 1")
+    scale = calibration("i20").batch_scale(batch)
+    return base_ns * batch / scale
+
+
+class InferenceServer:
+    """Event-driven queueing simulation over tenant slices."""
+
+    def __init__(
+        self,
+        tenants: list[TenantConfig],
+        isolated: bool = True,
+        service_times_ns: dict[str, float] | None = None,
+    ) -> None:
+        if not tenants:
+            raise ValueError("server needs at least one tenant")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        self.tenants = {tenant.name: tenant for tenant in tenants}
+        self.isolated = isolated
+        self.service_times_ns = service_times_ns or {}
+        for tenant in tenants:
+            if tenant.name not in self.service_times_ns:
+                self.service_times_ns[tenant.name] = measure_service_time_ns(
+                    tenant.model, tenant.groups
+                )
+
+    # -- simulation ----------------------------------------------------------
+
+    def run(self, trace: list[Request]) -> dict[str, TenantReport]:
+        """Replay the trace; returns per-tenant serving statistics.
+
+        Isolated mode: one server (the tenant's group slice) per tenant.
+        Shared mode: a single FIFO server processes everything in arrival
+        order — head-of-line blocking included.
+        """
+        if self.isolated:
+            completed: list[CompletedRequest] = []
+            for name in self.tenants:
+                tenant_trace = [r for r in trace if r.tenant == name]
+                completed.extend(self._run_single_queue(tenant_trace, name))
+        else:
+            completed = self._run_shared_queue(trace)
+        return self._report(completed, trace)
+
+    def _run_single_queue(
+        self, trace: list[Request], tenant_name: str
+    ) -> list[CompletedRequest]:
+        tenant = self.tenants[tenant_name]
+        base = self.service_times_ns[tenant_name]
+        completed: list[CompletedRequest] = []
+        free_at = 0.0
+        index = 0
+        while index < len(trace):
+            head = trace[index]
+            start = max(head.arrival_ns, free_at)
+            # dynamic batching: everything already waiting joins, capped.
+            batch = [head]
+            probe = index + 1
+            while (
+                probe < len(trace)
+                and len(batch) < tenant.max_batch
+                and trace[probe].arrival_ns <= start
+            ):
+                batch.append(trace[probe])
+                probe += 1
+            service = batch_service_time_ns(base, len(batch))
+            finish = start + service
+            for request in batch:
+                completed.append(
+                    CompletedRequest(
+                        request=request, start_ns=start, finish_ns=finish,
+                        batch_size=len(batch),
+                    )
+                )
+            free_at = finish
+            index = probe
+        return completed
+
+    def _run_shared_queue(self, trace: list[Request]) -> list[CompletedRequest]:
+        completed: list[CompletedRequest] = []
+        free_at = 0.0
+        for request in trace:
+            tenant = self.tenants[request.tenant]
+            base = self.service_times_ns[request.tenant]
+            start = max(request.arrival_ns, free_at)
+            finish = start + batch_service_time_ns(base, 1)
+            completed.append(
+                CompletedRequest(
+                    request=request, start_ns=start, finish_ns=finish,
+                    batch_size=1,
+                )
+            )
+            free_at = finish
+        return completed
+
+    # -- reporting ----------------------------------------------------------
+
+    def _report(
+        self, completed: list[CompletedRequest], trace: list[Request]
+    ) -> dict[str, TenantReport]:
+        horizon_ns = max((r.arrival_ns for r in trace), default=0.0) or 1.0
+        reports = {}
+        for name, tenant in self.tenants.items():
+            mine = [c for c in completed if c.request.tenant == name]
+            latencies = np.asarray([c.latency_ms for c in mine])
+            if latencies.size == 0:
+                reports[name] = TenantReport(
+                    tenant=name, completed=0, throughput_per_s=0.0,
+                    p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, mean_batch=0.0,
+                    sla_ms=tenant.sla_ms, sla_violations=0,
+                )
+                continue
+            violations = 0
+            if tenant.sla_ms is not None:
+                violations = int((latencies > tenant.sla_ms).sum())
+            reports[name] = TenantReport(
+                tenant=name,
+                completed=len(mine),
+                throughput_per_s=len(mine) * 1e9 / horizon_ns,
+                p50_ms=float(np.percentile(latencies, 50)),
+                p95_ms=float(np.percentile(latencies, 95)),
+                p99_ms=float(np.percentile(latencies, 99)),
+                mean_batch=float(np.mean([c.batch_size for c in mine])),
+                sla_ms=tenant.sla_ms,
+                sla_violations=violations,
+            )
+        return reports

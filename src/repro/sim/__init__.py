@@ -1,0 +1,11 @@
+"""Discrete-event simulation substrate."""
+
+from repro.sim.kernel import AllOf, Event, Process, Resource, SimulationError, Simulator, Timeout
+from repro.sim.trace import Interval, Trace
+from repro.sim.trace_export import save_chrome_trace, to_chrome_trace
+
+__all__ = [
+    "AllOf", "Event", "Interval", "Process", "Resource",
+    "SimulationError", "Simulator", "Timeout", "Trace",
+    "save_chrome_trace", "to_chrome_trace",
+]

@@ -1,0 +1,282 @@
+"""Discrete-event simulation kernel.
+
+This module is the substrate every timed model in the repository runs on: the
+DTU 2.0 performance simulator (compute cores, DMA engines, synchronization
+engine, power management) schedules its work as *processes* — Python
+generators that yield :class:`Timeout` or :class:`Event` objects — on a
+shared :class:`Simulator`.
+
+The design is a deliberately small subset of the SimPy programming model so
+that models stay readable:
+
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim):
+...     yield Timeout(10.0)
+...     log.append(sim.now)
+>>> _ = sim.spawn(worker(sim))
+>>> sim.run()
+>>> log
+[10.0]
+
+Time is a float; by repository convention it is **nanoseconds**.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` fires it, resuming every
+    waiting process. Firing twice is an error — events are single-use, like
+    the hardware semaphores they usually model.
+    """
+
+    __slots__ = ("sim", "name", "_fired", "_value", "_waiters")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._fired = False
+        self._value = None
+        self._waiters: list["Process"] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self):
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired yet")
+        return self._value
+
+    def succeed(self, value=None) -> None:
+        """Fire the event, waking every process currently waiting on it."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim._schedule(self.sim.now, process, value)
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self._fired:
+            self.sim._schedule(self.sim.now, process, self._value)
+        else:
+            self._waiters.append(process)
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yielded by a process to advance simulated time by ``delay``."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative timeout: {self.delay}")
+
+
+class AllOf:
+    """Composite wait: resumes the process once every child event has fired."""
+
+    def __init__(self, events) -> None:
+        self.events = list(events)
+
+    def _bind(self, sim: "Simulator", process: "Process") -> None:
+        pending = [event for event in self.events if not event.fired]
+        if not pending:
+            sim._schedule(sim.now, process, [event.value for event in self.events])
+            return
+        remaining = {"count": len(pending)}
+
+        def _make_gate(outer: "AllOf"):
+            def _gate(_value, outer=outer):
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    sim._schedule(
+                        sim.now, process, [event.value for event in outer.events]
+                    )
+
+            return _gate
+
+        gate = _make_gate(self)
+        for event in pending:
+            watcher = _CallbackWaiter(gate)
+            event._add_waiter(watcher)
+
+
+class _CallbackWaiter:
+    """Adapter letting plain callables sit in an event's waiter list."""
+
+    __slots__ = ("_callback",)
+
+    def __init__(self, callback) -> None:
+        self._callback = callback
+
+    def _resume(self, value) -> None:
+        self._callback(value)
+
+
+class Process:
+    """A running generator inside the simulator.
+
+    The wrapped generator may yield:
+
+    - :class:`Timeout` — sleep for simulated time,
+    - :class:`Event` — block until the event fires,
+    - :class:`AllOf` — block until several events fire,
+    - another :class:`Process` — block until it terminates.
+
+    When the generator returns, :attr:`done_event` fires with the generator's
+    return value, so processes compose like futures.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, sim: "Simulator", generator, name: str = "") -> None:
+        self.sim = sim
+        self.generator = generator
+        self.pid = next(Process._ids)
+        self.name = name or f"process-{self.pid}"
+        self.done_event = Event(sim, name=f"{self.name}.done")
+
+    @property
+    def done(self) -> bool:
+        return self.done_event.fired
+
+    def _resume(self, value) -> None:
+        try:
+            yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.done_event.succeed(stop.value)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded) -> None:
+        sim = self.sim
+        if isinstance(yielded, Timeout):
+            sim._schedule(sim.now + yielded.delay, self, None)
+        elif isinstance(yielded, Event):
+            yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            yielded.done_event._add_waiter(self)
+        elif isinstance(yielded, AllOf):
+            yielded._bind(sim, self)
+        else:
+            raise SimulationError(
+                f"{self.name} yielded unsupported object {yielded!r}"
+            )
+
+
+class Simulator:
+    """Event queue + clock. Deterministic: ties break by insertion order."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list = []
+        self._counter = itertools.count()
+        self._live_processes = 0
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def spawn(self, generator, name: str = "") -> Process:
+        """Register ``generator`` as a process starting at the current time."""
+        process = Process(self, generator, name=name)
+        self._live_processes += 1
+        self._schedule(self.now, process, None, first=True)
+        return process
+
+    def _schedule(self, when: float, target, value, first: bool = False) -> None:
+        if when < self.now:
+            raise SimulationError(f"scheduling into the past: {when} < {self.now}")
+        heapq.heappush(self._queue, (when, next(self._counter), target, value, first))
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue; returns the final simulated time.
+
+        ``until`` caps simulated time: events scheduled later stay queued and
+        the clock stops exactly at ``until``.
+        """
+        while self._queue:
+            when, _seq, target, value, first = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = when
+            if isinstance(target, Process):
+                if first:
+                    self._start(target)
+                else:
+                    target._resume(value)
+            else:
+                target._resume(value)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def _start(self, process: Process) -> None:
+        try:
+            yielded = next(process.generator)
+        except StopIteration as stop:
+            process.done_event.succeed(stop.value)
+            return
+        process._wait_on(yielded)
+
+
+@dataclass
+class Resource:
+    """A counted resource (e.g. an L2 port or a DMA channel).
+
+    Processes acquire with :meth:`request` (yielding the returned event) and
+    must release exactly once. FIFO granting keeps the model deterministic.
+    """
+
+    sim: Simulator
+    capacity: int
+    name: str = "resource"
+    _in_use: int = 0
+    _wait_queue: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"{self.name}: capacity must be >= 1")
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._wait_queue)
+
+    def request(self) -> Event:
+        event = self.sim.event(name=f"{self.name}.grant")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._wait_queue.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release without request")
+        if self._wait_queue:
+            grant = self._wait_queue.pop(0)
+            grant.succeed()
+        else:
+            self._in_use -= 1

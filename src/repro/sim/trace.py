@@ -1,0 +1,93 @@
+"""Execution tracing for the performance simulator.
+
+A :class:`Trace` collects timed *intervals* (an engine doing something from
+``start`` to ``end``) and named *counters*. The profiler and the power model
+both consume traces: the profiler to report per-operator latency, the power
+model to reconstruct per-engine busy/stall duty cycles inside DVFS
+observation windows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One engine activity: ``engine`` was busy on ``label`` in [start, end)."""
+
+    engine: str
+    label: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Append-only record of simulation activity."""
+
+    intervals: list[Interval] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def record(self, engine: str, label: str, start: float, end: float) -> None:
+        self.intervals.append(Interval(engine, label, start, end))
+
+    def bump(self, counter: str, amount: float = 1.0) -> None:
+        self.counters[counter] += amount
+
+    def engines(self) -> set[str]:
+        return {interval.engine for interval in self.intervals}
+
+    def busy_time(self, engine: str, start: float = 0.0, end: float | None = None) -> float:
+        """Total time ``engine`` spent busy inside the [start, end) window.
+
+        Intervals are clipped to the window; overlapping intervals on the
+        same engine are merged so double-booked time is not counted twice.
+        """
+        if end is None:
+            end = self.end_time()
+        clipped = sorted(
+            (max(interval.start, start), min(interval.end, end))
+            for interval in self.intervals
+            if interval.engine == engine
+            and interval.end > start
+            and interval.start < end
+        )
+        busy = 0.0
+        cursor = start
+        for lo, hi in clipped:
+            lo = max(lo, cursor)
+            if hi > lo:
+                busy += hi - lo
+                cursor = hi
+        return busy
+
+    def utilization(self, engine: str, start: float = 0.0, end: float | None = None) -> float:
+        """Busy fraction of ``engine`` over the window; 0 for an empty window."""
+        if end is None:
+            end = self.end_time()
+        span = end - start
+        if span <= 0:
+            return 0.0
+        return self.busy_time(engine, start, end) / span
+
+    def end_time(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return max(interval.end for interval in self.intervals)
+
+    def by_label(self) -> dict[str, float]:
+        """Aggregate busy duration per label (e.g. per operator name)."""
+        totals: dict[str, float] = defaultdict(float)
+        for interval in self.intervals:
+            totals[interval.label] += interval.duration
+        return dict(totals)

@@ -1,0 +1,66 @@
+"""Export simulation traces to the Chrome trace-event format.
+
+Load the produced JSON in ``chrome://tracing`` / Perfetto to see the
+simulated chip's timeline: one row per engine (cores, DMA engines, icache
+stalls), one slice per kernel — the profiler view a vendor toolchain ships.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sim.trace import Trace
+
+#: microseconds per trace tick (Chrome wants us; our traces are ns)
+_NS_PER_US = 1000.0
+
+
+def _category(engine: str) -> str:
+    return engine.split(".", 1)[0]
+
+
+def to_chrome_trace(trace: Trace, process_name: str = "DTU 2.0") -> dict:
+    """Build the chrome://tracing JSON document for one trace."""
+    engines = sorted(trace.engines())
+    thread_ids = {engine: index + 1 for index, engine in enumerate(engines)}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for engine, thread_id in thread_ids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": thread_id,
+                "args": {"name": engine},
+            }
+        )
+    for interval in trace.intervals:
+        events.append(
+            {
+                "name": interval.label,
+                "cat": _category(interval.engine),
+                "ph": "X",  # complete event
+                "pid": 1,
+                "tid": thread_ids[interval.engine],
+                "ts": interval.start / _NS_PER_US,
+                "dur": interval.duration / _NS_PER_US,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def save_chrome_trace(
+    trace: Trace, path: str | Path, process_name: str = "DTU 2.0"
+) -> Path:
+    """Write the trace next to the workload; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(trace, process_name)))
+    return path

@@ -1,0 +1,6 @@
+"""Synchronization engine: 1-1 / 1-N / N-1 / N-M patterns."""
+
+from repro.sync.engine import SyncEngine, SyncStats
+from repro.sync.events import Barrier, Semaphore
+
+__all__ = ["Barrier", "Semaphore", "SyncEngine", "SyncStats"]

@@ -1,0 +1,173 @@
+"""Tests for elementwise kernel codegen: generated VLIW code must match the
+numpy reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import (
+    CodegenError,
+    execute_kernel,
+    generate_elementwise_kernel,
+    supports,
+)
+from repro.core.datatypes import DType
+from repro.graph.builder import GraphBuilder
+from repro.graph.fusion import fuse_operators
+from repro.graph.reference import ReferenceExecutor
+
+
+def _chain_graph(extent=100):
+    builder = GraphBuilder("chain")
+    x = builder.input("x", (extent,))
+    y = builder.input("y", (extent,))
+    out = builder.add(x, y)
+    out = builder.relu(out)
+    out = builder.sigmoid(out)
+    graph = builder.finish([out])
+    return graph, out
+
+
+class TestGeneration:
+    def test_fused_chain_supported(self):
+        graph, _ = _chain_graph()
+        fuse_operators(graph)
+        assert len(graph.nodes) == 1
+        assert supports(graph.nodes[0])
+
+    def test_matrix_op_not_supported(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (4, 4))
+        y = builder.dense(x, 4)
+        graph = builder.finish([y])
+        assert not supports(graph.nodes[0])
+        with pytest.raises(CodegenError):
+            generate_elementwise_kernel(graph.nodes[0], graph)
+
+    def test_strip_count_matches_extent(self):
+        graph, _ = _chain_graph(extent=100)
+        fuse_operators(graph)
+        kernel = generate_elementwise_kernel(graph.nodes[0], graph, DType.FP32)
+        # 100 elements / 16 lanes -> 7 strips, each with 1 store
+        stores = sum(
+            1
+            for packet in kernel.program.packets
+            for instruction in packet.instructions
+            if instruction.opcode == "st"
+        )
+        assert stores == 7
+
+    def test_packetizer_finds_cross_strip_ilp(self):
+        graph, _ = _chain_graph(extent=160)
+        fuse_operators(graph)
+        kernel = generate_elementwise_kernel(graph.nodes[0], graph)
+        assert kernel.schedule.ilp > 1.2
+
+    def test_register_allocation_conflict_free(self):
+        graph, _ = _chain_graph(extent=96)
+        fuse_operators(graph)
+        kernel = generate_elementwise_kernel(graph.nodes[0], graph)
+        assert kernel.allocation.conflicts_after == 0
+
+    def test_broadcast_inputs_rejected(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (16, 4))
+        y = builder.input("y", (4,))
+        out = builder.add(x, y)
+        graph = builder.finish([out])
+        with pytest.raises(CodegenError):
+            generate_elementwise_kernel(graph.nodes[0], graph)
+
+
+class TestExecutionMatchesReference:
+    def _compare(self, graph, output, inputs, atol=1e-4):
+        reference = ReferenceExecutor(graph).run(**inputs)[output]
+        fuse_operators(graph)
+        node = graph.nodes[0]
+        kernel = generate_elementwise_kernel(node, graph)
+        got = execute_kernel(kernel, inputs)
+        assert got.shape == reference.ravel().shape
+        assert np.allclose(got, reference.ravel(), atol=atol)
+
+    def test_add_relu_sigmoid_chain(self):
+        graph, output = _chain_graph(extent=100)
+        rng = np.random.default_rng(0)
+        self._compare(
+            graph, output,
+            {"x": rng.normal(size=100), "y": rng.normal(size=100)},
+        )
+
+    def test_single_unary(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (33,))
+        out = builder.tanh(x)
+        graph = builder.finish([out])
+        rng = np.random.default_rng(1)
+        self._compare(graph, output=out, inputs={"x": rng.normal(size=33)})
+
+    def test_gelu_swish_chain(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (64,))
+        out = builder.gelu(x)
+        out = builder.swish(out)
+        graph = builder.finish([out])
+        rng = np.random.default_rng(2)
+        self._compare(graph, output=out, inputs={"x": rng.normal(size=64)})
+
+    def test_binary_tree_of_ops(self):
+        builder = GraphBuilder("g")
+        a = builder.input("a", (48,))
+        b = builder.input("b", (48,))
+        out = builder.mul(a, b)
+        out = builder.maximum(out, a)
+        out = builder.relu(out)
+        graph = builder.finish([out])
+        rng = np.random.default_rng(3)
+        self._compare(
+            graph, output=out,
+            inputs={"a": rng.normal(size=48), "b": rng.normal(size=48)},
+        )
+
+    def test_ragged_tail_strip(self):
+        """Extent not divisible by lanes: the tail strip must be exact."""
+        builder = GraphBuilder("g")
+        x = builder.input("x", (17,))
+        out = builder.relu(x)
+        graph = builder.finish([out])
+        data = np.linspace(-1, 1, 17)
+        self._compare(graph, output=out, inputs={"x": data}, atol=1e-9)
+
+    def test_2d_tensor_flattens(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (4, 25))
+        out = builder.sigmoid(x)
+        graph = builder.finish([out])
+        rng = np.random.default_rng(4)
+        self._compare(graph, output=out, inputs={"x": rng.normal(size=(4, 25))})
+
+    def test_missing_input_rejected(self):
+        graph, _ = _chain_graph(extent=16)
+        fuse_operators(graph)
+        kernel = generate_elementwise_kernel(graph.nodes[0], graph)
+        with pytest.raises(CodegenError):
+            execute_kernel(kernel, {"x": np.zeros(16)})
+
+    def test_wrong_extent_rejected(self):
+        graph, _ = _chain_graph(extent=16)
+        fuse_operators(graph)
+        kernel = generate_elementwise_kernel(graph.nodes[0], graph)
+        with pytest.raises(CodegenError):
+            execute_kernel(kernel, {"x": np.zeros(8), "y": np.zeros(8)})
+
+    def test_fp16_lanes_widen_strips(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (64,))
+        out = builder.relu(x)
+        graph = builder.finish([out])
+        fp32 = generate_elementwise_kernel(graph.nodes[0], graph, DType.FP32)
+        fp16 = generate_elementwise_kernel(graph.nodes[0], graph, DType.FP16)
+        assert fp16.program.instruction_count < fp32.program.instruction_count
+        data = np.random.default_rng(5).normal(size=64)
+        assert np.allclose(
+            execute_kernel(fp16, {"x": data}, DType.FP16),
+            np.maximum(data, 0.0),
+        )

@@ -1,0 +1,112 @@
+"""Unit tests for graph -> kernel lowering."""
+
+import pytest
+
+from repro.compiler.lowering import lower_graph
+from repro.core.config import dtu1_config, dtu2_config
+from repro.core.datatypes import DType
+from repro.graph.builder import GraphBuilder
+from repro.graph.passes import optimize
+
+
+def _small_graph(fused=True):
+    builder = GraphBuilder("small")
+    x = builder.input("x", (1, 3, 32, 32))
+    y = builder.conv2d(x, 16, 3, pad=1)
+    y = builder.batch_norm(y)
+    y = builder.relu(y)
+    y = builder.dense(builder.flatten(builder.global_avg_pool(y)), 10)
+    graph = builder.finish([y])
+    if fused:
+        graph, _ = optimize(graph)
+    return graph
+
+
+class TestLowering:
+    def test_one_kernel_per_node(self):
+        graph = _small_graph()
+        compiled = lower_graph(graph, dtu2_config())
+        assert len(compiled.kernels) == len(graph.nodes)
+
+    def test_fused_kernel_aggregates_members(self):
+        compiled = lower_graph(_small_graph(), dtu2_config())
+        fused = [kernel for kernel in compiled.kernels if kernel.is_fused]
+        assert fused and fused[0].members == 3
+        assert fused[0].category == "conv"
+
+    def test_internal_bytes_only_on_fused_kernels(self):
+        compiled = lower_graph(_small_graph(), dtu2_config())
+        for kernel in compiled.kernels:
+            if not kernel.is_fused:
+                assert kernel.cost.internal_bytes == 0
+
+    def test_fusion_moves_traffic_to_internal(self):
+        fused = lower_graph(_small_graph(fused=True), dtu2_config())
+        plain = lower_graph(_small_graph(fused=False), dtu2_config())
+        assert fused.total_flops == pytest.approx(plain.total_flops)
+        assert fused.total_boundary_bytes < plain.total_boundary_bytes
+        assert fused.total_internal_bytes > 0
+
+    def test_byte_counts_scale_with_dtype(self):
+        fp32 = lower_graph(_small_graph(), dtu2_config(), DType.FP32)
+        fp16 = lower_graph(_small_graph(), dtu2_config(), DType.FP16)
+        assert fp32.total_boundary_bytes == 2 * fp16.total_boundary_bytes
+
+    def test_weights_counted_separately(self):
+        compiled = lower_graph(_small_graph(fused=False), dtu2_config())
+        conv = next(k for k in compiled.kernels if k.attrs["op_type"] == "conv2d")
+        # conv weight: 16 x 3 x 3 x 3 + bias 16 at FP16
+        assert conv.cost.weight_bytes == (16 * 3 * 3 * 3 + 16) * 2
+
+    def test_conv_gets_tensorization_plan(self):
+        compiled = lower_graph(_small_graph(), dtu2_config())
+        conv = next(k for k in compiled.kernels if k.category == "conv")
+        assert conv.tensorization is not None
+        assert 0 < conv.tensorization.utilization <= 1.0
+
+    def test_dtu1_coarse_tensorization_no_better(self):
+        fine = lower_graph(_small_graph(), dtu2_config())
+        coarse = lower_graph(_small_graph(), dtu1_config())
+        fine_util = [k.tensorization.utilization for k in fine.kernels if k.tensorization]
+        coarse_util = [k.tensorization.utilization for k in coarse.kernels if k.tensorization]
+        assert sum(fine_util) >= sum(coarse_util)
+
+    def test_every_kernel_has_tiling_when_data_moves(self):
+        compiled = lower_graph(_small_graph(), dtu2_config())
+        for kernel in compiled.kernels:
+            if kernel.cost.boundary_bytes > 0 and kernel.cost.flops > 0:
+                assert kernel.tiling is not None
+
+    def test_repeat_dma_single_configuration(self):
+        compiled = lower_graph(_small_graph(), dtu2_config())
+        for kernel in compiled.kernels:
+            if kernel.tiling is not None:
+                assert kernel.tiling.dma_configurations == 1
+
+    def test_code_bytes_positive_and_fused_bigger(self):
+        compiled = lower_graph(_small_graph(), dtu2_config())
+        fused = next(k for k in compiled.kernels if k.is_fused)
+        plain = next(k for k in compiled.kernels if not k.is_fused)
+        assert fused.code_bytes > plain.code_bytes > 0
+
+    def test_sparsity_attr_propagates(self):
+        graph = _small_graph(fused=True)
+        compiled = lower_graph(graph, dtu2_config())
+        # relu carries RELU_SPARSITY via models.layers only; here built
+        # manually so sparsity defaults to 0
+        assert all(kernel.sparsity == 0.0 for kernel in compiled.kernels)
+
+    def test_arithmetic_intensity_sane(self):
+        compiled = lower_graph(_small_graph(), dtu2_config())
+        conv = next(k for k in compiled.kernels if k.category == "conv")
+        assert conv.cost.arithmetic_intensity > 1.0
+
+    def test_symbolic_graph_rejected(self):
+        builder = GraphBuilder("dyn")
+        x = builder.input("x", ("batch", 4))
+        y = builder.dense(x, 8)
+        graph = builder.finish([y])
+        from repro.graph.ir import GraphError
+
+        with pytest.raises(GraphError):
+            lower_graph(graph, dtu2_config())

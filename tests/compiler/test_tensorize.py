@@ -1,0 +1,122 @@
+"""Unit tests for auto-tensorization (VMM mapping, §V-B / §III)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.tensorize import (
+    GemmShape,
+    TensorizeError,
+    conv2d_as_gemm,
+    gpu_tile_utilization,
+    matrix_engine_efficiency,
+    tensorize_gemm,
+)
+from repro.core.datatypes import DType
+
+
+class TestGemmShape:
+    def test_useful_macs(self):
+        assert GemmShape(2, 3, 4).useful_macs == 24
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(TensorizeError):
+            GemmShape(0, 1, 1)
+
+    def test_tall_skinny_detection(self):
+        assert GemmShape(m=1000, n=8, k=64).is_tall_skinny
+        assert not GemmShape(m=64, n=64, k=64).is_tall_skinny
+
+    def test_conv_as_gemm(self):
+        shape = conv2d_as_gemm(
+            batch=2, out_channels=64, out_height=14, out_width=14,
+            in_channels_per_group=32, kernel_h=3, kernel_w=3,
+        )
+        assert shape.m == 2 * 14 * 14
+        assert shape.n == 64
+        assert shape.k == 32 * 9
+
+
+class TestFineGrainedVmm:
+    def test_aligned_shape_full_utilization(self):
+        plan = tensorize_gemm(GemmShape(m=64, n=32, k=32), DType.FP16)
+        assert plan.utilization == pytest.approx(1.0)
+
+    def test_issued_macs_cover_useful(self):
+        plan = tensorize_gemm(GemmShape(m=10, n=50, k=70), DType.FP16)
+        assert plan.issued_macs >= plan.shape.useful_macs
+        assert 0 < plan.utilization <= 1.0
+
+    def test_vmm_count_formula(self):
+        plan = tensorize_gemm(GemmShape(m=64, n=32, k=32), DType.FP16)
+        assert plan.vmm_count * plan.pattern_rows * plan.pattern_cols == plan.issued_macs
+
+    def test_loop_switching_rescues_narrow_output(self):
+        """§V-B loop switching: a 3-channel conv output must not tank."""
+        narrow = GemmShape(m=100000, n=3, k=512)
+        fine = tensorize_gemm(narrow, DType.FP16, fine_grained=True)
+        assert fine.utilization > 0.9
+
+    def test_fp32_uses_16_lane_patterns(self):
+        plan = tensorize_gemm(GemmShape(m=100, n=16, k=16), DType.FP32)
+        assert plan.pattern_cols == 16
+        assert plan.utilization == pytest.approx(1.0)
+
+
+class TestCoarseVsFine:
+    """§III: coarse GEMM engines waste on tall-and-skinny matrices."""
+
+    def test_coarse_locked_to_largest_tile(self):
+        coarse = tensorize_gemm(GemmShape(m=64, n=8, k=8), DType.FP16,
+                                fine_grained=False)
+        assert coarse.pattern_rows == 32 and coarse.pattern_cols == 32
+
+    def test_fine_beats_coarse_on_depthwise_conv(self):
+        # depthwise 3x3: K = 9 per channel, tall-skinny
+        depthwise = conv2d_as_gemm(1, 1, 56, 56, 1, 3, 3)
+        fine = matrix_engine_efficiency(depthwise, fine_grained=True)
+        coarse = matrix_engine_efficiency(depthwise, fine_grained=False)
+        assert fine > coarse
+
+    def test_fine_never_worse(self):
+        for shape in (
+            GemmShape(64, 64, 64),
+            GemmShape(1, 1000, 3),
+            GemmShape(7, 13, 29),
+        ):
+            assert matrix_engine_efficiency(shape, fine_grained=True) >= (
+                matrix_engine_efficiency(shape, fine_grained=False)
+            )
+
+    def test_square_shapes_equal(self):
+        big = GemmShape(m=128, n=32, k=32)
+        fine = matrix_engine_efficiency(big, fine_grained=True)
+        coarse = matrix_engine_efficiency(big, fine_grained=False)
+        assert fine == pytest.approx(coarse)
+
+
+class TestGpuTiles:
+    def test_aligned_gemm_full_utilization(self):
+        assert gpu_tile_utilization(GemmShape(128, 128, 64)) == pytest.approx(1.0)
+
+    def test_small_gemm_wastes(self):
+        assert gpu_tile_utilization(GemmShape(17, 9, 40)) < 0.25
+
+    def test_orientation_flip_considered(self):
+        tall = gpu_tile_utilization(GemmShape(m=3, n=4096, k=512))
+        assert tall == gpu_tile_utilization(GemmShape(m=4096, n=3, k=512))
+
+    def test_bounded_by_one(self):
+        assert gpu_tile_utilization(GemmShape(1000000, 1000000, 1000)) <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(1, 5000),
+    n=st.integers(1, 512),
+    k=st.integers(1, 512),
+    dtype=st.sampled_from([DType.FP16, DType.FP32, DType.INT8]),
+)
+def test_property_utilization_in_unit_interval(m, n, k, dtype):
+    plan = tensorize_gemm(GemmShape(m, n, k), dtype)
+    assert 0.0 < plan.utilization <= 1.0
+    assert plan.issued_macs >= plan.shape.useful_macs

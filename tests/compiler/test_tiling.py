@@ -1,0 +1,90 @@
+"""Unit tests for the data-flow auto-tuner (tiling search, §V-B)."""
+
+import pytest
+
+from repro.compiler.kernel import KernelCost
+from repro.compiler.tiling import TilingError, TilingSearchSpace, tune_tiling
+
+MB = 1 << 20
+
+
+def _cost(flops=1e9, boundary=8 * MB):
+    return KernelCost(
+        flops=flops, input_bytes=boundary // 2, output_bytes=boundary // 4,
+        weight_bytes=boundary // 4,
+    )
+
+
+def _tune(cost=None, l1=1 * MB, compute=85.0, bandwidth=136.0, repeat=True, **kw):
+    return tune_tiling(
+        cost or _cost(),
+        l1_capacity_bytes=l1,
+        compute_flops_per_ns=compute,
+        dma_bandwidth_gbps=bandwidth,
+        dma_config_overhead_ns=220.0,
+        repeat_mode=repeat,
+        **kw,
+    )
+
+
+def test_tiles_fit_l1_with_buffering():
+    plan = _tune()
+    assert plan.tile_bytes * plan.buffers <= 1 * MB
+
+
+def test_pipelining_beats_serial():
+    plan = _tune()
+    assert plan.overlap_efficiency > 1.0
+
+
+def test_repeat_mode_single_configuration():
+    assert _tune(repeat=True).dma_configurations == 1
+
+
+def test_no_repeat_mode_one_config_per_tile():
+    plan = _tune(repeat=False)
+    assert plan.dma_configurations == plan.tiles
+
+
+def test_repeat_mode_never_slower():
+    with_repeat = _tune(repeat=True)
+    without = _tune(repeat=False)
+    assert with_repeat.pipelined_time_ns <= without.pipelined_time_ns
+
+
+def test_compute_bound_kernel_hides_dma():
+    plan = _tune(_cost(flops=1e11, boundary=1 * MB))
+    assert plan.compute_time_ns > plan.dma_time_ns
+    # pipelined time approaches pure compute time
+    assert plan.pipelined_time_ns < plan.compute_time_ns * 1.3
+
+
+def test_bandwidth_bound_kernel_hides_compute():
+    plan = _tune(_cost(flops=1e6, boundary=32 * MB))
+    assert plan.dma_time_ns > plan.compute_time_ns
+    assert plan.pipelined_time_ns < plan.dma_time_ns * 1.3
+
+
+def test_giant_working_set_falls_back():
+    plan = _tune(_cost(boundary=1024 * MB), l1=256 * 1024)
+    assert plan.tiles == TilingSearchSpace().max_tiles
+
+
+def test_zero_data_rejected():
+    with pytest.raises(TilingError):
+        _tune(KernelCost(flops=1e9, input_bytes=0, output_bytes=0, weight_bytes=0))
+
+
+def test_bad_throughput_rejected():
+    with pytest.raises(TilingError):
+        _tune(compute=0.0)
+
+
+def test_search_is_deterministic():
+    assert _tune() == _tune()
+
+
+def test_bigger_l1_never_hurts():
+    small = _tune(l1=256 * 1024)
+    large = _tune(l1=4 * MB)
+    assert large.pipelined_time_ns <= small.pipelined_time_ns

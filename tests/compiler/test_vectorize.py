@@ -1,0 +1,99 @@
+"""Unit tests for auto-vectorization (loop + super-word levels, §V-B)."""
+
+import pytest
+
+from repro.compiler.vectorize import (
+    ScalarLoop,
+    ScalarOp,
+    pack_superwords,
+    vectorize_loop,
+)
+from repro.core.datatypes import DType
+
+BODY = (
+    ScalarOp("mul", "t0", ("a", "b")),
+    ScalarOp("add", "t1", ("t0", "c")),
+)
+
+
+class TestLoopVectorization:
+    def test_exact_multiple_has_no_tail(self):
+        result = vectorize_loop(ScalarLoop(extent=64, body=BODY), DType.FP32)
+        assert result.vector_iterations == 4
+        assert result.tail_iterations == 0
+        assert result.scalar_ops == 0
+
+    def test_remainder_becomes_scalar_tail(self):
+        result = vectorize_loop(ScalarLoop(extent=67, body=BODY), DType.FP32)
+        assert result.vector_iterations == 4
+        assert result.tail_iterations == 3
+        assert result.scalar_ops == 3 * len(BODY)
+
+    def test_speedup_approaches_lane_count(self):
+        result = vectorize_loop(ScalarLoop(extent=16 * 100, body=BODY), DType.FP32)
+        assert result.speedup == pytest.approx(16.0)
+
+    def test_short_loop_no_speedup(self):
+        result = vectorize_loop(ScalarLoop(extent=3, body=BODY), DType.FP32)
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_wider_lanes_for_fp16(self):
+        fp32 = vectorize_loop(ScalarLoop(extent=320, body=BODY), DType.FP32)
+        fp16 = vectorize_loop(ScalarLoop(extent=320, body=BODY), DType.FP16)
+        assert fp16.speedup > fp32.speedup
+
+    def test_transcendentals_route_to_sfu(self):
+        body = (
+            ScalarOp("mul", "t0", ("a", "b")),
+            ScalarOp("tanh", "t1", ("t0",)),
+            ScalarOp("gelu", "t2", ("t1",)),
+        )
+        result = vectorize_loop(ScalarLoop(extent=32, body=body), DType.FP32)
+        assert result.sfu_ops == 2 * result.vector_iterations
+        assert result.vector_ops == 1 * result.vector_iterations
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarLoop(extent=4, body=())
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarLoop(extent=-1, body=BODY)
+
+    def test_zero_extent_loop(self):
+        result = vectorize_loop(ScalarLoop(extent=0, body=BODY), DType.FP32)
+        assert result.total_issued_ops == 0
+
+
+class TestSuperwordPacking:
+    def test_isomorphic_statements_pack(self):
+        block = [ScalarOp("add", f"t{i}", (f"a{i}", f"b{i}")) for i in range(16)]
+        groups, leftovers = pack_superwords(block, DType.FP32)
+        assert len(groups) == 1 and groups[0].width == 16
+        assert not leftovers
+
+    def test_mixed_opcodes_pack_separately(self):
+        block = [ScalarOp("add", f"t{i}", ()) for i in range(4)] + [
+            ScalarOp("mul", f"u{i}", ()) for i in range(4)
+        ]
+        groups, _ = pack_superwords(block, DType.FP32)
+        assert {group.op for group in groups} == {"add", "mul"}
+
+    def test_dependence_breaks_group(self):
+        block = [
+            ScalarOp("add", "t0", ("a", "b")),
+            ScalarOp("add", "t1", ("t0", "c")),  # reads t0: dependent
+        ]
+        groups, leftovers = pack_superwords(block, DType.FP32)
+        assert not groups  # neither bucket reaches width 2 independently
+        assert len(leftovers) == 2
+
+    def test_singleton_left_scalar(self):
+        groups, leftovers = pack_superwords([ScalarOp("add", "t0", ())], DType.FP32)
+        assert not groups and len(leftovers) == 1
+
+    def test_lane_limit_splits_groups(self):
+        block = [ScalarOp("add", f"t{i}", ()) for i in range(40)]
+        groups, _ = pack_superwords(block, DType.FP32)
+        assert all(group.width <= 16 for group in groups)
+        assert sum(group.width for group in groups) == 40

@@ -1,0 +1,157 @@
+"""Unit tests for chip configurations against the paper's numbers."""
+
+import pytest
+
+from repro.core.config import FeatureFlags, KB, MB, GB, dtu1_config, dtu2_config
+from repro.core.datatypes import DType
+
+
+class TestDtu2:
+    def setup_method(self):
+        self.chip = dtu2_config()
+
+    def test_table1_peak_rates(self):
+        assert self.chip.peak_flops(DType.FP32) == 32e12
+        assert self.chip.peak_flops(DType.TF32) == 128e12
+        assert self.chip.peak_flops(DType.FP16) == 128e12
+        assert self.chip.peak_flops(DType.BF16) == 128e12
+        assert self.chip.peak_flops(DType.INT8) == 256e12
+
+    def test_fig2_topology(self):
+        """2 clusters x 12 cores, 3 processing groups of 4 cores each."""
+        assert self.chip.clusters == 2
+        assert self.chip.cores_per_cluster == 12
+        assert self.chip.total_cores == 24
+        assert self.chip.groups_per_cluster == 3
+        assert self.chip.total_groups == 6
+        assert self.chip.cores_per_group == 4
+
+    def test_table1_board(self):
+        assert self.chip.tdp_watts == 150.0
+        assert self.chip.pcie_gbps == 64.0
+        assert self.chip.l3.capacity_bytes == 16 * GB
+        assert self.chip.l3.bandwidth_gbps == 819.0
+
+    def test_l2_has_four_ports(self):
+        assert self.chip.l2_per_group.ports == 4
+
+    def test_dvfs_range(self):
+        assert self.chip.base_clock_ghz == 1.0
+        assert self.chip.max_clock_ghz == 1.4
+
+    def test_all_features_on_by_default(self):
+        flags = self.chip.features
+        assert flags.operator_fusion
+        assert flags.repeat_dma
+        assert flags.icache_prefetch
+        assert flags.sparse_dma
+        assert flags.l2_broadcast
+        assert flags.affinity_allocation
+        assert flags.fine_grained_vmm
+        assert flags.direct_l1_l3_dma
+        assert flags.power_management
+
+
+class TestDtu1:
+    def setup_method(self):
+        self.chip = dtu1_config()
+
+    def test_section2_peaks(self):
+        """§II-A: 20/80/80 teraFLOPS FP32/FP16/BF16; 80 TOPS INT8."""
+        assert self.chip.peak_flops(DType.FP32) == 20e12
+        assert self.chip.peak_flops(DType.FP16) == 80e12
+        assert self.chip.peak_flops(DType.INT8) == 80e12
+
+    def test_section2_topology(self):
+        assert self.chip.clusters == 4
+        assert self.chip.total_cores == 32
+        assert self.chip.total_groups == 4
+
+    def test_section2_memories(self):
+        assert self.chip.l1_per_core.capacity_bytes == 256 * KB
+        assert self.chip.l2_per_group.capacity_bytes == 4 * MB
+        assert self.chip.l3.bandwidth_gbps == 512.0
+        assert self.chip.l2_per_group.ports == 1
+
+    def test_dtu2_features_absent(self):
+        flags = self.chip.features
+        assert not flags.repeat_dma
+        assert not flags.icache_prefetch
+        assert not flags.sparse_dma
+        assert not flags.l2_broadcast
+        assert not flags.fine_grained_vmm
+        assert not flags.direct_l1_l3_dma
+
+
+class TestGenerationRatios:
+    """Table II 'Enhancements over DTU 1.0' column, checked as ratios."""
+
+    def setup_method(self):
+        self.v1 = dtu1_config()
+        self.v2 = dtu2_config()
+
+    def test_l1_per_core_4x(self):
+        assert (
+            self.v2.l1_per_core.capacity_bytes
+            == 4 * self.v1.l1_per_core.capacity_bytes
+        )
+
+    def test_l2_per_cluster_6x(self):
+        l2_v1 = self.v1.l2_per_group.capacity_bytes * self.v1.groups_per_cluster
+        l2_v2 = self.v2.l2_per_group.capacity_bytes * self.v2.groups_per_cluster
+        assert l2_v2 == 6 * l2_v1
+
+    def test_total_l1_l2_3x(self):
+        total_v1 = (
+            self.v1.l1_per_core.capacity_bytes * self.v1.total_cores
+            + self.v1.l2_per_group.capacity_bytes * self.v1.total_groups
+        )
+        total_v2 = (
+            self.v2.l1_per_core.capacity_bytes * self.v2.total_cores
+            + self.v2.l2_per_group.capacity_bytes * self.v2.total_groups
+        )
+        assert total_v2 == 3 * total_v1
+
+    def test_l3_bandwidth_1_6x(self):
+        assert self.v2.l3.bandwidth_gbps == pytest.approx(
+            1.6 * self.v1.l3.bandwidth_gbps, rel=0.01
+        )
+
+    def test_l3_capacity_unchanged(self):
+        assert self.v2.l3.capacity_bytes == self.v1.l3.capacity_bytes
+
+    def test_peak_fp16_1_6x_int8_3_2x(self):
+        assert self.v2.peak_flops(DType.FP16) == pytest.approx(
+            1.6 * self.v1.peak_flops(DType.FP16)
+        )
+        assert self.v2.peak_flops(DType.INT8) == pytest.approx(
+            3.2 * self.v1.peak_flops(DType.INT8)
+        )
+
+    def test_fewer_but_stronger_cores(self):
+        """§III capability vs quantity: 24 cores beat 32 cores."""
+        assert self.v2.total_cores < self.v1.total_cores
+        per_core_v2 = self.v2.peak_flops(DType.FP16) / self.v2.total_cores
+        per_core_v1 = self.v1.peak_flops(DType.FP16) / self.v1.total_cores
+        assert per_core_v2 > per_core_v1
+
+
+def test_feature_flags_disable_returns_copy():
+    flags = FeatureFlags()
+    modified = flags.disable(repeat_dma=False)
+    assert flags.repeat_dma
+    assert not modified.repeat_dma
+
+
+def test_core_flops_per_ns_scales_with_clock():
+    chip = dtu2_config()
+    full = chip.core_flops_per_ns(DType.FP16)
+    half = chip.core_flops_per_ns(DType.FP16, clock_ghz=0.7)
+    assert half == pytest.approx(full / 2)
+
+
+def test_with_features_replaces_flags():
+    chip = dtu2_config()
+    stripped = chip.with_features(FeatureFlags(sparse_dma=False))
+    assert not stripped.features.sparse_dma
+    assert chip.features.sparse_dma

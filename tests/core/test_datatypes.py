@@ -1,0 +1,59 @@
+"""Unit tests for architectural data types."""
+
+import numpy as np
+import pytest
+
+from repro.core.datatypes import DType, DTypeKind, tensor_bytes
+
+
+def test_all_widths_covered():
+    assert {dtype.bits for dtype in DType} == {8, 16, 32}
+
+
+def test_bytes_matches_bits():
+    for dtype in DType:
+        assert dtype.bytes == dtype.bits // 8
+
+
+def test_table1_rate_multipliers():
+    """Table I ratios: FP16/BF16/TF32 4x FP32; INT8 8x FP32-rate."""
+    assert DType.FP16.rate_multiplier == 4.0
+    assert DType.BF16.rate_multiplier == 4.0
+    assert DType.TF32.rate_multiplier == 4.0
+    assert DType.INT8.rate_multiplier == 8.0
+    assert DType.FP32.rate_multiplier == 1.0
+
+
+def test_kind_classification():
+    assert DType.FP16.kind is DTypeKind.FLOAT
+    assert DType.INT8.kind is DTypeKind.INT
+    assert DType.FP32.is_float
+    assert not DType.INT32.is_float
+
+
+def test_numpy_dtype_carriers():
+    assert DType.FP16.numpy_dtype == np.dtype(np.float32)
+    assert DType.INT8.numpy_dtype == np.dtype(np.int8)
+    assert DType.INT16.numpy_dtype == np.dtype(np.int16)
+
+
+def test_parse_accepts_names_case_insensitively():
+    assert DType.parse("fp16") is DType.FP16
+    assert DType.parse("INT8") is DType.INT8
+    assert DType.parse(DType.BF16) is DType.BF16
+
+
+def test_parse_rejects_unknown():
+    with pytest.raises(ValueError):
+        DType.parse("fp64")
+
+
+def test_tensor_bytes():
+    assert tensor_bytes((2, 3, 4), DType.FP32) == 96
+    assert tensor_bytes((2, 3, 4), DType.FP16) == 48
+    assert tensor_bytes((), DType.INT8) == 1
+
+
+def test_tensor_bytes_rejects_negative_dim():
+    with pytest.raises(ValueError):
+        tensor_bytes((2, -1), DType.FP32)

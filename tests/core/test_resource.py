@@ -1,0 +1,142 @@
+"""Unit + property tests for resource abstraction (§IV-E, Fig. 7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import dtu2_config
+from repro.core.resource import (
+    GroupId,
+    ResourceError,
+    ResourceManager,
+    recommend_groups,
+)
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def manager():
+    return ResourceManager(dtu2_config())
+
+
+class TestTopology:
+    def test_six_groups_total(self, manager):
+        assert len(manager.all_groups()) == 6
+
+    def test_groups_span_two_clusters(self, manager):
+        clusters = {group.cluster for group in manager.all_groups()}
+        assert clusters == {0, 1}
+
+
+class TestFig7Policy:
+    def test_small_workload_one_group(self):
+        chip = dtu2_config()
+        assert recommend_groups(4 * MB, chip) == 1
+
+    def test_medium_workload_two_groups(self):
+        chip = dtu2_config()
+        assert recommend_groups(12 * MB, chip) == 2
+
+    def test_large_workload_full_cluster(self):
+        chip = dtu2_config()
+        assert recommend_groups(100 * MB, chip) == 3
+
+    def test_latency_critical_gets_cluster(self):
+        chip = dtu2_config()
+        assert recommend_groups(1 * MB, chip, latency_critical=True) == 3
+
+
+class TestAssignment:
+    def test_single_tenant_gets_requested_groups(self, manager):
+        assignment = manager.assign("tenant-a", 2)
+        assert assignment.num_groups == 2
+        assert assignment.within_one_cluster
+
+    def test_same_cluster_preferred(self, manager):
+        assignment = manager.assign("a", 3)
+        assert assignment.within_one_cluster
+
+    def test_best_fit_packs_clusters(self, manager):
+        manager.assign("a", 2)  # cluster 0 has 1 free
+        b = manager.assign("b", 1)
+        # best fit should place the single group in the fragmented cluster
+        assert b.groups[0].cluster == 0
+        c = manager.assign("c", 3)
+        assert c.within_one_cluster
+
+    def test_spill_across_clusters_when_needed(self, manager):
+        manager.assign("a", 2)
+        big = manager.assign("b", 4)
+        assert not big.within_one_cluster
+
+    def test_whole_chip_assignable(self, manager):
+        assignment = manager.assign("everything", 6)
+        assert assignment.num_groups == 6
+        assert manager.free_groups() == []
+
+    def test_double_assignment_rejected(self, manager):
+        manager.assign("a", 1)
+        with pytest.raises(ResourceError):
+            manager.assign("a", 1)
+
+    def test_overflow_rejected(self, manager):
+        manager.assign("a", 5)
+        with pytest.raises(ResourceError):
+            manager.assign("b", 2)
+
+    def test_bad_request_rejected(self, manager):
+        with pytest.raises(ResourceError):
+            manager.assign("a", 0)
+        with pytest.raises(ResourceError):
+            manager.assign("a", 7)
+
+    def test_release_returns_groups(self, manager):
+        manager.assign("a", 6)
+        manager.release("a")
+        assert len(manager.free_groups()) == 6
+
+    def test_release_unknown_rejected(self, manager):
+        with pytest.raises(ResourceError):
+            manager.release("ghost")
+
+
+class TestIsolation:
+    def test_no_group_shared(self, manager):
+        manager.assign("a", 2)
+        manager.assign("b", 2)
+        manager.assign("c", 2)
+        manager.verify_isolation()
+        owned = [manager.owner_of(group) for group in manager.all_groups()]
+        assert None not in owned
+        assert sorted(set(owned)) == ["a", "b", "c"]
+
+    def test_owner_of_free_group_is_none(self, manager):
+        assert manager.owner_of(GroupId(0, 0)) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    requests=st.lists(st.integers(1, 6), min_size=1, max_size=10),
+    releases=st.lists(st.integers(0, 9), max_size=5),
+)
+def test_property_isolation_invariant_under_any_sequence(requests, releases):
+    """Multi-tenancy safety: whatever happens, no group has two owners and
+    accounting stays exact."""
+    manager = ResourceManager(dtu2_config())
+    live = []
+    for index, count in enumerate(requests):
+        tenant = f"tenant{index}"
+        try:
+            manager.assign(tenant, count)
+            live.append(tenant)
+        except ResourceError:
+            pass
+    for victim in releases:
+        if victim < len(live) and live[victim] is not None:
+            manager.release(live[victim])
+            live[victim] = None
+    manager.verify_isolation()
+    owned = sum(
+        assignment.num_groups for assignment in manager.assignments.values()
+    )
+    assert owned + len(manager.free_groups()) == 6

@@ -1,0 +1,162 @@
+"""Unit + property tests for DMA on-the-fly layout transforms (§IV-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dma.transforms import (
+    Broadcast,
+    Pad,
+    Reshape,
+    Slice,
+    TransformChain,
+    TransformError,
+    Transpose,
+    concatenate,
+)
+
+
+class TestPad:
+    def test_pads_requested_dim(self):
+        array = np.ones((2, 3))
+        out = Pad(dim=1, before=1, after=2).apply(array)
+        assert out.shape == (2, 6)
+        assert out[0, 0] == 0 and out[0, 1] == 1
+
+    def test_pad_value(self):
+        out = Pad(dim=0, before=1, after=0, value=7.0).apply(np.zeros((1, 2)))
+        assert out[0].tolist() == [7.0, 7.0]
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(TransformError):
+            Pad(dim=0, before=-1, after=0)
+
+    def test_output_shape_matches_apply(self):
+        pad = Pad(dim=-1, before=2, after=3)
+        array = np.zeros((4, 5))
+        assert pad.output_shape(array.shape) == pad.apply(array).shape
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(TransformError):
+            Pad(dim=5, before=1, after=1).output_shape((2, 2))
+
+
+class TestSlice:
+    def test_basic_window(self):
+        array = np.arange(10)
+        assert Slice(0, 2, 6).apply(array).tolist() == [2, 3, 4, 5]
+
+    def test_strided(self):
+        array = np.arange(10)
+        assert Slice(0, 0, 10, step=3).apply(array).tolist() == [0, 3, 6, 9]
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(TransformError):
+            Slice(0, 0, 11).apply(np.arange(10))
+
+    def test_backwards_rejected(self):
+        with pytest.raises(TransformError):
+            Slice(0, 5, 2)
+
+    def test_shape_agrees(self):
+        window = Slice(1, 1, 7, step=2)
+        array = np.zeros((3, 9))
+        assert window.output_shape(array.shape) == window.apply(array).shape
+
+
+class TestTransposeReshapeBroadcast:
+    def test_transpose_matches_numpy(self):
+        array = np.arange(24).reshape(2, 3, 4)
+        out = Transpose((2, 0, 1)).apply(array)
+        assert np.array_equal(out, np.transpose(array, (2, 0, 1)))
+
+    def test_transpose_bad_axes(self):
+        with pytest.raises(TransformError):
+            Transpose((0, 0, 1)).output_shape((2, 3, 4))
+
+    def test_reshape_roundtrip(self):
+        array = np.arange(12).reshape(3, 4)
+        out = Reshape((2, 6)).apply(array)
+        assert out.shape == (2, 6)
+
+    def test_reshape_element_mismatch(self):
+        with pytest.raises(TransformError):
+            Reshape((5, 5)).output_shape((3, 4))
+
+    def test_broadcast_materializes(self):
+        array = np.array([[1.0], [2.0]])
+        out = Broadcast(dim=1, size=3).apply(array)
+        assert out.shape == (2, 3)
+        assert out[1].tolist() == [2.0, 2.0, 2.0]
+
+    def test_broadcast_requires_unit_dim(self):
+        with pytest.raises(TransformError):
+            Broadcast(dim=0, size=3).output_shape((2, 2))
+
+
+class TestConcatenate:
+    def test_matches_numpy(self):
+        parts = [np.ones((2, 3)), np.zeros((2, 2))]
+        out = concatenate(parts, dim=1)
+        assert out.shape == (2, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TransformError):
+            concatenate([], dim=0)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(TransformError):
+            concatenate([np.zeros((2,)), np.zeros((2, 2))], dim=0)
+
+
+class TestChain:
+    def test_pipeline_composes(self):
+        chain = TransformChain(
+            (
+                Pad(dim=0, before=1, after=1),
+                Slice(dim=0, start=0, stop=3),
+                Transpose((1, 0)),
+            )
+        )
+        array = np.arange(8).reshape(2, 4).astype(float)
+        out = chain.apply(array)
+        assert out.shape == chain.output_shape(array.shape) == (4, 3)
+
+    def test_moved_bytes(self):
+        chain = TransformChain((Pad(dim=0, before=0, after=2),))
+        assert chain.moved_bytes((2, 4), element_bytes=2) == 4 * 4 * 2
+
+    def test_empty_chain_is_identity(self):
+        chain = TransformChain()
+        array = np.arange(6).reshape(2, 3)
+        assert np.array_equal(chain.apply(array), array)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 8),
+    cols=st.integers(1, 8),
+    before=st.integers(0, 4),
+    after=st.integers(0, 4),
+)
+def test_property_pad_then_slice_recovers(rows, cols, before, after):
+    """pad(b, a) then slice(b, b+n) is the identity on the payload."""
+    array = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+    padded = Pad(dim=0, before=before, after=after).apply(array)
+    recovered = Slice(dim=0, start=before, stop=before + rows).apply(padded)
+    assert np.array_equal(recovered, array)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5)),
+    seed=st.integers(0, 100),
+)
+def test_property_double_transpose_is_identity(shape, seed):
+    rng = np.random.default_rng(seed)
+    array = rng.normal(size=shape)
+    axes = tuple(rng.permutation(3).tolist())
+    inverse = tuple(int(np.argsort(axes)[i]) for i in range(3))
+    once = Transpose(axes).apply(array)
+    back = Transpose(inverse).apply(once)
+    assert np.array_equal(back, array)

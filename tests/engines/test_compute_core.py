@@ -1,0 +1,195 @@
+"""Unit tests for the compute-core interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.core.datatypes import DType
+from repro.engines.compute_core import ComputeCore, ExecutionError, L1Buffer
+from repro.engines.vliw import Instruction, Packet, Program
+
+
+class TestL1Buffer:
+    def test_capacity_enforced(self):
+        buffer = L1Buffer(capacity_bytes=100)
+        buffer.write("a", np.zeros(10, dtype=np.float64))  # 80 bytes
+        with pytest.raises(ExecutionError):
+            buffer.write("b", np.zeros(4, dtype=np.float64))
+
+    def test_overwrite_frees_old_size(self):
+        buffer = L1Buffer(capacity_bytes=100)
+        buffer.write("a", np.zeros(12, dtype=np.float64))
+        buffer.write("a", np.zeros(10, dtype=np.float64))  # replace, fits
+        assert buffer.used_bytes == 80
+
+    def test_read_missing_raises(self):
+        with pytest.raises(ExecutionError):
+            L1Buffer(capacity_bytes=10).read("ghost")
+
+    def test_free_is_idempotent(self):
+        buffer = L1Buffer(capacity_bytes=100)
+        buffer.write("a", np.zeros(2))
+        buffer.free("a")
+        buffer.free("a")
+        assert buffer.used_bytes == 0
+
+
+def _packet(*instructions):
+    return Packet(tuple(instructions))
+
+
+class TestExecution:
+    def test_vector_add_program(self):
+        core = ComputeCore()
+        core.l1.write("x", np.arange(8.0))
+        core.l1.write("y", np.ones(8))
+        program = Program(
+            packets=[
+                _packet(Instruction("ld", "v0", imm=("x",))),
+                _packet(Instruction("ld", "v1", imm=("y",))),
+                _packet(Instruction("vadd", "v2", ("v0", "v1"))),
+                _packet(Instruction("st", None, ("v2",), imm=("z",))),
+            ]
+        )
+        cycles = core.run(program)
+        assert np.array_equal(core.l1.read("z"), np.arange(8.0) + 1)
+        assert cycles > 0
+
+    def test_scalar_ops(self):
+        core = ComputeCore()
+        program = Program(
+            packets=[
+                _packet(Instruction("smov", "s0", imm=(3.0,))),
+                _packet(Instruction("smov", "s1", imm=(4.0,))),
+                _packet(Instruction("sadd", "s2", ("s0", "s1"))),
+                _packet(Instruction("smul", "s3", ("s2", "s2"))),
+            ]
+        )
+        core.run(program)
+        assert core.state.scalar["s3"] == 49.0
+
+    def test_vmm_through_isa(self):
+        core = ComputeCore()
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(16, 16))
+        vector = rng.normal(size=16)
+        core.l1.write("w", matrix)
+        core.state.vector["v0"] = vector
+        program = Program(
+            packets=[
+                _packet(Instruction("mload", None, imm=("w", 0))),
+                _packet(Instruction("vmm", "v1", ("v0",), imm=(0, 0))),
+            ]
+        )
+        core.run(program)
+        assert np.allclose(core.state.vector["v1"], vector @ matrix)
+
+    def test_sfu_through_isa(self):
+        core = ComputeCore()
+        core.state.vector["v0"] = np.linspace(-2, 2, 8)
+        program = Program(
+            packets=[_packet(Instruction("sfu", "v1", ("v0",), imm=("tanh",)))]
+        )
+        core.run(program)
+        assert np.allclose(core.state.vector["v1"], np.tanh(np.linspace(-2, 2, 8)), atol=1e-5)
+
+    def test_composite_sfu_gelu(self):
+        core = ComputeCore()
+        core.state.vector["v0"] = np.array([1.0, -1.0])
+        program = Program(
+            packets=[_packet(Instruction("sfu", "v1", ("v0",), imm=("gelu",)))]
+        )
+        core.run(program)
+        assert core.state.vector["v1"][0] == pytest.approx(0.8413, abs=1e-3)
+
+    def test_vreduce_writes_scalar(self):
+        core = ComputeCore()
+        core.state.vector["v0"] = np.arange(4.0)
+        program = Program(
+            packets=[_packet(Instruction("vreduce", "s0", ("v0",), imm=("sum",)))]
+        )
+        core.run(program)
+        assert core.state.scalar["s0"] == 6.0
+
+    def test_vcmp_vsel(self):
+        core = ComputeCore()
+        core.state.vector["v0"] = np.array([1.0, 5.0])
+        core.state.vector["v1"] = np.array([3.0, 3.0])
+        program = Program(
+            packets=[
+                _packet(Instruction("vcmp", "v2", ("v0", "v1"), imm=("gt",))),
+                _packet(Instruction("vsel", "v3", ("v2", "v0", "v1"))),
+            ]
+        )
+        core.run(program)
+        assert core.state.vector["v3"].tolist() == [3.0, 5.0]
+
+    def test_halt_stops_execution(self):
+        core = ComputeCore()
+        program = Program(
+            packets=[
+                _packet(Instruction("smov", "s0", imm=(1.0,))),
+                _packet(Instruction("halt")),
+                _packet(Instruction("smov", "s0", imm=(2.0,))),
+            ]
+        )
+        core.run(program)
+        assert core.state.scalar["s0"] == 1.0
+
+    def test_read_unwritten_register_raises(self):
+        core = ComputeCore()
+        program = Program(
+            packets=[_packet(Instruction("vadd", "v2", ("v0", "v1")))]
+        )
+        with pytest.raises(ExecutionError):
+            core.run(program)
+
+    def test_load_slice(self):
+        core = ComputeCore()
+        core.l1.write("x", np.arange(100.0))
+        program = Program(
+            packets=[_packet(Instruction("ld", "v0", imm=("x", 10, 14)))]
+        )
+        core.run(program)
+        assert core.state.vector["v0"].tolist() == [10.0, 11.0, 12.0, 13.0]
+
+    def test_load_exceeding_lanes_raises(self):
+        core = ComputeCore(dtype=DType.FP32)
+        core.l1.write("x", np.zeros(100))
+        program = Program(packets=[_packet(Instruction("ld", "v0", imm=("x",)))])
+        with pytest.raises(ExecutionError):
+            core.run(program)
+
+    def test_stall_accounting(self):
+        core = ComputeCore()
+        core.state.vector["v1"] = np.ones(4)
+        core.state.vector["v5"] = np.ones(4)  # same bank as v1
+        program = Program(
+            packets=[_packet(Instruction("vadd", "v2", ("v1", "v5")))]
+        )
+        core.run(program)
+        assert core.stall_cycles == 1
+
+    def test_fused_kernel_end_to_end(self):
+        """A hand-written fused bias+gelu kernel, the §V-B DSL use-case."""
+        core = ComputeCore()
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=16)
+        bias = rng.normal(size=16)
+        core.l1.write("data", data)
+        core.l1.write("bias", bias)
+        program = Program(
+            packets=[
+                _packet(Instruction("ld", "v0", imm=("data",))),
+                _packet(Instruction("ld", "v1", imm=("bias",))),
+                _packet(Instruction("vadd", "v2", ("v0", "v1"))),
+                _packet(Instruction("sfu", "v3", ("v2",), imm=("gelu",))),
+                _packet(Instruction("st", None, ("v3",), imm=("out",))),
+            ]
+        )
+        core.run(program)
+        import math
+
+        want = 0.5 * (data + bias) * (
+            1 + np.vectorize(math.erf)((data + bias) / math.sqrt(2))
+        )
+        assert np.allclose(core.l1.read("out"), want, atol=1e-4)

@@ -1,0 +1,188 @@
+"""Unit + property tests for the VMM matrix engine (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.datatypes import DType
+from repro.engines.matrix import (
+    MATRIX_REGISTER_ROWS,
+    NUM_ACCUMULATION_REGISTERS,
+    MatrixEngine,
+    VmmPatternError,
+    is_supported,
+    supported_patterns,
+)
+
+
+def test_more_than_40_patterns():
+    """Table II: 'More than 40 VMM patterns supported'."""
+    assert len(supported_patterns()) > 40
+
+
+def test_fp32_shapes_from_paper():
+    """§IV-A1: FP32 supports 16x16, 8x16 and 4x16."""
+    for rows in (16, 8, 4):
+        assert is_supported(DType.FP32, rows, 16)
+
+
+def test_pattern_vector_lengths():
+    for pattern in supported_patterns():
+        if pattern.transposed:
+            assert pattern.vector_length == pattern.cols
+        else:
+            assert pattern.vector_length == pattern.rows
+        assert pattern.macs == pattern.rows * pattern.cols
+
+
+def test_pattern_rows_capped_at_register():
+    for pattern in supported_patterns():
+        assert pattern.rows <= MATRIX_REGISTER_ROWS
+
+
+@pytest.fixture
+def engine():
+    return MatrixEngine(dtype=DType.FP32)
+
+
+class TestLoadMatrix:
+    def test_accepts_supported_shape(self, engine):
+        engine.load_matrix(0, np.zeros((16, 16)))
+        assert engine.matrix_registers[0] is not None
+
+    def test_rejects_bad_slot(self, engine):
+        with pytest.raises(VmmPatternError):
+            engine.load_matrix(5, np.zeros((16, 16)))
+
+    def test_rejects_too_many_rows(self, engine):
+        with pytest.raises(VmmPatternError):
+            engine.load_matrix(0, np.zeros((33, 16)))
+
+    def test_rejects_too_wide_for_dtype(self, engine):
+        # 17 FP32 columns exceed 512 bits
+        with pytest.raises(VmmPatternError):
+            engine.load_matrix(0, np.zeros((16, 17)))
+
+    def test_rejects_1d(self, engine):
+        with pytest.raises(VmmPatternError):
+            engine.load_matrix(0, np.zeros(16))
+
+
+class TestVmm:
+    def test_matches_numpy(self, engine):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(16, 16))
+        vector = rng.normal(size=16)
+        engine.load_matrix(0, matrix)
+        assert np.allclose(engine.vmm(vector), vector @ matrix)
+
+    def test_rectangular_shapes(self, engine):
+        rng = np.random.default_rng(1)
+        for rows in (4, 8):
+            matrix = rng.normal(size=(rows, 16))
+            vector = rng.normal(size=rows)
+            engine.load_matrix(0, matrix)
+            assert np.allclose(engine.vmm(vector), vector @ matrix)
+
+    def test_transposed(self, engine):
+        rng = np.random.default_rng(2)
+        matrix = rng.normal(size=(8, 16))
+        vector = rng.normal(size=16)
+        engine.load_matrix(0, matrix)
+        result = engine.vmm(vector, transposed=True)
+        assert np.allclose(result, vector @ matrix.T)
+
+    def test_accumulation(self, engine):
+        matrix = np.eye(16)
+        vector = np.arange(16, dtype=float)
+        engine.load_matrix(0, matrix)
+        engine.vmm(vector, acc=3, accumulate=True)
+        engine.vmm(vector, acc=3, accumulate=True)
+        assert np.allclose(engine.read_accumulator(3), 2 * vector)
+
+    def test_no_accumulate_overwrites(self, engine):
+        matrix = np.eye(16)
+        vector = np.ones(16)
+        engine.load_matrix(0, matrix)
+        engine.vmm(vector, acc=0, accumulate=True)
+        engine.vmm(vector, acc=0, accumulate=False)
+        assert np.allclose(engine.read_accumulator(0), vector)
+
+    def test_empty_register_raises(self, engine):
+        with pytest.raises(VmmPatternError):
+            engine.vmm(np.zeros(16), slot=1)
+
+    def test_unsupported_shape_raises(self, engine):
+        engine.matrix_registers[0] = np.zeros((5, 16))  # bypass load check
+        with pytest.raises(VmmPatternError):
+            engine.vmm(np.zeros(5))
+
+    def test_length_mismatch_raises(self, engine):
+        engine.load_matrix(0, np.zeros((16, 16)))
+        with pytest.raises(VmmPatternError):
+            engine.vmm(np.zeros(8))
+
+    def test_accumulator_bounds(self, engine):
+        engine.load_matrix(0, np.zeros((16, 16)))
+        with pytest.raises(VmmPatternError):
+            engine.vmm(np.zeros(16), acc=NUM_ACCUMULATION_REGISTERS)
+
+    def test_mac_accounting(self, engine):
+        engine.load_matrix(0, np.zeros((16, 16)))
+        engine.vmm(np.zeros(16))
+        assert engine.macs_executed == 256
+        assert engine.vmm_issued == 1
+
+
+class TestGemm:
+    def test_matches_numpy_square(self, engine):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(16, 16))
+        b = rng.normal(size=(16, 16))
+        assert np.allclose(engine.gemm(a, b), a @ b)
+
+    def test_matches_numpy_ragged(self, engine):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(5, 37))
+        b = rng.normal(size=(37, 21))
+        assert np.allclose(engine.gemm(a, b), a @ b)
+
+    def test_tall_skinny(self, engine):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(1, 100))
+        b = rng.normal(size=(100, 3))
+        assert np.allclose(engine.gemm(a, b), a @ b)
+
+    def test_bad_shapes_raise(self, engine):
+        with pytest.raises(VmmPatternError):
+            engine.gemm(np.zeros((3, 4)), np.zeros((5, 6)))
+
+    def test_fp16_lane_count(self):
+        engine = MatrixEngine(dtype=DType.FP16)
+        assert engine.lanes == 32
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(4, 40))
+        b = rng.normal(size=(40, 33))
+        assert np.allclose(engine.gemm(a, b), a @ b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 12),
+    k=st.integers(1, 40),
+    n=st.integers(1, 40),
+    seed=st.integers(0, 2**31),
+)
+def test_property_gemm_equals_numpy(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(m, k))
+    b = rng.normal(size=(k, n))
+    assert np.allclose(MatrixEngine().gemm(a, b), a @ b)
+
+
+def test_clear_accumulator_then_read_raises(engine):
+    engine.load_matrix(0, np.eye(16))
+    engine.vmm(np.ones(16), acc=7)
+    engine.clear_accumulator(7)
+    with pytest.raises(VmmPatternError):
+        engine.read_accumulator(7)

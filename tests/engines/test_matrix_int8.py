@@ -1,0 +1,63 @@
+"""Tests for the INT8 VMM mode (Table I's 256 TOPS path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.datatypes import DType
+from repro.engines.matrix import MatrixEngine, VmmPatternError
+from repro.quant import QuantizationScale
+
+
+def _quantize_pair(rng, rows, cols):
+    vector = rng.normal(size=rows)
+    matrix = rng.normal(size=(rows, cols))
+    v_scale = QuantizationScale("v", float(np.abs(vector).max()) / 127)
+    m_scale = QuantizationScale("m", float(np.abs(matrix).max()) / 127)
+    return (
+        vector, matrix,
+        v_scale.quantize(vector), m_scale.quantize(matrix),
+        v_scale.scale, m_scale.scale,
+    )
+
+
+class TestQuantizedVmm:
+    def test_matches_fp_within_quantization_noise(self):
+        rng = np.random.default_rng(0)
+        engine = MatrixEngine(dtype=DType.FP32)
+        vector, matrix, q_v, q_m, s_v, s_m = _quantize_pair(rng, 16, 16)
+        result = engine.vmm_quantized(q_v, q_m, s_v, s_m)
+        exact = vector @ matrix
+        tolerance = 16 * (s_v * 127 * s_m / 2 + s_m * 127 * s_v / 2)
+        assert np.max(np.abs(result - exact)) < tolerance
+
+    def test_integer_accumulation_is_exact(self):
+        """Same codes twice must produce bit-identical results (no per-MAC
+        rounding, unlike naive FP16 accumulation)."""
+        rng = np.random.default_rng(1)
+        engine = MatrixEngine(dtype=DType.FP32)
+        _v, _m, q_v, q_m, s_v, s_m = _quantize_pair(rng, 8, 16)
+        first = engine.vmm_quantized(q_v, q_m, s_v, s_m)
+        second = engine.vmm_quantized(q_v, q_m, s_v, s_m)
+        assert np.array_equal(first, second)
+
+    def test_dequantization_scale_applied(self):
+        engine = MatrixEngine(dtype=DType.FP32)
+        q_v = np.ones(4)
+        q_m = np.ones((4, 16))
+        result = engine.vmm_quantized(q_v, q_m, 0.5, 0.25)
+        assert np.allclose(result, 4 * 0.5 * 0.25)
+
+    def test_out_of_range_codes_rejected(self):
+        engine = MatrixEngine(dtype=DType.FP32)
+        with pytest.raises(VmmPatternError):
+            engine.vmm_quantized(np.full(4, 128.0), np.ones((4, 16)), 1.0, 1.0)
+
+    def test_fractional_codes_rejected(self):
+        engine = MatrixEngine(dtype=DType.FP32)
+        with pytest.raises(VmmPatternError):
+            engine.vmm_quantized(np.full(4, 0.5), np.ones((4, 16)), 1.0, 1.0)
+
+    def test_macs_charged_like_fp(self):
+        engine = MatrixEngine(dtype=DType.FP32)
+        engine.vmm_quantized(np.ones(16), np.ones((16, 16)), 1.0, 1.0)
+        assert engine.macs_executed == 256

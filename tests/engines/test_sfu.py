@@ -1,0 +1,129 @@
+"""Unit + accuracy tests for the SFU (LUT + quadratic Taylor, §IV-A2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engines.sfu import SpecialFunctionUnit
+
+
+@pytest.fixture(scope="module")
+def sfu():
+    return SpecialFunctionUnit()
+
+
+def test_around_ten_functions_accelerated(sfu):
+    """Table II: 'Around 10 transcendental functions are accelerated'."""
+    assert 8 <= len(sfu.supported_functions) <= 12
+
+
+def test_unknown_function_raises(sfu):
+    with pytest.raises(ValueError):
+        sfu.evaluate("bessel", 1.0)
+
+
+def test_too_small_lut_rejected():
+    with pytest.raises(ValueError):
+        SpecialFunctionUnit(entries=2)
+
+
+ACCURACY_CASES = [
+    ("exp", np.exp, (-10.0, 10.0), 1e-4),
+    ("tanh", np.tanh, (-6.0, 6.0), 1e-5),
+    ("sigmoid", lambda x: 1 / (1 + np.exp(-x)), (-12.0, 12.0), 1e-5),
+    ("log", np.log, (0.1, 60.0), 1e-4),
+    ("sqrt", np.sqrt, (0.1, 60.0), 1e-4),
+    ("rsqrt", lambda x: 1 / np.sqrt(x), (0.5, 60.0), 1e-4),
+    ("reciprocal", lambda x: 1 / x, (0.5, 60.0), 1e-4),
+    ("erf", np.vectorize(math.erf), (-3.5, 3.5), 1e-5),
+    ("softplus", lambda x: np.log1p(np.exp(x)), (-10.0, 10.0), 1e-4),
+]
+
+
+@pytest.mark.parametrize("name,reference,domain,tolerance", ACCURACY_CASES)
+def test_primitive_accuracy(sfu, name, reference, domain, tolerance):
+    """The quadratic Taylor step must be FP16-grade accurate in-range."""
+    x = np.linspace(domain[0], domain[1], 4001)
+    got = sfu.evaluate(name, x)
+    want = reference(x)
+    scale = np.maximum(np.abs(want), 1.0)
+    assert np.max(np.abs(got - want) / scale) < tolerance
+
+
+def test_clamping_saturates_out_of_range(sfu):
+    assert sfu.evaluate("tanh", 100.0) == pytest.approx(1.0, abs=1e-4)
+    assert sfu.evaluate("sigmoid", -100.0) == pytest.approx(0.0, abs=1e-4)
+
+
+def test_scalar_input_works(sfu):
+    assert float(sfu.evaluate("exp", 0.0)) == pytest.approx(1.0, abs=1e-5)
+
+
+class TestCompositeActivations:
+    def test_gelu_matches_reference(self, sfu):
+        x = np.linspace(-4, 4, 801)
+        want = 0.5 * x * (1 + np.vectorize(math.erf)(x / math.sqrt(2)))
+        assert np.max(np.abs(sfu.gelu(x) - want)) < 1e-4
+
+    def test_gelu_tanh_form_close_to_exact(self, sfu):
+        x = np.linspace(-3, 3, 601)
+        assert np.max(np.abs(sfu.gelu_tanh(x) - sfu.gelu(x))) < 0.01
+
+    def test_swish_matches_reference(self, sfu):
+        x = np.linspace(-6, 6, 601)
+        want = x / (1 + np.exp(-x))
+        assert np.max(np.abs(sfu.swish(x) - want)) < 1e-4
+
+    def test_softmax_sums_to_one(self, sfu):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 50)) * 10
+        probabilities = sfu.softmax(logits, axis=-1)
+        assert np.allclose(probabilities.sum(axis=-1), 1.0, atol=1e-6)
+        assert np.all(probabilities >= 0)
+
+    def test_softmax_is_shift_invariant(self, sfu):
+        logits = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(
+            sfu.softmax(logits), sfu.softmax(logits + 1000.0), atol=1e-6
+        )
+
+    def test_softmax_matches_scipy(self, sfu):
+        from scipy.special import softmax as scipy_softmax
+
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=32)
+        assert np.allclose(sfu.softmax(logits), scipy_softmax(logits), atol=1e-5)
+
+
+def test_trace_counts_evaluations():
+    from repro.sim import Trace
+
+    trace = Trace()
+    sfu = SpecialFunctionUnit(trace=trace)
+    sfu.evaluate("tanh", np.zeros(100))
+    assert trace.counters["sfu.tanh"] == 100
+
+
+def test_more_entries_more_accuracy():
+    coarse = SpecialFunctionUnit(entries=64)
+    fine = SpecialFunctionUnit(entries=4096)
+    x = np.linspace(-5, 5, 1001)
+    err_coarse = np.max(np.abs(coarse.tanh(x) - np.tanh(x)))
+    err_fine = np.max(np.abs(fine.tanh(x) - np.tanh(x)))
+    assert err_fine < err_coarse
+
+
+@given(st.floats(min_value=-8.0, max_value=8.0, allow_nan=False))
+def test_property_tanh_odd_symmetry(x):
+    sfu = SpecialFunctionUnit()
+    assert float(sfu.tanh(x)) == pytest.approx(-float(sfu.tanh(-x)), abs=1e-6)
+
+
+@given(st.floats(min_value=-12.0, max_value=12.0, allow_nan=False))
+def test_property_sigmoid_complement(x):
+    sfu = SpecialFunctionUnit()
+    assert float(sfu.sigmoid(x)) + float(sfu.sigmoid(-x)) == pytest.approx(
+        1.0, abs=1e-5
+    )

@@ -1,0 +1,184 @@
+"""Unit + property tests for the VMM-assisted sorter / Top-K (paper Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.datatypes import DType
+from repro.engines.matrix import MatrixEngine, VmmPatternError
+from repro.engines.sorting import (
+    order_vector,
+    relationship_matrix,
+    sort_vector,
+    top_k,
+    transformation_matrix,
+)
+
+
+class TestRelationshipMatrix:
+    def test_simple_descending(self):
+        rel = relationship_matrix(np.array([3.0, 1.0, 2.0]))
+        # element 0 (value 3) outranks both others; nothing precedes it
+        assert rel[0].tolist() == [0, 0, 0]
+        # element 1 (value 1): both 3 and 2 precede it
+        assert rel[1].tolist() == [1, 0, 1]
+
+    def test_diagonal_always_zero(self):
+        rel = relationship_matrix(np.arange(8.0))
+        assert np.all(np.diag(rel) == 0)
+
+    def test_tie_break_by_index(self):
+        rel = relationship_matrix(np.array([5.0, 5.0]))
+        # earlier index precedes later on ties (stability)
+        assert rel[1, 0] == 1 and rel[0, 1] == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            relationship_matrix(np.zeros((2, 2)))
+
+
+class TestOrderVector:
+    def test_ranks_descending(self):
+        rel = relationship_matrix(np.array([3.0, 1.0, 2.0]))
+        assert order_vector(rel).tolist() == [0, 2, 1]
+
+    def test_ranks_ascending(self):
+        data = np.array([3.0, 1.0, 2.0])
+        rel = relationship_matrix(data, descending=False)
+        assert order_vector(rel).tolist() == [2, 0, 1]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            order_vector(np.zeros((2, 3)))
+
+
+class TestTransformationMatrix:
+    def test_is_permutation_matrix(self):
+        transform = transformation_matrix(np.array([2, 0, 1]))
+        assert np.all(transform.sum(axis=0) == 1)
+        assert np.all(transform.sum(axis=1) == 1)
+
+    def test_applies_order(self):
+        order = np.array([2, 0, 1])  # element j goes to position order[j]
+        transform = transformation_matrix(order)
+        data = np.array([10.0, 20.0, 30.0])
+        assert (transform @ data).tolist() == [20.0, 30.0, 10.0]
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            transformation_matrix(np.array([0, 0, 1]))
+
+
+class TestSortVector:
+    def test_descending(self):
+        data = np.array([1.0, 4.0, -2.0, 9.0])
+        result = sort_vector(MatrixEngine(), data)
+        assert result.tolist() == [9.0, 4.0, 1.0, -2.0]
+
+    def test_ascending(self):
+        data = np.array([1.0, 4.0, -2.0, 9.0])
+        result = sort_vector(MatrixEngine(), data, descending=False)
+        assert result.tolist() == [-2.0, 1.0, 4.0, 9.0]
+
+    def test_with_duplicates(self):
+        data = np.array([2.0, 2.0, 1.0, 2.0])
+        result = sort_vector(MatrixEngine(), data)
+        assert result.tolist() == [2.0, 2.0, 2.0, 1.0]
+
+    def test_full_lane_width(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=16)
+        result = sort_vector(MatrixEngine(), data)
+        assert np.allclose(result, np.sort(data)[::-1])
+
+    def test_oversized_input_raises(self):
+        with pytest.raises(VmmPatternError):
+            sort_vector(MatrixEngine(), np.zeros(17))
+
+    def test_uses_vmm_hardware(self):
+        engine = MatrixEngine()
+        sort_vector(engine, np.array([3.0, 1.0]))
+        assert engine.vmm_issued == 1
+
+    def test_int8_lane_width(self):
+        """INT8 has 64 lanes but the matrix register caps sorts at 32."""
+        engine = MatrixEngine(dtype=DType.INT8)
+        rng = np.random.default_rng(1)
+        data = rng.integers(-50, 50, size=32).astype(float)
+        assert np.allclose(sort_vector(engine, data), np.sort(data)[::-1])
+        with pytest.raises(VmmPatternError):
+            sort_vector(engine, np.zeros(33))
+
+
+class TestTopK:
+    def test_small_k(self):
+        data = np.array([5.0, 1.0, 9.0, 3.0])
+        values, indices = top_k(MatrixEngine(), data, 2)
+        assert values.tolist() == [9.0, 5.0]
+        assert indices.tolist() == [2, 0]
+
+    def test_k_equals_n(self):
+        data = np.array([2.0, 7.0, 4.0])
+        values, _ = top_k(MatrixEngine(), data, 3)
+        assert values.tolist() == [7.0, 4.0, 2.0]
+
+    def test_smallest(self):
+        data = np.array([5.0, 1.0, 9.0, 3.0])
+        values, _ = top_k(MatrixEngine(), data, 2, largest=False)
+        assert values.tolist() == [1.0, 3.0]
+
+    def test_spanning_many_chunks(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=500)
+        values, indices = top_k(MatrixEngine(), data, 10)
+        assert np.allclose(values, np.sort(data)[::-1][:10])
+        assert np.allclose(data[indices], values)
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            top_k(MatrixEngine(), np.zeros(4), 5)
+        with pytest.raises(ValueError):
+            top_k(MatrixEngine(), np.zeros(4), 0)
+
+    def test_duplicates_get_distinct_indices(self):
+        data = np.array([7.0, 7.0, 7.0, 1.0])
+        values, indices = top_k(MatrixEngine(), data, 3)
+        assert values.tolist() == [7.0, 7.0, 7.0]
+        assert sorted(indices.tolist()) == [0, 1, 2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=16,
+    ),
+    descending=st.booleans(),
+)
+def test_property_sort_matches_numpy(data, descending):
+    array = np.asarray(data)
+    result = sort_vector(MatrixEngine(), array, descending=descending)
+    expected = np.sort(array)
+    if descending:
+        expected = expected[::-1]
+    assert np.allclose(result, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=120,
+    ),
+    k=st.integers(1, 10),
+)
+def test_property_topk_matches_numpy(data, k):
+    array = np.asarray(data)
+    if k > array.size:
+        k = array.size
+    values, indices = top_k(MatrixEngine(), array, k)
+    assert np.allclose(values, np.sort(array)[::-1][:k])
+    assert np.allclose(array[indices], values)
+    assert len(set(indices.tolist())) == k

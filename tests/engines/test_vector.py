@@ -1,0 +1,137 @@
+"""Unit + property tests for the 512-bit vector engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.datatypes import DType
+from repro.engines.vector import VectorEngine, VectorLengthError, lanes_for
+
+
+def test_lane_counts_by_width():
+    assert lanes_for(DType.FP32) == 16
+    assert lanes_for(DType.FP16) == 32
+    assert lanes_for(DType.BF16) == 32
+    assert lanes_for(DType.INT8) == 64
+
+
+@pytest.fixture
+def engine():
+    return VectorEngine(dtype=DType.FP32)
+
+
+class TestBinary:
+    def test_add(self, engine):
+        a = np.arange(8, dtype=float)
+        b = np.ones(8)
+        assert np.array_equal(engine.binary("add", a, b), a + 1)
+
+    def test_all_binary_ops_match_numpy(self, engine):
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=16)
+        b = rng.normal(size=16) + 2.0
+        expected = {
+            "add": a + b, "sub": a - b, "mul": a * b, "div": a / b,
+            "max": np.maximum(a, b), "min": np.minimum(a, b),
+        }
+        for op, want in expected.items():
+            assert np.allclose(engine.binary(op, a, b), want), op
+
+    def test_exceeding_lanes_raises(self, engine):
+        long = np.zeros(17)
+        with pytest.raises(VectorLengthError):
+            engine.binary("add", long, long)
+
+    def test_shape_mismatch_raises(self, engine):
+        with pytest.raises(VectorLengthError):
+            engine.binary("add", np.zeros(4), np.zeros(5))
+
+    def test_2d_operand_raises(self, engine):
+        square = np.zeros((4, 4))
+        with pytest.raises(VectorLengthError):
+            engine.binary("add", square, square)
+
+    def test_unknown_op_raises(self, engine):
+        with pytest.raises(ValueError):
+            engine.binary("xor", np.zeros(4), np.zeros(4))
+
+
+class TestUnaryAndFma:
+    def test_relu_clamps_negatives(self, engine):
+        data = np.array([-2.0, -0.5, 0.0, 3.0])
+        assert np.array_equal(engine.unary("relu", data), [0, 0, 0, 3.0])
+
+    def test_fma(self, engine):
+        a, b, c = np.full(4, 2.0), np.full(4, 3.0), np.full(4, 1.0)
+        assert np.array_equal(engine.fma(a, b, c), np.full(4, 7.0))
+
+    def test_fma_shape_mismatch(self, engine):
+        with pytest.raises(VectorLengthError):
+            engine.fma(np.zeros(4), np.zeros(4), np.zeros(5))
+
+
+class TestReduceCompareSelect:
+    def test_reductions(self, engine):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        assert engine.reduce("sum", data) == 10.0
+        assert engine.reduce("max", data) == 4.0
+        assert engine.reduce("min", data) == 1.0
+        assert engine.reduce("prod", data) == 24.0
+
+    def test_reduce_empty_raises(self, engine):
+        with pytest.raises(VectorLengthError):
+            engine.reduce("sum", np.zeros(0))
+
+    def test_compare_produces_mask(self, engine):
+        a = np.array([1.0, 5.0, 3.0])
+        b = np.array([2.0, 2.0, 3.0])
+        assert np.array_equal(engine.compare("lt", a, b), [1.0, 0.0, 0.0])
+        assert np.array_equal(engine.compare("ge", a, b), [0.0, 1.0, 1.0])
+        assert np.array_equal(engine.compare("eq", a, b), [0.0, 0.0, 1.0])
+
+    def test_select_routes_by_mask(self, engine):
+        mask = np.array([1.0, 0.0, 1.0])
+        a = np.array([10.0, 20.0, 30.0])
+        b = np.array([-1.0, -2.0, -3.0])
+        assert np.array_equal(engine.select(mask, a, b), [10.0, -2.0, 30.0])
+
+
+def test_ops_counter_and_trace():
+    from repro.sim import Trace
+
+    trace = Trace()
+    engine = VectorEngine(trace=trace)
+    engine.binary("add", np.zeros(4), np.zeros(4))
+    engine.unary("relu", np.zeros(4))
+    assert engine.ops_executed == 2
+    assert trace.counters["vector.add"] == 1
+    assert trace.counters["vector.relu"] == 1
+
+
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=16,
+    )
+)
+def test_property_fma_equals_mul_then_add(data):
+    engine = VectorEngine()
+    a = np.asarray(data)
+    fused = engine.fma(a, a, a)
+    split = engine.binary("add", engine.binary("mul", a, a), a)
+    assert np.allclose(fused, split)
+
+
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=16,
+    )
+)
+def test_property_reduce_sum_matches_numpy(data):
+    engine = VectorEngine()
+    assert engine.reduce("sum", np.asarray(data)) == pytest.approx(
+        float(np.sum(np.asarray(data, dtype=np.float64))), rel=1e-12, abs=1e-9
+    )

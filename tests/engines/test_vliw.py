@@ -1,0 +1,129 @@
+"""Unit tests for the VLIW instruction/packet model."""
+
+import pytest
+
+from repro.engines.vliw import (
+    IllegalPacketError,
+    Instruction,
+    Packet,
+    Program,
+    REGISTER_BANKS,
+    Slot,
+    register_bank,
+)
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(IllegalPacketError):
+        Instruction("frobnicate")
+
+
+def test_slots_assigned_by_opcode():
+    assert Instruction("vadd", "v0", ("v1", "v2")).slot is Slot.VECTOR
+    assert Instruction("vmm", "v0", ("v1",)).slot is Slot.MATRIX
+    assert Instruction("ld", "v0", imm=("x",)).slot is Slot.LOAD
+    assert Instruction("sfu", "v0", ("v1",), imm=("tanh",)).slot is Slot.SFU
+
+
+def test_register_bank_is_index_mod_banks():
+    assert register_bank("v0") == 0
+    assert register_bank("v4") == 0
+    assert register_bank("v5") == 1
+    assert register_bank("t13") == 13 % REGISTER_BANKS
+
+
+def test_register_bank_requires_index():
+    with pytest.raises(ValueError):
+        register_bank("vx")
+
+
+class TestPacketLegality:
+    def test_empty_packet_rejected(self):
+        with pytest.raises(IllegalPacketError):
+            Packet(())
+
+    def test_slot_reuse_rejected(self):
+        add = Instruction("vadd", "v0", ("v1", "v2"))
+        mul = Instruction("vmul", "v3", ("v4", "v5"))
+        with pytest.raises(IllegalPacketError):
+            Packet((add, mul))
+
+    def test_different_slots_allowed(self):
+        packet = Packet(
+            (
+                Instruction("vadd", "v0", ("v1", "v2")),
+                Instruction("smov", "s0", imm=(1.0,)),
+                Instruction("ld", "v3", imm=("x",)),
+            )
+        )
+        assert len(packet.instructions) == 3
+
+    def test_intra_packet_raw_rejected(self):
+        producer = Instruction("vadd", "v0", ("v1", "v2"))
+        consumer = Instruction("sfu", "v3", ("v0",), imm=("tanh",))
+        with pytest.raises(IllegalPacketError):
+            Packet((producer, consumer))
+
+    def test_intra_packet_waw_rejected(self):
+        a = Instruction("vadd", "v0", ("v1", "v2"))
+        b = Instruction("ld", "v0", imm=("x",))
+        with pytest.raises(IllegalPacketError):
+            Packet((a, b))
+
+
+class TestPacketTiming:
+    def test_latency_is_slowest_slot(self):
+        packet = Packet(
+            (
+                Instruction("vadd", "v0", ("v1", "v2")),  # 1 cycle
+                Instruction("sfu", "v3", ("v4",), imm=("exp",)),  # 4 cycles
+            )
+        )
+        assert packet.latency == 4
+
+    def test_bank_conflicts_counted(self):
+        # v1 and v5 share bank 1; v2 is bank 2 -> one conflict
+        packet = Packet(
+            (
+                Instruction("vadd", "v0", ("v1", "v5")),
+                Instruction("smov", "s0", imm=(0.0,)),
+            )
+        )
+        assert packet.bank_conflicts() == 1
+        assert packet.stall_cycles == 1
+
+    def test_no_conflict_across_banks(self):
+        packet = Packet((Instruction("vadd", "v0", ("v1", "v2")),))
+        assert packet.bank_conflicts() == 0
+
+    def test_three_way_conflict_counts_two(self):
+        packet = Packet(
+            (
+                Instruction("vfma", "v0", ("v1", "v5", "v9")),
+            )
+        )
+        assert packet.bank_conflicts() == 2
+
+
+class TestProgram:
+    def _program(self):
+        return Program(
+            packets=[
+                Packet((Instruction("ld", "v0", imm=("x",)),)),
+                Packet((Instruction("vadd", "v1", ("v0", "v0")),)),
+                Packet((Instruction("st", None, ("v1",), imm=("y",)),)),
+            ]
+        )
+
+    def test_instruction_count(self):
+        assert self._program().instruction_count == 3
+
+    def test_cycle_count_sums_latencies(self):
+        # ld(2) + vadd(1 + 1 stall: v0,v0 same bank... v0 twice counts once
+        # per unique register? no: registers_read is a tuple with v0 twice ->
+        # bank 0 seen twice -> 1 stall) + st(2)
+        assert self._program().cycle_count == 2 + (1 + 1) + 2
+
+    def test_code_bytes(self):
+        program = self._program()
+        assert program.code_bytes == 3 * 16 + 3 * 4

@@ -1,0 +1,140 @@
+"""Unit tests for GraphBuilder and shape inference (incl. dynamic shapes)."""
+
+import pytest
+
+from repro.core.datatypes import DType
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import GraphError
+from repro.graph.shape_inference import bind_shapes, dynamic_symbols, infer_shapes
+
+
+class TestBuilder:
+    def test_quickstart_docstring_example(self):
+        builder = GraphBuilder("tiny")
+        x = builder.input("x", (1, 3, 32, 32))
+        y = builder.conv2d(x, out_channels=8, kernel=3, pad=1)
+        y = builder.relu(y)
+        graph = builder.finish(outputs=[y])
+        assert graph.tensor_type(y).shape == (1, 8, 32, 32)
+
+    def test_duplicate_input_rejected(self):
+        builder = GraphBuilder("g")
+        builder.input("x", (1,))
+        with pytest.raises(GraphError):
+            builder.input("x", (1,))
+
+    def test_conv_weights_registered_as_initializers(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 3, 8, 8))
+        builder.conv2d(x, 4, 3, name="c")
+        assert "c.w" in builder.graph.initializers
+        assert "c.b" in builder.graph.initializers
+        assert builder.graph.tensor_type("c.w").shape == (4, 3, 3, 3)
+
+    def test_bias_optional(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 3, 8, 8))
+        builder.conv2d(x, 4, 3, bias=False, name="c")
+        assert "c.b" not in builder.graph.initializers
+
+    def test_grouped_conv_weight_shape(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 8, 8, 8))
+        builder.conv2d(x, 16, 3, groups=4, name="c")
+        assert builder.graph.tensor_type("c.w").shape == (16, 2, 3, 3)
+
+    def test_auto_naming_is_unique(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (4,))
+        a = builder.relu(x)
+        b = builder.relu(a)
+        assert a != b
+
+    def test_unknown_sugar_raises_attribute_error(self):
+        builder = GraphBuilder("g")
+        with pytest.raises(AttributeError):
+            builder.made_up_op("x")
+
+    def test_dtype_propagates(self):
+        builder = GraphBuilder("g", dtype=DType.FP16)
+        x = builder.input("x", (4,))
+        assert builder.graph.tensor_type(x).dtype is DType.FP16
+
+    def test_mha_output_shape(self):
+        builder = GraphBuilder("g")
+        tokens = builder.input("t", (2, 16, 64))
+        out = builder.multi_head_attention(tokens, heads=4)
+        assert builder.graph.tensor_type(out).shape == (2, 16, 64)
+
+    def test_mha_contains_softmax_and_matmuls(self):
+        builder = GraphBuilder("g")
+        tokens = builder.input("t", (1, 8, 32))
+        builder.multi_head_attention(tokens, heads=2)
+        ops = [node.op_type for node in builder.graph.nodes]
+        assert ops.count("matmul") == 2
+        assert ops.count("softmax") == 1
+        assert ops.count("dense") == 4  # q, k, v, out projections
+
+    def test_finish_validates(self):
+        builder = GraphBuilder("g")
+        builder.input("x", (4,))
+        with pytest.raises(GraphError):
+            builder.finish(outputs=["nonexistent"])
+
+
+class TestShapeInference:
+    def test_infer_fills_all_intermediates(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 3, 16, 16))
+        y = builder.conv2d(x, 8, 3, pad=1)
+        y = builder.batch_norm(y)
+        y = builder.relu(y)
+        graph = builder.finish([y])
+        for node in graph.nodes:
+            for output in node.outputs:
+                assert output in graph.tensor_types
+
+    def test_reinference_is_stable(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (2, 4))
+        y = builder.dense(x, 8)
+        graph = builder.finish([y])
+        before = dict(graph.tensor_types)
+        infer_shapes(graph)
+        assert graph.tensor_types == before
+
+
+class TestDynamicShapes:
+    def _symbolic_graph(self):
+        builder = GraphBuilder("dyn")
+        x = builder.input("x", ("batch", 3, "size", "size"))
+        y = builder.conv2d(x, 8, 3, pad=1)
+        y = builder.relu(y)
+        return builder.finish([y]), y
+
+    def test_symbols_flow_through(self):
+        graph, y = self._symbolic_graph()
+        assert graph.tensor_type(y).shape == ("batch", 8, "size", "size")
+
+    def test_dynamic_symbols_discovered(self):
+        graph, _ = self._symbolic_graph()
+        assert dynamic_symbols(graph) == {"batch", "size"}
+
+    def test_bind_specializes(self):
+        graph, y = self._symbolic_graph()
+        bound = bind_shapes(graph, batch=4, size=64)
+        assert bound.tensor_type(y).shape == (4, 8, 64, 64)
+        assert dynamic_symbols(bound) == set()
+
+    def test_bind_leaves_original_untouched(self):
+        graph, y = self._symbolic_graph()
+        bind_shapes(graph, batch=4, size=64)
+        assert graph.tensor_type(y).shape == ("batch", 8, "size", "size")
+
+    def test_two_bindings_from_one_graph(self):
+        """§V-B dynamic tensors: one build, many shapes."""
+        graph, y = self._symbolic_graph()
+        small = bind_shapes(graph, batch=1, size=32)
+        large = bind_shapes(graph, batch=8, size=128)
+        assert small.tensor_type(y).shape == (1, 8, 32, 32)
+        assert large.tensor_type(y).shape == (8, 8, 128, 128)

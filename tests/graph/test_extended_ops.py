@@ -1,0 +1,125 @@
+"""Tests for the extended operator set (prelu / clip / reduce_max / split)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Node, TensorType
+from repro.graph.ops import OpError, infer_node
+from repro.graph.reference import ReferenceExecutor
+
+
+class TestShapeInference:
+    def test_prelu_preserves_shape(self):
+        node = Node("p", "prelu", ["x", "s"], ["y"])
+        out = infer_node(node, [TensorType((2, 8, 4, 4)), TensorType((8,))])
+        assert out[0].shape == (2, 8, 4, 4)
+
+    def test_prelu_channel_mismatch(self):
+        node = Node("p", "prelu", ["x", "s"], ["y"])
+        with pytest.raises(OpError):
+            infer_node(node, [TensorType((2, 8, 4, 4)), TensorType((4,))])
+
+    def test_clip_requires_max(self):
+        with pytest.raises(OpError):
+            infer_node(Node("c", "clip", ["x"], ["y"]), [TensorType((4,))])
+
+    def test_clip_range_validated(self):
+        node = Node("c", "clip", ["x"], ["y"], {"min": 5.0, "max": 1.0})
+        with pytest.raises(OpError):
+            infer_node(node, [TensorType((4,))])
+
+    def test_reduce_max_shape(self):
+        node = Node("r", "reduce_max", ["x"], ["y"], {"axes": [1]})
+        out = infer_node(node, [TensorType((2, 8, 4))])
+        assert out[0].shape == (2, 4)
+
+    def test_split_shapes(self):
+        node = Node(
+            "s", "split", ["x"], ["a", "b", "c"],
+            {"axis": 1, "sections": [2, 3, 3]},
+        )
+        out = infer_node(node, [TensorType((4, 8))])
+        assert [t.shape for t in out] == [(4, 2), (4, 3), (4, 3)]
+
+    def test_split_sections_must_sum(self):
+        node = Node("s", "split", ["x"], ["a", "b"], {"axis": 1, "sections": [2, 3]})
+        with pytest.raises(OpError):
+            infer_node(node, [TensorType((4, 8))])
+
+
+class TestReferenceSemantics:
+    def test_prelu_channelwise(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 2, 3))
+        y = builder.prelu(x, name="p")
+        graph = builder.finish([y])
+        executor = ReferenceExecutor(graph)
+        executor.set_weight("p.slope", np.array([0.1, 0.5]))
+        data = np.full((1, 2, 3), -2.0)
+        out = executor.run(x=data)[y]
+        assert np.allclose(out[0, 0], -0.2)
+        assert np.allclose(out[0, 1], -1.0)
+
+    def test_prelu_positive_passthrough(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 4, 2))
+        y = builder.prelu(x)
+        graph = builder.finish([y])
+        data = np.abs(np.random.default_rng(0).normal(size=(1, 4, 2)))
+        out = ReferenceExecutor(graph).run(x=data)[y]
+        assert np.allclose(out, data)
+
+    def test_clip_relu6(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (5,))
+        y = builder.clip(x, 0.0, 6.0)
+        graph = builder.finish([y])
+        data = np.array([-3.0, 0.0, 3.0, 6.0, 9.0])
+        out = ReferenceExecutor(graph).run(x=data)[y]
+        assert out.tolist() == [0.0, 0.0, 3.0, 6.0, 6.0]
+
+    def test_reduce_max(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (2, 4))
+        y = builder.node("reduce_max", [x], attrs={"axes": [1]})
+        graph = builder.finish([y])
+        data = np.array([[1.0, 9.0, 2.0, 3.0], [4.0, 0.0, 8.0, 1.0]])
+        out = ReferenceExecutor(graph).run(x=data)[y]
+        assert out.tolist() == [9.0, 8.0]
+
+    def test_split_partitions(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (2, 6))
+        a, b = builder.split(x, [2, 4], axis=1)
+        graph = builder.finish([a, b])
+        data = np.arange(12.0).reshape(2, 6)
+        out = ReferenceExecutor(graph).run(x=data)
+        assert np.array_equal(out[a], data[:, :2])
+        assert np.array_equal(out[b], data[:, 2:])
+
+    def test_split_then_concat_is_identity(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (3, 9))
+        parts = builder.split(x, [3, 3, 3], axis=1)
+        y = builder.concat(list(parts), axis=1)
+        graph = builder.finish([y])
+        data = np.random.default_rng(1).normal(size=(3, 9))
+        out = ReferenceExecutor(graph).run(x=data)[y]
+        assert np.array_equal(out, data)
+
+
+def test_extended_ops_compile_and_simulate():
+    builder = GraphBuilder("mobile_block")
+    x = builder.input("x", (1, 16, 32, 32))
+    y = builder.conv2d(x, 32, 3, pad=1)
+    y = builder.clip(y, 0.0, 6.0)  # relu6, the mobile-net staple
+    y = builder.conv2d(y, 32, 3, pad=1, groups=32)  # depthwise
+    y = builder.prelu(y)
+    graph = builder.finish([y])
+
+    from repro.runtime.runtime import Device
+
+    device = Device.open("i20")
+    result = device.launch(device.compile(graph))
+    assert result.latency_ns > 0

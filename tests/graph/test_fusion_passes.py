@@ -1,0 +1,165 @@
+"""Unit tests for operator fusion and the pass pipeline (§V-B)."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.fusion import FUSABLE_EPILOGUES, MAX_FUSION_LENGTH, fuse_operators, fused_members
+from repro.graph.passes import dead_code_elimination, eliminate_identities, optimize
+from repro.graph.shape_inference import bind_shapes
+
+
+def _conv_bn_relu_graph():
+    builder = GraphBuilder("g")
+    x = builder.input("x", (1, 3, 32, 32))
+    y = builder.conv2d(x, 8, 3, pad=1)
+    y = builder.batch_norm(y)
+    y = builder.relu(y)
+    return builder.finish([y])
+
+
+class TestEpilogueFusion:
+    def test_conv_bn_relu_becomes_one_kernel(self):
+        graph = _conv_bn_relu_graph()
+        report = fuse_operators(graph)
+        assert report.groups == 1
+        assert report.nodes_fused == 3
+        assert len(graph.nodes) == 1
+        assert graph.nodes[0].op_type == "fused"
+        assert graph.nodes[0].attrs["anchor"] == "conv2d"
+
+    def test_fused_graph_still_validates(self):
+        graph = _conv_bn_relu_graph()
+        fuse_operators(graph)
+        graph.validate()
+
+    def test_internal_tensors_recorded(self):
+        graph = _conv_bn_relu_graph()
+        fuse_operators(graph)
+        internal = graph.nodes[0].attrs["internal_tensors"]
+        assert len(internal) == 2  # conv out + bn out no longer materialize
+
+    def test_members_reconstructible(self):
+        graph = _conv_bn_relu_graph()
+        fuse_operators(graph)
+        members = fused_members(graph.nodes[0])
+        assert [member.op_type for member in members] == [
+            "conv2d", "batch_norm", "relu",
+        ]
+
+    def test_disabled_fusion_is_identity(self):
+        graph = _conv_bn_relu_graph()
+        report = fuse_operators(graph, enable=False)
+        assert report.groups == 0
+        assert len(graph.nodes) == 3
+
+    def test_multi_consumer_blocks_fusion(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 3, 8, 8))
+        conv = builder.conv2d(x, 4, 3, pad=1)
+        a = builder.relu(conv)
+        b = builder.sigmoid(conv)  # second consumer of conv output
+        graph = builder.finish([a, b])
+        fuse_operators(graph)
+        anchors = [node for node in graph.nodes if node.op_type == "fused"]
+        # conv cannot absorb either activation; at most eltwise chains fuse
+        assert all(node.attrs["anchor"] != "conv2d" for node in anchors)
+
+    def test_graph_output_not_fused_past(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 3, 8, 8))
+        conv = builder.conv2d(x, 4, 3, pad=1)
+        act = builder.relu(conv)
+        graph = builder.finish([conv, act])  # conv output is a graph output
+        fuse_operators(graph)
+        graph.validate()
+        assert any(node.op_type == "conv2d" for node in graph.nodes)
+
+    def test_fusion_length_capped(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (64,))
+        y = builder.dense(x, 64)
+        for _ in range(2 * MAX_FUSION_LENGTH):
+            y = builder.relu(y)
+        graph = builder.finish([y])
+        fuse_operators(graph)
+        for node in graph.nodes:
+            assert len(fused_members(node)) <= MAX_FUSION_LENGTH
+
+    def test_elementwise_chains_fuse_without_anchor(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (64,))
+        y = builder.relu(x)
+        y = builder.sigmoid(y)
+        y = builder.tanh(y)
+        graph = builder.finish([y])
+        report = fuse_operators(graph)
+        assert report.groups == 1 and len(graph.nodes) == 1
+
+
+class TestAttentionFusion:
+    def test_mha_pattern_fuses(self):
+        builder = GraphBuilder("g")
+        tokens = builder.input("t", (1, 16, 64))
+        out = builder.multi_head_attention(tokens, heads=4)
+        graph = builder.finish([out])
+        fuse_operators(graph)
+        attention = [
+            node for node in graph.nodes if node.attrs.get("pattern") == "attention"
+        ]
+        assert len(attention) == 1
+        assert [member.op_type for member in fused_members(attention[0])] == [
+            "matmul", "mul", "softmax", "matmul",
+        ]
+        graph.validate()
+
+    def test_bert_layer_fuses_24_attention_blocks(self):
+        from repro.models import build
+
+        graph = bind_shapes(build("bert_large"), batch=1)
+        fuse_operators(graph)
+        attention = [
+            node for node in graph.nodes if node.attrs.get("pattern") == "attention"
+        ]
+        assert len(attention) == 24
+
+
+class TestPasses:
+    def test_identity_elimination_rewires(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (4,))
+        y = builder.identity(x)
+        z = builder.relu(y)
+        graph = builder.finish([z])
+        eliminate_identities(graph)
+        assert all(node.op_type != "identity" for node in graph.nodes)
+        graph.validate()
+
+    def test_identity_as_output_rewires_output(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (4,))
+        y = builder.relu(x)
+        z = builder.identity(y)
+        graph = builder.finish([z])
+        eliminate_identities(graph)
+        graph.validate()
+        assert graph.outputs == [y]
+
+    def test_dce_removes_unused_branch(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (4,))
+        keep = builder.relu(x)
+        builder.sigmoid(x)  # dead
+        graph = builder.finish([keep])
+        dead_code_elimination(graph)
+        assert len(graph.nodes) == 1
+
+    def test_optimize_pipeline_returns_report(self):
+        graph = _conv_bn_relu_graph()
+        optimized, report = optimize(graph)
+        assert report.groups >= 1
+        assert report.nodes_after < report.nodes_before
+        optimized.validate()
+
+    def test_fusable_epilogues_are_cheap_categories(self):
+        assert "conv" not in FUSABLE_EPILOGUES
+        assert "gemm" not in FUSABLE_EPILOGUES

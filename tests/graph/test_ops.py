@@ -1,0 +1,241 @@
+"""Unit tests for operator shape inference and FLOP counting."""
+
+import pytest
+
+from repro.core.datatypes import DType
+from repro.graph.ir import Node, TensorType
+from repro.graph.ops import OpError, infer_node, node_flops, spec
+
+
+def _node(op_type, attrs=None, inputs=1, outputs=1):
+    return Node(
+        name="n",
+        op_type=op_type,
+        inputs=[f"in{i}" for i in range(inputs)],
+        outputs=[f"out{i}" for i in range(outputs)],
+        attrs=attrs or {},
+    )
+
+
+def _types(*shapes):
+    return [TensorType(shape) for shape in shapes]
+
+
+class TestConv2d:
+    def test_same_padding_shape(self):
+        node = _node("conv2d", {"stride": 1, "pad": 1}, inputs=2)
+        out = infer_node(node, _types((1, 3, 224, 224), (64, 3, 3, 3)))
+        assert out[0].shape == (1, 64, 224, 224)
+
+    def test_strided_shape(self):
+        node = _node("conv2d", {"stride": 2, "pad": 3}, inputs=2)
+        out = infer_node(node, _types((1, 3, 224, 224), (64, 3, 7, 7)))
+        assert out[0].shape == (1, 64, 112, 112)
+
+    def test_grouped_channels_validated(self):
+        node = _node("conv2d", {"groups": 2}, inputs=2)
+        infer_node(node, _types((1, 8, 10, 10), (16, 4, 1, 1)))
+        with pytest.raises(OpError):
+            infer_node(node, _types((1, 8, 10, 10), (16, 8, 1, 1)))
+
+    def test_asymmetric_padding(self):
+        node = _node("conv2d", {"pad_h": 3, "pad_w": 0}, inputs=2)
+        out = infer_node(node, _types((1, 4, 20, 20), (8, 4, 7, 1)))
+        assert out[0].shape == (1, 8, 20, 20)
+
+    def test_symbolic_batch_flows(self):
+        node = _node("conv2d", {"pad": 1}, inputs=2)
+        out = infer_node(node, _types(("batch", 3, 32, 32), (8, 3, 3, 3)))
+        assert out[0].shape == ("batch", 8, 32, 32)
+
+    def test_collapsed_output_rejected(self):
+        node = _node("conv2d", {}, inputs=2)
+        with pytest.raises(OpError):
+            infer_node(node, _types((1, 3, 2, 2), (8, 3, 5, 5)))
+
+    def test_flops_2x_macs(self):
+        node = _node("conv2d", {"pad": 1}, inputs=2)
+        types = _types((1, 16, 8, 8), (32, 16, 3, 3))
+        out = infer_node(node, types)
+        flops = node_flops(node, types, out)
+        assert flops == 2 * (1 * 32 * 8 * 8) * (16 * 3 * 3)
+
+    def test_arity_enforced(self):
+        node = _node("conv2d", inputs=1)
+        with pytest.raises(OpError):
+            infer_node(node, _types((1, 3, 8, 8)))
+
+
+class TestDenseMatmul:
+    def test_dense_shape_and_flops(self):
+        node = _node("dense", inputs=2)
+        types = _types((4, 128), (256, 128))
+        out = infer_node(node, types)
+        assert out[0].shape == (4, 256)
+        assert node_flops(node, types, out) == 2 * 4 * 256 * 128
+
+    def test_dense_feature_mismatch(self):
+        node = _node("dense", inputs=2)
+        with pytest.raises(OpError):
+            infer_node(node, _types((4, 100), (256, 128)))
+
+    def test_batched_matmul(self):
+        node = _node("matmul", inputs=2)
+        out = infer_node(node, _types((2, 8, 16, 32), (2, 8, 32, 64)))
+        assert out[0].shape == (2, 8, 16, 64)
+
+    def test_matmul_contraction_mismatch(self):
+        node = _node("matmul", inputs=2)
+        with pytest.raises(OpError):
+            infer_node(node, _types((4, 8), (9, 4)))
+
+
+class TestElementwise:
+    def test_broadcast_shapes(self):
+        node = _node("add", inputs=2)
+        out = infer_node(node, _types((2, 3, 4), (3, 1)))
+        assert out[0].shape == (2, 3, 4)
+
+    def test_scalar_broadcast(self):
+        node = _node("mul", inputs=2)
+        out = infer_node(node, _types((5, 5), (1,)))
+        assert out[0].shape == (5, 5)
+
+    def test_incompatible_broadcast_rejected(self):
+        node = _node("add", inputs=2)
+        with pytest.raises(OpError):
+            infer_node(node, _types((2, 3), (2, 4)))
+
+    def test_unary_preserves_shape(self):
+        for op in ("relu", "sigmoid", "tanh", "gelu", "swish", "exp"):
+            out = infer_node(_node(op), _types((3, 7)))
+            assert out[0].shape == (3, 7)
+
+    def test_transcendental_costs_more_than_relu(self):
+        types = _types((100,))
+        relu = _node("relu")
+        gelu = _node("gelu")
+        relu_out = infer_node(relu, types)
+        gelu_out = infer_node(gelu, types)
+        assert node_flops(gelu, types, gelu_out) > node_flops(relu, types, relu_out)
+
+
+class TestPoolingAndLayout:
+    def test_max_pool(self):
+        node = _node("max_pool", {"kernel": 2, "stride": 2})
+        out = infer_node(node, _types((1, 8, 16, 16)))
+        assert out[0].shape == (1, 8, 8, 8)
+
+    def test_pool_requires_kernel(self):
+        with pytest.raises(OpError):
+            infer_node(_node("max_pool"), _types((1, 8, 16, 16)))
+
+    def test_global_avg_pool(self):
+        out = infer_node(_node("global_avg_pool"), _types((2, 64, 7, 7)))
+        assert out[0].shape == (2, 64, 1, 1)
+
+    def test_upsample(self):
+        out = infer_node(_node("upsample", {"scale": 2}), _types((1, 4, 8, 8)))
+        assert out[0].shape == (1, 4, 16, 16)
+
+    def test_pixel_shuffle(self):
+        out = infer_node(_node("pixel_shuffle", {"scale": 2}), _types((1, 16, 8, 8)))
+        assert out[0].shape == (1, 4, 16, 16)
+
+    def test_pixel_shuffle_channel_check(self):
+        with pytest.raises(OpError):
+            infer_node(_node("pixel_shuffle", {"scale": 2}), _types((1, 6, 8, 8)))
+
+    def test_concat(self):
+        node = _node("concat", {"axis": 1}, inputs=3)
+        out = infer_node(node, _types((1, 2, 4), (1, 3, 4), (1, 5, 4)))
+        assert out[0].shape == (1, 10, 4)
+
+    def test_reshape_with_minus_one(self):
+        node = _node("reshape", {"shape": (2, -1)})
+        out = infer_node(node, _types((2, 3, 4)))
+        assert out[0].shape == (2, 12)
+
+    def test_reshape_mismatch_rejected(self):
+        node = _node("reshape", {"shape": (5, 5)})
+        with pytest.raises(OpError):
+            infer_node(node, _types((2, 3)))
+
+    def test_transpose(self):
+        node = _node("transpose", {"axes": (1, 0, 2)})
+        out = infer_node(node, _types((2, 3, 4)))
+        assert out[0].shape == (3, 2, 4)
+
+    def test_flatten(self):
+        out = infer_node(_node("flatten"), _types((2, 3, 4, 5)))
+        assert out[0].shape == (2, 60)
+
+    def test_pad_op(self):
+        node = _node("pad", {"pads": [1, 0, 1, 0]})
+        out = infer_node(node, _types((4, 4)))
+        assert out[0].shape == (6, 4)
+
+    def test_slice_op(self):
+        node = _node("slice", {"axis": 1, "start": 2, "stop": 5})
+        out = infer_node(node, _types((4, 10)))
+        assert out[0].shape == (4, 3)
+
+
+class TestMiscOps:
+    def test_embedding(self):
+        node = _node("embedding", inputs=2)
+        out = infer_node(node, _types((2, 128), (30000, 768)))
+        assert out[0].shape == (2, 128, 768)
+
+    def test_top_k_two_outputs(self):
+        node = _node("top_k", {"k": 5}, outputs=2)
+        out = infer_node(node, _types((2, 100)))
+        assert len(out) == 2 and out[0].shape == (2, 5)
+
+    def test_top_k_requires_k(self):
+        with pytest.raises(OpError):
+            infer_node(_node("top_k", outputs=2), _types((2, 100)))
+
+    def test_glu_halves_axis(self):
+        node = _node("glu", {"axis": 1})
+        out = infer_node(node, _types((1, 8, 10)))
+        assert out[0].shape == (1, 4, 10)
+
+    def test_glu_odd_axis_rejected(self):
+        with pytest.raises(OpError):
+            infer_node(_node("glu", {"axis": 1}), _types((1, 7, 10)))
+
+    def test_reduce_mean_keepdims(self):
+        node = _node("reduce_mean", {"axes": [1], "keepdims": True})
+        out = infer_node(node, _types((2, 8, 4)))
+        assert out[0].shape == (2, 1, 4)
+
+    def test_reduce_mean_drops_axes(self):
+        node = _node("reduce_mean", {"axes": [1, 2]})
+        out = infer_node(node, _types((2, 8, 4)))
+        assert out[0].shape == (2,)
+
+    def test_conv1d(self):
+        node = _node("conv1d", {"pad": 15}, inputs=2)
+        out = infer_node(node, _types((1, 512, 101), (512, 1, 31)))
+        assert out[0].shape == (1, 512, 101)
+
+    def test_conv_transpose2d_doubles(self):
+        node = _node("conv_transpose2d", {"stride": 2, "pad": 1}, inputs=2)
+        out = infer_node(node, _types((1, 256, 16, 16), (256, 128, 4, 4)))
+        assert out[0].shape == (1, 128, 32, 32)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(OpError):
+            spec("quantum_conv")
+
+    def test_categories_cover_calibration_keys(self):
+        categories = {
+            spec(op).category
+            for op in ("conv2d", "dense", "softmax", "relu", "max_pool",
+                       "layer_norm", "reshape", "embedding", "top_k")
+        }
+        assert categories == {
+            "conv", "gemm", "softmax", "elementwise", "pool", "norm",
+            "layout", "embedding", "sort",
+        }

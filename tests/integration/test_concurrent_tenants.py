@@ -1,0 +1,84 @@
+"""§IV-E in the detailed simulator: tenants truly run concurrently.
+
+"isolated hardware resources prevent interference among each other, system
+throughput is increased without compromising inference latency" — measured
+here by co-running two models on disjoint processing-group slices of one
+simulated chip and comparing each tenant's latency to its solo run.
+"""
+
+import pytest
+
+from repro.core.accelerator import Accelerator
+from repro.models import build
+from repro.runtime.executor import Executor
+from repro.runtime.runtime import Device
+
+
+def _compile(device, model):
+    return device.compile(build(model), batch=1)
+
+
+def _solo(model, groups):
+    device = Device.open("i20")
+    return device.launch(_compile(device, model), num_groups=groups)
+
+
+@pytest.fixture(scope="module")
+def colocated():
+    accelerator = Accelerator.cloudblazer_i20()
+    device = Device(accelerator)
+    jobs = {}
+    for tenant, model in (("alpha", "resnet50"), ("beta", "srresnet")):
+        compiled = _compile(device, model)
+        assignment = accelerator.resources.assign(tenant, 3)
+        jobs[tenant] = (compiled, assignment)
+    executor = Executor(accelerator)
+    results = executor.run_concurrent(jobs)
+    return results, jobs
+
+
+def test_both_tenants_complete(colocated):
+    results, _ = colocated
+    assert results["alpha"].latency_ns > 0
+    assert results["beta"].latency_ns > 0
+
+
+def test_tenants_actually_overlap_in_time(colocated):
+    results, _ = colocated
+    alpha_end = max(t.end_ns for t in results["alpha"].kernel_timings)
+    beta_start = min(t.start_ns for t in results["beta"].kernel_timings)
+    assert beta_start < alpha_end  # concurrent, not serialized
+
+
+def test_isolation_bounds_interference(colocated):
+    """Co-running on disjoint slices costs each tenant little vs solo —
+    the §IV-E claim. Only L3 port sharing remains, so allow a modest tax."""
+    results, _ = colocated
+    solo_alpha = _solo("resnet50", 3)
+    solo_beta = _solo("srresnet", 3)
+    assert results["alpha"].latency_ns < 1.6 * solo_alpha.latency_ns
+    assert results["beta"].latency_ns < 1.6 * solo_beta.latency_ns
+
+
+def test_disjoint_slices_enforced(colocated):
+    _, jobs = colocated
+    alpha_groups = set(jobs["alpha"][1].groups)
+    beta_groups = set(jobs["beta"][1].groups)
+    assert not alpha_groups & beta_groups
+
+
+def test_throughput_gain_from_colocation(colocated):
+    """Two tenants co-running finish sooner than running back-to-back."""
+    results, _ = colocated
+    concurrent_makespan = max(
+        results["alpha"].latency_ns, results["beta"].latency_ns
+    )
+    serial_makespan = (
+        _solo("resnet50", 3).latency_ns + _solo("srresnet", 3).latency_ns
+    )
+    assert concurrent_makespan < serial_makespan
+
+
+def test_chip_power_stays_within_tdp(colocated):
+    results, _ = colocated
+    assert results["alpha"].mean_power_watts <= 150.0 + 1e-9

@@ -1,0 +1,159 @@
+"""Integration tests: the full import -> optimize -> compile -> execute flow."""
+
+import pytest
+
+from repro import (
+    Device,
+    FeatureFlags,
+    GraphBuilder,
+    build_model,
+    estimate_model,
+    speedup,
+)
+from repro.core.accelerator import Accelerator
+from repro.graph.onnx_like import load, save
+from repro.runtime.profiler import Profile
+
+
+class TestFullPipeline:
+    def test_resnet50_end_to_end_on_i20(self):
+        device = Device.open("i20")
+        compiled = device.compile(build_model("resnet50"), batch=1)
+        result = device.launch(compiled)
+        assert 0.05 < result.latency_ms < 10.0
+        assert 10.0 < result.mean_power_watts < 150.0
+        profile = Profile(compiled, result)
+        assert profile.dense_flops_share() > 0.8
+
+    def test_serialized_model_roundtrip_through_runtime(self, tmp_path):
+        path = tmp_path / "resnet50.json"
+        save(build_model("resnet50"), path)
+        device = Device.open("i20")
+        result = device.launch(device.compile(load(path), batch=1))
+        assert result.latency_ns > 0
+
+    def test_i20_faster_than_i10_in_simulation(self):
+        graph = build_model("resnet50")
+        i20 = Device.open("i20")
+        i10 = Device.open("i10")
+        fast = i20.launch(i20.compile(graph, batch=1), num_groups=3)
+        slow = i10.launch(i10.compile(graph, batch=1), num_groups=1)
+        assert fast.latency_ns < slow.latency_ns
+
+    def test_simulator_and_roofline_agree_on_magnitude(self):
+        """The two performance models must tell the same coarse story."""
+        device = Device.open("i20")
+        simulated = device.launch(
+            device.compile(build_model("resnet50"), batch=1), num_groups=3
+        )
+        analytical = estimate_model("resnet50", "i20")
+        ratio = simulated.latency_ns / analytical.latency_ns
+        assert 0.2 < ratio < 5.0
+
+    def test_multi_tenant_concurrent_assignments(self):
+        accelerator = Accelerator.cloudblazer_i20()
+        device = Device(accelerator)
+        compiled = device.compile(build_model("resnet50"), batch=1)
+        accelerator.resources.assign("tenant-b", 3)  # occupy one cluster
+        result = device.launch(compiled, num_groups=3, tenant="tenant-a")
+        assert result.latency_ns > 0
+        accelerator.resources.release("tenant-b")
+
+    def test_custom_operator_development_flow(self):
+        """§V-B: a developer-built custom network compiles and runs."""
+        builder = GraphBuilder("custom")
+        x = builder.input("x", (1, 16, 64, 64))
+        trunk = builder.conv2d(x, 32, 3, pad=1)
+        trunk = builder.swish(trunk)
+        gate = builder.conv2d(x, 32, 1)
+        gate = builder.sigmoid(gate)
+        fused = builder.mul(trunk, gate)
+        pooled = builder.global_avg_pool(fused)
+        logits = builder.dense(builder.flatten(pooled), 5)
+        scores, indices = builder.top_k(builder.softmax(logits), 3)
+        graph = builder.finish([scores, indices])
+        device = Device.open("i20")
+        result = device.launch(device.compile(graph))
+        assert result.latency_ns > 0
+
+
+class TestFeatureInteractions:
+    """Cross-subsystem behaviour of the Table II feature set."""
+
+    def _run(self, features=None, model="resnet50", groups=3):
+        accelerator = Accelerator.cloudblazer_i20(features)
+        device = Device(accelerator)
+        compiled = device.compile(build_model(model), batch=1)
+        return device.launch(compiled, num_groups=groups)
+
+    def test_disabling_everything_still_runs(self):
+        stripped = FeatureFlags(
+            operator_fusion=False,
+            repeat_dma=False,
+            icache_prefetch=False,
+            sparse_dma=False,
+            l2_broadcast=False,
+            affinity_allocation=False,
+            fine_grained_vmm=False,
+            direct_l1_l3_dma=False,
+            power_management=False,
+        )
+        result = self._run(stripped)
+        assert result.latency_ns > 0
+
+    def test_full_featured_beats_stripped(self):
+        stripped = FeatureFlags(
+            operator_fusion=False,
+            repeat_dma=False,
+            icache_prefetch=False,
+            sparse_dma=False,
+            l2_broadcast=False,
+            power_management=False,
+        )
+        fast = self._run()
+        slow = self._run(stripped)
+        assert fast.latency_ns < slow.latency_ns
+
+    def test_fusion_reduces_kernel_count_and_latency(self):
+        fused = self._run()
+        unfused = self._run(FeatureFlags(operator_fusion=False))
+        assert len(fused.kernel_timings) < len(unfused.kernel_timings)
+        assert fused.latency_ns < unfused.latency_ns
+
+    def test_prefetch_eliminates_icache_stalls(self):
+        with_prefetch = self._run()
+        without = self._run(FeatureFlags(icache_prefetch=False))
+        assert with_prefetch.counters["icache_prefetch_hits"] > 0
+        assert without.counters["icache_prefetch_hits"] == 0
+        stall_with = sum(t.icache_stall_ns for t in with_prefetch.kernel_timings)
+        stall_without = sum(t.icache_stall_ns for t in without.kernel_timings)
+        assert stall_with < stall_without
+
+    def test_repeat_dma_cuts_configurations(self):
+        with_repeat = self._run()
+        without = self._run(FeatureFlags(repeat_dma=False))
+        assert (
+            with_repeat.counters["dma_configurations"]
+            < without.counters["dma_configurations"]
+        )
+
+    def test_broadcast_cuts_weight_wire_traffic(self):
+        with_broadcast = self._run(groups=3)
+        without = self._run(FeatureFlags(l2_broadcast=False), groups=3)
+        assert (
+            with_broadcast.counters["dma_wire_bytes"]
+            < without.counters["dma_wire_bytes"]
+        )
+
+
+class TestAnalyticalConsistency:
+    def test_speedup_transitivity(self):
+        for model in ("resnet50", "srresnet"):
+            via = speedup(model, "i20", "a10") * speedup(model, "a10", "t4")
+            direct = speedup(model, "i20", "t4")
+            assert via == pytest.approx(direct, rel=1e-9)
+
+    def test_estimates_deterministic(self):
+        first = estimate_model("bert_large", "i20").latency_ns
+        second = estimate_model("bert_large", "i20").latency_ns
+        assert first == second

@@ -1,0 +1,59 @@
+"""Integration: every Table III model through the detailed simulator."""
+
+import pytest
+
+from repro.models import MODEL_NAMES, build
+from repro.perfmodel.latency import estimate_model
+from repro.runtime.runtime import Device
+
+
+@pytest.fixture(scope="module")
+def simulated():
+    results = {}
+    for model in MODEL_NAMES:
+        device = Device.open("i20")
+        compiled = device.compile(build(model), batch=1)
+        results[model] = device.launch(compiled, num_groups=6)
+    return results
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_every_model_simulates(simulated, model):
+    result = simulated[model]
+    assert result.latency_ns > 0
+    assert result.energy_joules > 0
+    assert 0 < result.mean_power_watts <= 150.0
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_simulator_within_factor_of_roofline(simulated, model):
+    """The two performance models must agree on magnitude for every model
+    (they share FLOP/byte accounting but differ in overhead structure)."""
+    analytical = estimate_model(model, "i20")
+    ratio = simulated[model].latency_ns / analytical.latency_ns
+    assert 0.15 < ratio < 3.0, f"{model}: ratio {ratio:.2f}"
+
+
+def test_relative_ordering_roughly_consistent(simulated):
+    """Model-to-model latency ordering should broadly agree between the
+    simulator and the analytical model (Spearman-style check)."""
+    from scipy.stats import spearmanr
+
+    sim_latencies = [simulated[m].latency_ns for m in MODEL_NAMES]
+    analytic_latencies = [
+        estimate_model(m, "i20").latency_ns for m in MODEL_NAMES
+    ]
+    correlation, _pvalue = spearmanr(sim_latencies, analytic_latencies)
+    assert correlation > 0.8
+
+
+def test_power_never_exceeds_tdp(simulated):
+    for model, result in simulated.items():
+        assert result.mean_power_watts <= 150.0 + 1e-9, model
+
+
+def test_heaviest_models_are_heaviest_in_both(simulated):
+    sim_top = sorted(
+        MODEL_NAMES, key=lambda m: simulated[m].latency_ns, reverse=True
+    )[:3]
+    assert "unet" in sim_top and "srresnet" in sim_top

@@ -1,0 +1,70 @@
+"""Unit tests for the HBM2/HBM2E device model."""
+
+import pytest
+
+from repro.memory.hbm import HBM2, HBM2E, HbmModel
+
+
+def test_paper_bandwidth_step():
+    """§IV: HBM2E is 1.6x the HBM2 bandwidth at the same 16 GB capacity."""
+    assert HBM2E.peak_bandwidth_gbps / HBM2.peak_bandwidth_gbps == pytest.approx(
+        1.6, rel=0.01
+    )
+    assert HBM2E.capacity_gb == HBM2.capacity_gb == 16
+
+
+def test_channel_bandwidth_divides_peak():
+    model = HbmModel(HBM2E)
+    assert model.channel_bandwidth_gbps * HBM2E.channels == pytest.approx(
+        HBM2E.peak_bandwidth_gbps
+    )
+
+
+class TestEfficiency:
+    def test_monotone_in_request_size(self):
+        model = HbmModel(HBM2E)
+        sizes = [64, 256, 1024, 65536, 1 << 20]
+        efficiencies = [model.efficiency(size) for size in sizes]
+        assert efficiencies == sorted(efficiencies)
+
+    def test_single_granule_is_half(self):
+        model = HbmModel(HBM2E)
+        assert model.efficiency(HBM2E.access_granularity_bytes) == pytest.approx(0.5)
+
+    def test_large_requests_approach_peak(self):
+        model = HbmModel(HBM2E)
+        assert model.efficiency(1 << 22) > 0.99
+
+    def test_zero_request_raises(self):
+        with pytest.raises(ValueError):
+            HbmModel(HBM2E).efficiency(0)
+
+
+class TestStreams:
+    def test_single_stream_gets_peak_share(self):
+        model = HbmModel(HBM2E)
+        assert model.effective_bandwidth_gbps(1 << 20, streams=1) == pytest.approx(
+            HBM2E.peak_bandwidth_gbps * model.efficiency(1 << 20)
+        )
+
+    def test_streams_split_fairly(self):
+        model = HbmModel(HBM2E)
+        one = model.effective_bandwidth_gbps(1 << 20, streams=1)
+        four = model.effective_bandwidth_gbps(1 << 20, streams=4)
+        assert four == pytest.approx(one / 4)
+
+    def test_invalid_streams_raises(self):
+        with pytest.raises(ValueError):
+            HbmModel(HBM2E).effective_bandwidth_gbps(1024, streams=0)
+
+
+def test_transfer_time_includes_row_overhead():
+    model = HbmModel(HBM2)
+    tiny = model.transfer_time_ns(1)
+    assert tiny > HBM2.row_overhead_ns
+
+
+def test_hbm2e_faster_than_hbm2_for_same_request():
+    old = HbmModel(HBM2)
+    new = HbmModel(HBM2E)
+    assert new.transfer_time_ns(1 << 20) < old.transfer_time_ns(1 << 20)

@@ -1,0 +1,112 @@
+"""Unit tests for the memory hierarchy levels."""
+
+import pytest
+
+from repro.core.config import MemoryLevelConfig, dtu2_config
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLevel, OutOfMemoryError
+from repro.sim import Simulator
+
+
+def _level(sim, capacity=1000, bandwidth=100.0, ports=1, latency=10.0):
+    return MemoryLevel(
+        sim,
+        MemoryLevelConfig(
+            name="test", capacity_bytes=capacity, bandwidth_gbps=bandwidth,
+            ports=ports, latency_ns=latency,
+        ),
+    )
+
+
+class TestAllocation:
+    def test_allocate_and_free(self):
+        level = _level(Simulator())
+        level.allocate("a", 400)
+        assert level.used_bytes == 400
+        assert level.free_bytes == 600
+        level.free("a")
+        assert level.used_bytes == 0
+
+    def test_overflow_raises(self):
+        level = _level(Simulator())
+        level.allocate("a", 800)
+        with pytest.raises(OutOfMemoryError):
+            level.allocate("b", 300)
+
+    def test_duplicate_name_raises(self):
+        level = _level(Simulator())
+        level.allocate("a", 10)
+        with pytest.raises(OutOfMemoryError):
+            level.allocate("a", 10)
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(OutOfMemoryError):
+            _level(Simulator()).free("ghost")
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            _level(Simulator()).allocate("a", -1)
+
+    def test_lookup_and_reset(self):
+        level = _level(Simulator())
+        level.allocate("a", 10, bank=2)
+        assert level.lookup("a").bank == 2
+        level.reset()
+        with pytest.raises(OutOfMemoryError):
+            level.lookup("a")
+
+
+class TestTiming:
+    def test_transfer_time_is_latency_plus_bytes_over_bandwidth(self):
+        level = _level(Simulator(), bandwidth=100.0, latency=10.0)
+        assert level.transfer_time_ns(1000) == pytest.approx(10.0 + 10.0)
+
+    def test_transfer_process_advances_clock(self):
+        sim = Simulator()
+        level = _level(sim, bandwidth=100.0, latency=10.0)
+        sim.spawn(level.transfer(1000))
+        sim.run()
+        assert sim.now == pytest.approx(20.0)
+        assert level.bytes_transferred == 1000
+
+    def test_single_port_serializes_transfers(self):
+        sim = Simulator()
+        level = _level(sim, ports=1, bandwidth=100.0, latency=0.0)
+        for _ in range(3):
+            sim.spawn(level.transfer(1000))
+        sim.run()
+        assert sim.now == pytest.approx(30.0)
+
+    def test_multi_port_parallelizes(self):
+        sim = Simulator()
+        level = _level(sim, ports=4, bandwidth=100.0, latency=0.0)
+        for _ in range(4):
+            sim.spawn(level.transfer(1000))
+        sim.run()
+        assert sim.now == pytest.approx(10.0)
+
+
+class TestMemoryHierarchy:
+    def test_builds_paper_topology(self):
+        chip = dtu2_config()
+        sim = Simulator()
+        hierarchy = MemoryHierarchy(
+            sim, chip.l1_per_core, chip.l2_per_group, chip.l3,
+            cores=chip.total_cores, groups=chip.total_groups,
+        )
+        assert len(hierarchy.l1) == 24
+        assert len(hierarchy.l2) == 6
+        assert hierarchy.l3.capacity_bytes == chip.l3.capacity_bytes
+
+    def test_stats_aggregate_traffic(self):
+        chip = dtu2_config()
+        sim = Simulator()
+        hierarchy = MemoryHierarchy(
+            sim, chip.l1_per_core, chip.l2_per_group, chip.l3, cores=2, groups=1,
+        )
+        sim.spawn(hierarchy.l1[0].transfer(100))
+        sim.spawn(hierarchy.l2[0].transfer(200))
+        sim.spawn(hierarchy.l3.transfer(300))
+        sim.run()
+        stats = hierarchy.stats()
+        assert (stats.l1_bytes, stats.l2_bytes, stats.l3_bytes) == (100, 200, 300)
+        assert stats.total_bytes == 600

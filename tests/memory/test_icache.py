@@ -1,0 +1,106 @@
+"""Unit tests for the instruction buffer (cache mode + prefetch, §IV-B)."""
+
+import pytest
+
+from repro.memory.icache import InstructionBuffer
+
+
+def _buffer(capacity=64 * 1024, cache=True, prefetch=True, bandwidth=32.0):
+    return InstructionBuffer(
+        capacity_bytes=capacity,
+        load_bandwidth_gbps=bandwidth,
+        load_latency_ns=100.0,
+        cache_mode=cache,
+        prefetch_enabled=prefetch,
+    )
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        _buffer(capacity=0)
+
+
+class TestColdMiss:
+    def test_first_fetch_misses_and_stalls(self):
+        buffer = _buffer()
+        result = buffer.fetch("k0", 16 * 1024, now_ns=0.0)
+        assert not result.hit and not result.prefetched
+        assert result.stall_ns == pytest.approx(100.0 + 16 * 1024 / 32.0)
+        assert buffer.misses == 1
+
+    def test_repeat_fetch_hits_in_cache_mode(self):
+        buffer = _buffer()
+        buffer.fetch("k0", 16 * 1024, 0.0)
+        again = buffer.fetch("k0", 16 * 1024, 1000.0)
+        assert again.hit and again.stall_ns == 0.0
+        assert buffer.hits == 1
+
+    def test_no_cache_mode_always_misses(self):
+        buffer = _buffer(cache=False, prefetch=False)
+        buffer.fetch("k0", 16 * 1024, 0.0)
+        again = buffer.fetch("k0", 16 * 1024, 1000.0)
+        assert not again.hit and again.stall_ns > 0
+        assert buffer.misses == 2
+
+
+class TestPrefetch:
+    def test_completed_prefetch_eliminates_stall(self):
+        buffer = _buffer()
+        done = buffer.prefetch("k1", 16 * 1024, now_ns=0.0)
+        result = buffer.fetch("k1", 16 * 1024, now_ns=done + 1.0)
+        assert result.prefetched and result.stall_ns == 0.0
+        assert buffer.prefetch_hits == 1
+
+    def test_partial_prefetch_charges_remaining(self):
+        buffer = _buffer()
+        done = buffer.prefetch("k1", 16 * 1024, now_ns=0.0)
+        result = buffer.fetch("k1", 16 * 1024, now_ns=done / 2)
+        assert result.prefetched
+        assert result.stall_ns == pytest.approx(done / 2)
+
+    def test_prefetch_disabled_is_noop(self):
+        buffer = _buffer(prefetch=False)
+        assert buffer.prefetch("k1", 1024, 5.0) == 5.0
+        result = buffer.fetch("k1", 1024, 10.0)
+        assert not result.prefetched and result.stall_ns > 0
+
+    def test_prefetch_of_resident_kernel_is_noop(self):
+        buffer = _buffer()
+        buffer.fetch("k0", 1024, 0.0)
+        assert buffer.prefetch("k0", 1024, 50.0) == 50.0
+
+    def test_prefetched_kernel_becomes_resident(self):
+        buffer = _buffer()
+        done = buffer.prefetch("k1", 1024, 0.0)
+        buffer.fetch("k1", 1024, done)
+        assert buffer.fetch("k1", 1024, done + 10).hit
+
+
+class TestOversizedKernels:
+    def test_oversized_kernel_streams_with_cache_mode(self):
+        """§IV-B: cache mode 'solves the problem of loading extremely large
+        kernels that exceed the capacity of the instruction buffer'."""
+        buffer = _buffer(capacity=8 * 1024)
+        big = 32 * 1024
+        with_cache = buffer.fetch("big", big, 0.0).stall_ns
+        plain = _buffer(capacity=8 * 1024, cache=False, prefetch=False)
+        without_cache = plain.fetch("big", big, 0.0).stall_ns
+        assert with_cache < without_cache
+
+    def test_eviction_is_lru(self):
+        buffer = _buffer(capacity=2048)
+        buffer.fetch("a", 1024, 0.0)
+        buffer.fetch("b", 1024, 1.0)
+        buffer.fetch("a", 1024, 2.0)  # touch a -> b becomes LRU
+        buffer.fetch("c", 1024, 3.0)  # evicts b
+        assert buffer.fetch("a", 1024, 4.0).hit
+        assert not buffer.fetch("b", 1024, 5.0).hit
+
+
+def test_invalidate_clears_everything():
+    buffer = _buffer()
+    buffer.fetch("a", 1024, 0.0)
+    buffer.prefetch("b", 1024, 0.0)
+    buffer.invalidate()
+    assert not buffer.fetch("a", 1024, 10.0).hit
+    assert not buffer.fetch("b", 1024, 10.0).prefetched

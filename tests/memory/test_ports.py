@@ -1,0 +1,77 @@
+"""Unit tests for the 4-port L2 with core affinity (§IV-B, §V-B)."""
+
+import pytest
+
+from repro.core.config import dtu2_config
+from repro.memory.hierarchy import MemoryLevel
+from repro.memory.ports import PortedL2
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def ported():
+    sim = Simulator()
+    level = MemoryLevel(sim, dtu2_config().l2_per_group)
+    return PortedL2(level, cores_per_group=4)
+
+
+def test_four_banks(ported):
+    assert ported.banks == 4
+
+
+def test_each_core_has_its_own_bank(ported):
+    banks = [ported.bank_of_core(core) for core in range(4)]
+    assert sorted(banks) == [0, 1, 2, 3]
+
+
+def test_core_index_out_of_group_raises(ported):
+    with pytest.raises(ValueError):
+        ported.bank_of_core(4)
+
+
+def test_affine_access_has_no_penalty(ported):
+    routing = ported.route(core_index=1, bank=1)
+    assert routing.affine
+    assert routing.extra_latency_ns == 0.0
+
+
+def test_cross_bank_access_pays_penalty(ported):
+    routing = ported.route(core_index=1, bank=3)
+    assert not routing.affine
+    assert routing.extra_latency_ns == ported.cross_bank_penalty_ns
+
+
+def test_bad_bank_raises(ported):
+    with pytest.raises(ValueError):
+        ported.route(0, 4)
+
+
+def test_access_time_affine_faster(ported):
+    affine = ported.access_time_ns(2, 2, 4096)
+    cross = ported.access_time_ns(2, 0, 4096)
+    assert cross > affine
+
+
+def test_four_cores_access_without_interference():
+    """§IV-B: '4 compute cores ... can access L2 memory without interference'."""
+    sim = Simulator()
+    level = MemoryLevel(sim, dtu2_config().l2_per_group)
+    ported = PortedL2(level, cores_per_group=4)
+    for core in range(4):
+        sim.spawn(ported.access(core, ported.bank_of_core(core), 1 << 20))
+    sim.run()
+    solo = ported.access_time_ns(0, 0, 1 << 20)
+    assert sim.now == pytest.approx(solo)
+
+
+def test_single_port_level_serializes():
+    from repro.core.config import dtu1_config
+
+    sim = Simulator()
+    level = MemoryLevel(sim, dtu1_config().l2_per_group)
+    ported = PortedL2(level, cores_per_group=8)
+    for core in range(4):
+        sim.spawn(ported.access(core, 0, 1 << 20))
+    sim.run()
+    solo = ported.access_time_ns(0, 0, 1 << 20)
+    assert sim.now == pytest.approx(4 * solo)

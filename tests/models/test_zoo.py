@@ -1,0 +1,190 @@
+"""Tests for the Table III model zoo: structure, shapes, FLOP sanity."""
+
+import pytest
+
+from repro.core.datatypes import DType
+from repro.graph.ops import node_flops, spec
+from repro.graph.shape_inference import bind_shapes, dynamic_symbols
+from repro.models.zoo import MODEL_NAMES, TABLE_III, build, entry
+
+
+def test_exactly_ten_models():
+    assert len(TABLE_III) == 10
+    assert len(MODEL_NAMES) == 10
+
+
+def test_table3_categories():
+    categories = [row.category for row in TABLE_III]
+    assert categories.count("Object Detection") == 3
+    assert categories.count("Image Classification") == 3
+    for single in ("Segmentation", "Super Resolution", "NLP", "Speech Recognition"):
+        assert categories.count(single) == 1
+
+
+def test_table3_sources():
+    sources = {row.name: row.source for row in TABLE_III}
+    assert sources["yolo_v3"] == "Pytorch"
+    assert sources["inception_v4"] == "Tensorflow"
+    assert sources["bert_large"] == "Tensorflow"
+    assert sources["conformer"] == "Pytorch"
+
+
+def test_entry_lookup():
+    assert entry("resnet50").display_name == "Resnet50 v1.5"
+    with pytest.raises(KeyError):
+        entry("alexnet")
+
+
+@pytest.fixture(scope="module")
+def built():
+    return {name: build(name) for name in MODEL_NAMES}
+
+
+@pytest.fixture(scope="module")
+def bound(built):
+    return {name: bind_shapes(graph, batch=1) for name, graph in built.items()}
+
+
+def _total_flops(graph):
+    total = 0.0
+    for node in graph.topological_nodes():
+        inputs = [graph.tensor_type(name) for name in node.inputs]
+        outputs = [graph.tensor_type(name) for name in node.outputs]
+        total += node_flops(node, inputs, outputs)
+    return total
+
+
+class TestEveryModel:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_builds_and_validates(self, built, name):
+        built[name].validate()
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_batch_is_symbolic(self, built, name):
+        assert "batch" in dynamic_symbols(built[name])
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_binds_fully_static(self, bound, name):
+        assert dynamic_symbols(bound[name]) == set()
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_has_outputs(self, built, name):
+        assert built[name].outputs
+
+
+class TestInputShapes:
+    """Table III input sizes."""
+
+    CASES = {
+        "yolo_v3": (1, 3, 608, 608),
+        "centernet": (1, 3, 512, 512),
+        "retinaface": (1, 3, 640, 640),
+        "vgg16": (1, 3, 224, 224),
+        "resnet50": (1, 3, 224, 224),
+        "inception_v4": (1, 3, 299, 299),
+        "unet": (1, 3, 512, 512),
+        "srresnet": (1, 3, 224, 224),
+        "conformer": (1, 1, 80, 401),
+    }
+
+    @pytest.mark.parametrize("name,shape", sorted(CASES.items()))
+    def test_image_inputs(self, bound, name, shape):
+        graph = bound[name]
+        assert graph.tensor_type(graph.inputs[0]).shape == shape
+
+    def test_bert_sequence_length(self, bound):
+        graph = bound["bert_large"]
+        assert graph.tensor_type("tokens").shape == (1, 384)
+
+
+class TestFlopSanity:
+    """FLOP totals (2 x MACs) within a factor ~1.5 of published counts."""
+
+    EXPECTED_GFLOPS = {
+        "yolo_v3": 141.0,       # 65.9 GMACs at 608^2
+        "resnet50": 8.2,        # 4.1 GMACs
+        "vgg16": 31.0,          # 15.5 GMACs
+        "inception_v4": 25.0,   # 12.3 GMACs
+        "bert_large": 250.0,    # ~340M params, seq 384
+    }
+
+    @pytest.mark.parametrize("name,expected", sorted(EXPECTED_GFLOPS.items()))
+    def test_flop_counts(self, bound, name, expected):
+        total = _total_flops(bound[name]) / 1e9
+        assert expected / 1.5 < total < expected * 1.5
+
+    def test_batch_scales_conv_flops_linearly(self):
+        single = _total_flops(bind_shapes(build("resnet50"), batch=1))
+        double = _total_flops(bind_shapes(build("resnet50"), batch=2))
+        assert double == pytest.approx(2 * single, rel=0.01)
+
+
+class TestArchitecturalLandmarks:
+    def test_vgg16_has_13_convs_3_denses(self, built):
+        ops = [node.op_type for node in built["vgg16"].nodes]
+        assert ops.count("conv2d") == 13
+        assert ops.count("dense") == 3
+
+    def test_resnet50_has_53_convs(self, built):
+        # 53 = 1 stem + 16 blocks x 3 + 4 downsample projections
+        ops = [node.op_type for node in built["resnet50"].nodes]
+        assert ops.count("conv2d") == 53
+
+    def test_yolo_detects_at_three_scales(self, bound):
+        graph = bound["yolo_v3"]
+        strides = set()
+        for output in graph.outputs:
+            shape = graph.tensor_type(output).shape
+            strides.add(608 // shape[-1])
+        assert strides == {8, 16, 32}
+
+    def test_centernet_uses_topk(self, built):
+        assert any(node.op_type == "top_k" for node in built["centernet"].nodes)
+
+    def test_retinaface_has_nine_heads(self, built):
+        assert len(built["retinaface"].outputs) == 9
+
+    def test_unet_concats_skips(self, built):
+        concats = [n for n in built["unet"].nodes if n.op_type == "concat"]
+        assert len(concats) == 4
+
+    def test_srresnet_16_residual_blocks(self, built):
+        adds = [n for n in built["srresnet"].nodes if n.op_type == "add"]
+        assert len(adds) == 17  # 16 block skips + 1 global skip
+
+    def test_srresnet_upscales_4x(self, bound):
+        graph = bound["srresnet"]
+        out_shape = graph.tensor_type(graph.outputs[0]).shape
+        assert out_shape == (1, 3, 896, 896)
+
+    def test_bert_has_24_layers_of_mha(self, built):
+        softmaxes = [n for n in built["bert_large"].nodes if n.op_type == "softmax"]
+        assert len(softmaxes) == 24
+
+    def test_bert_parameter_count(self, bound):
+        weight_bytes = bound["bert_large"].weight_bytes()
+        parameters = weight_bytes / 4  # FP32 builder types
+        assert 300e6 < parameters < 400e6  # ~340 M
+
+    def test_conformer_has_depthwise_convs(self, built):
+        graph = built["conformer"]
+        depthwise = [
+            node for node in graph.nodes
+            if node.op_type == "conv1d"
+            and graph.tensor_type(node.inputs[1]).shape[1] == 1
+        ]
+        assert len(depthwise) == 17
+
+    def test_conformer_uses_glu(self, built):
+        assert any(node.op_type == "glu" for node in built["conformer"].nodes)
+
+    def test_relu_models_carry_sparsity_annotations(self, built):
+        graph = built["resnet50"]
+        sparse_nodes = [n for n in graph.nodes if n.attr("sparsity", 0) > 0]
+        assert sparse_nodes
+
+    def test_leaky_relu_models_do_not(self, built):
+        graph = built["yolo_v3"]
+        for node in graph.nodes:
+            if node.op_type == "leaky_relu":
+                assert node.attr("sparsity", 0) == 0

@@ -1,0 +1,183 @@
+"""Unit tests for device specs (Table IV) and the roofline model."""
+
+import pytest
+
+from repro.compiler.kernel import Kernel, KernelCost
+from repro.core.datatypes import DType
+from repro.perfmodel.calibration import calibration
+from repro.perfmodel.devices import (
+    ALL_DEVICES,
+    CLOUDBLAZER_I10,
+    CLOUDBLAZER_I20,
+    NVIDIA_A10,
+    NVIDIA_T4,
+    device,
+)
+from repro.perfmodel.roofline import estimate_kernel, kernel_memory_bytes
+
+MB = 1 << 20
+
+
+class TestTable4:
+    def test_i20_matches_table1(self):
+        assert CLOUDBLAZER_I20.fp32_tflops == 32.0
+        assert CLOUDBLAZER_I20.fp16_tflops == 128.0
+        assert CLOUDBLAZER_I20.int8_tops == 256.0
+        assert CLOUDBLAZER_I20.bandwidth_gbps == 819.0
+        assert CLOUDBLAZER_I20.tdp_watts == 150.0
+
+    def test_i10_row(self):
+        assert CLOUDBLAZER_I10.fp32_tflops == 20.0
+        assert CLOUDBLAZER_I10.fp16_tflops == 80.0
+        assert CLOUDBLAZER_I10.int8_tops == 80.0
+        assert CLOUDBLAZER_I10.bandwidth_gbps == 512.0
+
+    def test_t4_row(self):
+        assert NVIDIA_T4.fp32_tflops == 8.1
+        assert NVIDIA_T4.fp16_tflops == 65.0
+        assert NVIDIA_T4.int8_tops == 130.0
+        assert NVIDIA_T4.tdp_watts == 70.0
+        assert NVIDIA_T4.technology_nm == 12
+
+    def test_a10_row(self):
+        assert NVIDIA_A10.fp32_tflops == 31.2
+        assert NVIDIA_A10.fp16_tflops == 125.0
+        assert NVIDIA_A10.memory_gb == 24
+        assert NVIDIA_A10.technology_nm == 7
+
+    def test_lookup_by_short_name(self):
+        assert device("i20") is CLOUDBLAZER_I20
+        assert device("T4") is NVIDIA_T4
+        with pytest.raises(KeyError):
+            device("h100")
+
+    def test_all_devices_has_four(self):
+        assert len(ALL_DEVICES) == 4
+
+    def test_power_efficiency_metric(self):
+        # Fig. 14(b): T4's FP16 perf/TDP beats everyone
+        fp16_eff = {d.name: d.power_efficiency(DType.FP16) for d in ALL_DEVICES}
+        assert max(fp16_eff, key=fp16_eff.get) == "Nvidia T4"
+        # but i20 wins FP32 perf/TDP
+        fp32_eff = {d.name: d.power_efficiency(DType.FP32) for d in ALL_DEVICES}
+        assert max(fp32_eff, key=fp32_eff.get) == "Cloudblazer i20"
+
+
+def _kernel(flops=1e9, inputs=4 * MB, outputs=2 * MB, weights=1 * MB,
+            internal=0, category="conv", sparsity=0.0):
+    return Kernel(
+        name="k",
+        category=category,
+        dtype=DType.FP16,
+        cost=KernelCost(
+            flops=flops, input_bytes=inputs, output_bytes=outputs,
+            weight_bytes=weights, internal_bytes=internal,
+        ),
+        code_bytes=8192,
+        sparsity=sparsity,
+    )
+
+
+class TestRoofline:
+    def test_time_is_max_of_compute_and_memory(self):
+        estimate = estimate_kernel(_kernel(), CLOUDBLAZER_I20, calibration("i20"))
+        assert estimate.time_ns == pytest.approx(
+            max(estimate.compute_ns, estimate.memory_ns) + estimate.overhead_ns
+        )
+
+    def test_compute_bound_classification(self):
+        estimate = estimate_kernel(
+            _kernel(flops=1e12, inputs=1 * MB, outputs=1 * MB, weights=0),
+            CLOUDBLAZER_I20,
+            calibration("i20"),
+        )
+        assert estimate.bound == "compute"
+
+    def test_memory_bound_classification(self):
+        estimate = estimate_kernel(
+            _kernel(flops=1e6, inputs=64 * MB), CLOUDBLAZER_I20, calibration("i20")
+        )
+        assert estimate.bound == "memory"
+
+    def test_unfused_traffic_charged_by_fusion_effectiveness(self):
+        kernel = _kernel(internal=10 * MB)
+        i20_bytes = kernel_memory_bytes(kernel, calibration("i20"))
+        t4_bytes = kernel_memory_bytes(kernel, calibration("t4"))
+        assert t4_bytes > i20_bytes  # weaker fusion -> more traffic
+
+    def test_sparse_dma_reduces_traffic(self):
+        kernel = _kernel(sparsity=0.5)
+        dense = kernel_memory_bytes(kernel, calibration("i20"), sparse_dma=False)
+        sparse = kernel_memory_bytes(kernel, calibration("i20"), sparse_dma=True)
+        assert sparse < dense
+
+    def test_sparse_never_expands(self):
+        kernel = _kernel(sparsity=0.01)  # barely sparse: mask overhead bites
+        dense = kernel_memory_bytes(kernel, calibration("i20"), sparse_dma=False)
+        sparse = kernel_memory_bytes(kernel, calibration("i20"), sparse_dma=True)
+        assert sparse <= dense
+
+    def test_tensorization_utilization_slows_compute(self):
+        fast = estimate_kernel(
+            _kernel(flops=1e12), CLOUDBLAZER_I20, calibration("i20"),
+            tensorization_utilization=1.0,
+        )
+        slow = estimate_kernel(
+            _kernel(flops=1e12), CLOUDBLAZER_I20, calibration("i20"),
+            tensorization_utilization=0.25,
+        )
+        assert slow.compute_ns == pytest.approx(4 * fast.compute_ns)
+
+    def test_batch_scale_speeds_compute(self):
+        base = estimate_kernel(
+            _kernel(flops=1e12), NVIDIA_A10, calibration("a10"), batch_scale=1.0
+        )
+        batched = estimate_kernel(
+            _kernel(flops=1e12), NVIDIA_A10, calibration("a10"), batch_scale=1.5
+        )
+        assert batched.compute_ns < base.compute_ns
+
+    def test_zero_flop_kernel_memory_only(self):
+        estimate = estimate_kernel(
+            _kernel(flops=0, category="layout"), CLOUDBLAZER_I20, calibration("i20")
+        )
+        assert estimate.compute_ns == 0.0
+        assert estimate.memory_ns > 0
+
+
+class TestCalibration:
+    def test_batch_scale_normalized_at_one(self):
+        for name in ("i20", "i10", "t4", "a10"):
+            assert calibration(name).batch_scale(1) == pytest.approx(1.0)
+
+    def test_batch_scale_monotone(self):
+        cal = calibration("i20")
+        values = [cal.batch_scale(batch) for batch in (1, 2, 4, 8, 16, 32)]
+        assert values == sorted(values)
+        assert values[-1] < cal.batch_ceiling + 1e-9
+
+    def test_batch_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            calibration("i20").batch_scale(0)
+
+    def test_unknown_category_uses_default(self):
+        cal = calibration("i20")
+        assert cal.category_efficiency("exotic") == cal.compute_efficiency["default"]
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            calibration("tpu")
+
+    def test_i20_fusion_strongest(self):
+        """The Table II story: 4x L1 / 6x L2 buys deeper fusion."""
+        assert calibration("i20").fusion_effectiveness > calibration("t4").fusion_effectiveness
+        assert calibration("i20").fusion_effectiveness > calibration("a10").fusion_effectiveness
+        assert calibration("i10").fusion_effectiveness < calibration("i20").fusion_effectiveness
+
+    def test_i20_bandwidth_efficiency_strongest(self):
+        """4-port L2 + affinity allocation sustain more of the HBM peak."""
+        for other in ("i10", "t4", "a10"):
+            assert (
+                calibration("i20").bandwidth_efficiency
+                > calibration(other).bandwidth_efficiency
+            )

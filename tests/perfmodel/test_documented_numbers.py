@@ -1,0 +1,40 @@
+"""Regression lock: EXPERIMENTS.md's committed figures match the code.
+
+If a future change moves the measured numbers materially, this test fails
+and points at the doc that must be re-measured — the documentation can
+never silently drift from the implementation.
+"""
+
+import pytest
+
+from repro.models.zoo import MODEL_NAMES
+from repro.perfmodel.latency import geomean, speedup
+
+#: the Fig. 13 table committed in EXPERIMENTS.md (i20/T4, i20/A10)
+DOCUMENTED_FIG13 = {
+    "yolo_v3": (2.03, 1.08),
+    "centernet": (2.70, 1.40),
+    "retinaface": (2.69, 1.40),
+    "vgg16": (2.33, 1.22),
+    "resnet50": (2.33, 1.24),
+    "inception_v4": (1.85, 1.03),
+    "unet": (1.99, 1.07),
+    "srresnet": (5.01, 2.71),
+    "bert_large": (1.79, 0.93),
+    "conformer": (1.65, 0.94),
+}
+DOCUMENTED_GEOMEANS = (2.31, 1.24)
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_fig13_rows_match_experiments_md(model):
+    documented_t4, documented_a10 = DOCUMENTED_FIG13[model]
+    assert speedup(model, "i20", "t4") == pytest.approx(documented_t4, rel=0.15)
+    assert speedup(model, "i20", "a10") == pytest.approx(documented_a10, rel=0.15)
+
+
+def test_geomeans_match_experiments_md():
+    vs_t4 = geomean([speedup(m, "i20", "t4") for m in MODEL_NAMES])
+    vs_a10 = geomean([speedup(m, "i20", "a10") for m in MODEL_NAMES])
+    assert vs_t4 == pytest.approx(DOCUMENTED_GEOMEANS[0], rel=0.08)
+    assert vs_a10 == pytest.approx(DOCUMENTED_GEOMEANS[1], rel=0.08)

@@ -1,0 +1,94 @@
+"""Tests for end-to-end latency estimation — the Fig. 13/15 engine."""
+
+import pytest
+
+from repro.core.datatypes import DType
+from repro.models.zoo import MODEL_NAMES
+from repro.perfmodel.latency import (
+    energy_efficiency_ratio,
+    estimate_model,
+    geomean,
+    speedup,
+)
+
+
+class TestEstimates:
+    def test_latencies_are_plausible_milliseconds(self):
+        """Batch-1 FP16 inference latencies land in the 0.1-50 ms regime."""
+        for model in MODEL_NAMES:
+            estimate = estimate_model(model, "i20")
+            assert 0.05 < estimate.latency_ms < 50.0, model
+
+    def test_kernel_estimates_sum_to_total(self):
+        estimate = estimate_model("resnet50", "i20")
+        total = sum(kernel.time_ns for kernel in estimate.kernels)
+        assert estimate.latency_ns == pytest.approx(total)
+
+    def test_throughput_inverse_of_latency(self):
+        estimate = estimate_model("resnet50", "i20", batch=4)
+        assert estimate.throughput_samples_per_s == pytest.approx(
+            4e9 / estimate.latency_ns
+        )
+
+    def test_energy_per_sample(self):
+        estimate = estimate_model("resnet50", "i20")
+        energy = estimate.energy_per_sample_j(150.0)
+        assert energy == pytest.approx(150.0 * estimate.latency_ns * 1e-9)
+
+    def test_batching_improves_throughput(self):
+        for device in ("i20", "a10"):
+            one = estimate_model("vgg16", device, batch=1)
+            eight = estimate_model("vgg16", device, batch=8)
+            assert eight.throughput_samples_per_s > one.throughput_samples_per_s
+
+    def test_fp32_slower_than_fp16(self):
+        fp16 = estimate_model("resnet50", "i20", dtype=DType.FP16)
+        fp32 = estimate_model("resnet50", "i20", dtype=DType.FP32)
+        assert fp32.latency_ns > fp16.latency_ns
+
+    def test_speedup_antisymmetric(self):
+        ab = speedup("resnet50", "i20", "t4")
+        ba = speedup("resnet50", "t4", "i20")
+        assert ab == pytest.approx(1.0 / ba)
+
+    def test_energy_ratio_folds_tdp(self):
+        perf = speedup("resnet50", "i20", "t4")
+        energy = energy_efficiency_ratio("resnet50", "i20", "t4")
+        assert energy == pytest.approx(perf * 70.0 / 150.0)
+
+    def test_same_device_ratio_is_one(self):
+        assert speedup("unet", "i20", "i20") == pytest.approx(1.0)
+
+
+class TestGeomean:
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_single(self):
+        assert geomean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+
+class TestPaperShape:
+    """The headline structure of Fig. 13 (full check in benchmarks/)."""
+
+    def test_i20_beats_i10_on_every_model(self):
+        for model in MODEL_NAMES:
+            assert speedup(model, "i20", "i10") > 1.0, model
+
+    def test_a10_beats_t4_on_every_model(self):
+        for model in MODEL_NAMES:
+            assert speedup(model, "a10", "t4") > 1.0, model
+
+    def test_geomean_bands(self):
+        vs_t4 = geomean([speedup(m, "i20", "t4") for m in MODEL_NAMES])
+        vs_a10 = geomean([speedup(m, "i20", "a10") for m in MODEL_NAMES])
+        assert 1.9 < vs_t4 < 2.7   # paper: 2.22
+        assert 1.0 < vs_a10 < 1.4  # paper: 1.16
+
+    def test_srresnet_is_the_biggest_win(self):
+        ratios = {m: speedup(m, "i20", "t4") for m in MODEL_NAMES}
+        assert max(ratios, key=ratios.get) == "srresnet"
+        assert ratios["srresnet"] > 3.5  # paper: 4.34

@@ -1,0 +1,110 @@
+"""Unit tests for the 4-stage DVFS loop (§IV-F2, Fig. 10)."""
+
+import pytest
+
+from repro.power.dvfs import DvfsController, Observation, WorkloadKind
+from repro.power.model import DvfsCurve
+
+
+def _controller(**kwargs):
+    return DvfsController(curve=DvfsCurve(1.0, 1.4), **kwargs)
+
+
+COMPUTE = Observation(busy_ratio=0.95, dma_stall_ratio=0.02)
+BANDWIDTH = Observation(busy_ratio=0.30, dma_stall_ratio=0.60)
+BALANCED = Observation(busy_ratio=0.50, dma_stall_ratio=0.10)
+
+
+def test_observation_validates_ranges():
+    with pytest.raises(ValueError):
+        Observation(busy_ratio=1.2, dma_stall_ratio=0.0)
+    with pytest.raises(ValueError):
+        Observation(busy_ratio=0.5, dma_stall_ratio=-0.1)
+
+
+class TestEvaluation:
+    def test_classification(self):
+        controller = _controller()
+        assert controller.classify(COMPUTE) is WorkloadKind.COMPUTE_BOUND
+        assert controller.classify(BANDWIDTH) is WorkloadKind.BANDWIDTH_BOUND
+        assert controller.classify(BALANCED) is WorkloadKind.BALANCED
+
+    def test_stall_dominates_busy(self):
+        """A busy core stalling on DMA is bandwidth-bound, not compute-bound."""
+        controller = _controller()
+        both = Observation(busy_ratio=0.9, dma_stall_ratio=0.5)
+        assert controller.classify(both) is WorkloadKind.BANDWIDTH_BOUND
+
+
+class TestDecisionHysteresis:
+    def test_boots_at_max(self):
+        assert _controller().f_ghz == 1.4
+
+    def test_single_window_does_not_act(self):
+        controller = _controller(hysteresis_windows=3)
+        controller.update(BANDWIDTH)
+        assert controller.f_ghz == 1.4
+
+    def test_sustained_bandwidth_bound_downclocks(self):
+        controller = _controller(hysteresis_windows=3)
+        for _ in range(3):
+            decision = controller.update(BANDWIDTH)
+        assert decision.changed and controller.f_ghz == pytest.approx(1.3)
+
+    def test_mixed_kinds_reset_hysteresis(self):
+        controller = _controller(hysteresis_windows=3)
+        controller.update(BANDWIDTH)
+        controller.update(BANDWIDTH)
+        controller.update(BALANCED)
+        controller.update(BANDWIDTH)
+        assert controller.f_ghz == 1.4
+
+    def test_floor_and_ceiling_respected(self):
+        controller = _controller(hysteresis_windows=1)
+        for _ in range(20):
+            controller.update(BANDWIDTH)
+        assert controller.f_ghz == pytest.approx(1.0)
+        for _ in range(20):
+            controller.update(COMPUTE)
+        assert controller.f_ghz == pytest.approx(1.4)
+
+    def test_recovers_after_phase_change(self):
+        """Fig. 10's closed loop: down in a memory phase, back up after."""
+        controller = _controller(hysteresis_windows=2)
+        for _ in range(8):
+            controller.update(BANDWIDTH)
+        low = controller.f_ghz
+        for _ in range(8):
+            controller.update(COMPUTE)
+        assert controller.f_ghz > low
+
+
+class TestDisabled:
+    def test_disabled_holds_max_frequency(self):
+        controller = _controller(enabled=False)
+        for _ in range(10):
+            decision = controller.update(BANDWIDTH)
+        assert controller.f_ghz == 1.4
+        assert not decision.changed
+
+    def test_disabled_still_classifies(self):
+        controller = _controller(enabled=False)
+        decision = controller.update(BANDWIDTH)
+        assert decision.kind is WorkloadKind.BANDWIDTH_BOUND
+
+
+class TestAnalysis:
+    def test_frequency_profile_counts_windows(self):
+        controller = _controller(hysteresis_windows=1)
+        for _ in range(4):
+            controller.update(BANDWIDTH)
+        profile = controller.frequency_profile()
+        assert sum(profile.values()) == 4
+        assert min(profile) < 1.4
+
+    def test_mean_frequency(self):
+        controller = _controller(hysteresis_windows=1)
+        assert controller.mean_frequency_ghz() == 1.4
+        for _ in range(10):
+            controller.update(BANDWIDTH)
+        assert 1.0 <= controller.mean_frequency_ghz() < 1.4

@@ -1,0 +1,131 @@
+"""Unit tests for power-integrity management (LPME + CPME, §IV-F1, Fig. 9)."""
+
+import pytest
+
+from repro.power.cpme import Cpme, PowerIntegrityError
+from repro.power.lpme import Lpme
+from repro.power.model import DvfsCurve, UnitPowerModel, UnitPowerParams, dtu2_power_units
+
+
+def _unit(dynamic=4.0):
+    return UnitPowerModel(
+        UnitPowerParams("u", static_watts=0.5, dynamic_watts_peak=dynamic),
+        DvfsCurve(1.0, 1.4),
+    )
+
+
+class TestLpme:
+    def test_under_budget_no_throttle(self):
+        lpme = Lpme(unit_model=_unit(), budget_watts=10.0)
+        report = lpme.observe(activity=1.0, f_ghz=1.4, window_ns=1000.0)
+        assert report.throttle == 0.0
+
+    def test_over_budget_throttles_to_fixpoint(self):
+        lpme = Lpme(unit_model=_unit(), budget_watts=2.5)
+        report = lpme.observe(activity=1.0, f_ghz=1.4, window_ns=1000.0)
+        # allowed dynamic = 2.0 of 4.0 -> half the work shed
+        assert report.throttle == pytest.approx(0.5)
+        throttled_power = lpme.unit_model.power_watts(
+            (1 - report.throttle) * 1.0, 1.4
+        )
+        assert throttled_power == pytest.approx(2.5)
+
+    def test_budget_below_static_floor_rejected(self):
+        with pytest.raises(ValueError):
+            Lpme(unit_model=_unit(), budget_watts=0.1)
+
+    def test_borrow_requested_after_m_of_n_starved_windows(self):
+        lpme = Lpme(unit_model=_unit(), budget_watts=2.5, borrow_m=3, borrow_n=5)
+        requests = [
+            lpme.observe(1.0, 1.4, 1000.0).borrow_requested for _ in range(5)
+        ]
+        assert not any(requests[:2])  # history too short at first
+        assert requests[4]
+
+    def test_excess_budget_returned(self):
+        lpme = Lpme(unit_model=_unit(), budget_watts=10.0)
+        report = lpme.observe(activity=0.1, f_ghz=1.0, window_ns=1000.0)
+        assert report.returned_watts > 0
+        assert lpme.budget_watts < 10.0
+        assert lpme.budget_watts >= lpme.unit_model.min_power_watts()
+
+    def test_grant_raises_budget_and_clears_history(self):
+        lpme = Lpme(unit_model=_unit(), budget_watts=2.5)
+        for _ in range(5):
+            lpme.observe(1.0, 1.4, 1000.0)
+        lpme.grant(2.0)
+        assert lpme.budget_watts == pytest.approx(4.5)
+        assert len(lpme.history) == 0
+
+    def test_negative_grant_rejected(self):
+        with pytest.raises(ValueError):
+            Lpme(unit_model=_unit(), budget_watts=3.0).grant(-1.0)
+
+    def test_effective_slowdown(self):
+        lpme = Lpme(unit_model=_unit(), budget_watts=2.5)
+        report = lpme.observe(1.0, 1.4, 1000.0)
+        assert lpme.effective_slowdown(report) == pytest.approx(2.0)
+
+
+class TestCpme:
+    def test_baseline_budgets_fit_limit(self):
+        cpme = Cpme(power_limit_watts=150.0)
+        cpme.register_units(dtu2_power_units())
+        assert cpme.committed_watts <= 150.0
+        assert cpme.reserve_watts > 0
+
+    def test_double_registration_rejected(self):
+        cpme = Cpme(power_limit_watts=150.0)
+        units = dtu2_power_units()
+        cpme.register_units(units)
+        with pytest.raises(PowerIntegrityError):
+            cpme.register_units(units)
+
+    def test_limit_too_small_rejected(self):
+        cpme = Cpme(power_limit_watts=10.0)
+        with pytest.raises(PowerIntegrityError):
+            cpme.register_units(dtu2_power_units())
+
+    def test_grants_never_exceed_limit(self):
+        """The §IV-F1 invariant: total committed budget <= board limit."""
+        cpme = Cpme(power_limit_watts=150.0)
+        cpme.register_units(dtu2_power_units())
+        activities = {name: 1.0 for name in cpme.lpmes}
+        frequencies = {}
+        for _ in range(50):
+            cpme.run_window(activities, frequencies, window_ns=10_000.0)
+            assert cpme.committed_watts <= 150.0 + 1e-9
+
+    def test_hot_unit_eventually_unthrottled(self):
+        """Budget borrowing relieves a starved engine (Fig. 9)."""
+        cpme = Cpme(power_limit_watts=150.0)
+        cpme.register_units(dtu2_power_units())
+        activities = {f"core{i}": 1.0 for i in range(24)}
+        last_reports = None
+        for _ in range(30):
+            last_reports = cpme.run_window(activities, {}, window_ns=10_000.0)
+        core_throttles = [
+            report.throttle
+            for name, report in last_reports.items()
+            if name.startswith("core")
+        ]
+        assert max(core_throttles) == 0.0
+        assert cpme.grants_issued > 0
+
+    def test_oversubscription_denies_grants(self):
+        """With everything maxed, the reserve drains and requests get denied,
+        yet integrity holds."""
+        cpme = Cpme(power_limit_watts=60.0, baseline_fraction=0.30)
+        units = {
+            f"u{i}": UnitPowerModel(
+                UnitPowerParams(f"u{i}", 0.5, 9.5), DvfsCurve(1.0, 1.4)
+            )
+            for i in range(10)
+        }
+        cpme.register_units(units)
+        activities = {name: 1.0 for name in units}
+        for _ in range(30):
+            cpme.run_window(activities, {}, 10_000.0)
+        assert cpme.grants_denied > 0
+        assert cpme.committed_watts <= 60.0 + 1e-9
+        assert cpme.reserve_watts < 1.0

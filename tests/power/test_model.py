@@ -1,0 +1,104 @@
+"""Unit tests for the power model (DVFS curve, unit power, chip budget)."""
+
+import pytest
+
+from repro.power.model import (
+    DvfsCurve,
+    UnitPowerModel,
+    UnitPowerParams,
+    chip_power_units,
+    chip_power_watts,
+    dtu2_power_units,
+)
+
+
+class TestDvfsCurve:
+    def test_clamp(self):
+        curve = DvfsCurve(1.0, 1.4)
+        assert curve.clamp(0.5) == 1.0
+        assert curve.clamp(2.0) == 1.4
+        assert curve.clamp(1.2) == 1.2
+
+    def test_voltage_interpolates(self):
+        curve = DvfsCurve(1.0, 1.4, v_min=0.7, v_max=0.9)
+        assert curve.voltage(1.0) == pytest.approx(0.7)
+        assert curve.voltage(1.4) == pytest.approx(0.9)
+        assert curve.voltage(1.2) == pytest.approx(0.8)
+
+    def test_flat_curve_voltage(self):
+        curve = DvfsCurve(1.0, 1.0)
+        assert curve.voltage(1.0) == curve.v_max
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsCurve(1.4, 1.0)
+        with pytest.raises(ValueError):
+            DvfsCurve(1.0, 1.4, v_min=0.9, v_max=0.7)
+
+
+class TestUnitPower:
+    def _unit(self):
+        return UnitPowerModel(
+            UnitPowerParams("core", static_watts=0.5, dynamic_watts_peak=4.0),
+            DvfsCurve(1.0, 1.4),
+        )
+
+    def test_idle_draws_static_only(self):
+        assert self._unit().power_watts(0.0) == pytest.approx(0.5)
+
+    def test_full_power_at_max(self):
+        assert self._unit().max_power_watts() == pytest.approx(4.5)
+
+    def test_power_superlinear_in_frequency(self):
+        """Dynamic power scales f * V^2: the DVFS energy-saving premise."""
+        unit = self._unit()
+        low = unit.power_watts(1.0, 1.0) - 0.5
+        high = unit.power_watts(1.0, 1.4) - 0.5
+        assert high / low > 1.4  # more than linear in f
+
+    def test_activity_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            self._unit().power_watts(1.2)
+
+    def test_energy_integrates_power(self):
+        unit = self._unit()
+        energy = unit.energy_joules(1.0, 1.4, duration_ns=1e9)
+        assert energy == pytest.approx(4.5)
+
+
+class TestChipBudget:
+    def test_dtu2_full_chip_near_tdp(self):
+        """All-busy chip at f_max must sit at the 150 W board TDP."""
+        units = dtu2_power_units()
+        total = chip_power_watts(units, {name: 1.0 for name in units})
+        assert total == pytest.approx(150.0, rel=0.01)
+
+    def test_idle_chip_draws_leakage_only(self):
+        units = dtu2_power_units()
+        idle = chip_power_watts(units, {})
+        assert 0 < idle < 40.0
+
+    def test_unit_count_matches_topology(self):
+        units = dtu2_power_units()
+        cores = [name for name in units if name.startswith("core")]
+        dmas = [name for name in units if name.startswith("dma")]
+        assert len(cores) == 24 and len(dmas) == 6
+        assert "hbm" in units and "fabric" in units
+
+    def test_generic_builder_respects_tdp(self):
+        units = chip_power_units(cores=32, dma_engines=4, tdp_watts=150.0)
+        total = chip_power_watts(units, {name: 1.0 for name in units})
+        assert total == pytest.approx(150.0, rel=0.01)
+
+    def test_tdp_below_fixed_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            chip_power_units(cores=8, dma_engines=2, tdp_watts=20.0)
+
+    def test_downclocking_cores_saves_power(self):
+        units = dtu2_power_units()
+        busy = {name: 1.0 for name in units}
+        at_max = chip_power_watts(units, busy)
+        at_min = chip_power_watts(
+            units, busy, {name: 1.0 for name in units if name.startswith("core")}
+        )
+        assert at_min < at_max

@@ -1,0 +1,148 @@
+"""Tests for INT8 post-training quantization (§VI-A accuracy methodology)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.reference import EvaluationError, ReferenceExecutor
+from repro.quant import (
+    CalibrationTable,
+    QuantizationScale,
+    QuantizedExecutor,
+    calibrate,
+    verify_accuracy,
+    weight_compression_bytes,
+)
+
+
+def _small_cnn():
+    builder = GraphBuilder("qnet")
+    x = builder.input("x", (4, 3, 16, 16))
+    y = builder.conv2d(x, 16, 3, pad=1)
+    y = builder.relu(y)
+    y = builder.conv2d(y, 16, 3, pad=1)
+    y = builder.relu(y)
+    y = builder.global_avg_pool(y)
+    y = builder.flatten(y)
+    y = builder.dense(y, 10)
+    y = builder.softmax(y)
+    return builder.finish([y])
+
+
+def _batches(count, seed=0, shape=(4, 3, 16, 16)):
+    rng = np.random.default_rng(seed)
+    return [{"x": rng.normal(size=shape)} for _ in range(count)]
+
+
+class TestScale:
+    def test_roundtrip_within_one_step(self):
+        scale = QuantizationScale("t", scale=0.1)
+        values = np.array([-3.0, 0.0, 0.05, 1.23, 12.7])
+        restored = scale.fake_quantize(values)
+        assert np.max(np.abs(restored - values)) <= 0.05 + 1e-12
+
+    def test_saturates_at_127_levels(self):
+        scale = QuantizationScale("t", scale=1.0)
+        assert scale.quantize(np.array([1e9]))[0] == 127
+        assert scale.quantize(np.array([-1e9]))[0] == -127
+
+    def test_zero_scale_maps_to_zero(self):
+        scale = QuantizationScale("t", scale=0.0)
+        assert np.all(scale.fake_quantize(np.ones(4)) == 0.0)
+
+
+class TestCalibration:
+    def test_observes_every_quantized_boundary(self):
+        graph = _small_cnn()
+        table = calibrate(graph, _batches(2))
+        # 2 convs + 1 dense, each with data + weight + bias inputs
+        assert len(table.abs_max) >= 6
+        assert table.samples == 2
+
+    def test_abs_max_is_running_maximum(self):
+        table = CalibrationTable()
+        table.observe("t", np.array([1.0]))
+        table.observe("t", np.array([-5.0]))
+        table.observe("t", np.array([2.0]))
+        assert table.abs_max["t"] == 5.0
+
+    def test_scale_for_unobserved_raises(self):
+        with pytest.raises(EvaluationError):
+            CalibrationTable().scale_for("ghost")
+
+    def test_empty_batches_rejected(self):
+        with pytest.raises(EvaluationError):
+            calibrate(_small_cnn(), [])
+
+
+class TestAccuracy:
+    def test_int8_tracks_fp_reference(self):
+        """The §VI-A methodology: INT8 deviation stays within budget."""
+        graph = _small_cnn()
+        table = calibrate(graph, _batches(4))
+        report = verify_accuracy(graph, table, _batches(2, seed=99))
+        assert report.mean_relative_error < 0.05
+        assert report.top1_agreement >= 0.9
+
+    def test_more_calibration_data_never_catastrophic(self):
+        graph = _small_cnn()
+        short = calibrate(graph, _batches(1))
+        long = calibrate(graph, _batches(8))
+        held_out = _batches(2, seed=123)
+        error_short = verify_accuracy(graph, short, held_out).mean_relative_error
+        error_long = verify_accuracy(graph, long, held_out).mean_relative_error
+        assert error_long < 0.1 and error_short < 0.2
+
+    def test_quantized_executor_counts_tensors(self):
+        graph = _small_cnn()
+        table = calibrate(graph, _batches(1))
+        executor = QuantizedExecutor(graph, table)
+        executor.run(**_batches(1, seed=7)[0])
+        assert executor.quantized_tensors >= 6
+
+    def test_quantized_output_close_but_not_identical(self):
+        graph = _small_cnn()
+        table = calibrate(graph, _batches(2))
+        batch = _batches(1, seed=5)[0]
+        fp_out = ReferenceExecutor(graph).run(**batch)
+        q_out = QuantizedExecutor(graph, table).run(**batch)
+        key = graph.outputs[0]
+        assert not np.array_equal(fp_out[key], q_out[key])
+        assert np.allclose(fp_out[key], q_out[key], atol=0.05)
+
+    def test_precision_difference_percent(self):
+        graph = _small_cnn()
+        table = calibrate(graph, _batches(4))
+        report = verify_accuracy(graph, table, _batches(1, seed=321))
+        assert report.precision_difference_percent == pytest.approx(
+            report.mean_relative_error * 100
+        )
+
+
+class TestCompression:
+    def test_weight_bytes_nearly_halve(self):
+        fp16, int8 = weight_compression_bytes(_small_cnn())
+        assert fp16 > int8
+        assert fp16 / int8 == pytest.approx(2.0, rel=0.05)
+
+    def test_non_matrix_ops_excluded(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 4, 8, 8))
+        y = builder.batch_norm(x)  # has weights, but never quantized
+        graph = builder.finish([y])
+        fp16, int8 = weight_compression_bytes(graph)
+        assert fp16 == int8 == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    scale=st.floats(min_value=1e-3, max_value=100.0),
+    seed=st.integers(0, 1000),
+)
+def test_property_fake_quantize_error_bounded_by_half_step(scale, seed):
+    quantizer = QuantizationScale("t", scale=scale)
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-127 * scale, 127 * scale, size=64)
+    restored = quantizer.fake_quantize(values)
+    assert np.max(np.abs(restored - values)) <= scale / 2 + 1e-9

@@ -1,0 +1,68 @@
+"""Tests for the PCIe host interface."""
+
+import pytest
+
+from repro.models import build
+from repro.runtime.host import EndToEndResult, HostSession, PcieLink, model_io_bytes
+from repro.runtime.runtime import Device
+
+
+class TestPcieLink:
+    def test_default_matches_table1(self):
+        device = Device.open("i20")
+        session = HostSession(device)
+        assert session.link.bandwidth_gbps == 64.0
+
+    def test_transfer_time_linear_plus_latency(self):
+        link = PcieLink(bandwidth_gbps=64.0, latency_us=5.0)
+        small = link.transfer_time_ns(64)
+        large = link.transfer_time_ns(64 << 20)
+        assert small == pytest.approx(5000.0 + 1.0)
+        assert large == pytest.approx(5000.0 + (64 << 20) / 64.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PcieLink(bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            PcieLink().transfer_time_ns(-1)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def result(self):
+        device = Device.open("i20")
+        compiled = device.compile(build("resnet50"), batch=1)
+        return HostSession(device).infer(compiled, num_groups=3)
+
+    def test_breakdown_sums(self, result):
+        assert result.total_ns == pytest.approx(
+            result.h2d_ns + result.device_ns + result.d2h_ns
+        )
+
+    def test_io_bytes_are_model_tensors(self):
+        device = Device.open("i20")
+        compiled = device.compile(build("resnet50"), batch=1)
+        input_bytes, output_bytes = model_io_bytes(compiled)
+        assert input_bytes == 3 * 224 * 224 * 2  # FP16 image
+        assert output_bytes > 0
+
+    def test_pcie_share_small_for_compute_heavy_model(self, result):
+        """Device time dominates: PCIe must not be the bottleneck."""
+        assert result.pcie_share < 0.25
+
+    def test_pipelining_beats_serial(self, result):
+        assert result.pipelined_interval_ns() < result.total_ns
+
+    def test_throughput_from_interval(self, result):
+        device = Device.open("i20")
+        session = HostSession(device)
+        throughput = session.pipelined_throughput_per_s(result)
+        assert throughput == pytest.approx(1e9 / result.pipelined_interval_ns())
+
+    def test_slow_link_shifts_bottleneck(self):
+        device = Device.open("i20")
+        compiled = device.compile(build("resnet50"), batch=1)
+        slow = HostSession(device, PcieLink(bandwidth_gbps=0.5))
+        result = slow.infer(compiled, num_groups=3, tenant="slow")
+        assert result.pcie_share > 0.25
+        assert result.pipelined_interval_ns() == pytest.approx(result.h2d_ns)

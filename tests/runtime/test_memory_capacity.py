@@ -1,0 +1,54 @@
+"""Device memory-capacity planning (the Fig. 12 memory row with teeth)."""
+
+import pytest
+
+from repro.models import MODEL_NAMES, build
+from repro.runtime.runtime import Device, RuntimeError_
+
+
+class TestFootprint:
+    def test_every_zoo_model_fits_at_batch_1(self):
+        device = Device.open("i20")
+        for model in MODEL_NAMES:
+            compiled = device.compile(build(model), batch=1)
+            assert compiled.fits(16 * (1 << 30)), model
+
+    def test_footprint_components(self):
+        device = Device.open("i20")
+        compiled = device.compile(build("vgg16"), batch=1)
+        assert compiled.weight_bytes > 250e6  # 138M params at FP16
+        assert compiled.peak_activation_bytes > 0
+        assert compiled.memory_footprint_bytes() > compiled.weight_bytes
+
+    def test_footprint_grows_with_batch(self):
+        device = Device.open("i20")
+        small = device.compile(build("resnet50"), batch=1)
+        large = device.compile(build("resnet50"), batch=32)
+        assert large.memory_footprint_bytes() > small.memory_footprint_bytes()
+        # weights are batch-independent; activations carry the growth
+        assert large.weight_bytes == small.weight_bytes
+
+
+class TestCapacityEnforcement:
+    def test_giant_batch_rejected(self):
+        device = Device.open("i20")
+        compiled = device.compile(build("unet"), batch=512)
+        assert not compiled.fits(16 * (1 << 30))
+        with pytest.raises(RuntimeError_):
+            device.launch(compiled, num_groups=6)
+
+    def test_preallocated_buffers_shrink_headroom(self):
+        device = Device.open("i20")
+        device.malloc("kv_cache", 31 << 29)  # 15.5 GiB: leaves < BERT's 0.7 GB
+        compiled = device.compile(build("bert_large"), batch=1)
+        with pytest.raises(RuntimeError_):
+            device.launch(compiled, num_groups=6)
+        device.free("kv_cache")
+        result = device.launch(compiled, num_groups=6)
+        assert result.latency_ns > 0
+
+    def test_error_message_names_the_gap(self):
+        device = Device.open("i20")
+        compiled = device.compile(build("unet"), batch=512)
+        with pytest.raises(RuntimeError_, match="GB"):
+            device.launch(compiled)

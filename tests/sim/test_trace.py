@@ -1,0 +1,87 @@
+"""Unit tests for the execution trace."""
+
+import pytest
+
+from repro.sim import Interval, Trace
+
+
+def test_interval_duration():
+    assert Interval("e", "l", 2.0, 5.0).duration == 3.0
+
+
+def test_interval_backwards_rejected():
+    with pytest.raises(ValueError):
+        Interval("e", "l", 5.0, 2.0)
+
+
+def test_busy_time_merges_overlaps():
+    trace = Trace()
+    trace.record("core", "a", 0.0, 10.0)
+    trace.record("core", "b", 5.0, 15.0)
+    assert trace.busy_time("core") == 15.0
+
+
+def test_busy_time_clips_to_window():
+    trace = Trace()
+    trace.record("core", "a", 0.0, 100.0)
+    assert trace.busy_time("core", 20.0, 30.0) == 10.0
+
+
+def test_busy_time_ignores_other_engines():
+    trace = Trace()
+    trace.record("core", "a", 0.0, 10.0)
+    trace.record("dma", "b", 0.0, 50.0)
+    assert trace.busy_time("core") == 10.0
+
+
+def test_utilization_full_window():
+    trace = Trace()
+    trace.record("core", "a", 0.0, 25.0)
+    assert trace.utilization("core", 0.0, 50.0) == pytest.approx(0.5)
+
+
+def test_utilization_empty_window_is_zero():
+    trace = Trace()
+    assert trace.utilization("core", 10.0, 10.0) == 0.0
+
+
+def test_utilization_disjoint_intervals():
+    trace = Trace()
+    trace.record("core", "a", 0.0, 10.0)
+    trace.record("core", "b", 20.0, 30.0)
+    assert trace.utilization("core", 0.0, 40.0) == pytest.approx(0.5)
+
+
+def test_end_time_tracks_latest():
+    trace = Trace()
+    trace.record("a", "x", 0.0, 10.0)
+    trace.record("b", "y", 5.0, 99.0)
+    assert trace.end_time() == 99.0
+
+
+def test_end_time_empty_is_zero():
+    assert Trace().end_time() == 0.0
+
+
+def test_counters_accumulate():
+    trace = Trace()
+    trace.bump("ops")
+    trace.bump("ops", 2.5)
+    assert trace.counters["ops"] == 3.5
+
+
+def test_by_label_aggregates_durations():
+    trace = Trace()
+    trace.record("core", "conv", 0.0, 10.0)
+    trace.record("dma", "conv", 0.0, 4.0)
+    trace.record("core", "pool", 10.0, 11.0)
+    totals = trace.by_label()
+    assert totals["conv"] == 14.0
+    assert totals["pool"] == 1.0
+
+
+def test_engines_listing():
+    trace = Trace()
+    trace.record("a", "x", 0.0, 1.0)
+    trace.record("b", "x", 0.0, 1.0)
+    assert trace.engines() == {"a", "b"}

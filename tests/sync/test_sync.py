@@ -1,0 +1,220 @@
+"""Unit tests for the synchronization engine (§IV-D): all four patterns."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator, Timeout
+from repro.sync import Barrier, Semaphore, SyncEngine
+
+
+class TestSemaphore:
+    def test_signal_then_wait(self):
+        sim = Simulator()
+        semaphore = Semaphore(sim)
+        semaphore.signal()
+        woke = []
+
+        def waiter():
+            yield semaphore.wait()
+            woke.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert woke == [0.0]
+
+    def test_wait_blocks_until_signal(self):
+        sim = Simulator()
+        semaphore = Semaphore(sim)
+        woke = []
+
+        def waiter():
+            yield semaphore.wait()
+            woke.append(sim.now)
+
+        def signaler():
+            yield Timeout(30.0)
+            semaphore.signal()
+
+        sim.spawn(waiter())
+        sim.spawn(signaler())
+        sim.run()
+        assert woke == [30.0]
+
+    def test_initial_count(self):
+        sim = Simulator()
+        semaphore = Semaphore(sim, initial=2)
+        woke = []
+
+        def waiter(name):
+            yield semaphore.wait()
+            woke.append(name)
+
+        for name in "abc":
+            sim.spawn(waiter(name))
+        sim.run(until=10.0)
+        assert woke == ["a", "b"]
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(Simulator(), initial=-1)
+
+    def test_bad_signal_amount_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(Simulator()).signal(0)
+
+
+class TestBarrier:
+    def test_releases_when_all_arrive(self):
+        sim = Simulator()
+        barrier = Barrier(sim, parties=3)
+        released = []
+
+        def party(delay):
+            yield Timeout(delay)
+            yield barrier.arrive()
+            released.append(sim.now)
+
+        for delay in (5.0, 15.0, 10.0):
+            sim.spawn(party(delay))
+        sim.run()
+        assert released == [15.0, 15.0, 15.0]
+
+    def test_reusable_across_generations(self):
+        sim = Simulator()
+        barrier = Barrier(sim, parties=2)
+        crossings = []
+
+        def party(offset):
+            for round_index in range(2):
+                yield Timeout(10.0 + offset)
+                yield barrier.arrive()
+                crossings.append((round_index, sim.now))
+
+        sim.spawn(party(0.0))
+        sim.spawn(party(5.0))
+        sim.run()
+        assert barrier.generation == 2
+        assert len(crossings) == 4
+
+    def test_over_arrival_raises(self):
+        sim = Simulator()
+        barrier = Barrier(sim, parties=1)
+        barrier.arrive()
+        barrier.arrive()  # new generation, fine
+
+    def test_bad_parties_rejected(self):
+        with pytest.raises(ValueError):
+            Barrier(Simulator(), parties=0)
+
+
+class TestOneToOne:
+    def test_handoff_charges_latency(self):
+        sim = Simulator()
+        engine = SyncEngine(sim, latency_ns=40.0)
+        timeline = []
+
+        def producer():
+            yield Timeout(100.0)
+            yield from engine.signal("ready")
+
+        def consumer():
+            yield from engine.wait_for("ready")
+            timeline.append(sim.now)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert timeline == [140.0]
+        assert engine.stats.one_to_one == 1
+
+    def test_cross_group_costs_more(self):
+        sim = Simulator()
+        engine = SyncEngine(sim, latency_ns=40.0, cross_group_multiplier=2.0)
+        timeline = []
+
+        def producer():
+            yield from engine.signal("ready", cross_group=True)
+
+        def consumer():
+            yield from engine.wait_for("ready")
+            timeline.append(sim.now)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert timeline == [80.0]
+
+
+class TestOneToN:
+    def test_notify_all_wakes_everyone(self):
+        sim = Simulator()
+        engine = SyncEngine(sim)
+        woke = []
+
+        def consumer(name):
+            yield from engine.wait_for("go")
+            woke.append(name)
+
+        def producer():
+            yield Timeout(10.0)
+            yield from engine.notify_all("go", waiters=3)
+
+        for name in "abc":
+            sim.spawn(consumer(name))
+        sim.spawn(producer())
+        sim.run()
+        assert sorted(woke) == ["a", "b", "c"]
+        assert engine.stats.one_to_n == 1
+
+    def test_zero_waiters_rejected(self):
+        sim = Simulator()
+        engine = SyncEngine(sim)
+        with pytest.raises(ValueError):
+            list(engine.notify_all("go", waiters=0))
+
+
+class TestNToOne:
+    def test_join_fires_after_all_checkins(self):
+        sim = Simulator()
+        engine = SyncEngine(sim)
+        joined = []
+
+        def worker(delay):
+            yield Timeout(delay)
+            yield from engine.check_in("done", 3)
+
+        def collector():
+            yield engine.join("done", 3)
+            joined.append(sim.now)
+
+        for delay in (10.0, 30.0, 20.0):
+            sim.spawn(worker(delay))
+        sim.spawn(collector())
+        sim.run()
+        assert joined and joined[0] >= 30.0
+        assert engine.stats.n_to_one == 1
+
+    def test_mismatched_parties_raises(self):
+        sim = Simulator()
+        engine = SyncEngine(sim)
+        engine.join("x", 3)
+        with pytest.raises(ValueError):
+            engine.join("x", 4)
+
+
+class TestNToM:
+    def test_rendezvous_synchronizes_both_sides(self):
+        sim = Simulator()
+        engine = SyncEngine(sim)
+        barrier = engine.rendezvous(parties=5)
+        released = []
+
+        def participant(delay):
+            yield Timeout(delay)
+            yield from engine.arrive(barrier)
+            released.append(sim.now)
+
+        for delay in (1.0, 2.0, 3.0, 4.0, 50.0):
+            sim.spawn(participant(delay))
+        sim.run()
+        assert all(time >= 50.0 for time in released)
+        assert engine.stats.n_to_m == 1
