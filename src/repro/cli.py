@@ -6,7 +6,9 @@ Commands:
 - ``models`` — list the Table III zoo with compile statistics,
 - ``run MODEL`` — simulate one inference on the i20 (or i10),
 - ``estimate MODEL`` — analytical latency on every device,
-- ``evaluate`` — the full Fig. 13 / Fig. 15 comparison table.
+- ``evaluate`` — the full Fig. 13 / Fig. 15 comparison table,
+- ``faults`` — a fault-injection campaign: one faulty launch with RAS
+  retries, then a two-tenant serving run under the same fault plan.
 """
 
 from __future__ import annotations
@@ -16,7 +18,6 @@ import sys
 
 
 def _cmd_specs(_args) -> int:
-    from repro.core.datatypes import DType
     from repro.perfmodel.devices import ALL_DEVICES
 
     header = (f"{'Device':<16} {'FP32':>6} {'FP16':>6} {'INT8':>6} "
@@ -128,6 +129,81 @@ def _cmd_evaluate(_args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import FaultInjector, FaultPlan, TransientFault
+    from repro.models.zoo import MODEL_NAMES, build
+    from repro.runtime.runtime import Device
+    from repro.serving import (
+        InferenceServer,
+        RasConfig,
+        TenantConfig,
+        TrafficPattern,
+        generate_trace,
+    )
+
+    if args.model not in MODEL_NAMES:
+        print(f"unknown model {args.model!r}; choose from {list(MODEL_NAMES)}",
+              file=sys.stderr)
+        return 2
+    plan = FaultPlan(
+        seed=args.seed,
+        dma_corrupt_rate=args.dma_rate,
+        dma_abort_rate=args.dma_rate / 10.0,
+        ecc_ce_rate=args.ecc_rate,
+        ecc_ue_rate=args.ecc_rate / 10.0,
+        core_hang_rate=args.hang_rate,
+        sync_loss_rate=args.sync_rate,
+    )
+
+    # Part 1: one launch on the detailed simulator, with and without faults.
+    print(f"fault plan: dma {args.dma_rate:.2%}/txn, ecc {args.ecc_rate:.2%}"
+          f"/transfer, hang {args.hang_rate:.2%}/kernel, seed {args.seed}")
+    clean = Device.open(args.device)
+    compiled = clean.compile(build(args.model), batch=1)
+    baseline = clean.launch(compiled, num_groups=args.groups)
+    faulty = Device.open(args.device)
+    injector = FaultInjector(plan)
+    faulty.accelerator.attach_faults(injector)
+    compiled_faulty = faulty.compile(build(args.model), batch=1)
+    try:
+        result = faulty.launch(
+            compiled_faulty, num_groups=args.groups, max_retries=args.retries
+        )
+        print(f"{args.model}: clean {baseline.latency_ms:.3f} ms -> faulty "
+              f"{result.latency_ms:.3f} ms "
+              f"({int(result.counters.get('launch_retries', 0))} launch retries)")
+    except TransientFault as fault:
+        print(f"{args.model}: launch failed after {args.retries} retries: {fault}")
+    recovered = sum(record.recovered for record in injector.records)
+    print(f"  faults injected {len(injector.records)} "
+          f"(recovered {recovered}, fatal {len(injector.records) - recovered})")
+
+    # Part 2: two-tenant serving campaign under the same plan.
+    tenants = [
+        TenantConfig("a", args.model, groups=2, max_batch=4, sla_ms=args.sla_ms),
+        TenantConfig("b", "unet", groups=3, sla_ms=None),
+    ]
+    ras = RasConfig(max_retries=args.retries, queue_depth_limit=args.queue_limit)
+    server = InferenceServer(tenants, fault_plan=plan, ras=ras)
+    trace = generate_trace(
+        [TrafficPattern("a", args.rate), TrafficPattern("b", args.rate / 5.0)],
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    reports = server.run(trace)
+    header = (f"{'tenant':<8} {'ok':>6} {'fail':>5} {'shed':>5} {'retry':>5} "
+              f"{'degr':>5} {'p99 ms':>8} {'avail':>7} {'sla viol':>9}")
+    print()
+    print(header)
+    print("-" * len(header))
+    for name, report in reports.items():
+        print(f"{name:<8} {report.completed:>6} {report.failed:>5} "
+              f"{report.shed:>5} {report.retried:>5} {report.degraded:>5} "
+              f"{report.p99_ms:>8.2f} {report.availability:>6.1%} "
+              f"{report.sla_violation_rate:>8.1%}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -152,6 +228,29 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--batch", type=int, default=1)
 
     commands.add_parser("evaluate", help="Fig. 13/15 comparison table")
+
+    faults = commands.add_parser(
+        "faults", help="fault-injection campaign with RAS recovery"
+    )
+    faults.add_argument("--model", default="resnet50")
+    faults.add_argument("--device", default="i20", choices=("i20", "i10"))
+    faults.add_argument("--groups", type=int, default=2)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--dma-rate", type=float, default=0.01,
+                        help="corruption probability per DMA transaction")
+    faults.add_argument("--ecc-rate", type=float, default=0.01,
+                        help="correctable-ECC probability per transfer")
+    faults.add_argument("--hang-rate", type=float, default=0.001,
+                        help="core-hang probability per kernel per group")
+    faults.add_argument("--sync-rate", type=float, default=0.001,
+                        help="lost-sync probability per operation")
+    faults.add_argument("--retries", type=int, default=3)
+    faults.add_argument("--queue-limit", type=int, default=32)
+    faults.add_argument("--sla-ms", type=float, default=50.0)
+    faults.add_argument("--rate", type=float, default=100.0,
+                        help="tenant-a request rate per second")
+    faults.add_argument("--duration", type=float, default=0.5,
+                        help="trace duration in seconds")
     return parser
 
 
@@ -163,6 +262,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "estimate": _cmd_estimate,
         "evaluate": _cmd_evaluate,
+        "faults": _cmd_faults,
     }
     return handlers[args.command](args)
 

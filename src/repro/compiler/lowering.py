@@ -18,7 +18,7 @@ executes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compiler.kernel import Kernel, KernelCost
 from repro.compiler.tensorize import (

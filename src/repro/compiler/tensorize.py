@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 from repro.core.datatypes import DType
 from repro.engines.matrix import supported_patterns
-from repro.engines.vector import lanes_for
 
 
 class TensorizeError(ValueError):

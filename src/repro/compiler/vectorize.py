@@ -13,7 +13,7 @@ transcendental functions the DTU supports are properly vectorized").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.datatypes import DType
 from repro.engines.sfu import SpecialFunctionUnit

@@ -40,6 +40,8 @@ class Accelerator:
     cpme: Cpme | None = None
     dvfs: DvfsController | None = None
     power_units: dict[str, UnitPowerModel] = field(default_factory=dict)
+    faults: "object | None" = None
+    """FaultInjector driving an active campaign (see :meth:`attach_faults`)."""
 
     def __post_init__(self) -> None:
         if self.groups:
@@ -76,6 +78,23 @@ class Accelerator:
     def cloudblazer_i10(cls) -> "Accelerator":
         """The predecessor: DTU 1.0 on a Cloudblazer i10 card."""
         return cls(chip=dtu1_config())
+
+    # -- fault injection ------------------------------------------------------
+
+    def attach_faults(self, injector) -> None:
+        """Wire a :class:`~repro.faults.FaultInjector` into every hook point.
+
+        Propagates the injector to each group's DMA engine, L2 slice and
+        synchronization engine, plus the shared L3 — the components then
+        draw faults at their natural event granularity. Pass ``None`` to
+        detach and restore the bit-identical fault-free timing path.
+        """
+        self.faults = injector
+        self.l3.faults = injector
+        for group in self.groups:
+            group.dma.faults = injector
+            group.sync.faults = injector
+            group.l2.level.faults = injector
 
     # -- convenience --------------------------------------------------------
 

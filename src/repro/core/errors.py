@@ -1,0 +1,14 @@
+"""Shared exception roots for the repro stack.
+
+:class:`ReproRuntimeError` is the base every runtime-facing error derives
+from (runtime misuse, RAS/fault-path errors), kept distinct from
+``builtins.RuntimeError`` so callers can catch repro failures without
+swallowing unrelated bugs. It lives in a leaf module so both the runtime
+and the fault-injection layers can extend it without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproRuntimeError(RuntimeError):
+    """Base class for runtime misuse and RAS errors across the stack."""

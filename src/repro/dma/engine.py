@@ -50,11 +50,21 @@ class DmaStats:
     wire_bytes: int = 0
     config_time_ns: float = 0.0
     busy_time_ns: float = 0.0
+    replays: int = 0
+    faults: int = 0
 
 
 @dataclass
 class DmaEngine:
-    """One processing group's DMA engine."""
+    """One processing group's DMA engine.
+
+    ``faults`` is the accelerator's :class:`~repro.faults.FaultInjector`
+    when a fault campaign is attached: each transaction then draws an
+    outcome — clean, CRC-detected corruption (the transaction replays,
+    config + passes repeated, bounded by the plan's retry limit) or an
+    engine abort (fatal for the launch; the executor raises after the
+    simulation drains). With no injector the timing path is untouched.
+    """
 
     sim: Simulator
     name: str = "dma"
@@ -62,6 +72,7 @@ class DmaEngine:
     allow_direct_l1_l3: bool = True
     trace: Trace | None = None
     stats: DmaStats = field(default_factory=DmaStats)
+    faults: object | None = None
 
     def validate_route(self, src: MemoryLevel, dst: MemoryLevel) -> None:
         """Reject routes the chip generation does not wire up."""
@@ -123,24 +134,42 @@ class DmaEngine:
         wire = nbytes if wire_bytes is None else wire_bytes
         start = self.sim.now
 
-        config_time = configurations * self.config_overhead_ns
-        self.stats.configurations += configurations
-        self.stats.config_time_ns += config_time
-        yield Timeout(config_time)
-
         if hardware_broadcast:
             passes = [destinations]
         else:
             passes = [[destination] for destination in destinations]
-        for pass_destinations in passes:
-            read = self.sim.spawn(src.transfer(wire), name=f"{self.name}.read")
-            writes = [
-                self.sim.spawn(
-                    destination.transfer(nbytes), name=f"{self.name}.write"
-                )
-                for destination in pass_destinations
-            ]
-            yield AllOf([read.done_event] + [write.done_event for write in writes])
+
+        replays = 0
+        while True:
+            config_time = configurations * self.config_overhead_ns
+            self.stats.configurations += configurations
+            self.stats.config_time_ns += config_time
+            yield Timeout(config_time)
+
+            for pass_destinations in passes:
+                read = self.sim.spawn(src.transfer(wire), name=f"{self.name}.read")
+                writes = [
+                    self.sim.spawn(
+                        destination.transfer(nbytes), name=f"{self.name}.write"
+                    )
+                    for destination in pass_destinations
+                ]
+                yield AllOf([read.done_event] + [write.done_event for write in writes])
+
+            if self.faults is None:
+                break
+            outcome = self.faults.dma_outcome(self.name, label, self.sim.now)
+            if outcome is None:
+                break
+            self.stats.faults += 1
+            if outcome == "abort":
+                break  # fatal: queued on the injector; executor raises later
+            # CRC mismatch at the destination: replay the whole transaction.
+            replays += 1
+            if replays > self.faults.plan.dma_retry_limit:
+                self.faults.dma_replays_exhausted(self.name, label, self.sim.now)
+                break
+            self.stats.replays += 1
 
         end = self.sim.now
         self.stats.transactions += 1

@@ -90,6 +90,7 @@ class ComputeCore:
         dtype: DType = DType.FP32,
         l1_capacity_bytes: int = 1024 * 1024,
         trace: Trace | None = None,
+        fault_injector=None,
     ) -> None:
         self.core_id = core_id
         self.dtype = dtype
@@ -102,13 +103,32 @@ class ComputeCore:
         self.cycles_retired = 0
         self.stall_cycles = 0
         self.halted = False
+        #: optional repro.faults.FaultInjector; when set, each packet may
+        #: hang the core (watchdog raises CoreHangFault to the caller).
+        self.fault_injector = fault_injector
 
     # -- program execution ------------------------------------------------
 
     def run(self, program: Program) -> int:
-        """Execute every packet; returns total cycles including stalls."""
+        """Execute every packet; returns total cycles including stalls.
+
+        With a fault injector attached, a per-packet draw may hang the
+        core: architectural state stops advancing and the watchdog
+        surfaces a :class:`~repro.faults.CoreHangFault` to the caller,
+        which is expected to reset and replay the program.
+        """
         self.halted = False
-        for packet in program.packets:
+        for index, packet in enumerate(program.packets):
+            if self.fault_injector is not None and self.fault_injector.core_hang(
+                f"core{self.core_id}", time_ns=float(self.cycles_retired)
+            ):
+                from repro.faults.errors import CoreHangFault
+
+                self.halted = True
+                raise CoreHangFault(
+                    f"core{self.core_id}: hung at packet {index} of "
+                    f"{len(program.packets)}; watchdog reset"
+                )
             self._execute_packet(packet)
             if self.halted:
                 break

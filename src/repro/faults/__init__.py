@@ -1,0 +1,30 @@
+"""Fault injection + RAS primitives for the simulated DTU 2.0."""
+
+from repro.faults.errors import (
+    CoreHangFault,
+    DeadlineExceededError,
+    DmaTransferFault,
+    GroupFailedError,
+    HardwareFault,
+    PermanentFault,
+    SyncTimeoutError,
+    TransientFault,
+    UncorrectableEccError,
+)
+from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "CoreHangFault",
+    "DeadlineExceededError",
+    "DmaTransferFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "GroupFailedError",
+    "HardwareFault",
+    "PermanentFault",
+    "SyncTimeoutError",
+    "TransientFault",
+    "UncorrectableEccError",
+]

@@ -1,0 +1,181 @@
+"""FaultInjector: seeded, deterministic fault draws at hardware hook points.
+
+One injector is attached to one :class:`~repro.core.accelerator.Accelerator`
+(via ``attach_faults``) and consulted at well-defined hook points:
+
+- ``dma_outcome``    — after each DMA transaction (dma/engine.py),
+- ``ecc_outcome``    — after each memory-level transfer (memory/hierarchy.py),
+- ``perturb_compute``— per kernel per group (runtime/executor.py),
+- ``sync_lost``      — per sync-engine operation (sync/engine.py),
+- ``core_hang``      — per VLIW packet program (engines/compute_core.py).
+
+Every hook is a no-op path when no injector is attached, so the default
+simulation is bit-identical to a fault-free build. Draws come from one
+``random.Random(plan.seed)`` stream; because the discrete-event simulator
+is deterministic (ties break by spawn order), the same seed + plan +
+workload reproduces the exact same fault sequence.
+
+Transient perturbations (DMA replays, correctable ECC scrubs, slowdowns,
+lost-sync timeouts) are realized as latency by the component itself and
+recorded as *recovered*. Fatal faults (aborts, uncorrectable ECC, hangs)
+are queued on the injector; the executor fast-forwards the rest of the
+launch and raises the typed exception after the simulation drains, so
+simulator state (ports, barriers) is never left dangling and the launch
+can be retried on the same accelerator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.faults.errors import (
+    CoreHangFault,
+    DmaTransferFault,
+    HardwareFault,
+    UncorrectableEccError,
+)
+from repro.faults.plan import FaultPlan
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, for observability and determinism checks."""
+
+    kind: str
+    component: str
+    time_ns: float
+    recovered: bool
+    detail: str = ""
+
+
+@dataclass
+class FaultInjector:
+    """Seeded fault source shared by every component of one accelerator."""
+
+    plan: FaultPlan
+    seed: int | None = None
+    records: list[FaultRecord] = field(default_factory=list)
+    _rng: random.Random = field(init=False, repr=False)
+    _fatal: list[HardwareFault] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed if self.seed is not None else self.plan.seed)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _draw(self, rate: float) -> bool:
+        """One Bernoulli draw; zero rates consume no randomness."""
+        return rate > 0.0 and self._rng.random() < rate
+
+    def record(
+        self,
+        kind: str,
+        component: str,
+        time_ns: float,
+        recovered: bool,
+        detail: str = "",
+    ) -> None:
+        self.records.append(
+            FaultRecord(
+                kind=kind, component=component, time_ns=time_ns,
+                recovered=recovered, detail=detail,
+            )
+        )
+
+    def fail(
+        self, fault: HardwareFault, kind: str, component: str, time_ns: float
+    ) -> None:
+        """Queue a fatal fault; the executor raises it after the sim drains."""
+        self.record(kind, component, time_ns, recovered=False, detail=str(fault))
+        self._fatal.append(fault)
+
+    @property
+    def fatal_pending(self) -> bool:
+        return bool(self._fatal)
+
+    def take_fatal(self) -> HardwareFault | None:
+        """Pop the first queued fatal fault (clearing the rest) or None."""
+        if not self._fatal:
+            return None
+        first, self._fatal = self._fatal[0], []
+        return first
+
+    def counters(self) -> dict[str, float]:
+        """Aggregate fault counts, merged into ExecutionResult.counters."""
+        out: dict[str, float] = {
+            "faults_injected": float(len(self.records)),
+            "faults_recovered": float(sum(r.recovered for r in self.records)),
+            "faults_fatal": float(sum(not r.recovered for r in self.records)),
+        }
+        for rec in self.records:
+            key = f"fault.{rec.kind}"
+            out[key] = out.get(key, 0.0) + 1.0
+        return out
+
+    # -- hook points -----------------------------------------------------------
+
+    def dma_outcome(self, engine: str, label: str, time_ns: float) -> str | None:
+        """Per-transaction draw: None (clean), 'corrupt', or 'abort'."""
+        if self._draw(self.plan.dma_abort_rate):
+            self.fail(
+                DmaTransferFault(f"{engine}: aborted transaction {label!r}"),
+                kind="dma.abort", component=engine, time_ns=time_ns,
+            )
+            return "abort"
+        if self._draw(self.plan.dma_corrupt_rate):
+            self.record("dma.corrupt", engine, time_ns, recovered=True, detail=label)
+            return "corrupt"
+        return None
+
+    def dma_replays_exhausted(self, engine: str, label: str, time_ns: float) -> None:
+        """A transaction stayed corrupt after ``dma_retry_limit`` replays."""
+        self.fail(
+            DmaTransferFault(
+                f"{engine}: {label!r} still corrupt after "
+                f"{self.plan.dma_retry_limit} replays"
+            ),
+            kind="dma.replay_exhausted", component=engine, time_ns=time_ns,
+        )
+
+    def ecc_outcome(self, level: str, time_ns: float) -> float:
+        """Per-transfer draw; returns extra scrub latency in ns (0 if clean)."""
+        if self._draw(self.plan.ecc_ue_rate):
+            self.fail(
+                UncorrectableEccError(f"{level}: uncorrectable ECC error"),
+                kind="ecc.ue", component=level, time_ns=time_ns,
+            )
+            return 0.0
+        if self._draw(self.plan.ecc_ce_rate):
+            self.record("ecc.ce", level, time_ns, recovered=True)
+            return self.plan.ecc_retry_ns
+        return 0.0
+
+    def perturb_compute(
+        self, kernel: str, group: str, compute_ns: float, time_ns: float
+    ) -> float:
+        """Per-kernel-per-group draw; returns the perturbed compute time."""
+        if self._draw(self.plan.core_hang_rate):
+            self.fail(
+                CoreHangFault(f"{group}: hung in {kernel!r}; watchdog reset"),
+                kind="core.hang", component=group, time_ns=time_ns,
+            )
+            return max(compute_ns, self.plan.watchdog_timeout_ns)
+        if self._draw(self.plan.core_slowdown_rate):
+            self.record("core.slowdown", group, time_ns, recovered=True, detail=kernel)
+            return compute_ns * self.plan.core_slowdown_factor
+        return compute_ns
+
+    def sync_lost(self, component: str, label: str, time_ns: float) -> bool:
+        """Per-operation draw: was this sync event lost (timeout recovery)?"""
+        if self._draw(self.plan.sync_loss_rate):
+            self.record("sync.lost", component, time_ns, recovered=True, detail=label)
+            return True
+        return False
+
+    def core_hang(self, component: str, time_ns: float = 0.0) -> bool:
+        """Functional-core hook: should this program hang (raises upstream)?"""
+        if self._draw(self.plan.core_hang_rate):
+            self.record("core.hang", component, time_ns, recovered=False)
+            return True
+        return False

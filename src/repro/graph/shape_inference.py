@@ -9,7 +9,7 @@ a dynamic tensor arrives).
 
 from __future__ import annotations
 
-from repro.graph.ir import Graph, GraphError, TensorType
+from repro.graph.ir import Graph, GraphError
 from repro.graph.ops import infer_node
 
 

@@ -14,7 +14,7 @@ Levels by convention:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import MemoryLevelConfig
 from repro.sim.kernel import Resource, Simulator, Timeout
@@ -48,6 +48,9 @@ class MemoryLevel:
         self.ports = Resource(sim, capacity=config.ports, name=f"{self.name}.ports")
         self._allocations: dict[str, Allocation] = {}
         self.bytes_transferred = 0
+        #: FaultInjector when an ECC campaign is attached (see repro.faults);
+        #: None keeps the transfer path bit-identical to a fault-free build.
+        self.faults = None
 
     # -- capacity accounting ----------------------------------------------
 
@@ -101,12 +104,20 @@ class MemoryLevel:
         """Simulation process: move ``nbytes`` through one port.
 
         Contends for a port (FIFO), then occupies it for the service time.
-        Yields from inside a simulator process.
+        With a fault injector attached, each transfer may additionally hit
+        an ECC event: correctable errors pay the scrub-and-retry latency
+        while still holding the port; uncorrectable errors are queued as
+        fatal for the enclosing launch. Yields from inside a simulator
+        process.
         """
         grant = self.ports.request()
         yield grant
         try:
             yield Timeout(self.transfer_time_ns(nbytes))
+            if self.faults is not None:
+                penalty_ns = self.faults.ecc_outcome(self.name, self.sim.now)
+                if penalty_ns > 0:
+                    yield Timeout(penalty_ns)
             self.bytes_transferred += nbytes
         finally:
             self.ports.release()

@@ -22,7 +22,7 @@ effective bandwidth is 65-80 % of the datasheet number.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

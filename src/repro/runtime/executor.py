@@ -159,6 +159,15 @@ class Executor:
         trace = self.accelerator.trace
         start = sim.now
         clock = self.accelerator.clock_ghz
+        injector = self.accelerator.faults
+
+        # A fatal fault queued earlier in this launch: the launch is dead,
+        # so fast-forward — arrive at the barrier with no work so sibling
+        # groups drain cleanly (no dangling ports or barriers), and let
+        # run_concurrent raise the typed fault once the simulation ends.
+        if injector is not None and injector.fatal_pending:
+            yield barrier.arrive()
+            return
 
         # 1. Instruction buffer: fetch this kernel, prefetch the next.
         icache = group.icaches[0]
@@ -190,6 +199,12 @@ class Executor:
         compute_ns = self._compute_time_ns(
             kernel, cores=group.num_cores, clock_ghz=clock, num_groups=num_groups
         )
+        if injector is not None:
+            # Hang -> the group burns the watchdog window and the launch is
+            # declared dead; slowdown -> derated compute time this kernel.
+            compute_ns = injector.perturb_compute(
+                kernel.name, group.name, compute_ns, sim.now
+            )
 
         dma_start = sim.now
         dma_processes = []
@@ -244,10 +259,10 @@ class Executor:
                 sim.now,
             )
 
-        # 4. Rendezvous with sibling groups before the next kernel.
+        # 4. Rendezvous with sibling groups before the next kernel (through
+        # the sync engine, so lost-event faults take its timeout path).
         sync_start = sim.now
-        yield Timeout(group.sync.latency_ns)
-        yield barrier.arrive()
+        yield from group.sync.arrive(barrier)
         sync_ns = sim.now - sync_start
 
         timings.setdefault(kernel.name, []).append(
@@ -368,7 +383,6 @@ class Executor:
     ) -> ExecutionResult:
         """Execute ``compiled`` once; returns latency/energy/timelines."""
         accelerator = self.accelerator
-        sim = accelerator.sim
         if num_groups is None:
             num_groups = accelerator.chip.groups_per_cluster
         assignment = accelerator.resources.assign(tenant, num_groups)
@@ -435,6 +449,12 @@ class Executor:
             "dma_bytes": sum(g.dma.stats.bytes_moved for g in groups),
             "dma_wire_bytes": sum(g.dma.stats.wire_bytes for g in groups),
         }
+        if self.accelerator.faults is not None:
+            counters["dma_replays"] = sum(g.dma.stats.replays for g in groups)
+            counters["sync_lost_events"] = sum(
+                g.sync.stats.lost_events for g in groups
+            )
+            counters.update(self.accelerator.faults.counters())
         return ExecutionResult(
             latency_ns=latency_ns,
             energy_joules=self._energy_joules,
@@ -501,6 +521,17 @@ class Executor:
         sim.spawn(_supervisor(), name="executor.supervisor")
         sim.spawn(self._power_manager(), name="executor.power")
         sim.run()
+
+        injector = self.accelerator.faults
+        if injector is not None:
+            fault = injector.take_fatal()
+            if fault is not None:
+                # The simulation drained cleanly (fatal faults fast-forward,
+                # they never strand ports or barriers), so the launch can be
+                # retried on this same accelerator. Surface the typed fault
+                # with the simulated time the failed attempt consumed.
+                fault.elapsed_ns = max(completions.values()) - start_time
+                raise fault
 
         return {
             tenant: self._collect(

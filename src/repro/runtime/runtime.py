@@ -18,15 +18,17 @@ from dataclasses import dataclass, field
 from repro.compiler.lowering import CompiledModel, lower_graph
 from repro.core.accelerator import Accelerator
 from repro.core.datatypes import DType
+from repro.core.errors import ReproRuntimeError
 from repro.core.resource import recommend_groups
+from repro.faults.errors import DeadlineExceededError, TransientFault
 from repro.graph.ir import Graph
 from repro.graph.passes import optimize
 from repro.graph.shape_inference import bind_shapes, dynamic_symbols
 from repro.runtime.executor import ExecutionResult, Executor
 
-
-class RuntimeError_(RuntimeError):
-    """Runtime misuse (kept distinct from builtins.RuntimeError)."""
+#: Deprecated alias — the class is now :class:`repro.core.errors.ReproRuntimeError`,
+#: giving fault-path exceptions (repro.faults.errors) a sane hierarchy to extend.
+RuntimeError_ = ReproRuntimeError
 
 
 @dataclass
@@ -43,7 +45,7 @@ class Device:
             return cls(Accelerator.cloudblazer_i20())
         if name == "i10":
             return cls(Accelerator.cloudblazer_i10())
-        raise RuntimeError_(f"unknown device {name!r}")
+        raise ReproRuntimeError(f"unknown device {name!r}")
 
     # -- memory ---------------------------------------------------------------
 
@@ -74,7 +76,7 @@ class Device:
             graph = bind_shapes(graph, **shape_bindings)
         unbound = dynamic_symbols(graph)
         if unbound:
-            raise RuntimeError_(
+            raise ReproRuntimeError(
                 f"graph has unbound dynamic dims {sorted(unbound)}; pass "
                 "bindings to compile()"
             )
@@ -88,6 +90,9 @@ class Device:
         compiled: CompiledModel,
         num_groups: int | None = None,
         tenant: str = "default",
+        deadline_ms: float | None = None,
+        max_retries: int = 0,
+        retry_backoff_ms: float = 0.05,
     ) -> ExecutionResult:
         """Run one inference; groups default to the Fig. 7 recommendation.
 
@@ -95,11 +100,21 @@ class Device:
         activations, see :meth:`CompiledModel.memory_footprint_bytes`)
         exceeds the device's L3 capacity — the constraint the Fig. 12
         memory-capacity row is about.
+
+        RAS semantics (active when a fault campaign is attached to the
+        accelerator): a :class:`~repro.faults.TransientFault` — aborted
+        DMA, uncorrectable ECC, watchdog core reset — is retried up to
+        ``max_retries`` times with exponential backoff starting at
+        ``retry_backoff_ms``; the time failed attempts and backoffs
+        consumed is folded into the returned latency. When the final
+        latency exceeds ``deadline_ms`` the launch raises
+        :class:`~repro.faults.DeadlineExceededError`; with retries
+        exhausted the last fault propagates.
         """
         l3 = self.accelerator.l3
         available = l3.capacity_bytes - l3.used_bytes
         if not compiled.fits(available):
-            raise RuntimeError_(
+            raise ReproRuntimeError(
                 f"{compiled.name} needs "
                 f"{compiled.memory_footprint_bytes() / 1e9:.2f} GB but only "
                 f"{available / 1e9:.2f} GB of device memory is free"
@@ -110,8 +125,30 @@ class Device:
                 default=0,
             )
             num_groups = recommend_groups(working_set, self.accelerator.chip)
-        executor = Executor(self.accelerator)
-        return executor.run(compiled, num_groups=num_groups, tenant=tenant)
+
+        overhead_ns = 0.0
+        retries = 0
+        while True:
+            executor = Executor(self.accelerator)
+            try:
+                result = executor.run(compiled, num_groups=num_groups, tenant=tenant)
+                break
+            except TransientFault as fault:
+                overhead_ns += getattr(fault, "elapsed_ns", 0.0)
+                if retries >= max_retries:
+                    raise
+                overhead_ns += retry_backoff_ms * 1e6 * (2.0 ** retries)
+                retries += 1
+        if retries or overhead_ns:
+            result.latency_ns += overhead_ns
+            result.counters["launch_retries"] = retries
+            result.counters["retry_overhead_ns"] = overhead_ns
+        if deadline_ms is not None and result.latency_ms > deadline_ms:
+            raise DeadlineExceededError(
+                f"{compiled.name}: {result.latency_ms:.3f} ms exceeds the "
+                f"{deadline_ms} ms deadline after {retries} retries"
+            )
+        return result
 
     def run(
         self,

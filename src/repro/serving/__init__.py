@@ -1,9 +1,11 @@
-"""Cloud inference serving: traces, queueing, SLAs, tenant isolation."""
+"""Cloud inference serving: traces, queueing, SLAs, tenant isolation, RAS."""
 
 from repro.serving.server import (
     CompletedRequest,
     InferenceServer,
+    RasConfig,
     TenantConfig,
+    TenantHealth,
     TenantReport,
     batch_service_time_ns,
     measure_service_time_ns,
@@ -11,7 +13,7 @@ from repro.serving.server import (
 from repro.serving.workload import Request, TrafficPattern, generate_trace
 
 __all__ = [
-    "CompletedRequest", "InferenceServer", "Request", "TenantConfig",
-    "TenantReport", "TrafficPattern", "batch_service_time_ns",
-    "generate_trace", "measure_service_time_ns",
+    "CompletedRequest", "InferenceServer", "RasConfig", "Request",
+    "TenantConfig", "TenantHealth", "TenantReport", "batch_service_time_ns",
+    "generate_trace", "measure_service_time_ns", "TrafficPattern",
 ]

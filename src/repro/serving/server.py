@@ -10,21 +10,51 @@ Implements the paper's §IV-E serving story quantitatively:
   system throughput is increased without compromising inference latency");
 - dynamic batching: requests waiting in a queue coalesce up to
   ``max_batch``, with sub-linear batch service times taken from the i20's
-  calibrated utilization-vs-batch curve.
+  calibrated utilization-vs-batch curve — in shared mode, same-tenant
+  waiting requests coalesce the same way, so the isolated-vs-shared
+  comparison isolates the queueing policy rather than loss of batching.
 
 Service times come from one measured executor run per (model, groups)
 configuration, so the queueing layer stays fast while staying anchored to
 the detailed simulator.
+
+RAS layer (reliability/availability/serviceability)
+---------------------------------------------------
+
+A server built with a :class:`~repro.faults.FaultPlan` replays the fault
+campaign at request granularity: each service attempt draws transient
+(DMA corruption, correctable ECC) and fatal (DMA abort, uncorrectable
+ECC, core hang) faults from a deterministic per-run RNG, at the plan's
+per-event rates compounded over ``RasConfig.transfers_per_request``
+hardware events per inference. The server *survives* them:
+
+- **retry with backoff** — a transiently-faulted batch replays up to
+  ``max_retries`` times, each attempt paying the full service time plus
+  exponential backoff;
+- **admission control** — a request arriving to a tenant queue deeper
+  than ``queue_depth_limit`` is shed immediately instead of waiting;
+- **circuit breaker** — fatal faults are attributed to a processing
+  group of the tenant's slice; ``breaker_threshold`` consecutive
+  failures trip the breaker and the slice degrades to fewer groups with
+  the correspondingly longer calibrated service time;
+- **observability** — :class:`TenantReport` accounts every ``failed``,
+  ``retried``, ``shed`` and ``degraded`` request next to the latency
+  percentiles.
+
+With no fault plan, every number is bit-identical to the fault-free
+server.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.accelerator import Accelerator
+from repro.faults.plan import FaultPlan
 from repro.models.zoo import build
 from repro.perfmodel.calibration import calibration
 from repro.runtime.runtime import Device
@@ -42,6 +72,70 @@ class TenantConfig:
     sla_ms: float | None = None
 
 
+@dataclass(frozen=True)
+class RasConfig:
+    """Reliability policy knobs for one :class:`InferenceServer`."""
+
+    max_retries: int = 2
+    """Service replays of a transiently-faulted batch before giving up."""
+    retry_backoff_ms: float = 0.1
+    """First retry backoff; doubles per subsequent attempt."""
+    queue_depth_limit: int | None = None
+    """Admission control: shed arrivals beyond this per-tenant depth."""
+    breaker_threshold: int = 3
+    """Consecutive fatal faults on one group that trip its breaker."""
+    min_groups: int = 1
+    """Degradation floor: a tenant never drops below this many groups."""
+    transfers_per_request: int = 16
+    """Hardware fault events one inference is exposed to (per sample)."""
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be >= 0")
+        if self.queue_depth_limit is not None and self.queue_depth_limit < 1:
+            raise ValueError("queue_depth_limit must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.min_groups < 1:
+            raise ValueError("min_groups must be >= 1")
+        if self.transfers_per_request < 1:
+            raise ValueError("transfers_per_request must be >= 1")
+
+
+class TenantHealth:
+    """Per-group failure tracking + circuit breaker for one tenant slice."""
+
+    def __init__(self, groups: int, threshold: int, min_groups: int) -> None:
+        self.configured = groups
+        self.available = groups
+        self.threshold = threshold
+        self.min_groups = min(min_groups, groups)
+        self.breaker_trips = 0
+        self._failures = [0] * groups  # consecutive faults per live group
+
+    @property
+    def degraded(self) -> bool:
+        return self.available < self.configured
+
+    def record_success(self) -> None:
+        """A clean service clears every live group's failure streak."""
+        for slot in range(len(self._failures)):
+            self._failures[slot] = 0
+
+    def record_failure(self, slot: int) -> bool:
+        """Attribute one fatal fault; returns True when the breaker trips
+        and the slice degrades (the failed group is routed around)."""
+        self._failures[slot] += 1
+        if self._failures[slot] >= self.threshold and self.available > self.min_groups:
+            self.available -= 1
+            self.breaker_trips += 1
+            del self._failures[slot]
+            return True
+        return False
+
+
 @dataclass
 class CompletedRequest:
     """Outcome of one request."""
@@ -50,6 +144,16 @@ class CompletedRequest:
     start_ns: float
     finish_ns: float
     batch_size: int
+    status: str = "ok"
+    """'ok' or 'failed' (fatal fault / retries exhausted)."""
+    retries: int = 0
+    """Service replays this request's batch needed."""
+    degraded: bool = False
+    """Served on a circuit-breaker-degraded group slice."""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def latency_ms(self) -> float:
@@ -73,12 +177,32 @@ class TenantReport:
     mean_batch: float
     sla_ms: float | None
     sla_violations: int
+    failed: int = 0
+    """Requests lost to fatal faults or exhausted retries."""
+    retried: int = 0
+    """Served requests whose batch needed >= 1 service replay."""
+    shed: int = 0
+    """Requests dropped by admission control before service."""
+    degraded: int = 0
+    """Requests served while the tenant's slice was degraded."""
+
+    @property
+    def offered(self) -> int:
+        """Every request the trace offered to this tenant."""
+        return self.completed + self.failed + self.shed
 
     @property
     def sla_violation_rate(self) -> float:
         if self.completed == 0:
             return 0.0
         return self.sla_violations / self.completed
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests that completed successfully."""
+        if self.offered == 0:
+            return 1.0
+        return self.completed / self.offered
 
 
 def measure_service_time_ns(model: str, groups: int) -> float:
@@ -106,6 +230,9 @@ class InferenceServer:
         tenants: list[TenantConfig],
         isolated: bool = True,
         service_times_ns: dict[str, float] | None = None,
+        fault_plan: FaultPlan | None = None,
+        ras: RasConfig | None = None,
+        degraded_service_times_ns: dict[tuple[str, int], float] | None = None,
     ) -> None:
         if not tenants:
             raise ValueError("server needs at least one tenant")
@@ -114,12 +241,95 @@ class InferenceServer:
             raise ValueError(f"duplicate tenant names: {names}")
         self.tenants = {tenant.name: tenant for tenant in tenants}
         self.isolated = isolated
+        self.fault_plan = fault_plan
+        self.ras = ras or RasConfig()
         self.service_times_ns = service_times_ns or {}
+        # Tenants whose base time we measured on the detailed simulator get
+        # degraded-slice times measured (calibrated) too; user-provided
+        # times fall back to linear scaling unless overridden explicitly.
+        self._measured = {
+            tenant.name
+            for tenant in tenants
+            if tenant.name not in self.service_times_ns
+        }
         for tenant in tenants:
             if tenant.name not in self.service_times_ns:
                 self.service_times_ns[tenant.name] = measure_service_time_ns(
                     tenant.model, tenant.groups
                 )
+        self._degraded_times: dict[tuple[str, int], float] = dict(
+            degraded_service_times_ns or {}
+        )
+
+    @property
+    def _injecting(self) -> bool:
+        return self.fault_plan is not None and self.fault_plan.enabled
+
+    # -- service-time resolution ---------------------------------------------
+
+    def _service_time(self, tenant_name: str, groups: int) -> float:
+        """Per-inference service time of ``tenant_name`` on ``groups`` groups."""
+        tenant = self.tenants[tenant_name]
+        if groups == tenant.groups:
+            return self.service_times_ns[tenant_name]
+        key = (tenant_name, groups)
+        if key not in self._degraded_times:
+            base = self.service_times_ns[tenant_name]
+            if tenant_name in self._measured:
+                self._degraded_times[key] = measure_service_time_ns(
+                    tenant.model, groups
+                )
+            else:
+                # Linear-in-groups approximation for user-supplied times.
+                self._degraded_times[key] = base * tenant.groups / groups
+        return self._degraded_times[key]
+
+    # -- fault draws -----------------------------------------------------------
+
+    def _attempt_outcome(self, rng: random.Random, batch: int) -> str:
+        """Outcome of one service attempt: 'ok', 'transient' or 'fatal'."""
+        plan = self.fault_plan
+        events = self.ras.transfers_per_request * batch
+        p_fatal = 1.0 - (1.0 - plan.fatal_event_rate) ** events
+        p_transient = 1.0 - (1.0 - plan.transient_event_rate) ** events
+        if p_fatal > 0.0 and rng.random() < p_fatal:
+            return "fatal"
+        if p_transient > 0.0 and rng.random() < p_transient:
+            return "transient"
+        return "ok"
+
+    def _serve_batch(
+        self,
+        batch_size: int,
+        start_ns: float,
+        base_ns: float,
+        health: TenantHealth,
+        rng: random.Random,
+    ) -> tuple[float, str, int]:
+        """Serve one batch with RAS retries; returns (finish, status, retries).
+
+        Each attempt pays the full batch service time; transient faults
+        add exponential backoff then replay, fatal faults fail the batch
+        and feed the circuit breaker.
+        """
+        service = batch_service_time_ns(base_ns, batch_size)
+        now = start_ns
+        retries = 0
+        while True:
+            now += service
+            if not self._injecting:
+                return now, "ok", retries
+            outcome = self._attempt_outcome(rng, batch_size)
+            if outcome == "ok":
+                health.record_success()
+                return now, "ok", retries
+            if outcome == "fatal":
+                health.record_failure(rng.randrange(health.available))
+                return now, "failed", retries
+            retries += 1
+            if retries > self.ras.max_retries:
+                return now, "failed", retries
+            now += self.ras.retry_backoff_ms * 1e6 * (2.0 ** (retries - 1))
 
     # -- simulation ----------------------------------------------------------
 
@@ -128,27 +338,68 @@ class InferenceServer:
 
         Isolated mode: one server (the tenant's group slice) per tenant.
         Shared mode: a single FIFO server processes everything in arrival
-        order — head-of-line blocking included.
+        order — head-of-line blocking included, though same-tenant waiting
+        requests still coalesce into batches.
+
+        Deterministic: the same trace, fault plan and RAS config always
+        produce identical reports (per-run RNGs are re-seeded from the
+        plan seed on every call).
         """
         if self.isolated:
             completed: list[CompletedRequest] = []
+            shed: list[Request] = []
             for name in self.tenants:
                 tenant_trace = [r for r in trace if r.tenant == name]
-                completed.extend(self._run_single_queue(tenant_trace, name))
+                done, dropped = self._run_single_queue(tenant_trace, name)
+                completed.extend(done)
+                shed.extend(dropped)
         else:
-            completed = self._run_shared_queue(trace)
-        return self._report(completed, trace)
+            completed, shed = self._run_shared_queue(trace)
+        return self._report(completed, trace, shed)
+
+    def _rng(self, label: str) -> random.Random:
+        seed = self.fault_plan.seed if self.fault_plan is not None else 0
+        return random.Random(f"{seed}:{label}")
+
+    def _health(self, tenant: TenantConfig) -> TenantHealth:
+        return TenantHealth(
+            groups=tenant.groups,
+            threshold=self.ras.breaker_threshold,
+            min_groups=self.ras.min_groups,
+        )
+
+    def _shed_at_arrival(
+        self, request: Request, finishes: list[float]
+    ) -> bool:
+        """Admission control: is the queue too deep at this arrival?
+
+        ``finishes`` holds the (non-decreasing) finish times of every
+        request of this tenant scheduled so far; entries still beyond the
+        arrival are requests still queued or in service.
+        """
+        limit = self.ras.queue_depth_limit
+        if limit is None:
+            return False
+        depth = len(finishes) - bisect_right(finishes, request.arrival_ns)
+        return depth >= limit
 
     def _run_single_queue(
         self, trace: list[Request], tenant_name: str
-    ) -> list[CompletedRequest]:
+    ) -> tuple[list[CompletedRequest], list[Request]]:
         tenant = self.tenants[tenant_name]
-        base = self.service_times_ns[tenant_name]
+        rng = self._rng(tenant_name)
+        health = self._health(tenant)
         completed: list[CompletedRequest] = []
+        shed: list[Request] = []
+        finishes: list[float] = []
         free_at = 0.0
         index = 0
         while index < len(trace):
             head = trace[index]
+            if self._shed_at_arrival(head, finishes):
+                shed.append(head)
+                index += 1
+                continue
             start = max(head.arrival_ns, free_at)
             # dynamic batching: everything already waiting joins, capped.
             batch = [head]
@@ -160,51 +411,106 @@ class InferenceServer:
             ):
                 batch.append(trace[probe])
                 probe += 1
-            service = batch_service_time_ns(base, len(batch))
-            finish = start + service
+            base = self._service_time(tenant_name, health.available)
+            degraded = health.degraded
+            finish, status, retries = self._serve_batch(
+                len(batch), start, base, health, rng
+            )
             for request in batch:
                 completed.append(
                     CompletedRequest(
                         request=request, start_ns=start, finish_ns=finish,
-                        batch_size=len(batch),
+                        batch_size=len(batch), status=status,
+                        retries=retries, degraded=degraded,
                     )
                 )
+            finishes.extend([finish] * len(batch))
             free_at = finish
             index = probe
-        return completed
+        return completed, shed
 
-    def _run_shared_queue(self, trace: list[Request]) -> list[CompletedRequest]:
+    def _run_shared_queue(
+        self, trace: list[Request]
+    ) -> tuple[list[CompletedRequest], list[Request]]:
+        rng = self._rng("shared")
+        healths = {
+            name: self._health(tenant) for name, tenant in self.tenants.items()
+        }
+        finishes: dict[str, list[float]] = {name: [] for name in self.tenants}
         completed: list[CompletedRequest] = []
+        shed: list[Request] = []
+        served = [False] * len(trace)
         free_at = 0.0
-        for request in trace:
-            tenant = self.tenants[request.tenant]
-            base = self.service_times_ns[request.tenant]
-            start = max(request.arrival_ns, free_at)
-            finish = start + batch_service_time_ns(base, 1)
-            completed.append(
-                CompletedRequest(
-                    request=request, start_ns=start, finish_ns=finish,
-                    batch_size=1,
-                )
+        for index, head in enumerate(trace):
+            if served[index]:
+                continue
+            served[index] = True
+            tenant = self.tenants[head.tenant]
+            health = healths[head.tenant]
+            if self._shed_at_arrival(head, finishes[head.tenant]):
+                shed.append(head)
+                continue
+            start = max(head.arrival_ns, free_at)
+            # Same-tenant requests already waiting coalesce into the batch
+            # (other tenants' requests keep their place in the FIFO).
+            batch = [head]
+            probe = index + 1
+            while (
+                probe < len(trace)
+                and len(batch) < tenant.max_batch
+                and trace[probe].arrival_ns <= start
+            ):
+                if not served[probe] and trace[probe].tenant == head.tenant:
+                    batch.append(trace[probe])
+                    served[probe] = True
+                probe += 1
+            base = self._service_time(head.tenant, health.available)
+            degraded = health.degraded
+            finish, status, retries = self._serve_batch(
+                len(batch), start, base, health, rng
             )
+            for request in batch:
+                completed.append(
+                    CompletedRequest(
+                        request=request, start_ns=start, finish_ns=finish,
+                        batch_size=len(batch), status=status,
+                        retries=retries, degraded=degraded,
+                    )
+                )
+            finishes[head.tenant].extend([finish] * len(batch))
             free_at = finish
-        return completed
+        return completed, shed
 
     # -- reporting ----------------------------------------------------------
 
     def _report(
-        self, completed: list[CompletedRequest], trace: list[Request]
+        self,
+        completed: list[CompletedRequest],
+        trace: list[Request],
+        shed: list[Request] | None = None,
     ) -> dict[str, TenantReport]:
-        horizon_ns = max((r.arrival_ns for r in trace), default=0.0) or 1.0
+        shed = shed or []
+        # Throughput horizon: the run lasts until the last completion, not
+        # the last arrival (which overstates throughput for bursty traces).
+        horizon_ns = max((c.finish_ns for c in completed), default=0.0)
+        if horizon_ns <= 0.0:
+            horizon_ns = max((r.arrival_ns for r in trace), default=0.0) or 1.0
         reports = {}
         for name, tenant in self.tenants.items():
             mine = [c for c in completed if c.request.tenant == name]
-            latencies = np.asarray([c.latency_ms for c in mine])
+            ok = [c for c in mine if c.ok]
+            failed = len(mine) - len(ok)
+            retried = sum(1 for c in mine if c.retries > 0)
+            degraded = sum(1 for c in mine if c.degraded)
+            shed_count = sum(1 for r in shed if r.tenant == name)
+            latencies = np.asarray([c.latency_ms for c in ok])
             if latencies.size == 0:
                 reports[name] = TenantReport(
                     tenant=name, completed=0, throughput_per_s=0.0,
                     p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, mean_batch=0.0,
                     sla_ms=tenant.sla_ms, sla_violations=0,
+                    failed=failed, retried=retried, shed=shed_count,
+                    degraded=degraded,
                 )
                 continue
             violations = 0
@@ -212,13 +518,17 @@ class InferenceServer:
                 violations = int((latencies > tenant.sla_ms).sum())
             reports[name] = TenantReport(
                 tenant=name,
-                completed=len(mine),
-                throughput_per_s=len(mine) * 1e9 / horizon_ns,
+                completed=len(ok),
+                throughput_per_s=len(ok) * 1e9 / horizon_ns,
                 p50_ms=float(np.percentile(latencies, 50)),
                 p95_ms=float(np.percentile(latencies, 95)),
                 p99_ms=float(np.percentile(latencies, 99)),
-                mean_batch=float(np.mean([c.batch_size for c in mine])),
+                mean_batch=float(np.mean([c.batch_size for c in ok])),
                 sla_ms=tenant.sla_ms,
                 sla_violations=violations,
+                failed=failed,
+                retried=retried,
+                shed=shed_count,
+                degraded=degraded,
             )
         return reports

@@ -30,6 +30,8 @@ class SyncStats:
     one_to_n: int = 0
     n_to_one: int = 0
     n_to_m: int = 0
+    lost_events: int = 0
+    """Sync events lost to an injected fault, recovered by timeout."""
 
     @property
     def total(self) -> int:
@@ -38,18 +40,35 @@ class SyncStats:
 
 @dataclass
 class SyncEngine:
-    """One processing group's synchronization engine."""
+    """One processing group's synchronization engine.
+
+    With a :class:`~repro.faults.FaultInjector` attached (``faults``),
+    each operation may lose its hardware event; the engine recovers by
+    timeout — the operation succeeds after an extra ``sync_timeout_ns``
+    from the fault plan. No injector means the timing path is untouched.
+    """
 
     sim: Simulator
     group_id: int = 0
     latency_ns: float = 40.0
     cross_group_multiplier: float = 2.0
     stats: SyncStats = field(default_factory=SyncStats)
+    faults: object | None = None
     _semaphores: dict[str, Semaphore] = field(default_factory=dict)
     _joins: dict[str, tuple[int, list[int], Event]] = field(default_factory=dict)
 
     def _delay(self, cross_group: bool) -> float:
         return self.latency_ns * (self.cross_group_multiplier if cross_group else 1.0)
+
+    def _operate(self, label: str, cross_group: bool):
+        """Process: one engine operation — base latency, plus the timeout
+        recovery path when the injector loses this operation's event."""
+        yield Timeout(self._delay(cross_group))
+        if self.faults is not None and self.faults.sync_lost(
+            f"sync.g{self.group_id}", label, self.sim.now
+        ):
+            self.stats.lost_events += 1
+            yield Timeout(self.faults.plan.sync_timeout_ns)
 
     def semaphore(self, name: str) -> Semaphore:
         if name not in self._semaphores:
@@ -60,7 +79,7 @@ class SyncEngine:
 
     def signal(self, name: str, cross_group: bool = False):
         """Process: producer side of a 1-to-1 handoff."""
-        yield Timeout(self._delay(cross_group))
+        yield from self._operate(name, cross_group)
         self.semaphore(name).signal()
         self.stats.one_to_one += 1
 
@@ -74,7 +93,7 @@ class SyncEngine:
         """Process: release ``waiters`` consumers with one operation."""
         if waiters < 1:
             raise ValueError(f"notify_all needs >= 1 waiter, got {waiters}")
-        yield Timeout(self._delay(cross_group))
+        yield from self._operate(name, cross_group)
         self.semaphore(name).signal(waiters)
         self.stats.one_to_n += 1
 
@@ -96,7 +115,7 @@ class SyncEngine:
     def check_in(self, name: str, parties: int, cross_group: bool = False):
         """Process: one party arriving at an N-to-1 join."""
         event = self.join(name, parties)
-        yield Timeout(self._delay(cross_group))
+        yield from self._operate(name, cross_group)
         _parties, count, _event = self._joins[name]
         count[0] += 1
         if count[0] == parties:
@@ -118,5 +137,5 @@ class SyncEngine:
 
     def arrive(self, barrier: Barrier, cross_group: bool = False):
         """Process: arrive at a rendezvous barrier and block for release."""
-        yield Timeout(self._delay(cross_group))
+        yield from self._operate(barrier.name, cross_group)
         yield barrier.arrive()

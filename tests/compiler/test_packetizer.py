@@ -1,9 +1,8 @@
 """Unit tests for the VLIW packetizer + alias analysis (§V-B)."""
 
-import pytest
 
 from repro.compiler.packetizer import dependence_graph, packetize
-from repro.engines.vliw import Instruction, Slot
+from repro.engines.vliw import Instruction
 
 
 def _linear_chain():

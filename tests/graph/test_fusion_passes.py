@@ -1,6 +1,5 @@
 """Unit tests for operator fusion and the pass pipeline (§V-B)."""
 
-import pytest
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.fusion import FUSABLE_EPILOGUES, MAX_FUSION_LENGTH, fuse_operators, fused_members

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.datatypes import DType
 from repro.graph.ir import Node, TensorType
 from repro.graph.ops import OpError, infer_node, node_flops, spec
 

@@ -77,8 +77,6 @@ class TestConvSemantics:
     def test_depthwise_conv1d(self):
         builder = GraphBuilder("g")
         x = builder.input("x", (1, 4, 10))
-        from repro.graph.ir import Node
-
         weight = builder.weight("dw.w", (4, 1, 3))
         y = builder.node("conv1d", [x, weight], attrs={"pad": 1}, name="dw")
         graph = builder.finish([y])

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.datatypes import DType
-from repro.graph.ops import node_flops, spec
+from repro.graph.ops import node_flops
 from repro.graph.shape_inference import bind_shapes, dynamic_symbols
 from repro.models.zoo import MODEL_NAMES, TABLE_III, build, entry
 

@@ -99,14 +99,22 @@ class TestExecution:
 
 
 class TestDeviceApi:
+    def test_runtime_error_rename_keeps_alias(self):
+        from repro.core.errors import ReproRuntimeError
+        from repro.runtime import runtime
+
+        assert runtime.ReproRuntimeError is ReproRuntimeError
+        assert runtime.RuntimeError_ is ReproRuntimeError  # deprecated alias
+        assert issubclass(ReproRuntimeError, RuntimeError)
+
     def test_open_by_name(self):
         assert Device.open("i20").accelerator.chip.name == "DTU 2.0"
         assert Device.open("i10").accelerator.chip.name == "DTU 1.0"
 
     def test_open_unknown_rejected(self):
-        from repro.runtime.runtime import RuntimeError_
+        from repro.runtime.runtime import ReproRuntimeError
 
-        with pytest.raises(RuntimeError_):
+        with pytest.raises(ReproRuntimeError):
             Device.open("gtx1080")
 
     def test_malloc_free_accounting(self, device):
@@ -117,9 +125,9 @@ class TestDeviceApi:
 
     def test_compile_requires_bound_shapes(self, device):
         from repro.models import build
-        from repro.runtime.runtime import RuntimeError_
+        from repro.runtime.runtime import ReproRuntimeError
 
-        with pytest.raises(RuntimeError_):
+        with pytest.raises(ReproRuntimeError):
             device.compile(build("resnet50"))  # symbolic batch unbound
 
     def test_compile_binds_shapes(self, device):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.models import build
-from repro.runtime.host import EndToEndResult, HostSession, PcieLink, model_io_bytes
+from repro.runtime.host import HostSession, PcieLink, model_io_bytes
 from repro.runtime.runtime import Device
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.models import MODEL_NAMES, build
-from repro.runtime.runtime import Device, RuntimeError_
+from repro.runtime.runtime import Device, ReproRuntimeError
 
 
 class TestFootprint:
@@ -34,14 +34,14 @@ class TestCapacityEnforcement:
         device = Device.open("i20")
         compiled = device.compile(build("unet"), batch=512)
         assert not compiled.fits(16 * (1 << 30))
-        with pytest.raises(RuntimeError_):
+        with pytest.raises(ReproRuntimeError):
             device.launch(compiled, num_groups=6)
 
     def test_preallocated_buffers_shrink_headroom(self):
         device = Device.open("i20")
         device.malloc("kv_cache", 31 << 29)  # 15.5 GiB: leaves < BERT's 0.7 GB
         compiled = device.compile(build("bert_large"), batch=1)
-        with pytest.raises(RuntimeError_):
+        with pytest.raises(ReproRuntimeError):
             device.launch(compiled, num_groups=6)
         device.free("kv_cache")
         result = device.launch(compiled, num_groups=6)
@@ -50,5 +50,5 @@ class TestCapacityEnforcement:
     def test_error_message_names_the_gap(self):
         device = Device.open("i20")
         compiled = device.compile(build("unet"), batch=512)
-        with pytest.raises(RuntimeError_, match="GB"):
+        with pytest.raises(ReproRuntimeError, match="GB"):
             device.launch(compiled)

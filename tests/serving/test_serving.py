@@ -1,11 +1,11 @@
 """Tests for the cloud-serving simulation (workload, queueing, isolation)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.serving import (
     InferenceServer,
+    Request,
     TenantConfig,
     TrafficPattern,
     batch_service_time_ns,
@@ -116,6 +116,68 @@ class TestQueueing:
         assert reports["a"].completed + reports["b"].completed == len(trace)
 
 
+class TestSharedQueueBatching:
+    """Shared mode honours max_batch by coalescing same-tenant waiters."""
+
+    def test_shared_mode_batches_under_load(self):
+        trace = generate_trace([TrafficPattern("a", 2000.0)], duration_s=1.0)
+        report = _server(isolated=False, max_batch_a=8).run(trace)["a"]
+        assert report.mean_batch > 1.5
+
+    def test_shared_batching_cuts_tail_latency(self):
+        trace = generate_trace([TrafficPattern("a", 2000.0)], duration_s=1.0)
+        unbatched = _server(isolated=False).run(trace)["a"]
+        batched = _server(isolated=False, max_batch_a=8).run(trace)["a"]
+        assert batched.p99_ms < unbatched.p99_ms
+
+    def test_shared_max_batch_respected(self):
+        trace = generate_trace([TrafficPattern("a", 3000.0)], duration_s=0.5)
+        server = _server(isolated=False, max_batch_a=4)
+        completed, _ = server._run_shared_queue(trace)
+        assert max(record.batch_size for record in completed) <= 4
+        assert len(completed) == len(trace)
+
+    def test_shared_batching_never_reorders_other_tenants(self):
+        trace = generate_trace(
+            [TrafficPattern("a", 1500.0), TrafficPattern("b", 50.0)],
+            duration_s=0.5,
+        )
+        reports = _server(isolated=False, max_batch_a=8).run(trace)
+        assert reports["a"].completed + reports["b"].completed == len(trace)
+
+
+class TestThroughputHorizon:
+    """Throughput uses the service horizon (max finish), not last arrival."""
+
+    def test_backlogged_burst_uses_finish_horizon(self):
+        # 20 requests all arrive in the first microsecond; service is
+        # 10 ms each, so the run actually spans ~200 ms.  Dividing by the
+        # last *arrival* would report a ~million-requests/s throughput.
+        trace = [
+            Request(request_id=i, tenant="b", arrival_ns=float(i))
+            for i in range(20)
+        ]
+        report = _server().run(trace)["b"]
+        assert report.completed == 20
+        assert report.throughput_per_s == pytest.approx(20 / 0.2, rel=0.01)
+
+    def test_horizon_is_max_finish_over_all_tenants(self):
+        # tenant a finishes fast, tenant b drags the horizon out
+        trace = [
+            Request(request_id=0, tenant="a", arrival_ns=0.0),
+            Request(request_id=1, tenant="b", arrival_ns=0.0),
+        ]
+        reports = _server().run(trace)
+        # horizon = 10 ms (tenant b's single service)
+        assert reports["a"].throughput_per_s == pytest.approx(100.0, rel=0.01)
+        assert reports["b"].throughput_per_s == pytest.approx(100.0, rel=0.01)
+
+    def test_empty_trace_reports_zero_throughput(self):
+        reports = _server().run([])
+        assert reports["a"].completed == 0
+        assert reports["a"].throughput_per_s == 0.0
+
+
 class TestIsolation:
     """§IV-E: isolation prevents cross-tenant interference."""
 
@@ -166,7 +228,8 @@ def test_property_queueing_invariants(rate, seed, max_batch):
     trace = generate_trace([TrafficPattern("a", rate)], duration_s=0.5, seed=seed)
     if not trace:
         return
-    completed = server._run_single_queue(trace, "a")
+    completed, shed = server._run_single_queue(trace, "a")
+    assert not shed  # no admission limit configured
     assert len(completed) == len(trace)
     last_finish = 0.0
     seen_starts = []

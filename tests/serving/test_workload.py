@@ -1,0 +1,115 @@
+"""Dedicated coverage for workload generation (`repro.serving.workload`)."""
+
+import statistics
+
+import pytest
+
+from repro.serving import Request, TrafficPattern, generate_trace
+
+
+def _gaps(trace):
+    arrivals = [request.arrival_ns for request in trace]
+    return [b - a for a, b in zip(arrivals, arrivals[1:])]
+
+
+class TestTraceShape:
+    def test_time_sorted(self):
+        trace = generate_trace(
+            [TrafficPattern("a", 500.0), TrafficPattern("b", 200.0)],
+            duration_s=1.0,
+        )
+        arrivals = [request.arrival_ns for request in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_request_ids_unique(self):
+        trace = generate_trace(
+            [TrafficPattern("a", 500.0), TrafficPattern("b", 200.0)],
+            duration_s=1.0,
+        )
+        ids = [request.request_id for request in trace]
+        assert len(set(ids)) == len(ids)
+
+    def test_arrivals_within_duration(self):
+        trace = generate_trace([TrafficPattern("a", 1000.0)], duration_s=0.25)
+        assert all(0.0 < r.arrival_ns <= 0.25e9 for r in trace)
+
+    def test_tenants_labelled(self):
+        trace = generate_trace(
+            [TrafficPattern("a", 300.0), TrafficPattern("b", 300.0)],
+            duration_s=1.0,
+        )
+        assert {request.tenant for request in trace} == {"a", "b"}
+
+    def test_requests_are_immutable(self):
+        request = Request(request_id=0, tenant="a", arrival_ns=1.0)
+        with pytest.raises(AttributeError):
+            request.arrival_ns = 2.0
+
+
+class TestDeterminism:
+    PATTERNS = [TrafficPattern("a", 400.0), TrafficPattern("b", 100.0)]
+
+    def test_same_seed_identical(self):
+        first = generate_trace(self.PATTERNS, duration_s=2.0, seed=3)
+        second = generate_trace(self.PATTERNS, duration_s=2.0, seed=3)
+        assert first == second
+
+    def test_distinct_across_seeds(self):
+        traces = {
+            tuple(r.arrival_ns for r in generate_trace(self.PATTERNS, 1.0, seed=s))
+            for s in range(5)
+        }
+        assert len(traces) == 5
+
+
+class TestStatistics:
+    def test_mean_rate_within_tolerance(self):
+        # 500/s over 10 s -> 5000 expected; Poisson sd ~71, use 5 sd.
+        trace = generate_trace([TrafficPattern("a", 500.0)], duration_s=10.0)
+        assert abs(len(trace) - 5000) < 360
+
+    def test_bursty_mean_rate_preserved(self):
+        bursty = generate_trace(
+            [TrafficPattern("a", 500.0, burstiness=4.0)], duration_s=10.0
+        )
+        assert 0.5 < len(bursty) / 5000 < 2.0
+
+    def test_burstiness_increases_gap_variance(self):
+        smooth = generate_trace([TrafficPattern("a", 500.0)], duration_s=10.0)
+        bursty = generate_trace(
+            [TrafficPattern("a", 500.0, burstiness=8.0)], duration_s=10.0
+        )
+        # Compare squared coefficient of variation so the comparison is
+        # scale-free even if realised rates differ slightly.
+        def cv2(trace):
+            gaps = _gaps(trace)
+            mean = statistics.fmean(gaps)
+            return statistics.pvariance(gaps) / mean**2
+
+        assert cv2(bursty) > 1.5 * cv2(smooth)
+
+    def test_poisson_gap_cv_near_one(self):
+        trace = generate_trace([TrafficPattern("a", 500.0)], duration_s=10.0)
+        gaps = _gaps(trace)
+        mean = statistics.fmean(gaps)
+        cv2 = statistics.pvariance(gaps) / mean**2
+        assert 0.8 < cv2 < 1.25
+
+
+class TestValidation:
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficPattern("a", 0.0)
+        with pytest.raises(ValueError):
+            TrafficPattern("a", -5.0)
+
+    def test_sub_poisson_burstiness_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficPattern("a", 10.0, burstiness=0.99)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace([TrafficPattern("a", 10.0)], duration_s=0.0)
+
+    def test_empty_patterns_give_empty_trace(self):
+        assert generate_trace([], duration_s=1.0) == []

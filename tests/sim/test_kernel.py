@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, Event, Resource, SimulationError, Simulator, Timeout
+from repro.sim import AllOf, Resource, SimulationError, Simulator, Timeout
 
 
 def test_empty_simulator_runs_to_zero():

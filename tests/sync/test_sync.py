@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import SimulationError, Simulator, Timeout
+from repro.sim import Simulator, Timeout
 from repro.sync import Barrier, Semaphore, SyncEngine
 
 
