@@ -26,6 +26,7 @@ from repro.graph.ir import Graph, Node, TensorType
 from repro.graph.passes import optimize
 from repro.graph.shape_inference import bind_shapes, infer_shapes
 from repro.models.zoo import MODEL_NAMES, TABLE_III, build as build_model
+from repro.obs import Observability
 from repro.perfmodel.devices import ALL_DEVICES, DeviceSpec, device
 from repro.perfmodel.latency import (
     ModelEstimate,
@@ -44,7 +45,8 @@ __all__ = [
     "ALL_DEVICES", "Accelerator", "Assignment", "ChipConfig", "DType",
     "Device", "DeviceSpec", "ExecutionResult", "Executor", "FeatureFlags",
     "Graph", "GraphBuilder", "MODEL_NAMES", "ModelEstimate", "Node",
-    "Profile", "ResourceManager", "TABLE_III", "TensorType", "bind_shapes",
+    "Observability", "Profile", "ResourceManager", "TABLE_III", "TensorType",
+    "bind_shapes",
     "build_model", "device", "dtu1_config", "dtu2_config",
     "energy_efficiency_ratio", "estimate_model", "geomean", "infer_shapes",
     "optimize", "recommend_groups", "speedup",

@@ -8,7 +8,11 @@ Commands:
 - ``estimate MODEL`` — analytical latency on every device,
 - ``evaluate`` — the full Fig. 13 / Fig. 15 comparison table,
 - ``faults`` — a fault-injection campaign: one faulty launch with RAS
-  retries, then a two-tenant serving run under the same fault plan.
+  retries, then a two-tenant serving run under the same fault plan,
+- ``profile MODEL`` — per-category and per-engine tables read back from
+  the unified metrics registry (``repro.obs``),
+- ``trace MODEL -o trace.json`` — whole-stack Chrome trace (serving /
+  runtime / sim / fault / power rows) for chrome://tracing or Perfetto.
 """
 
 from __future__ import annotations
@@ -204,6 +208,135 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.models.zoo import MODEL_NAMES, build
+    from repro.obs import Observability
+    from repro.runtime.runtime import Device
+
+    if args.model not in MODEL_NAMES:
+        print(f"unknown model {args.model!r}; choose from {list(MODEL_NAMES)}",
+              file=sys.stderr)
+        return 2
+    obs = Observability()
+    device = Device.open(args.device, obs=obs)
+    compiled = device.compile(build(args.model), batch=args.batch)
+    result = device.launch(compiled, num_groups=args.groups)
+    registry = obs.metrics
+
+    print(f"{args.model} on {device.accelerator.chip.name} "
+          f"(batch {args.batch}, {args.groups or 'auto'} groups): "
+          f"{result.latency_ms:.3f} ms, "
+          f"{registry.get('power_mean_watts').value():.1f} W mean, "
+          f"{registry.get('power_energy_joules_total').total() * 1e3:.2f} mJ, "
+          f"{registry.get('power_mean_frequency_ghz').value():.2f} GHz")
+    print()
+
+    # Per-category table, read back from the registry the executor filled.
+    duration = registry.get("runtime_kernel_duration_ns")
+    kernels = registry.get("runtime_kernels_total")
+    flops = registry.get("runtime_kernel_flops_total")
+    rows = []
+    for labels, series in duration.samples():
+        category = labels["category"]
+        rows.append((
+            category,
+            int(kernels.value(category=category)),
+            series.sum,
+            flops.value(category=category),
+        ))
+    total_time = sum(row[2] for row in rows) or 1.0
+    total_flops = sum(row[3] for row in rows) or 1.0
+    header = (f"{'category':<12} {'kernels':>8} {'time us':>10} "
+              f"{'time %':>8} {'flops %':>8}")
+    print(header)
+    print("-" * len(header))
+    for category, count, time_ns, category_flops in sorted(
+        rows, key=lambda row: row[2], reverse=True
+    ):
+        print(f"{category:<12} {count:>8} {time_ns / 1e3:>10.1f} "
+              f"{time_ns / total_time:>8.1%} "
+              f"{category_flops / total_flops:>8.1%}")
+    print()
+
+    # Per-engine table: busy time per engine family over the run.
+    busy = registry.get("sim_engine_busy_ns_total")
+    by_family: dict[str, tuple[float, int]] = {}
+    for labels, value in busy.samples():
+        family = labels["engine"]
+        total, tracks = by_family.get(family, (0.0, 0))
+        by_family[family] = (total + value, tracks + 1)
+    header = f"{'engine':<12} {'groups':>7} {'busy us':>10} {'duty %':>8}"
+    print(header)
+    print("-" * len(header))
+    for family, (busy_ns, tracks) in sorted(
+        by_family.items(), key=lambda item: item[1][0], reverse=True
+    ):
+        duty = busy_ns / (result.latency_ns * tracks) if result.latency_ns else 0.0
+        print(f"{family:<12} {tracks:>7} {busy_ns / 1e3:>10.1f} {duty:>8.1%}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.faults import FaultPlan
+    from repro.models.zoo import MODEL_NAMES
+    from repro.obs import Observability, save_chrome_trace
+    from repro.serving import (
+        InferenceServer,
+        RasConfig,
+        TenantConfig,
+        TrafficPattern,
+        generate_trace,
+    )
+
+    if args.model not in MODEL_NAMES:
+        print(f"unknown model {args.model!r}; choose from {list(MODEL_NAMES)}",
+              file=sys.stderr)
+        return 2
+    obs = Observability()
+    # Transient-only fault plan: events show up in the fault track without
+    # ever failing the measurement launch (fatal rates stay zero).
+    plan = FaultPlan(
+        seed=args.seed,
+        dma_corrupt_rate=args.fault_rate,
+        ecc_ce_rate=args.fault_rate,
+        core_slowdown_rate=args.fault_rate / 2.0,
+        sync_loss_rate=args.fault_rate / 4.0,
+    )
+    tenants = [
+        TenantConfig("primary", args.model, groups=args.groups, max_batch=4)
+    ]
+    server = InferenceServer(
+        tenants,
+        obs=obs,
+        fault_plan=plan,
+        measurement_fault_plan=plan,
+        ras=RasConfig(max_retries=2, queue_depth_limit=64),
+    )
+    requests = generate_trace(
+        [TrafficPattern("primary", args.rate)],
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    reports = server.run(requests)
+    path = save_chrome_trace(obs.tracer, args.output)
+
+    report = reports["primary"]
+    print(f"{args.model}: {report.completed} requests served "
+          f"({report.retried} retried, {report.shed} shed), "
+          f"p99 {report.p99_ms:.2f} ms")
+    for layer in sorted(obs.tracer.layers()):
+        spans = len(obs.tracer.spans_in(layer))
+        events = sum(1 for e in obs.tracer.events if e.layer == layer)
+        samples = sum(
+            1 for s in obs.tracer.counter_samples if s.layer == layer
+        )
+        print(f"  {layer:<8} {spans:>5} spans  {events:>4} events  "
+              f"{samples:>4} samples")
+    print(f"wrote {path} — load it in chrome://tracing or "
+          f"https://ui.perfetto.dev")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -251,6 +384,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tenant-a request rate per second")
     faults.add_argument("--duration", type=float, default=0.5,
                         help="trace duration in seconds")
+
+    profile = commands.add_parser(
+        "profile", help="per-category/per-engine tables from the metrics registry"
+    )
+    profile.add_argument("model")
+    profile.add_argument("--device", default="i20", choices=("i20", "i10"))
+    profile.add_argument("--batch", type=int, default=1)
+    profile.add_argument("--groups", type=int, default=None)
+
+    trace = commands.add_parser(
+        "trace", help="whole-stack Chrome trace for chrome://tracing / Perfetto"
+    )
+    trace.add_argument("model")
+    trace.add_argument("-o", "--output", default="trace.json")
+    trace.add_argument("--groups", type=int, default=2)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--fault-rate", type=float, default=0.02,
+                       help="transient fault rate per hardware event")
+    trace.add_argument("--rate", type=float, default=200.0,
+                       help="request rate per second")
+    trace.add_argument("--duration", type=float, default=0.05,
+                       help="request-trace duration in seconds")
     return parser
 
 
@@ -263,6 +418,8 @@ def main(argv: list[str] | None = None) -> int:
         "estimate": _cmd_estimate,
         "evaluate": _cmd_evaluate,
         "faults": _cmd_faults,
+        "profile": _cmd_profile,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -42,6 +42,8 @@ class Accelerator:
     power_units: dict[str, UnitPowerModel] = field(default_factory=dict)
     faults: "object | None" = None
     """FaultInjector driving an active campaign (see :meth:`attach_faults`)."""
+    obs: "object | None" = None
+    """Observability hub receiving spans/metrics (see :meth:`attach_observability`)."""
 
     def __post_init__(self) -> None:
         if self.groups:
@@ -95,6 +97,18 @@ class Accelerator:
             group.dma.faults = injector
             group.sync.faults = injector
             group.l2.level.faults = injector
+
+    # -- observability ------------------------------------------------------
+
+    def attach_observability(self, obs) -> None:
+        """Wire an :class:`~repro.obs.Observability` hub into the card.
+
+        The executor and runtime then report spans and metrics for every
+        launch (simulator engine intervals, kernel timings, fault events,
+        power samples). Pass ``None`` to detach; with no hub attached every
+        reporting hook is skipped and timing is bit-identical.
+        """
+        self.obs = obs
 
     # -- convenience --------------------------------------------------------
 

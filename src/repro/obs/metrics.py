@@ -1,0 +1,232 @@
+"""Process-wide metrics: counters, gauges and histograms with labels.
+
+The registry is the single sink every layer of the stack reports into —
+serving admission/shedding, runtime launches, simulator engine activity,
+fault-injection outcomes and the power loop. Instruments follow the
+Prometheus data model closely enough that
+:func:`repro.obs.exporters.to_prometheus_text` can render a standard text
+exposition, but there is no background collection: everything is plain
+in-process accounting, and a component with no registry attached pays
+nothing (see docs/observability.md for the catalogue of metric names).
+
+>>> registry = MetricsRegistry()
+>>> requests = registry.counter("requests_total", "requests seen")
+>>> requests.inc(tenant="a")
+>>> requests.value(tenant="a")
+1.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: default histogram buckets, tuned for nanosecond durations
+#: (1 us .. 1 s, roughly logarithmic)
+DEFAULT_BUCKETS_NS = (
+    1e3, 1e4, 1e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8, 1e9,
+)
+
+#: default buckets for millisecond latencies (0.1 ms .. 10 s)
+DEFAULT_BUCKETS_MS = (
+    0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10_000.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Instrument:
+    """Base of every metric: a name plus free-form label sets."""
+
+    name: str
+    help: str = ""
+    unit: str = ""
+
+    def label_sets(self) -> list[dict[str, str]]:
+        """Every label combination this instrument has seen, sorted."""
+        return [dict(key) for key in sorted(self._series())]
+
+    def _series(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass
+class Counter(Instrument):
+    """Monotonically increasing value (per label set)."""
+
+    kind = "counter"
+    _values: dict[LabelKey, float] = field(default_factory=dict)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up, got {amount}")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._values.values())
+
+    def _series(self):
+        return self._values.keys()
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        return [(dict(key), value) for key, value in sorted(self._values.items())]
+
+
+@dataclass
+class Gauge(Instrument):
+    """A value that can go up and down (per label set)."""
+
+    kind = "gauge"
+    _values: dict[LabelKey, float] = field(default_factory=dict)
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: str) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _series(self):
+        return self._values.keys()
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        return [(dict(key), value) for key, value in sorted(self._values.items())]
+
+
+@dataclass
+class HistogramSeries:
+    """One label set's accumulation: bucket counts + sum + count."""
+
+    buckets: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)  # +inf bucket
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, upper in enumerate(self.buckets):
+            if value <= upper:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[int]:
+        """Prometheus-style cumulative bucket counts (ending at +Inf)."""
+        out, running = [], 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+@dataclass
+class Histogram(Instrument):
+    """Distribution of observed values (per label set)."""
+
+    kind = "histogram"
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS_NS
+    _series_map: dict[LabelKey, HistogramSeries] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(sorted(self.buckets))
+        if not self.buckets:
+            raise ValueError(f"{self.name}: a histogram needs >= 1 bucket")
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        series = self._series_map.get(key)
+        if series is None:
+            series = self._series_map[key] = HistogramSeries(self.buckets)
+        series.observe(value)
+
+    def series(self, **labels: str) -> HistogramSeries:
+        key = _label_key(labels)
+        if key not in self._series_map:
+            return HistogramSeries(self.buckets)
+        return self._series_map[key]
+
+    def _series(self):
+        return self._series_map.keys()
+
+    def samples(self) -> list[tuple[dict[str, str], HistogramSeries]]:
+        return [
+            (dict(key), series)
+            for key, series in sorted(self._series_map.items())
+        ]
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and shared thereafter.
+
+    ``registry.counter(name)`` is idempotent: asking again for the same
+    name returns the same instrument (asking for it as a different kind
+    is an error), so any layer can reach a shared metric without plumbing
+    instrument objects around.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, **kwargs) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        instrument = cls(name=name, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", unit: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help, unit=unit)
+
+    def gauge(self, name: str, help: str = "", unit: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help, unit=unit)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS_NS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help=help, unit=unit, buckets=buckets
+        )
+
+    def get(self, name: str) -> Instrument | None:
+        return self._instruments.get(name)
+
+    def collect(self) -> list[Instrument]:
+        """Every registered instrument, sorted by name."""
+        return [self._instruments[name] for name in sorted(self._instruments)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)

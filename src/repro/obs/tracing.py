@@ -1,0 +1,224 @@
+"""Span-based tracing across every layer of the stack.
+
+One :class:`Tracer` accumulates the full story of a run as *spans* (timed,
+possibly nested), *events* (instants — fault injections, shed requests) and
+*counter samples* (a value over time — chip power). A
+:class:`TraceContext` is the tiny handle that threads causality through
+layers: serving admission opens a request span, hands its context to
+``Device.launch``, which opens a child launch span, whose context the
+executor attributes simulator intervals and fault records to. Export the
+result with :mod:`repro.obs.exporters`.
+
+Timestamps are caller-supplied floats (by repository convention simulated
+nanoseconds), never wall-clock: the tracer has no clock of its own, which
+keeps recording deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+#: canonical layer names, in stack order (top of the stack first); the
+#: Chrome exporter renders one process row per layer in this order
+LAYERS = ("serving", "runtime", "sim", "fault", "power")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one span: enough to parent children."""
+
+    trace_id: int
+    span_id: int
+
+
+@dataclass
+class Span:
+    """One finished, timed operation."""
+
+    name: str
+    layer: str
+    track: str
+    start_ns: float
+    end_ns: float
+    trace_id: int
+    span_id: int
+    parent_id: int | None = None
+    cat: str = ""
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+
+@dataclass
+class TraceEvent:
+    """One instantaneous occurrence (fault injected, request shed, ...)."""
+
+    name: str
+    layer: str
+    track: str
+    time_ns: float
+    trace_id: int
+    parent_id: int | None = None
+    args: dict = field(default_factory=dict)
+
+
+@dataclass
+class CounterSample:
+    """One sample of a time-varying value (rendered as a counter track)."""
+
+    name: str
+    layer: str
+    time_ns: float
+    values: dict
+
+
+class SpanHandle:
+    """An open span: carries the context children parent on, until
+    :meth:`end` closes it and appends the finished :class:`Span`."""
+
+    __slots__ = ("_tracer", "_span", "closed")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self.closed = False
+
+    @property
+    def context(self) -> TraceContext:
+        return self._span.context
+
+    def end(self, end_ns: float, **args) -> Span:
+        if self.closed:
+            raise ValueError(f"span {self._span.name!r} ended twice")
+        _check_time(end_ns, "end_ns")
+        if end_ns < self._span.start_ns:
+            raise ValueError(
+                f"span {self._span.name!r} ends before it starts: "
+                f"{end_ns} < {self._span.start_ns}"
+            )
+        self.closed = True
+        self._span.end_ns = end_ns
+        self._span.args.update(args)
+        self._tracer.spans.append(self._span)
+        return self._span
+
+
+def _check_time(value: float, what: str) -> None:
+    if math.isnan(value):
+        raise ValueError(f"{what} is NaN")
+
+
+class Tracer:
+    """Collector of spans, events and counter samples for one run."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+        self.counter_samples: list[CounterSample] = []
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    # -- recording ------------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        layer: str,
+        start_ns: float,
+        parent: TraceContext | None = None,
+        track: str | None = None,
+        cat: str = "",
+        **args,
+    ) -> SpanHandle:
+        """Open a span; close it with ``handle.end(end_ns)``.
+
+        With no ``parent`` the span roots a fresh trace; otherwise it joins
+        the parent's trace. The handle's ``context`` is valid immediately,
+        so children can be recorded before the parent closes.
+        """
+        _check_time(start_ns, "start_ns")
+        span = Span(
+            name=name,
+            layer=layer,
+            track=track if track is not None else layer,
+            start_ns=start_ns,
+            end_ns=start_ns,
+            trace_id=parent.trace_id if parent else next(self._trace_ids),
+            span_id=next(self._span_ids),
+            parent_id=parent.span_id if parent else None,
+            cat=cat or layer,
+            args=dict(args),
+        )
+        return SpanHandle(self, span)
+
+    def add_span(
+        self,
+        name: str,
+        layer: str,
+        start_ns: float,
+        end_ns: float,
+        parent: TraceContext | None = None,
+        track: str | None = None,
+        cat: str = "",
+        **args,
+    ) -> TraceContext:
+        """Record an already-finished span in one call."""
+        handle = self.begin(
+            name, layer, start_ns, parent=parent, track=track, cat=cat, **args
+        )
+        return handle.end(end_ns).context
+
+    def add_event(
+        self,
+        name: str,
+        layer: str,
+        time_ns: float,
+        parent: TraceContext | None = None,
+        track: str | None = None,
+        **args,
+    ) -> None:
+        """Record an instantaneous event."""
+        _check_time(time_ns, "time_ns")
+        self.events.append(
+            TraceEvent(
+                name=name,
+                layer=layer,
+                track=track if track is not None else layer,
+                time_ns=time_ns,
+                trace_id=parent.trace_id if parent else 0,
+                parent_id=parent.span_id if parent else None,
+                args=dict(args),
+            )
+        )
+
+    def add_counter_sample(
+        self, name: str, layer: str, time_ns: float, **values: float
+    ) -> None:
+        """Record one sample of a time-varying value (e.g. chip power)."""
+        _check_time(time_ns, "time_ns")
+        self.counter_samples.append(
+            CounterSample(name=name, layer=layer, time_ns=time_ns, values=values)
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def layers(self) -> set[str]:
+        return (
+            {span.layer for span in self.spans}
+            | {event.layer for event in self.events}
+            | {sample.layer for sample in self.counter_samples}
+        )
+
+    def spans_in(self, layer: str) -> list[Span]:
+        return [span for span in self.spans if span.layer == layer]
+
+    def children_of(self, context: TraceContext) -> list[Span]:
+        return [span for span in self.spans if span.parent_id == context.span_id]

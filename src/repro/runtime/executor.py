@@ -114,6 +114,10 @@ class Executor:
         self._finished = False
         self._energy_joules = 0.0
         self._power_samples: list[float] = []
+        self._power_timeline: list[tuple[float, float]] = []
+        #: parent span for observability (set by Device.launch when an
+        #: Observability hub is attached to the accelerator)
+        self.trace_ctx = None
 
     # -- kernel-level timing math --------------------------------------------
 
@@ -371,6 +375,7 @@ class Executor:
 
             power = chip_power_watts(units, activities, frequencies)
             self._power_samples.append(power)
+            self._power_timeline.append((window_end, power))
             self._energy_joules += power * span * 1e-9
 
     # -- top level ------------------------------------------------------------
@@ -490,8 +495,15 @@ class Executor:
         self._finished = False
         self._energy_joules = 0.0
         self._power_samples = []
+        self._power_timeline = []
         start_time = sim.now
         self._main_end = start_time
+        trace_mark = len(self.accelerator.trace.intervals)
+        fault_mark = (
+            len(self.accelerator.faults.records)
+            if self.accelerator.faults is not None
+            else 0
+        )
 
         groups_by_tenant = {
             tenant: [self.accelerator.group(gid) for gid in assignment.groups]
@@ -522,6 +534,7 @@ class Executor:
         sim.spawn(self._power_manager(), name="executor.power")
         sim.run()
 
+        fault = None
         injector = self.accelerator.faults
         if injector is not None:
             fault = injector.take_fatal()
@@ -531,14 +544,184 @@ class Executor:
                 # retried on this same accelerator. Surface the typed fault
                 # with the simulated time the failed attempt consumed.
                 fault.elapsed_ns = max(completions.values()) - start_time
-                raise fault
 
-        return {
-            tenant: self._collect(
-                compiled,
-                groups_by_tenant[tenant],
-                timings_by_tenant[tenant],
-                latency_ns=completions[tenant] - start_time,
+        results = None
+        if fault is None:
+            results = {
+                tenant: self._collect(
+                    compiled,
+                    groups_by_tenant[tenant],
+                    timings_by_tenant[tenant],
+                    latency_ns=completions[tenant] - start_time,
+                )
+                for tenant, (compiled, _assignment) in jobs.items()
+            }
+
+        if self.accelerator.obs is not None:
+            self._emit_observability(
+                jobs, groups_by_tenant, timings_by_tenant, completions,
+                results, start_time, trace_mark, fault_mark,
             )
-            for tenant, (compiled, _assignment) in jobs.items()
+        if fault is not None:
+            raise fault
+        return results
+
+    # -- observability bridge ------------------------------------------------
+
+    def _emit_observability(
+        self,
+        jobs: dict,
+        groups_by_tenant: dict,
+        timings_by_tenant: dict,
+        completions: dict[str, float],
+        results: "dict[str, ExecutionResult] | None",
+        start_time: float,
+        trace_mark: int,
+        fault_mark: int,
+    ) -> None:
+        """Report this run into the attached Observability hub.
+
+        Runs once per launch, after the simulation drained — nothing here
+        touches the simulated hot path, so with no hub attached the run is
+        bit-identical and pays zero cost.
+        """
+        obs = self.accelerator.obs
+        tracer = obs.tracer
+        metrics = obs.metrics
+        sim_now = self.accelerator.sim.now
+
+        # runtime layer: one span per tenant run, one child span per kernel.
+        flops_by_kernel = {
+            kernel.name: (kernel.category, kernel.cost.flops)
+            for compiled, _assignment in jobs.values()
+            for kernel in compiled.kernels
         }
+        kernel_hist = metrics.histogram(
+            "runtime_kernel_duration_ns",
+            "wall time of one kernel on its group slice", unit="ns",
+        )
+        kernel_count = metrics.counter(
+            "runtime_kernels_total", "kernels executed"
+        )
+        kernel_flops = metrics.counter(
+            "runtime_kernel_flops_total", "FLOPs of executed kernels",
+            unit="flops",
+        )
+        tenant_ctx = {}
+        for tenant, (compiled, _assignment) in jobs.items():
+            end = completions.get(tenant, sim_now)
+            ctx = tracer.add_span(
+                f"run:{compiled.name}", layer="runtime",
+                start_ns=start_time, end_ns=end,
+                parent=self.trace_ctx, track=f"executor.{tenant}",
+                tenant=tenant, model=compiled.name,
+                groups=len(groups_by_tenant[tenant]),
+            )
+            tenant_ctx[tenant] = ctx
+            for kernel in compiled.kernels:
+                recorded = timings_by_tenant[tenant].get(kernel.name, [])
+                for timing in recorded[:1]:
+                    tracer.add_span(
+                        timing.name, layer="runtime",
+                        start_ns=timing.start_ns, end_ns=timing.end_ns,
+                        parent=ctx, track=f"kernels.{tenant}",
+                        cat=timing.category,
+                        compute_ns=timing.compute_ns, dma_ns=timing.dma_ns,
+                        icache_stall_ns=timing.icache_stall_ns,
+                        sync_ns=timing.sync_ns, clock_ghz=timing.clock_ghz,
+                    )
+                    kernel_hist.observe(
+                        timing.duration_ns, category=timing.category
+                    )
+                    kernel_count.inc(category=timing.category)
+                    _category, flops = flops_by_kernel[timing.name]
+                    kernel_flops.inc(flops, category=timing.category)
+
+        # sim layer: every engine interval this run appended to the trace.
+        ctx_by_group = {
+            group.name: tenant_ctx[tenant]
+            for tenant, groups in groups_by_tenant.items()
+            for group in groups
+        }
+        engine_busy = metrics.counter(
+            "sim_engine_busy_ns_total",
+            "busy time per engine per processing group", unit="ns",
+        )
+        for interval in self.accelerator.trace.intervals[trace_mark:]:
+            family, _, group_name = interval.engine.partition(".")
+            tracer.add_span(
+                interval.label, layer="sim",
+                start_ns=interval.start, end_ns=interval.end,
+                parent=ctx_by_group.get(group_name, self.trace_ctx),
+                track=interval.engine, cat=family,
+            )
+            engine_busy.inc(interval.duration, engine=family, group=group_name)
+
+        # fault layer: every injector record this run produced, as a span
+        # whose duration is the recovery penalty the plan charges (zero for
+        # perturbations whose cost is folded into the component's own
+        # interval, e.g. DMA replays).
+        injector = self.accelerator.faults
+        if injector is not None and len(injector.records) > fault_mark:
+            plan = injector.plan
+            penalties = {
+                "ecc.ce": plan.ecc_retry_ns,
+                "sync.lost": plan.sync_timeout_ns,
+                "core.hang": plan.watchdog_timeout_ns,
+            }
+            injected = metrics.counter(
+                "faults_injected_total", "hardware faults injected"
+            )
+            for record in injector.records[fault_mark:]:
+                tracer.add_span(
+                    record.kind, layer="fault",
+                    start_ns=record.time_ns,
+                    end_ns=record.time_ns + penalties.get(record.kind, 0.0),
+                    parent=self.trace_ctx, track=record.component,
+                    recovered=record.recovered, detail=record.detail,
+                )
+                injected.inc(
+                    kind=record.kind,
+                    recovered=str(record.recovered).lower(),
+                )
+
+        # power layer: the power-manager's window samples + energy totals.
+        for when, watts in self._power_timeline:
+            tracer.add_counter_sample(
+                "chip_power_watts", layer="power", time_ns=when, watts=watts
+            )
+        metrics.counter(
+            "power_energy_joules_total", "energy integrated over windows",
+            unit="joules",
+        ).inc(self._energy_joules)
+        metrics.counter(
+            "power_windows_total", "power-manager observation windows"
+        ).inc(len(self._power_timeline))
+        if self._power_samples:
+            metrics.gauge(
+                "power_mean_watts", "mean chip power of the last launch",
+                unit="watts",
+            ).set(sum(self._power_samples) / len(self._power_samples))
+        metrics.gauge(
+            "power_mean_frequency_ghz",
+            "mean DVFS frequency of the last launch", unit="ghz",
+        ).set(
+            self.accelerator.dvfs.mean_frequency_ghz()
+            if self.accelerator.dvfs.decisions
+            else self.accelerator.clock_ghz
+        )
+
+        # hardware counters mirrored from the results.
+        if results:
+            mirrored = {
+                "icache_hits": "sim_icache_hits_total",
+                "icache_misses": "sim_icache_misses_total",
+                "icache_prefetch_hits": "sim_icache_prefetch_hits_total",
+                "dma_configurations": "sim_dma_configurations_total",
+                "dma_bytes": "sim_dma_bytes_total",
+                "dma_wire_bytes": "sim_dma_wire_bytes_total",
+            }
+            for result in results.values():
+                for source, target in mirrored.items():
+                    if source in result.counters:
+                        metrics.counter(target).inc(result.counters[source])

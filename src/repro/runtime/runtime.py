@@ -39,13 +39,22 @@ class Device:
     _buffers: dict[str, int] = field(default_factory=dict)
 
     @classmethod
-    def open(cls, name: str = "i20") -> "Device":
-        """Open a simulated device by product name ('i20' or 'i10')."""
+    def open(cls, name: str = "i20", obs=None) -> "Device":
+        """Open a simulated device by product name ('i20' or 'i10').
+
+        ``obs`` optionally attaches an :class:`~repro.obs.Observability`
+        hub: every launch then reports spans (runtime/sim/fault/power
+        layers) and metrics into it. Without one, telemetry costs nothing.
+        """
         if name == "i20":
-            return cls(Accelerator.cloudblazer_i20())
-        if name == "i10":
-            return cls(Accelerator.cloudblazer_i10())
-        raise ReproRuntimeError(f"unknown device {name!r}")
+            accelerator = Accelerator.cloudblazer_i20()
+        elif name == "i10":
+            accelerator = Accelerator.cloudblazer_i10()
+        else:
+            raise ReproRuntimeError(f"unknown device {name!r}")
+        if obs is not None:
+            accelerator.attach_observability(obs)
+        return cls(accelerator)
 
     # -- memory ---------------------------------------------------------------
 
@@ -93,6 +102,7 @@ class Device:
         deadline_ms: float | None = None,
         max_retries: int = 0,
         retry_backoff_ms: float = 0.05,
+        trace_ctx=None,
     ) -> ExecutionResult:
         """Run one inference; groups default to the Fig. 7 recommendation.
 
@@ -110,6 +120,12 @@ class Device:
         latency exceeds ``deadline_ms`` the launch raises
         :class:`~repro.faults.DeadlineExceededError`; with retries
         exhausted the last fault propagates.
+
+        Observability: with a hub attached (``Device.open(obs=...)`` or
+        ``accelerator.attach_observability``), the launch opens a
+        ``launch:<model>`` span — parented under ``trace_ctx`` when the
+        caller (e.g. serving admission) supplies one — with one child
+        span per attempt, and mirrors launch counters into the registry.
         """
         l3 = self.accelerator.l3
         available = l3.capacity_bytes - l3.used_bytes
@@ -126,16 +142,43 @@ class Device:
             )
             num_groups = recommend_groups(working_set, self.accelerator.chip)
 
+        obs = self.accelerator.obs
+        sim = self.accelerator.sim
+        launch_handle = None
+        if obs is not None:
+            launch_handle = obs.tracer.begin(
+                f"launch:{compiled.name}", layer="runtime",
+                start_ns=sim.now, parent=trace_ctx, track="device",
+                model=compiled.name, tenant=tenant, groups=num_groups,
+            )
+
         overhead_ns = 0.0
         retries = 0
         while True:
+            attempt_handle = None
+            if launch_handle is not None:
+                attempt_handle = obs.tracer.begin(
+                    f"attempt{retries}", layer="runtime", start_ns=sim.now,
+                    parent=launch_handle.context, track="device",
+                )
             executor = Executor(self.accelerator)
+            if attempt_handle is not None:
+                executor.trace_ctx = attempt_handle.context
             try:
                 result = executor.run(compiled, num_groups=num_groups, tenant=tenant)
+                if attempt_handle is not None:
+                    attempt_handle.end(sim.now, status="ok")
                 break
             except TransientFault as fault:
+                if attempt_handle is not None:
+                    attempt_handle.end(
+                        sim.now, status="transient_fault", fault=str(fault)
+                    )
                 overhead_ns += getattr(fault, "elapsed_ns", 0.0)
                 if retries >= max_retries:
+                    self._finish_launch(
+                        launch_handle, compiled.name, "failed", retries
+                    )
                     raise
                 overhead_ns += retry_backoff_ms * 1e6 * (2.0 ** retries)
                 retries += 1
@@ -144,11 +187,50 @@ class Device:
             result.counters["launch_retries"] = retries
             result.counters["retry_overhead_ns"] = overhead_ns
         if deadline_ms is not None and result.latency_ms > deadline_ms:
+            self._finish_launch(
+                launch_handle, compiled.name, "deadline_exceeded", retries
+            )
             raise DeadlineExceededError(
                 f"{compiled.name}: {result.latency_ms:.3f} ms exceeds the "
                 f"{deadline_ms} ms deadline after {retries} retries"
             )
+        self._finish_launch(
+            launch_handle, compiled.name, "ok", retries,
+            latency_ms=result.latency_ms,
+        )
         return result
+
+    def _finish_launch(
+        self,
+        launch_handle,
+        model: str,
+        status: str,
+        retries: int,
+        latency_ms: float | None = None,
+    ) -> None:
+        """Close the launch span and mirror launch metrics (no-op sans obs)."""
+        obs = self.accelerator.obs
+        if obs is None:
+            return
+        if launch_handle is not None and not launch_handle.closed:
+            launch_handle.end(
+                self.accelerator.sim.now, status=status, retries=retries
+            )
+        obs.metrics.counter(
+            "runtime_launches_total", "model launches by outcome"
+        ).inc(model=model, status=status)
+        if retries:
+            obs.metrics.counter(
+                "runtime_launch_retries_total", "launch-level RAS retries"
+            ).inc(retries, model=model)
+        if latency_ms is not None:
+            from repro.obs.metrics import DEFAULT_BUCKETS_MS
+
+            obs.metrics.histogram(
+                "runtime_launch_latency_ms",
+                "end-to-end launch latency (incl. retry overhead)",
+                unit="ms", buckets=DEFAULT_BUCKETS_MS,
+            ).observe(latency_ms, model=model)
 
     def run(
         self,

@@ -205,12 +205,42 @@ class TenantReport:
         return self.completed / self.offered
 
 
-def measure_service_time_ns(model: str, groups: int) -> float:
-    """One detailed-simulator run: the per-inference service time."""
+def measure_service_time_ns(
+    model: str, groups: int, obs=None, fault_plan: FaultPlan | None = None
+) -> float:
+    """One detailed-simulator run: the per-inference service time.
+
+    With an :class:`~repro.obs.Observability` hub the measurement opens a
+    serving-layer ``measure:<model>x<groups>`` span whose TraceContext the
+    launch (and through it the executor, simulator and fault injector)
+    parents on — the full cross-layer thread of one inference. An optional
+    ``fault_plan`` attaches a hardware-level injector to the measurement
+    accelerator so fault events appear on the same timeline; keep its
+    fatal rates at zero or the measurement launch itself may fail.
+    """
     accelerator = Accelerator.cloudblazer_i20()
+    if obs is not None:
+        accelerator.attach_observability(obs)
+    if fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+
+        accelerator.attach_faults(FaultInjector(fault_plan))
     device = Device(accelerator)
     compiled = device.compile(build(model), batch=1)
-    result = device.launch(compiled, num_groups=groups)
+    measure_handle = None
+    if obs is not None:
+        measure_handle = obs.tracer.begin(
+            f"measure:{model}x{groups}", layer="serving",
+            start_ns=accelerator.sim.now, track="measurement",
+            model=model, groups=groups,
+        )
+    result = device.launch(
+        compiled,
+        num_groups=groups,
+        trace_ctx=measure_handle.context if measure_handle else None,
+    )
+    if measure_handle is not None:
+        measure_handle.end(accelerator.sim.now, latency_ms=result.latency_ms)
     return result.latency_ns
 
 
@@ -233,6 +263,8 @@ class InferenceServer:
         fault_plan: FaultPlan | None = None,
         ras: RasConfig | None = None,
         degraded_service_times_ns: dict[tuple[str, int], float] | None = None,
+        obs=None,
+        measurement_fault_plan: FaultPlan | None = None,
     ) -> None:
         if not tenants:
             raise ValueError("server needs at least one tenant")
@@ -242,6 +274,8 @@ class InferenceServer:
         self.tenants = {tenant.name: tenant for tenant in tenants}
         self.isolated = isolated
         self.fault_plan = fault_plan
+        self.obs = obs
+        self.measurement_fault_plan = measurement_fault_plan
         self.ras = ras or RasConfig()
         self.service_times_ns = service_times_ns or {}
         # Tenants whose base time we measured on the detailed simulator get
@@ -255,7 +289,8 @@ class InferenceServer:
         for tenant in tenants:
             if tenant.name not in self.service_times_ns:
                 self.service_times_ns[tenant.name] = measure_service_time_ns(
-                    tenant.model, tenant.groups
+                    tenant.model, tenant.groups,
+                    obs=obs, fault_plan=measurement_fault_plan,
                 )
         self._degraded_times: dict[tuple[str, int], float] = dict(
             degraded_service_times_ns or {}
@@ -277,7 +312,8 @@ class InferenceServer:
             base = self.service_times_ns[tenant_name]
             if tenant_name in self._measured:
                 self._degraded_times[key] = measure_service_time_ns(
-                    tenant.model, groups
+                    tenant.model, groups,
+                    obs=self.obs, fault_plan=self.measurement_fault_plan,
                 )
             else:
                 # Linear-in-groups approximation for user-supplied times.
@@ -355,7 +391,106 @@ class InferenceServer:
                 shed.extend(dropped)
         else:
             completed, shed = self._run_shared_queue(trace)
-        return self._report(completed, trace, shed)
+        reports = self._report(completed, trace, shed)
+        if self.obs is not None:
+            self._emit_observability(completed, shed, reports)
+        return reports
+
+    # -- observability bridge -------------------------------------------------
+
+    def _emit_observability(
+        self,
+        completed: list[CompletedRequest],
+        shed: list[Request],
+        reports: dict[str, TenantReport],
+    ) -> None:
+        """Report the run into the attached Observability hub.
+
+        One serving-layer span per request (children: ``queue`` + ``service``),
+        one instant event per shed arrival, and the QoS accounting mirrored
+        into the registry. Runs once after the queueing simulation — the
+        serving numbers are bit-identical with or without a hub.
+        """
+        from repro.obs.metrics import DEFAULT_BUCKETS_MS
+
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        requests_total = metrics.counter(
+            "serving_requests_total", "requests by final status"
+        )
+        latency_hist = metrics.histogram(
+            "serving_request_latency_ms", "arrival-to-finish latency",
+            unit="ms", buckets=DEFAULT_BUCKETS_MS,
+        )
+        queue_hist = metrics.histogram(
+            "serving_queue_wait_ms", "arrival-to-service wait",
+            unit="ms", buckets=DEFAULT_BUCKETS_MS,
+        )
+        batch_hist = metrics.histogram(
+            "serving_batch_size", "dynamic-batch sizes served",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        retries_total = metrics.counter(
+            "serving_retries_total", "request-level RAS service replays"
+        )
+        degraded_total = metrics.counter(
+            "serving_degraded_requests_total",
+            "requests served on a degraded slice",
+        )
+        for request in sorted(completed, key=lambda c: c.request.request_id):
+            tenant = request.request.tenant
+            root = tracer.begin(
+                f"request:{request.request.request_id}", layer="serving",
+                start_ns=request.request.arrival_ns,
+                track=f"tenant.{tenant}", tenant=tenant,
+            )
+            if request.start_ns > request.request.arrival_ns:
+                tracer.add_span(
+                    "queue", layer="serving",
+                    start_ns=request.request.arrival_ns,
+                    end_ns=request.start_ns,
+                    parent=root.context, track=f"tenant.{tenant}",
+                )
+            tracer.add_span(
+                "service", layer="serving",
+                start_ns=request.start_ns, end_ns=request.finish_ns,
+                parent=root.context, track=f"tenant.{tenant}",
+                batch=request.batch_size, retries=request.retries,
+                status=request.status, degraded=request.degraded,
+            )
+            root.end(
+                request.finish_ns,
+                status=request.status, batch=request.batch_size,
+            )
+            requests_total.inc(tenant=tenant, status=request.status)
+            if request.ok:
+                latency_hist.observe(request.latency_ms, tenant=tenant)
+                queue_hist.observe(request.queue_ms, tenant=tenant)
+                batch_hist.observe(request.batch_size, tenant=tenant)
+            if request.retries:
+                retries_total.inc(request.retries, tenant=tenant)
+            if request.degraded:
+                degraded_total.inc(tenant=tenant)
+        for request in shed:
+            tracer.add_event(
+                "shed", layer="serving", time_ns=request.arrival_ns,
+                track=f"tenant.{request.tenant}", tenant=request.tenant,
+            )
+            requests_total.inc(tenant=request.tenant, status="shed")
+        for name, report in reports.items():
+            metrics.gauge(
+                "serving_throughput_rps", "completed requests per second",
+            ).set(report.throughput_per_s, tenant=name)
+            metrics.gauge(
+                "serving_p99_ms", "p99 request latency", unit="ms"
+            ).set(report.p99_ms, tenant=name)
+            metrics.gauge(
+                "serving_availability", "completed / offered requests"
+            ).set(report.availability, tenant=name)
+            if report.sla_violations:
+                metrics.counter(
+                    "serving_sla_violations_total", "requests over SLA"
+                ).inc(report.sla_violations, tenant=name)
 
     def _rng(self, label: str) -> random.Random:
         seed = self.fault_plan.seed if self.fault_plan is not None else 0

@@ -9,6 +9,7 @@ observation windows.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -23,6 +24,10 @@ class Interval:
     end: float
 
     def __post_init__(self) -> None:
+        if math.isnan(self.start) or math.isnan(self.end):
+            raise ValueError(f"interval has NaN endpoints: {self}")
+        if self.start < 0.0:
+            raise ValueError(f"interval starts before time zero: {self}")
         if self.end < self.start:
             raise ValueError(f"interval ends before it starts: {self}")
 

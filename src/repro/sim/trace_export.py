@@ -1,5 +1,12 @@
 """Export simulation traces to the Chrome trace-event format.
 
+Compatibility wrapper: the heavy lifting now lives in
+:mod:`repro.obs.exporters`, which renders whole-stack traces (serving /
+runtime / sim / fault / power). This module keeps the original
+sim-only entry points — a bare :class:`~repro.sim.trace.Trace` in, one
+engine row per thread out — by adapting the trace into a
+:class:`~repro.obs.tracing.Tracer` and delegating.
+
 Load the produced JSON in ``chrome://tracing`` / Perfetto to see the
 simulated chip's timeline: one row per engine (cores, DMA engines, icache
 stalls), one slice per kernel — the profiler view a vendor toolchain ships.
@@ -10,51 +17,36 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.obs.exporters import to_chrome_trace as _unified_chrome_trace
+from repro.obs.tracing import Tracer
 from repro.sim.trace import Trace
-
-#: microseconds per trace tick (Chrome wants us; our traces are ns)
-_NS_PER_US = 1000.0
 
 
 def _category(engine: str) -> str:
     return engine.split(".", 1)[0]
 
 
+def tracer_from_trace(trace: Trace, parent=None) -> Tracer:
+    """Adapt a sim :class:`Trace` into a span tracer (one span per interval)."""
+    tracer = Tracer()
+    for interval in trace.intervals:
+        tracer.add_span(
+            interval.label,
+            layer="sim",
+            start_ns=interval.start,
+            end_ns=interval.end,
+            parent=parent,
+            track=interval.engine,
+            cat=_category(interval.engine),
+        )
+    return tracer
+
+
 def to_chrome_trace(trace: Trace, process_name: str = "DTU 2.0") -> dict:
     """Build the chrome://tracing JSON document for one trace."""
-    engines = sorted(trace.engines())
-    thread_ids = {engine: index + 1 for index, engine in enumerate(engines)}
-    events: list[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "args": {"name": process_name},
-        }
-    ]
-    for engine, thread_id in thread_ids.items():
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": thread_id,
-                "args": {"name": engine},
-            }
-        )
-    for interval in trace.intervals:
-        events.append(
-            {
-                "name": interval.label,
-                "cat": _category(interval.engine),
-                "ph": "X",  # complete event
-                "pid": 1,
-                "tid": thread_ids[interval.engine],
-                "ts": interval.start / _NS_PER_US,
-                "dur": interval.duration / _NS_PER_US,
-            }
-        )
-    return {"traceEvents": events, "displayTimeUnit": "ns"}
+    return _unified_chrome_trace(
+        tracer_from_trace(trace), process_names={"sim": process_name}
+    )
 
 
 def save_chrome_trace(

@@ -1,0 +1,21 @@
+"""Regenerate golden_trace.json from the current exporter output.
+
+Run from the repository root::
+
+    PYTHONPATH=src:tests python tests/obs/data/make_golden.py
+
+then load the refreshed file in chrome://tracing or
+https://ui.perfetto.dev to confirm it still renders before committing.
+"""
+
+import json
+from pathlib import Path
+
+from obs.test_exporters import GOLDEN, sample_observability
+
+from repro.obs import to_chrome_trace
+
+if __name__ == "__main__":
+    document = to_chrome_trace(sample_observability().tracer)
+    GOLDEN.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {Path(GOLDEN).resolve()}")

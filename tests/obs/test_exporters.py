@@ -1,0 +1,149 @@
+"""Exporter tests: Chrome trace (golden file), Prometheus text, JSON snapshot.
+
+The golden file pins the exact Chrome ``trace_event`` document the
+exporter produces for a small fixed stack trace — regenerate it with
+``python tests/obs/data/make_golden.py`` after an intentional format
+change, and re-check the result loads in chrome://tracing / Perfetto.
+"""
+
+import json
+import math
+from pathlib import Path
+
+from repro.obs import (
+    Observability,
+    save_chrome_trace,
+    to_chrome_trace,
+    to_json_snapshot,
+    to_prometheus_text,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS_MS
+
+GOLDEN = Path(__file__).parent / "data" / "golden_trace.json"
+
+
+def sample_observability() -> Observability:
+    """A miniature whole-stack recording: one request, one launch,
+    two sim intervals, one fault, two power samples."""
+    obs = Observability()
+    tracer = obs.tracer
+    request = tracer.begin(
+        "request:0", layer="serving", start_ns=0.0, track="tenant.a", tenant="a"
+    )
+    launch = tracer.begin(
+        "launch:resnet50", layer="runtime", start_ns=100.0,
+        parent=request.context, track="device", model="resnet50",
+    )
+    tracer.add_span(
+        "conv_0", layer="sim", start_ns=150.0, end_ns=900.0,
+        parent=launch.context, track="core.c0g0", cat="core",
+    )
+    tracer.add_span(
+        "conv_0", layer="sim", start_ns=120.0, end_ns=400.0,
+        parent=launch.context, track="dma.c0g0", cat="dma",
+    )
+    tracer.add_span(
+        "ecc.ce", layer="fault", start_ns=300.0, end_ns=900.0,
+        parent=launch.context, track="L3", recovered=True,
+    )
+    launch.end(1000.0, status="ok")
+    request.end(1100.0, status="ok")
+    tracer.add_event("shed", layer="serving", time_ns=50.0, track="tenant.a")
+    tracer.add_counter_sample("chip_power_watts", layer="power", time_ns=500.0, watts=71.5)
+    tracer.add_counter_sample("chip_power_watts", layer="power", time_ns=1000.0, watts=68.0)
+
+    metrics = obs.metrics
+    metrics.counter("serving_requests_total", "requests by status").inc(
+        tenant="a", status="ok"
+    )
+    metrics.gauge("power_mean_watts", unit="watts").set(69.75)
+    metrics.histogram(
+        "serving_request_latency_ms", unit="ms", buckets=DEFAULT_BUCKETS_MS
+    ).observe(1.1e-3, tenant="a")
+    return obs
+
+
+class TestChromeTrace:
+    def test_matches_golden_file(self):
+        document = to_chrome_trace(sample_observability().tracer)
+        assert document == json.loads(GOLDEN.read_text())
+
+    def test_one_process_per_layer_in_stack_order(self):
+        document = to_chrome_trace(sample_observability().tracer)
+        processes = {
+            event["pid"]: event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["name"] == "process_name"
+        }
+        assert list(processes) == [1, 2, 3, 4, 5]
+        assert processes[1].startswith("serving")
+        assert processes[3] == "DTU 2.0 sim"
+
+    def test_slices_carry_span_identity(self):
+        document = to_chrome_trace(sample_observability().tracer)
+        launch = next(
+            event for event in document["traceEvents"]
+            if event["ph"] == "X" and event["name"] == "launch:resnet50"
+        )
+        assert launch["args"]["parent_id"] is not None
+        assert launch["args"]["status"] == "ok"
+        assert launch["ts"] == 0.1  # 100 ns in us
+        assert launch["dur"] == 0.9
+
+    def test_instant_and_counter_events(self):
+        document = to_chrome_trace(sample_observability().tracer)
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert {"X", "i", "C", "M"} <= phases
+
+    def test_save_round_trips(self, tmp_path):
+        path = save_chrome_trace(
+            sample_observability().tracer, tmp_path / "t.json"
+        )
+        assert json.loads(path.read_text())["displayTimeUnit"] == "ns"
+
+
+class TestPrometheusText:
+    def test_counter_with_labels(self):
+        text = to_prometheus_text(sample_observability().metrics)
+        assert "# TYPE serving_requests_total counter" in text
+        assert 'serving_requests_total{status="ok",tenant="a"} 1' in text
+
+    def test_gauge(self):
+        text = to_prometheus_text(sample_observability().metrics)
+        assert "power_mean_watts 69.75" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = to_prometheus_text(sample_observability().metrics)
+        assert (
+            'serving_request_latency_ms_bucket{le="0.1",tenant="a"} 1' in text
+        )
+        assert (
+            'serving_request_latency_ms_bucket{le="+Inf",tenant="a"} 1' in text
+        )
+        assert 'serving_request_latency_ms_count{tenant="a"} 1' in text
+
+
+class TestJsonSnapshot:
+    def test_snapshot_is_json_serializable(self):
+        snapshot = to_json_snapshot(sample_observability())
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert {"metrics", "spans", "events"} <= set(round_tripped)
+
+    def test_spans_preserve_hierarchy(self):
+        snapshot = to_json_snapshot(sample_observability())
+        by_name = {span["name"]: span for span in snapshot["spans"]}
+        launch = by_name["launch:resnet50"]
+        request = by_name["request:0"]
+        assert launch["parent_id"] == request["span_id"]
+        assert launch["trace_id"] == request["trace_id"]
+
+    def test_histogram_sample_shape(self):
+        snapshot = to_json_snapshot(sample_observability())
+        histogram = next(
+            metric for metric in snapshot["metrics"]
+            if metric["name"] == "serving_request_latency_ms"
+        )
+        sample = histogram["samples"][0]
+        assert sample["count"] == 1
+        assert math.isclose(sample["sum"], 1.1e-3)
+        assert sum(sample["bucket_counts"]) == 1

@@ -1,0 +1,116 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value() == 0.0
+
+    def test_inc_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labels_are_independent_series(self):
+        counter = Counter("c")
+        counter.inc(tenant="a")
+        counter.inc(3.0, tenant="b")
+        assert counter.value(tenant="a") == 1.0
+        assert counter.value(tenant="b") == 3.0
+        assert counter.total() == 4.0
+
+    def test_label_order_does_not_matter(self):
+        counter = Counter("c")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.add(-2.0)
+        assert gauge.value() == 3.0
+
+    def test_labelled_series(self):
+        gauge = Gauge("g")
+        gauge.set(1.0, tenant="a")
+        gauge.set(2.0, tenant="b")
+        assert [value for _labels, value in gauge.samples()] == [1.0, 2.0]
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("h", buckets=(10.0, 100.0))
+        histogram.observe(5.0)
+        histogram.observe(50.0)
+        histogram.observe(500.0)
+        series = histogram.series()
+        assert series.counts == [1, 1, 1]  # <=10, <=100, +Inf
+        assert series.count == 3
+        assert series.sum == 555.0
+
+    def test_cumulative_counts(self):
+        histogram = Histogram("h", buckets=(10.0, 100.0))
+        for value in (1.0, 2.0, 50.0):
+            histogram.observe(value)
+        assert histogram.series().cumulative() == [2, 3, 3]
+
+    def test_mean(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.series().mean == 3.0
+
+    def test_empty_series_lookup_is_safe(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        assert histogram.series(tenant="missing").count == 0
+
+    def test_buckets_sorted(self):
+        histogram = Histogram("h", buckets=(100.0, 10.0))
+        assert histogram.buckets == (10.0, 100.0)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_collect_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert [i.name for i in registry.collect()] == ["a", "b"]
+
+    def test_contains_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        assert "c" in registry
+        assert "missing" not in registry
+        assert len(registry) == 1
+
+    def test_get_missing_is_none(self):
+        assert MetricsRegistry().get("nope") is None

@@ -1,0 +1,95 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs.tracing import TraceContext, Tracer
+
+
+class TestSpans:
+    def test_add_span_returns_context(self):
+        tracer = Tracer()
+        context = tracer.add_span("op", layer="runtime", start_ns=0.0, end_ns=10.0)
+        assert isinstance(context, TraceContext)
+        assert tracer.spans[0].duration_ns == 10.0
+
+    def test_root_spans_get_distinct_traces(self):
+        tracer = Tracer()
+        a = tracer.add_span("a", layer="runtime", start_ns=0.0, end_ns=1.0)
+        b = tracer.add_span("b", layer="runtime", start_ns=0.0, end_ns=1.0)
+        assert a.trace_id != b.trace_id
+
+    def test_children_join_parent_trace(self):
+        tracer = Tracer()
+        parent = tracer.add_span("p", layer="serving", start_ns=0.0, end_ns=9.0)
+        child = tracer.add_span(
+            "c", layer="runtime", start_ns=1.0, end_ns=2.0, parent=parent
+        )
+        assert child.trace_id == parent.trace_id
+        assert tracer.spans[-1].parent_id == parent.span_id
+
+    def test_children_of_query(self):
+        tracer = Tracer()
+        parent = tracer.add_span("p", layer="serving", start_ns=0.0, end_ns=9.0)
+        tracer.add_span("c1", layer="runtime", start_ns=1.0, end_ns=2.0, parent=parent)
+        tracer.add_span("c2", layer="runtime", start_ns=2.0, end_ns=3.0, parent=parent)
+        assert [span.name for span in tracer.children_of(parent)] == ["c1", "c2"]
+
+    def test_begin_context_usable_before_end(self):
+        tracer = Tracer()
+        handle = tracer.begin("open", layer="runtime", start_ns=0.0)
+        child = tracer.add_span(
+            "child", layer="sim", start_ns=1.0, end_ns=2.0, parent=handle.context
+        )
+        handle.end(5.0, status="ok")
+        assert child.trace_id == handle.context.trace_id
+        finished = [span for span in tracer.spans if span.name == "open"]
+        assert finished[0].end_ns == 5.0
+        assert finished[0].args["status"] == "ok"
+
+    def test_double_end_rejected(self):
+        handle = Tracer().begin("s", layer="runtime", start_ns=0.0)
+        handle.end(1.0)
+        with pytest.raises(ValueError):
+            handle.end(2.0)
+
+    def test_backwards_span_rejected(self):
+        handle = Tracer().begin("s", layer="runtime", start_ns=10.0)
+        with pytest.raises(ValueError):
+            handle.end(5.0)
+
+    def test_nan_times_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.begin("s", layer="runtime", start_ns=float("nan"))
+        with pytest.raises(ValueError):
+            tracer.add_event("e", layer="fault", time_ns=float("nan"))
+
+    def test_track_defaults_to_layer(self):
+        tracer = Tracer()
+        tracer.add_span("s", layer="runtime", start_ns=0.0, end_ns=1.0)
+        assert tracer.spans[0].track == "runtime"
+
+
+class TestEventsAndSamples:
+    def test_events_recorded(self):
+        tracer = Tracer()
+        tracer.add_event("shed", layer="serving", time_ns=5.0, tenant="a")
+        assert tracer.events[0].args == {"tenant": "a"}
+
+    def test_counter_samples_recorded(self):
+        tracer = Tracer()
+        tracer.add_counter_sample("power", layer="power", time_ns=1.0, watts=70.0)
+        assert tracer.counter_samples[0].values == {"watts": 70.0}
+
+    def test_layers_union(self):
+        tracer = Tracer()
+        tracer.add_span("s", layer="runtime", start_ns=0.0, end_ns=1.0)
+        tracer.add_event("e", layer="fault", time_ns=0.0)
+        tracer.add_counter_sample("c", layer="power", time_ns=0.0, watts=1.0)
+        assert tracer.layers() == {"runtime", "fault", "power"}
+
+    def test_spans_in_filters_by_layer(self):
+        tracer = Tracer()
+        tracer.add_span("a", layer="sim", start_ns=0.0, end_ns=1.0)
+        tracer.add_span("b", layer="runtime", start_ns=0.0, end_ns=1.0)
+        assert [span.name for span in tracer.spans_in("sim")] == ["a"]

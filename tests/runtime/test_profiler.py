@@ -1,0 +1,152 @@
+"""Unit tests for the profiler's category-share math.
+
+The paper's §VI-D discussion leans on these summaries (share of
+high-computational-density operators per model), so the arithmetic is
+pinned here on hand-built executions: DENSE_CATEGORIES splits, zero-flops
+kernels, and empty-execution guards.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.runtime.executor import ExecutionResult, KernelTiming
+from repro.runtime.profiler import DENSE_CATEGORIES, Profile
+
+
+def _kernel(name, category, flops):
+    return SimpleNamespace(
+        name=name, category=category, cost=SimpleNamespace(flops=flops)
+    )
+
+
+def _timing(name, category, start, end):
+    return KernelTiming(
+        name=name, category=category, start_ns=start, end_ns=end,
+        compute_ns=end - start, dma_ns=0.0, icache_stall_ns=0.0,
+        sync_ns=0.0, clock_ghz=1.0,
+    )
+
+
+def _profile(kernels, timings, latency_ns=1000.0):
+    compiled = SimpleNamespace(name="toy", kernels=kernels)
+    result = ExecutionResult(
+        latency_ns=latency_ns, energy_joules=0.0, kernel_timings=timings,
+        mean_power_watts=0.0, mean_frequency_ghz=1.0,
+    )
+    return Profile(compiled, result)
+
+
+class TestByCategory:
+    def test_time_and_flops_shares(self):
+        profile = _profile(
+            kernels=[
+                _kernel("conv_0", "conv", 900.0),
+                _kernel("pool_0", "pool", 100.0),
+            ],
+            timings=[
+                _timing("conv_0", "conv", 0.0, 600.0),
+                _timing("pool_0", "pool", 600.0, 1000.0),
+            ],
+        )
+        stats = {stat.category: stat for stat in profile.by_category()}
+        assert stats["conv"].time_share == pytest.approx(0.6)
+        assert stats["pool"].time_share == pytest.approx(0.4)
+        assert stats["conv"].flops_share == pytest.approx(0.9)
+        assert stats["pool"].flops_share == pytest.approx(0.1)
+
+    def test_sorted_by_time_descending(self):
+        profile = _profile(
+            kernels=[
+                _kernel("a", "conv", 1.0),
+                _kernel("b", "softmax", 1.0),
+            ],
+            timings=[
+                _timing("a", "conv", 0.0, 10.0),
+                _timing("b", "softmax", 10.0, 100.0),
+            ],
+        )
+        assert [s.category for s in profile.by_category()] == [
+            "softmax", "conv",
+        ]
+
+    def test_zero_flops_kernel_counts_time_but_no_flops(self):
+        profile = _profile(
+            kernels=[
+                _kernel("conv_0", "conv", 100.0),
+                _kernel("reshape_0", "layout", 0.0),
+            ],
+            timings=[
+                _timing("conv_0", "conv", 0.0, 50.0),
+                _timing("reshape_0", "layout", 50.0, 100.0),
+            ],
+        )
+        stats = {stat.category: stat for stat in profile.by_category()}
+        assert stats["layout"].time_share == pytest.approx(0.5)
+        assert stats["layout"].flops_share == 0.0
+        assert stats["layout"].kernels == 1
+
+    def test_category_missing_from_timings_still_listed(self):
+        # a compiled kernel that never ran (e.g. fused away) keeps its
+        # flops share visible with zero measured time
+        profile = _profile(
+            kernels=[
+                _kernel("conv_0", "conv", 100.0),
+                _kernel("act_0", "activation", 50.0),
+            ],
+            timings=[_timing("conv_0", "conv", 0.0, 10.0)],
+        )
+        stats = {stat.category: stat for stat in profile.by_category()}
+        assert stats["activation"].time_ns == 0.0
+        assert stats["activation"].flops_share == pytest.approx(50.0 / 150.0)
+
+    def test_empty_execution_is_safe(self):
+        assert _profile(kernels=[], timings=[]).by_category() == []
+
+
+class TestDenseFlopsShare:
+    def test_conv_and_gemm_are_the_dense_set(self):
+        assert DENSE_CATEGORIES == frozenset({"conv", "gemm"})
+
+    def test_split_across_dense_and_sparse(self):
+        profile = _profile(
+            kernels=[
+                _kernel("conv_0", "conv", 600.0),
+                _kernel("fc_0", "gemm", 300.0),
+                _kernel("softmax_0", "softmax", 100.0),
+            ],
+            timings=[],
+        )
+        assert profile.dense_flops_share() == pytest.approx(0.9)
+
+    def test_all_zero_flops_returns_zero(self):
+        profile = _profile(
+            kernels=[_kernel("reshape_0", "layout", 0.0)], timings=[]
+        )
+        assert profile.dense_flops_share() == 0.0
+
+
+class TestSlowestKernels:
+    def test_ordered_and_capped(self):
+        profile = _profile(
+            kernels=[],
+            timings=[
+                _timing("fast", "conv", 0.0, 1.0),
+                _timing("slow", "conv", 0.0, 100.0),
+                _timing("mid", "conv", 0.0, 10.0),
+            ],
+        )
+        assert profile.slowest_kernels(2) == [
+            ("slow", 100.0), ("mid", 10.0),
+        ]
+
+
+class TestSummary:
+    def test_one_line_per_category(self):
+        profile = _profile(
+            kernels=[_kernel("conv_0", "conv", 100.0)],
+            timings=[_timing("conv_0", "conv", 0.0, 10.0)],
+        )
+        summary = profile.summary()
+        assert "model toy" in summary
+        assert "conv" in summary

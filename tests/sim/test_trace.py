@@ -14,6 +14,25 @@ def test_interval_backwards_rejected():
         Interval("e", "l", 5.0, 2.0)
 
 
+def test_interval_nan_start_rejected():
+    with pytest.raises(ValueError):
+        Interval("e", "l", float("nan"), 2.0)
+
+
+def test_interval_nan_end_rejected():
+    with pytest.raises(ValueError):
+        Interval("e", "l", 0.0, float("nan"))
+
+
+def test_interval_negative_start_rejected():
+    with pytest.raises(ValueError):
+        Interval("e", "l", -1.0, 2.0)
+
+
+def test_interval_zero_start_allowed():
+    assert Interval("e", "l", 0.0, 0.0).duration == 0.0
+
+
 def test_busy_time_merges_overlaps():
     trace = Trace()
     trace.record("core", "a", 0.0, 10.0)

@@ -1,0 +1,80 @@
+"""Check relative links in the repo's markdown docs.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and images, resolves every relative target against the
+file that contains it, and exits non-zero listing any that point at a
+file which does not exist. External links (http/https/mailto) and
+pure in-page anchors (#section) are skipped; fragments on relative
+links are stripped before the existence check.
+
+Usage::
+
+    python tools/check_links.py            # README.md + docs/*.md
+    python tools/check_links.py docs/*.md  # explicit file list
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# inline markdown links/images: [text](target) / ![alt](target)
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every inline link in *path*."""
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def dangling_links(path: Path) -> list[tuple[int, str]]:
+    """Relative links in *path* whose targets do not exist on disk."""
+    broken = []
+    for number, target in iter_links(path):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            broken.append((number, target))
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+
+    missing = [path for path in files if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in files:
+        for number, target in dangling_links(path):
+            print(f"{path}:{number}: dangling link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} dangling link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
