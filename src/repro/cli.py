@@ -273,6 +273,26 @@ def _cmd_profile(args) -> int:
     ):
         duty = busy_ns / (result.latency_ns * tracks) if result.latency_ns else 0.0
         print(f"{family:<12} {tracks:>7} {busy_ns / 1e3:>10.1f} {duty:>8.1%}")
+    print()
+
+    # Process-wide cache table (compile + measurement), mirrored into the
+    # registry as gauges so exporters see the same numbers.
+    from repro.caching import export_cache_metrics
+
+    export_cache_metrics(registry)
+    entries = registry.get("cache_entries")
+    hits = registry.get("cache_hits")
+    misses = registry.get("cache_misses")
+    rate = registry.get("cache_hit_rate")
+    header = (f"{'cache':<12} {'entries':>8} {'hits':>7} "
+              f"{'misses':>7} {'hit %':>7}")
+    print(header)
+    print("-" * len(header))
+    for name in ("compile", "measurement"):
+        print(f"{name:<12} {int(entries.value(cache=name)):>8} "
+              f"{int(hits.value(cache=name)):>7} "
+              f"{int(misses.value(cache=name)):>7} "
+              f"{rate.value(cache=name):>7.1%}")
     return 0
 
 

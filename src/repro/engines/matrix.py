@@ -241,7 +241,96 @@ class MatrixEngine:
         row of ``a`` drives VMM against column tiles of ``b``, accumulating
         over the K dimension in accumulation registers. The result equals
         ``a @ b`` (tests check against numpy).
+
+        Executes on the vectorized fast path: one batched NumPy update per
+        K step instead of one Python-level VMM call per (row, column tile,
+        K tile). Results, architectural cost accounting (VMMs issued, MACs,
+        trace counters) and final register-file state are bit-identical to
+        :meth:`gemm_reference` — pinned by the equivalence tests in
+        ``tests/engines/test_matrix_fastpath.py``.
         """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise VmmPatternError(f"bad GEMM shapes {a.shape} x {b.shape}")
+        m, k = a.shape
+        _, n = b.shape
+        lanes = self.lanes
+        tile_k = tile_rows or lanes
+        tile_k = min(tile_k, lanes, MATRIX_REGISTER_ROWS)
+        if m == 0 or n == 0 or k == 0:
+            # Degenerate extents take the reference path (it is trivially
+            # fast there and keeps the error behaviour identical).
+            return self.gemm_reference(a, b, tile_rows)
+
+        num_col_tiles = -(-n // lanes)
+        num_k_tiles = -(-k // tile_k)
+        if not is_supported(self.dtype, tile_k, lanes, False):
+            # The reference loop loads the first tile before vmm() rejects
+            # the pattern; mirror that register-file side effect exactly.
+            first = np.zeros((tile_k, lanes), dtype=np.float64)
+            first[: min(tile_k, k), : min(lanes, n)] = b[:tile_k, :lanes]
+            self.matrix_registers[0] = first
+            raise VmmPatternError(
+                f"VMM pattern {tile_k}x{lanes} transposed=False for "
+                f"{self.dtype.name} is not hardware-supported"
+            )
+
+        # The reference loop folds each K tile sequentially: the tile's
+        # partial sum is itself a sequential fold over its rows, then
+        # ``new_acc = partial + old_acc``. Rows of ``a`` and columns of
+        # ``b`` never interact, so we batch those two dimensions and keep
+        # the K order — bit-identical IEEE-754 association. Skipping the
+        # zero-padded tail rows/columns is exact too: the padded products
+        # are +/-0.0 and the running partial is never -0.0.
+        acc = np.zeros((m, n), dtype=np.float64)
+        outer = np.empty((m, n), dtype=np.float64)
+        columns = a.T.reshape(k, m, 1)  # a[:, kk] as ready-to-broadcast views
+        for t in range(num_k_tiles):
+            k0 = t * tile_k
+            k1 = min(k0 + tile_k, k)
+            partial = np.zeros((m, n), dtype=np.float64)
+            for kk in range(k0, k1):
+                np.multiply(columns[kk], b[kk], out=outer)
+                partial += outer
+            acc = partial if t == 0 else partial + acc
+
+        # Identical architectural charges: one VMM of tile_k x lanes MACs
+        # per (column tile, row, K tile), exactly as the reference issues.
+        vmm_calls = num_col_tiles * m * num_k_tiles
+        self.vmm_issued += vmm_calls
+        self.macs_executed += vmm_calls * tile_k * lanes
+        if self.trace is not None:
+            self.trace.bump("matrix.vmm", vmm_calls)
+            self.trace.bump("matrix.macs", vmm_calls * tile_k * lanes)
+
+        # Reconstruct the final register-file state the reference loop
+        # leaves behind: accumulator ``row % 1024`` holds the last column
+        # tile's lane-padded partial for that row, and matrix register 0
+        # holds the last tile loaded.
+        last_col0 = (num_col_tiles - 1) * lanes
+        last_col1 = min(last_col0 + lanes, n)
+        width = last_col1 - last_col0
+        padded = np.zeros((m, lanes), dtype=np.float64)
+        padded[:, :width] = acc[:, last_col0:last_col1]
+        for row in range(m):
+            self.accumulators[row % NUM_ACCUMULATION_REGISTERS] = padded[row]
+        last_k0 = (num_k_tiles - 1) * tile_k
+        last_k1 = min(last_k0 + tile_k, k)
+        last_tile = np.zeros((tile_k, lanes), dtype=np.float64)
+        last_tile[: last_k1 - last_k0, :width] = b[last_k0:last_k1, last_col0:last_col1]
+        self.matrix_registers[0] = last_tile
+        return acc
+
+    def gemm_reference(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        tile_rows: int | None = None,
+    ) -> np.ndarray:
+        """The original tile-loop GEMM: one VMM call per (row, column tile,
+        K tile). Kept as the architectural reference the fast path is pinned
+        against, and as the slow side of the ``engine.gemm`` benchmark."""
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:

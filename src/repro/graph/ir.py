@@ -11,6 +11,8 @@ supported") are first-class: a dimension may be a string symbol ("batch",
 
 from __future__ import annotations
 
+import enum
+import hashlib
 from dataclasses import dataclass, field, replace
 
 import networkx as nx
@@ -23,6 +25,30 @@ Shape = tuple[Dim, ...]
 
 class GraphError(ValueError):
     """The graph is structurally invalid."""
+
+
+def _canonical(value) -> str:
+    """Deterministic text form of a value for hashing.
+
+    Dicts serialize in sorted key order and sets as sorted lists, so the
+    result does not depend on insertion order or ``PYTHONHASHSEED``.
+    """
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{_canonical(key)}:{_canonical(value[key])}" for key in sorted(value)
+        )
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(item) for item in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical(item) for item in value)) + "}"
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, TensorType):
+        return f"TensorType({_canonical(value.shape)},{value.dtype.name})"
+    if isinstance(value, float):
+        return repr(value)
+    return f"{type(value).__name__}:{value!r}"
 
 
 @dataclass(frozen=True)
@@ -189,6 +215,32 @@ class Graph:
             for name in self.initializers
             if name in self.tensor_types
         )
+
+    def structural_hash(self) -> str:
+        """Content hash of everything that affects compilation.
+
+        Covers node structure (names, op types, connectivity, attributes),
+        graph inputs/outputs, tensor types (so shape bindings change the
+        hash) and the initializer set — but not Python object identity, so
+        two independently built but identical graphs collide on purpose.
+        The digest is stable across processes (no reliance on ``hash()``
+        or dict iteration order), which is what lets
+        :class:`repro.caching.CompileCache` address compiled models by
+        content.
+        """
+        digest = hashlib.sha256()
+        digest.update(_canonical(self.name).encode())
+        for node in self.nodes:
+            digest.update(
+                _canonical(
+                    (node.name, node.op_type, node.inputs, node.outputs, node.attrs)
+                ).encode()
+            )
+        digest.update(_canonical(self.inputs).encode())
+        digest.update(_canonical(self.outputs).encode())
+        digest.update(_canonical(self.tensor_types).encode())
+        digest.update(_canonical(self.initializers).encode())
+        return digest.hexdigest()
 
     def bind(self, bindings: dict[str, int]) -> "Graph":
         """Return a copy with symbolic dimensions substituted.

@@ -77,13 +77,32 @@ def _im2col(data: np.ndarray, k_h: int, k_w: int, stride: int,
 
 
 class ReferenceExecutor:
-    """Evaluates graphs on numpy, one node at a time."""
+    """Evaluates graphs on numpy, one node at a time.
 
-    def __init__(self, graph: Graph, seed: int = 0) -> None:
+    Repeated runs of one executor are cheap: the topological schedule
+    (which needs a networkx sort), fused-member flattening and the
+    per-op-type handler lookup are all resolved once and reused, and
+    materialized weights are cached. Pass ``weight_cache`` to share one
+    weight dictionary between several executors over the same graph and
+    seed (the calibration/verification sweep in :mod:`repro.quant` does
+    this) — weights are deterministic in (name, seed), so sharing never
+    changes results.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        weight_cache: dict[str, np.ndarray] | None = None,
+    ) -> None:
         self.graph = graph
         self.seed = seed
         self.sfu = SpecialFunctionUnit()
-        self._weights: dict[str, np.ndarray] = {}
+        self._weights: dict[str, np.ndarray] = (
+            weight_cache if weight_cache is not None else {}
+        )
+        self._schedule: list[Node] | None = None
+        self._handlers: dict[str, object] = {}
 
     # -- weights ------------------------------------------------------------
 
@@ -109,10 +128,25 @@ class ReferenceExecutor:
             name: np.asarray(value, dtype=np.float64)
             for name, value in inputs.items()
         }
-        for node in self.graph.topological_nodes():
-            for member in fused_members(node):
-                self._evaluate(member, env)
+        for member in self._plan():
+            self._evaluate(member, env)
         return {name: env[name] for name in self.graph.outputs}
+
+    def _plan(self) -> list[Node]:
+        """Flattened execution schedule, topo-sorted once per executor."""
+        if self._schedule is None:
+            self._schedule = [
+                member
+                for node in self.graph.topological_nodes()
+                for member in fused_members(node)
+            ]
+        return self._schedule
+
+    def _handler(self, op_type: str):
+        """Cached ``_op_<type>`` lookup (None when unimplemented)."""
+        if op_type not in self._handlers:
+            self._handlers[op_type] = getattr(self, f"_op_{op_type}", None)
+        return self._handlers[op_type]
 
     def _fetch(self, name: str, env: dict[str, np.ndarray]) -> np.ndarray:
         if name in env:
@@ -124,7 +158,7 @@ class ReferenceExecutor:
     # -- operator semantics ---------------------------------------------------
 
     def _evaluate(self, node: Node, env: dict[str, np.ndarray]) -> None:
-        handler = getattr(self, f"_op_{node.op_type}", None)
+        handler = self._handler(node.op_type)
         if handler is None:
             raise EvaluationError(f"no reference semantics for {node.op_type!r}")
         operands = [self._fetch(name, env) for name in node.inputs]

@@ -238,7 +238,7 @@ class Executor:
                         l3,
                         l2_level,
                         configurations=configurations,
-                        wire_bytes=wire_in + share_out + (0 if broadcast else weight_bytes),
+                        wire_bytes=dma_bytes,
                         label=kernel.name,
                     )
                 )

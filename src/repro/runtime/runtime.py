@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.caching import COMPILE_CACHE, CompileCache
 from repro.compiler.lowering import CompiledModel, lower_graph
 from repro.core.accelerator import Accelerator
 from repro.core.datatypes import DType
@@ -78,9 +79,19 @@ class Device:
         graph: Graph,
         dtype: DType = DType.FP16,
         fusion: bool | None = None,
+        cache: CompileCache | bool | None = None,
         **shape_bindings: int,
     ) -> CompiledModel:
-        """TopsInference + TopsEngine pipeline: optimize, bind, lower."""
+        """TopsInference + TopsEngine pipeline: optimize, bind, lower.
+
+        Compiled models are content-addressed: the bound graph's
+        :meth:`~repro.graph.ir.Graph.structural_hash` plus chip config,
+        dtype and fusion flag key the process-wide
+        :data:`repro.caching.COMPILE_CACHE` (see docs/performance.md), so
+        recompiling an identical graph returns the shared, already-lowered
+        model. Pass ``cache`` to use a private cache, or ``cache=False``
+        to force a fresh lowering.
+        """
         if shape_bindings:
             graph = bind_shapes(graph, **shape_bindings)
         unbound = dynamic_symbols(graph)
@@ -91,8 +102,25 @@ class Device:
             )
         if fusion is None:
             fusion = self.accelerator.chip.features.operator_fusion
-        optimized, _report = optimize(graph, fusion=fusion)
-        return lower_graph(optimized, self.accelerator.chip, dtype)
+
+        def build() -> CompiledModel:
+            optimized, _report = optimize(graph, fusion=fusion)
+            return lower_graph(optimized, self.accelerator.chip, dtype)
+
+        if cache is False:
+            return build()
+        if cache is None:
+            cache = COMPILE_CACHE
+        key = CompileCache.key_for(graph, self.accelerator.chip, dtype, fusion)
+        hits_before = cache.stats.hits
+        compiled = cache.get_or_build(key, build)
+        obs = self.accelerator.obs
+        if obs is not None:
+            outcome = "hit" if cache.stats.hits > hits_before else "miss"
+            obs.metrics.counter(
+                "compile_cache_lookups_total", "Device.compile cache outcomes"
+            ).inc(result=outcome)
+        return compiled
 
     def launch(
         self,

@@ -3,6 +3,7 @@
 from repro.serving.server import (
     CompletedRequest,
     InferenceServer,
+    NoHealthyGroupsError,
     RasConfig,
     TenantConfig,
     TenantHealth,
@@ -13,7 +14,8 @@ from repro.serving.server import (
 from repro.serving.workload import Request, TrafficPattern, generate_trace
 
 __all__ = [
-    "CompletedRequest", "InferenceServer", "RasConfig", "Request",
-    "TenantConfig", "TenantHealth", "TenantReport", "batch_service_time_ns",
-    "generate_trace", "measure_service_time_ns", "TrafficPattern",
+    "CompletedRequest", "InferenceServer", "NoHealthyGroupsError", "RasConfig",
+    "Request", "TenantConfig", "TenantHealth", "TenantReport",
+    "batch_service_time_ns", "generate_trace", "measure_service_time_ns",
+    "TrafficPattern",
 ]

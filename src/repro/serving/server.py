@@ -53,7 +53,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.caching import MEASUREMENT_CACHE, MeasurementCache
 from repro.core.accelerator import Accelerator
+from repro.core.errors import ReproRuntimeError
 from repro.faults.plan import FaultPlan
 from repro.models.zoo import build
 from repro.perfmodel.calibration import calibration
@@ -205,6 +207,10 @@ class TenantReport:
         return self.completed / self.offered
 
 
+class NoHealthyGroupsError(ReproRuntimeError):
+    """A service time was requested for a slice with no live groups."""
+
+
 def measure_service_time_ns(
     model: str, groups: int, obs=None, fault_plan: FaultPlan | None = None
 ) -> float:
@@ -217,7 +223,19 @@ def measure_service_time_ns(
     ``fault_plan`` attaches a hardware-level injector to the measurement
     accelerator so fault events appear on the same timeline; keep its
     fatal rates at zero or the measurement launch itself may fail.
+
+    Plain measurements (no hub, no fault plan) are memoized process-wide
+    in :data:`repro.caching.MEASUREMENT_CACHE` — the simulator is
+    deterministic, so re-measuring (model, groups) always reproduces the
+    cached latency. Measurements with a hub or fault plan attached bypass
+    the memo: their spans and fault timelines are the point of running
+    them.
     """
+    memoizable = obs is None and fault_plan is None
+    if memoizable:
+        cached = MEASUREMENT_CACHE.get(MeasurementCache.key_for(model, groups))
+        if cached is not None:
+            return cached
     accelerator = Accelerator.cloudblazer_i20()
     if obs is not None:
         accelerator.attach_observability(obs)
@@ -241,6 +259,10 @@ def measure_service_time_ns(
     )
     if measure_handle is not None:
         measure_handle.end(accelerator.sim.now, latency_ms=result.latency_ms)
+    if memoizable:
+        MEASUREMENT_CACHE.put(
+            MeasurementCache.key_for(model, groups), result.latency_ns
+        )
     return result.latency_ns
 
 
@@ -303,8 +325,19 @@ class InferenceServer:
     # -- service-time resolution ---------------------------------------------
 
     def _service_time(self, tenant_name: str, groups: int) -> float:
-        """Per-inference service time of ``tenant_name`` on ``groups`` groups."""
+        """Per-inference service time of ``tenant_name`` on ``groups`` groups.
+
+        Raises :class:`NoHealthyGroupsError` for ``groups < 1`` rather than
+        dividing by zero in the linear fallback (or asking the simulator
+        for a zero-group launch): RAS degradation floors at ``min_groups
+        >= 1``, so a zero here means the caller's slice accounting broke.
+        """
         tenant = self.tenants[tenant_name]
+        if groups < 1:
+            raise NoHealthyGroupsError(
+                f"tenant {tenant_name!r}: service time requested for "
+                f"{groups} groups; a slice always keeps >= 1 healthy group"
+            )
         if groups == tenant.groups:
             return self.service_times_ns[tenant_name]
         key = (tenant_name, groups)

@@ -137,3 +137,87 @@ def test_property_compressed_bytes_positive_and_consistent(density, seed):
         compressed = compress(tensor, format)
         assert compressed.compressed_bytes > 0
         assert compressed.dense_bytes == tensor.size * 4
+
+
+class TestDegenerateInputs:
+    """Satellite: empty tensors, all-zero tensors, flat sizes not a
+    multiple of 8 (the bitmask pads its final mask byte)."""
+
+    @pytest.mark.parametrize("format", list(SparseFormat))
+    @pytest.mark.parametrize("shape", [(0,), (0, 7), (3, 0, 5)])
+    def test_empty_tensor_roundtrip(self, format, shape):
+        tensor = np.zeros(shape, dtype=np.float32)
+        compressed = compress(tensor, format)
+        restored = decompress(compressed)
+        assert restored.shape == shape
+        assert np.array_equal(restored, tensor)
+
+    @pytest.mark.parametrize("format", list(SparseFormat))
+    @pytest.mark.parametrize("shape", [(1,), (8,), (64, 64), (65537,)])
+    def test_all_zero_tensor_roundtrip(self, format, shape):
+        tensor = np.zeros(shape, dtype=np.float32)
+        compressed = compress(tensor, format)
+        assert np.array_equal(decompress(compressed), tensor)
+        if tensor.size >= 64:
+            # Large all-zero payloads must actually compress.
+            assert compressed.compressed_bytes < compressed.dense_bytes
+
+    @pytest.mark.parametrize("format", list(SparseFormat))
+    @pytest.mark.parametrize("size", [1, 3, 5, 7, 9, 13, 63, 65])
+    def test_size_not_multiple_of_8(self, format, size):
+        tensor = _sparse_tensor((size,), density=0.4, seed=size)
+        assert np.array_equal(decompress(compress(tensor, format)), tensor)
+
+
+class TestRleFastPathPinning:
+    """The vectorized RLE codec must be byte-identical to the loop."""
+
+    CASES = [
+        np.zeros(0, dtype=np.float32),
+        np.zeros(5, dtype=np.float32),
+        np.zeros(65535, dtype=np.float32),
+        np.zeros(65536, dtype=np.float32),
+        np.zeros(65537, dtype=np.float32),
+        np.ones(7, dtype=np.float32),
+        np.asarray([0, 0, 1, 0, 0, 0, 2, 0], dtype=np.float32),
+        np.asarray([3, 0, 0], dtype=np.float32),
+        np.concatenate(
+            [np.zeros(131073, dtype=np.float32), np.ones(2, dtype=np.float32)]
+        ),
+        np.concatenate(
+            [np.ones(1, dtype=np.float32), np.zeros(65536, dtype=np.float32)]
+        ),
+    ]
+
+    @pytest.mark.parametrize("flat", CASES, ids=range(len(CASES)))
+    def test_compress_byte_identical(self, flat):
+        from repro.dma.sparse import _compress_rle, _compress_rle_loop
+
+        assert _compress_rle(flat) == _compress_rle_loop(flat)
+
+    @pytest.mark.parametrize("flat", CASES, ids=range(len(CASES)))
+    def test_decompress_identical(self, flat):
+        from repro.dma.sparse import _decompress_rle, _decompress_rle_loop
+
+        compressed = compress(flat, SparseFormat.RLE)
+        assert np.array_equal(
+            _decompress_rle(compressed), _decompress_rle_loop(compressed)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, width=32),
+            ),
+            min_size=0,
+            max_size=400,
+        )
+    )
+    def test_property_byte_identical(self, values):
+        from repro.dma.sparse import _compress_rle, _compress_rle_loop
+
+        flat = np.asarray(values, dtype=np.float32)
+        assert _compress_rle(flat) == _compress_rle_loop(flat)

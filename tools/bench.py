@@ -1,0 +1,427 @@
+#!/usr/bin/env python
+"""Performance regression harness: micro, end-to-end and serving benchmarks.
+
+Runs three tiers of benchmarks against the simulator stack and emits a
+schema-versioned ``BENCH_<n>.json`` report (see
+``benchmarks/perf/schema.json``):
+
+- **micro** — vectorized engine fast paths against their pinned reference
+  loops: ``MatrixEngine.gemm`` vs ``gemm_reference`` and the RLE sparse
+  codec vs its element-at-a-time encoder/decoder.
+- **e2e** — compile + launch of model-zoo networks, including cold/warm
+  compile wall time through the content-addressed
+  :class:`repro.caching.CompileCache`.
+- **serving** — a two-tenant :class:`~repro.serving.InferenceServer`
+  scenario, plus the measurement-cache guarantee that a second server over
+  the same tenant set performs zero additional simulator measurements.
+
+Two kinds of numbers come out, and the regression gate treats them
+differently (documented in docs/performance.md):
+
+- *simulated/deterministic* metrics (simulated latency, cache hit rates,
+  speedup ratios measured on the same host in the same process) are gated
+  against ``benchmarks/perf/baseline.json`` — ``--check`` fails the run
+  when a gated metric regresses beyond its tolerance (default 20%) or
+  drops below an absolute floor.
+- *wall-clock* metrics are reported for trend-watching but never gated on
+  their absolute value: CI machines vary too much.
+
+Usage::
+
+    python tools/bench.py --quick                  # CI smoke tier
+    python tools/bench.py -o BENCH_1.json          # explicit output
+    python tools/bench.py --quick --check benchmarks/perf/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+SCHEMA_VERSION = 1
+SCHEMA_PATH = REPO_ROOT / "benchmarks" / "perf" / "schema.json"
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
+
+
+# --------------------------------------------------------------------------
+# benchmarks
+# --------------------------------------------------------------------------
+
+
+def bench_gemm(quick: bool) -> dict:
+    """Fast-path vs reference-loop GEMM on the acceptance shape."""
+    from repro.core.datatypes import DType
+    from repro.engines.matrix import MatrixEngine
+
+    m, k, n = 64, 256, 256
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+
+    fast = MatrixEngine(DType.FP16)
+    start = time.perf_counter()
+    out_fast = fast.gemm(a, b)
+    fast_s = time.perf_counter() - start
+
+    reference = MatrixEngine(DType.FP16)
+    start = time.perf_counter()
+    out_ref = reference.gemm_reference(a, b)
+    ref_s = time.perf_counter() - start
+
+    assert np.array_equal(out_fast, out_ref), "gemm fast path diverged"
+    assert fast.vmm_issued == reference.vmm_issued, "cost accounting diverged"
+    return {
+        "name": "micro.gemm_fastpath",
+        "wall_seconds": fast_s + ref_s,
+        "metrics": {
+            "shape_m": m, "shape_k": k, "shape_n": n,
+            "fast_wall_seconds": fast_s,
+            "reference_wall_seconds": ref_s,
+            "speedup": ref_s / fast_s if fast_s else float("inf"),
+            "vmm_issued": float(fast.vmm_issued),
+            "macs_executed": float(fast.macs_executed),
+        },
+    }
+
+
+def bench_rle(quick: bool) -> dict:
+    """Vectorized vs loop RLE codec on a post-ReLU-like sparse tensor."""
+    from repro.dma import sparse
+
+    size = 200_000 if quick else 1_000_000
+    rng = np.random.default_rng(11)
+    flat = rng.standard_normal(size).astype(np.float32)
+    flat[rng.random(size) < 0.9] = 0.0
+
+    start = time.perf_counter()
+    compressed = sparse.compress(flat, sparse.SparseFormat.RLE)
+    restored = sparse.decompress(compressed)
+    fast_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    loop_payload = sparse._compress_rle_loop(flat)
+    sparse._decompress_rle_loop(compressed)
+    loop_s = time.perf_counter() - start
+
+    assert loop_payload == compressed.payload, "RLE fast path diverged"
+    assert np.array_equal(restored, flat), "RLE round-trip failed"
+    return {
+        "name": "micro.rle_codec",
+        "wall_seconds": fast_s + loop_s,
+        "metrics": {
+            "elements": size,
+            "fast_wall_seconds": fast_s,
+            "loop_wall_seconds": loop_s,
+            "speedup": loop_s / fast_s if fast_s else float("inf"),
+            "compression_ratio": compressed.compression_ratio,
+        },
+    }
+
+
+def bench_e2e(model: str, quick: bool) -> dict:
+    """Compile (cold + warm through the cache) and launch one model."""
+    from repro.caching import CompileCache
+    from repro.models.zoo import build
+    from repro.runtime.runtime import Device
+
+    device = Device.open("i20")
+    cache = CompileCache()  # private cache: cold miss is guaranteed
+
+    start = time.perf_counter()
+    compiled = device.compile(build(model), batch=1, cache=cache)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    recompiled = device.compile(build(model), batch=1, cache=cache)
+    warm_s = time.perf_counter() - start
+    assert recompiled is compiled, "warm compile missed the cache"
+
+    start = time.perf_counter()
+    result = device.launch(compiled)
+    launch_s = time.perf_counter() - start
+    return {
+        "name": f"e2e.{model}",
+        "wall_seconds": cold_s + warm_s + launch_s,
+        "metrics": {
+            "compile_cold_wall_seconds": cold_s,
+            "compile_warm_wall_seconds": warm_s,
+            "compile_cache_hit_rate": cache.stats.hit_rate,
+            "launch_wall_seconds": launch_s,
+            "simulated_latency_ms": result.latency_ms,
+            "kernels": float(len(compiled.kernels)),
+        },
+    }
+
+
+def bench_serving(quick: bool) -> dict:
+    """Two-tenant serving scenario + measurement-cache reuse guarantee."""
+    from repro.caching import MEASUREMENT_CACHE
+    from repro.serving import (
+        InferenceServer,
+        TenantConfig,
+        TrafficPattern,
+        generate_trace,
+    )
+
+    tenants = [
+        TenantConfig("vision", "resnet50", groups=4, max_batch=4),
+        TenantConfig("nlp", "bert_large", groups=4, max_batch=2),
+    ]
+    patterns = [
+        TrafficPattern("vision", rate_per_s=400.0, burstiness=2.0),
+        TrafficPattern("nlp", rate_per_s=80.0),
+    ]
+    duration_s = 0.05 if quick else 0.25
+    trace = generate_trace(patterns, duration_s=duration_s, seed=3)
+
+    start = time.perf_counter()
+    server = InferenceServer(tenants)
+    build_s = time.perf_counter() - start
+    start = time.perf_counter()
+    reports = server.run(trace)
+    run_s = time.perf_counter() - start
+
+    # A second server over the same tenant set must be pure cache hits.
+    misses_before = MEASUREMENT_CACHE.stats.misses
+    start = time.perf_counter()
+    InferenceServer(tenants)
+    rebuild_s = time.perf_counter() - start
+    extra_measurements = MEASUREMENT_CACHE.stats.misses - misses_before
+
+    metrics = {
+        "trace_requests": float(len(trace)),
+        "first_server_wall_seconds": build_s,
+        "second_server_wall_seconds": rebuild_s,
+        "second_server_measurement_runs": float(extra_measurements),
+        "measurement_cache_hit_rate": MEASUREMENT_CACHE.stats.hit_rate,
+        "run_wall_seconds": run_s,
+    }
+    for name, report in reports.items():
+        metrics[f"{name}_p99_ms"] = report.p99_ms
+        metrics[f"{name}_completed"] = float(report.completed)
+    return {
+        "name": "serving.multitenant",
+        "wall_seconds": build_s + run_s + rebuild_s,
+        "metrics": metrics,
+    }
+
+
+def run_benchmarks(quick: bool) -> dict:
+    from repro.caching import reset_global_caches
+
+    reset_global_caches()
+    models = ["resnet50"] if quick else ["resnet50", "bert_large", "yolo_v3"]
+    benchmarks = [bench_gemm(quick), bench_rle(quick)]
+    benchmarks += [bench_e2e(model, quick) for model in models]
+    benchmarks.append(bench_serving(quick))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "run": {
+            "quick": quick,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": sys.version.split()[0],
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+# --------------------------------------------------------------------------
+# schema validation (hand-rolled subset; no external deps)
+# --------------------------------------------------------------------------
+
+
+def validate(doc, schema, path: str = "$") -> list[str]:
+    """Check ``doc`` against a JSON-Schema subset; returns error strings.
+
+    Supports: type, const, minimum, required, properties,
+    additionalProperties (schema form), items, enum — the subset
+    ``benchmarks/perf/schema.json`` uses.
+    """
+    errors: list[str] = []
+    expected = schema.get("type")
+    type_map = {
+        "object": dict, "array": list, "string": str,
+        "number": (int, float), "integer": int, "boolean": bool,
+    }
+    if expected is not None:
+        python_type = type_map[expected]
+        ok = isinstance(doc, python_type)
+        if expected in ("number", "integer") and isinstance(doc, bool):
+            ok = False
+        if not ok:
+            return [f"{path}: expected {expected}, got {type(doc).__name__}"]
+    if "const" in schema and doc != schema["const"]:
+        errors.append(f"{path}: expected constant {schema['const']!r}, got {doc!r}")
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append(f"{path}: {doc!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(doc, (int, float)) and doc < schema["minimum"]:
+        errors.append(f"{path}: {doc} < minimum {schema['minimum']}")
+    if isinstance(doc, dict):
+        for key in schema.get("required", []):
+            if key not in doc:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, value in doc.items():
+            if key in properties:
+                errors.extend(validate(value, properties[key], f"{path}.{key}"))
+            elif isinstance(extra, dict):
+                errors.extend(validate(value, extra, f"{path}.{key}"))
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(doc, list) and "items" in schema:
+        for index, item in enumerate(doc):
+            errors.extend(validate(item, schema["items"], f"{path}[{index}]"))
+    return errors
+
+
+# --------------------------------------------------------------------------
+# regression gating
+# --------------------------------------------------------------------------
+
+
+def check_regressions(report: dict, baseline: dict) -> list[str]:
+    """Compare gated metrics against the committed baseline.
+
+    Baseline gate kinds:
+
+    - ``relative``: fail when the new value is worse than ``value`` by more
+      than ``tolerance`` (fractional), direction given by
+      ``higher_is_better``.
+    - ``min`` / ``max``: absolute floor/ceiling, for ratios like fast-path
+      speedups where a relative-to-baseline gate would be noisy.
+
+    Gates marked ``"quick_only": true`` cover metrics whose expected value
+    depends on the quick-tier workload (e.g. serving percentiles over the
+    short trace) and are skipped for full-tier reports.
+    """
+    by_name = {bench["name"]: bench["metrics"] for bench in report["benchmarks"]}
+    failures: list[str] = []
+    for gate in baseline["gates"]:
+        if gate.get("quick_only") and not report["run"]["quick"]:
+            continue
+        bench, metric = gate["benchmark"], gate["metric"]
+        where = f"{bench}:{metric}"
+        metrics = by_name.get(bench)
+        if metrics is None or metric not in metrics:
+            failures.append(f"{where}: missing from report")
+            continue
+        value = metrics[metric]
+        kind = gate["kind"]
+        if kind == "min":
+            if value < gate["value"]:
+                failures.append(f"{where}: {value:.4g} < floor {gate['value']:.4g}")
+        elif kind == "max":
+            if value > gate["value"]:
+                failures.append(f"{where}: {value:.4g} > ceiling {gate['value']:.4g}")
+        elif kind == "relative":
+            tolerance = gate.get("tolerance", 0.2)
+            base = gate["value"]
+            if gate.get("higher_is_better", False):
+                limit = base * (1.0 - tolerance)
+                if value < limit:
+                    failures.append(
+                        f"{where}: {value:.4g} regressed below "
+                        f"{limit:.4g} ({base:.4g} - {tolerance:.0%})"
+                    )
+            else:
+                limit = base * (1.0 + tolerance)
+                if value > limit:
+                    failures.append(
+                        f"{where}: {value:.4g} regressed above "
+                        f"{limit:.4g} ({base:.4g} + {tolerance:.0%})"
+                    )
+        else:
+            failures.append(f"{where}: unknown gate kind {kind!r}")
+    return failures
+
+
+# --------------------------------------------------------------------------
+# driver
+# --------------------------------------------------------------------------
+
+
+def next_output_path(directory: Path) -> Path:
+    """First free BENCH_<n>.json, counting up from existing reports."""
+    taken = {
+        int(match.group(1))
+        for existing in directory.glob("BENCH_*.json")
+        if (match := re.fullmatch(r"BENCH_(\d+)\.json", existing.name))
+    }
+    number = 1
+    while number in taken:
+        number += 1
+    return directory / f"BENCH_{number}.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke tier: smaller tensors, one e2e model, short trace",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="report path (default: next free BENCH_<n>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--check", type=Path, nargs="?", const=BASELINE_PATH, default=None,
+        metavar="BASELINE",
+        help="gate metrics against a baseline file (default: %(default)s "
+             "when the flag is given bare)",
+    )
+    parser.add_argument(
+        "--schema", type=Path, default=SCHEMA_PATH,
+        help="schema to validate the emitted report against",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick)
+
+    schema = json.loads(args.schema.read_text())
+    schema_errors = validate(report, schema)
+    if schema_errors:
+        for error in schema_errors:
+            print(f"schema: {error}", file=sys.stderr)
+        return 2
+
+    output = args.output or next_output_path(REPO_ROOT)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max(len(bench["name"]) for bench in report["benchmarks"])
+    for bench in report["benchmarks"]:
+        highlights = []
+        metrics = bench["metrics"]
+        if "speedup" in metrics:
+            highlights.append(f"speedup {metrics['speedup']:.1f}x")
+        if "simulated_latency_ms" in metrics:
+            highlights.append(f"sim {metrics['simulated_latency_ms']:.3f} ms")
+        if "second_server_measurement_runs" in metrics:
+            highlights.append(
+                f"re-measurements {int(metrics['second_server_measurement_runs'])}"
+            )
+        print(f"{bench['name']:<{width}}  {bench['wall_seconds']:8.3f} s  "
+              + "  ".join(highlights))
+    print(f"wrote {output}")
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        failures = check_regressions(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"all {len(baseline['gates'])} gates passed vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
