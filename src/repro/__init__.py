@@ -38,12 +38,14 @@ from repro.perfmodel.latency import (
 from repro.runtime.executor import ExecutionResult, Executor
 from repro.runtime.profiler import Profile
 from repro.runtime.runtime import Device
+from repro.serving.fleet import FleetConfig, FleetManager, FleetReport
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALL_DEVICES", "Accelerator", "Assignment", "ChipConfig", "DType",
     "Device", "DeviceSpec", "ExecutionResult", "Executor", "FeatureFlags",
+    "FleetConfig", "FleetManager", "FleetReport",
     "Graph", "GraphBuilder", "MODEL_NAMES", "ModelEstimate", "Node",
     "Observability", "Profile", "ResourceManager", "TABLE_III", "TensorType",
     "bind_shapes",

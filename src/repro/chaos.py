@@ -1,0 +1,453 @@
+"""Chaos harness: scripted fault storms + declared invariants over the fleet.
+
+PR 1 gave the stack RAS machinery; this module *proves* it holds. A
+:class:`ChaosScenario` scripts a seeded storm campaign — transient bursts,
+ramped degradation, hard device kills, correlated multi-board outages —
+as a :class:`~repro.faults.schedule.FaultSchedule` over a
+:class:`~repro.serving.fleet.FleetManager`, then checks every declared
+invariant against the resulting :class:`~repro.serving.fleet.FleetReport`:
+
+- **conservation** — no request is silently dropped:
+  ``served + failed + shed == offered`` for every tenant;
+- **availability-floor** — among requests arriving while >= 1 replica was
+  active, the served fraction stays above the scenario's floor;
+- **monotone-time** — the fleet timeline never runs backwards: lifecycle
+  events are time-ordered per device and nothing outruns the horizon;
+- **obs-consistency** — the metrics registry the run exported agrees
+  exactly with the report (no counter drift between telemetry and truth).
+
+Determinism is part of the contract: one root seed derives every stream
+(see :mod:`repro.seeding`), so ``run_suite(seed=7)`` twice produces
+byte-identical JSON reports — pinned by tests and cheap to bisect when a
+scenario regresses. The ``repro chaos`` CLI runs the built-in suite
+(``--quick`` for the CI smoke subset) and exits non-zero on any invariant
+violation. docs/robustness.md documents the scenario format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.faults.plan import FaultPlan
+from repro.faults.schedule import FaultSchedule, StormPhase
+from repro.obs import Observability
+from repro.seeding import derive_seed
+from repro.serving.fleet import FleetConfig, FleetManager, FleetReport
+from repro.serving.server import RasConfig, TenantConfig
+from repro.serving.workload import TrafficPattern, generate_trace
+
+__all__ = [
+    "ChaosScenario",
+    "INVARIANTS",
+    "SCENARIOS",
+    "ScenarioResult",
+    "SuiteResult",
+    "render_table",
+    "run_scenario",
+    "run_suite",
+    "scenario_names",
+]
+
+
+# ---------------------------------------------------------------------------
+# scenario definition
+# ---------------------------------------------------------------------------
+
+#: Synthetic service times scenarios default to (tenant -> ns). Keeps the
+#: suite fast and byte-stable; pass ``measured=True`` to run_scenario /
+#: run_suite to use memoized detailed-simulator measurements instead.
+DEFAULT_SERVICE_TIMES_NS: dict[str, float] = {"a": 1.0e6, "b": 5.0e6}
+
+_DEFAULT_TENANTS = (
+    TenantConfig("a", "resnet50", groups=2, max_batch=1, sla_ms=50.0),
+    TenantConfig("b", "unet", groups=3, max_batch=1, sla_ms=None),
+)
+_DEFAULT_TRAFFIC = (
+    TrafficPattern("a", 240.0),
+    TrafficPattern("b", 40.0),
+)
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One scripted storm campaign plus the floor it must respect."""
+
+    name: str
+    description: str
+    schedule: FaultSchedule
+    duration_s: float = 0.5
+    tenants: tuple[TenantConfig, ...] = _DEFAULT_TENANTS
+    traffic: tuple[TrafficPattern, ...] = _DEFAULT_TRAFFIC
+    fleet: FleetConfig = FleetConfig(replicas=2, hot_spares=1, repair_ms=60.0)
+    ras: RasConfig = RasConfig(max_retries=2, queue_depth_limit=64)
+    availability_floor: float = 0.95
+    """Minimum served fraction among requests arriving while >= 1 replica
+    was active (the availability-floor invariant)."""
+    quick: bool = True
+    """Included in the ``--quick`` CI smoke subset."""
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's outcome: the fleet report + invariant verdicts."""
+
+    scenario: ChaosScenario
+    report: FleetReport
+    violations: list[str]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.name,
+            "passed": self.passed,
+            "violations": list(self.violations),
+            "availability_floor": self.scenario.availability_floor,
+            "report": self.report.to_dict(),
+        }
+
+
+@dataclass
+class SuiteResult:
+    """A full chaos run: scenario results in declared order."""
+
+    seed: int
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "passed": self.passed,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: byte-identical for identical runs."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# the invariant catalogue
+# ---------------------------------------------------------------------------
+
+def _check_conservation(scenario, report, registry) -> list[str]:
+    """No request silently dropped: served + failed + shed == offered."""
+    violations = []
+    for name, stats in sorted(report.tenants.items()):
+        accounted = stats.served + stats.failed + stats.shed
+        if accounted != stats.offered:
+            violations.append(
+                f"conservation: tenant {name!r} accounted {accounted} of "
+                f"{stats.offered} offered requests"
+            )
+    return violations
+
+
+def _check_availability_floor(scenario, report, registry) -> list[str]:
+    """Availability among requests arriving with >= 1 active replica."""
+    violations = []
+    for name, stats in sorted(report.tenants.items()):
+        achieved = stats.availability_while_healthy
+        if achieved < scenario.availability_floor:
+            violations.append(
+                f"availability-floor: tenant {name!r} served "
+                f"{achieved:.4f} < floor {scenario.availability_floor} "
+                f"while >= 1 replica was healthy"
+            )
+    return violations
+
+
+def _check_monotone_time(scenario, report, registry) -> list[str]:
+    """The fleet timeline never runs backwards."""
+    violations = []
+    last_per_device: dict[str, float] = {}
+    for event in report.events:
+        if event.time_ns < 0:
+            violations.append(
+                f"monotone-time: event {event.kind!r} on {event.device} at "
+                f"negative time {event.time_ns}"
+            )
+        previous = last_per_device.get(event.device)
+        if previous is not None and event.time_ns < previous:
+            violations.append(
+                f"monotone-time: {event.device} event {event.kind!r} at "
+                f"{event.time_ns} precedes earlier event at {previous}"
+            )
+        last_per_device[event.device] = event.time_ns
+        if event.time_ns > report.horizon_ns:
+            violations.append(
+                f"monotone-time: event {event.kind!r} at {event.time_ns} "
+                f"beyond horizon {report.horizon_ns}"
+            )
+    return violations
+
+
+def _check_obs_consistency(scenario, report, registry) -> list[str]:
+    """Exported fleet metrics agree exactly with the report."""
+    if registry is None:
+        return []
+    violations = []
+    expectations = {
+        "fleet_failovers_total": report.failovers,
+        "fleet_hedged_requests_total": report.hedged_requests,
+        "fleet_quarantines_total": report.quarantines,
+        "fleet_repairs_total": report.repairs,
+        "fleet_reintegrations_total": report.reintegrations,
+        "fleet_promotions_total": report.promotions,
+    }
+    for name, expected in sorted(expectations.items()):
+        metric = registry.get(name)
+        actual = metric.total() if metric is not None else 0.0
+        if actual != float(expected):
+            violations.append(
+                f"obs-consistency: {name} exported {actual} but the "
+                f"report says {expected}"
+            )
+    healthy = registry.get("fleet_healthy_replicas")
+    if healthy is None or healthy.value() != float(report.final_healthy):
+        violations.append(
+            "obs-consistency: fleet_healthy_replicas gauge disagrees with "
+            f"report final_healthy={report.final_healthy}"
+        )
+    requests = registry.get("fleet_requests_total")
+    for name, stats in sorted(report.tenants.items()):
+        for status, expected in (
+            ("served", stats.served),
+            ("failed", stats.failed),
+            ("shed", stats.shed),
+        ):
+            actual = (
+                requests.value(tenant=name, status=status)
+                if requests is not None else 0.0
+            )
+            if actual != float(expected):
+                violations.append(
+                    f"obs-consistency: fleet_requests_total"
+                    f"{{tenant={name},status={status}}} exported {actual} "
+                    f"but the report says {expected}"
+                )
+    return violations
+
+
+#: Declared invariants, checked in order after every scenario. Each entry
+#: is ``(name, check(scenario, report, registry) -> [violation, ...])``.
+INVARIANTS = (
+    ("conservation", _check_conservation),
+    ("availability-floor", _check_availability_floor),
+    ("monotone-time", _check_monotone_time),
+    ("obs-consistency", _check_obs_consistency),
+)
+
+
+# ---------------------------------------------------------------------------
+# built-in scenario suite
+# ---------------------------------------------------------------------------
+
+def _builtin_scenarios() -> dict[str, ChaosScenario]:
+    scenarios = [
+        ChaosScenario(
+            name="baseline",
+            description="no faults: the fleet must be lossless and exact",
+            schedule=FaultSchedule(),
+            availability_floor=1.0,
+        ),
+        ChaosScenario(
+            name="transient-storm",
+            description="mid-run burst of DMA/ECC transients on every board",
+            schedule=FaultSchedule(
+                phases=(
+                    StormPhase(
+                        start_s=0.15, end_s=0.35,
+                        plan=FaultPlan(
+                            dma_corrupt_rate=0.004, ecc_ce_rate=0.004,
+                        ),
+                    ),
+                ),
+            ),
+            availability_floor=0.98,
+        ),
+        ChaosScenario(
+            name="replica-kill",
+            description=(
+                "replica r1 dies mid-run; hedged failover keeps every "
+                "request alive while it quarantines, repairs, reintegrates"
+            ),
+            schedule=FaultSchedule(
+                phases=(StormPhase.kill(device=1, at_s=0.15, duration_s=0.2),),
+            ),
+            fleet=FleetConfig(
+                replicas=2, hot_spares=1, repair_ms=60.0,
+                quarantine_threshold=2,
+            ),
+            availability_floor=0.99,
+        ),
+        ChaosScenario(
+            name="rolling-ramp",
+            description="fault pressure ramping from zero across the fleet",
+            schedule=FaultSchedule(
+                phases=(
+                    StormPhase(
+                        start_s=0.0, end_s=0.5,
+                        plan=FaultPlan(
+                            dma_corrupt_rate=0.006, ecc_ce_rate=0.006,
+                            dma_abort_rate=0.0015,
+                        ),
+                        ramp=True,
+                    ),
+                ),
+            ),
+            availability_floor=0.95,
+            quick=False,
+        ),
+        ChaosScenario(
+            name="correlated-outage",
+            description=(
+                "two boards killed in overlapping windows: spares promote, "
+                "survivors absorb the hedges"
+            ),
+            schedule=FaultSchedule(
+                phases=(
+                    StormPhase.kill(device=0, at_s=0.1, duration_s=0.15),
+                    StormPhase.kill(device=1, at_s=0.15, duration_s=0.15),
+                ),
+            ),
+            fleet=FleetConfig(
+                replicas=3, hot_spares=1, repair_ms=80.0,
+                quarantine_threshold=2,
+            ),
+            availability_floor=0.95,
+            quick=False,
+        ),
+    ]
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+SCENARIOS: dict[str, ChaosScenario] = _builtin_scenarios()
+
+
+def scenario_names(quick: bool = False) -> list[str]:
+    """Built-in scenario names, optionally only the CI smoke subset."""
+    return [
+        name for name, scenario in SCENARIOS.items()
+        if scenario.quick or not quick
+    ]
+
+
+# ---------------------------------------------------------------------------
+# running
+# ---------------------------------------------------------------------------
+
+def run_scenario(
+    scenario: ChaosScenario,
+    seed: int = 0,
+    obs: Observability | None = None,
+    measured: bool = False,
+) -> ScenarioResult:
+    """Run one scenario and check every declared invariant.
+
+    ``seed`` is the *root* seed: the scenario's fleet seed and traffic
+    seed both derive from it (``scenario:<name>`` / ``trace:<name>``
+    streams), so one root reproduces the entire suite. With
+    ``measured=True`` the fleet uses detailed-simulator service times
+    (memoized process-wide) instead of the synthetic defaults.
+    """
+    own_obs = obs if obs is not None else Observability()
+    fleet_config = replace(
+        scenario.fleet, seed=derive_seed(seed, "scenario", scenario.name)
+    )
+    service_times = None if measured else dict(DEFAULT_SERVICE_TIMES_NS)
+    if service_times is not None:
+        missing = [
+            t.name for t in scenario.tenants if t.name not in service_times
+        ]
+        for name in missing:
+            service_times[name] = 2.0e6
+    manager = FleetManager(
+        list(scenario.tenants),
+        config=fleet_config,
+        schedule=scenario.schedule,
+        ras=scenario.ras,
+        obs=own_obs,
+        service_times_ns=service_times,
+    )
+    trace = generate_trace(
+        list(scenario.traffic),
+        duration_s=scenario.duration_s,
+        seed=derive_seed(seed, "trace", scenario.name) % 2**32,
+    )
+    report = manager.run(trace)
+    violations: list[str] = []
+    for _name, check in INVARIANTS:
+        violations.extend(check(scenario, report, own_obs.metrics))
+    return ScenarioResult(
+        scenario=scenario, report=report, violations=violations
+    )
+
+
+def run_suite(
+    names: list[str] | None = None,
+    seed: int = 0,
+    quick: bool = False,
+    measured: bool = False,
+) -> SuiteResult:
+    """Run a set of built-in scenarios (all, the quick subset, or named)."""
+    selected = names if names is not None else scenario_names(quick=quick)
+    suite = SuiteResult(seed=seed)
+    for name in selected:
+        if name not in SCENARIOS:
+            raise KeyError(
+                f"unknown chaos scenario {name!r}; "
+                f"choose from {sorted(SCENARIOS)}"
+            )
+        suite.results.append(
+            run_scenario(SCENARIOS[name], seed=seed, measured=measured)
+        )
+    return suite
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def render_table(suite: SuiteResult) -> str:
+    """The ``repro chaos`` scenario table, one row per scenario."""
+    header = (
+        f"{'scenario':<18} {'offered':>7} {'served':>6} {'fail':>5} "
+        f"{'shed':>5} {'hedge':>5} {'fovr':>5} {'quar':>5} {'reint':>5} "
+        f"{'healthy':>8} {'avail':>7}  result"
+    )
+    lines = [header, "-" * len(header)]
+    for result in suite.results:
+        report = result.report
+        offered = sum(s.offered for s in report.tenants.values())
+        served = sum(s.served for s in report.tenants.values())
+        failed = sum(s.failed for s in report.tenants.values())
+        shed = sum(s.shed for s in report.tenants.values())
+        availability = min(
+            (s.availability_while_healthy for s in report.tenants.values()),
+            default=1.0,
+        )
+        healthy = f"{report.min_healthy}/{report.final_healthy}"
+        verdict = "PASS" if result.passed else "FAIL"
+        lines.append(
+            f"{result.scenario.name:<18} {offered:>7} {served:>6} "
+            f"{failed:>5} {shed:>5} {report.hedged_requests:>5} "
+            f"{report.failovers:>5} {report.quarantines:>5} "
+            f"{report.reintegrations:>5} {healthy:>8} "
+            f"{availability:>6.1%}  {verdict}"
+        )
+        for violation in result.violations:
+            lines.append(f"    ! {violation}")
+    lines.append("-" * len(header))
+    verdict = "PASS" if suite.passed else "FAIL"
+    lines.append(
+        f"{len(suite.results)} scenarios, seed {suite.seed}: {verdict}"
+    )
+    return "\n".join(lines)

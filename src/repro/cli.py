@@ -10,9 +10,13 @@ Commands:
 - ``faults`` — a fault-injection campaign: one faulty launch with RAS
   retries, then a two-tenant serving run under the same fault plan,
 - ``profile MODEL`` — per-category and per-engine tables read back from
-  the unified metrics registry (``repro.obs``),
+  the unified metrics registry (``repro.obs``); ``--fleet`` appends a
+  fleet-resilience gauge table from a small multi-replica demo,
 - ``trace MODEL -o trace.json`` — whole-stack Chrome trace (serving /
-  runtime / sim / fault / power rows) for chrome://tracing or Perfetto.
+  runtime / sim / fault / power rows) for chrome://tracing or Perfetto,
+- ``chaos`` — the deterministic chaos suite: scripted fault storms run
+  through the fleet manager, with declared invariants checked after every
+  scenario (``--quick`` for the CI smoke subset; exit 1 on violation).
 """
 
 from __future__ import annotations
@@ -293,6 +297,40 @@ def _cmd_profile(args) -> int:
               f"{int(hits.value(cache=name)):>7} "
               f"{int(misses.value(cache=name)):>7} "
               f"{rate.value(cache=name):>7.1%}")
+
+    # Fleet-resilience table: run the replica-kill chaos scenario on the
+    # SAME registry so its fleet_* gauges/counters land next to the rest.
+    if args.fleet:
+        from repro.chaos import SCENARIOS, run_scenario
+
+        result = run_scenario(SCENARIOS["replica-kill"], seed=0, obs=obs)
+        report = result.report
+        print()
+        header = f"{'fleet metric':<28} {'value':>8}"
+        print(header)
+        print("-" * len(header))
+        for metric, kind in (
+            ("fleet_replicas", "gauge"),
+            ("fleet_healthy_replicas", "gauge"),
+            ("fleet_min_healthy_replicas", "gauge"),
+            ("fleet_failovers_total", "counter"),
+            ("fleet_hedged_requests_total", "counter"),
+            ("fleet_quarantines_total", "counter"),
+            ("fleet_repairs_total", "counter"),
+            ("fleet_reintegrations_total", "counter"),
+            ("fleet_promotions_total", "counter"),
+        ):
+            series = registry.get(metric)
+            value = 0.0
+            if series is not None:
+                value = (
+                    series.value() if kind == "gauge" else series.total()
+                )
+            print(f"{metric:<28} {value:>8.0f}")
+        for tenant in sorted(report.tenants):
+            availability = registry.get("fleet_availability")
+            print(f"{'fleet_availability{' + tenant + '}':<28} "
+                  f"{availability.value(tenant=tenant):>8.1%}")
     return 0
 
 
@@ -357,6 +395,40 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.chaos import (
+        SCENARIOS,
+        render_table,
+        run_suite,
+        scenario_names,
+    )
+
+    if args.list:
+        header = f"{'scenario':<18} {'quick':>5}  description"
+        print(header)
+        print("-" * 72)
+        for name, scenario in SCENARIOS.items():
+            quick = "yes" if scenario.quick else "no"
+            print(f"{name:<18} {quick:>5}  {scenario.description}")
+        return 0
+
+    names = args.scenario or None
+    if names is not None:
+        unknown = [name for name in names if name not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s) {unknown}; choose from "
+                  f"{scenario_names()}", file=sys.stderr)
+            return 2
+    suite = run_suite(
+        names=names, seed=args.seed, quick=args.quick, measured=args.measured
+    )
+    if args.json:
+        print(suite.to_json())
+    else:
+        print(render_table(suite))
+    return 0 if suite.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -412,6 +484,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--device", default="i20", choices=("i20", "i10"))
     profile.add_argument("--batch", type=int, default=1)
     profile.add_argument("--groups", type=int, default=None)
+    profile.add_argument("--fleet", action="store_true",
+                         help="append fleet-resilience gauges from a "
+                              "replica-kill chaos demo on the same registry")
 
     trace = commands.add_parser(
         "trace", help="whole-stack Chrome trace for chrome://tracing / Perfetto"
@@ -426,6 +501,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="request rate per second")
     trace.add_argument("--duration", type=float, default=0.05,
                        help="request-trace duration in seconds")
+
+    chaos = commands.add_parser(
+        "chaos", help="deterministic chaos suite over the fleet manager"
+    )
+    chaos.add_argument("--quick", action="store_true",
+                       help="run only the CI smoke subset")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="root seed; every scenario/trace stream derives "
+                            "from it")
+    chaos.add_argument("--scenario", action="append", default=None,
+                       help="run a specific scenario (repeatable)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list built-in scenarios and exit")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the canonical JSON suite report")
+    chaos.add_argument("--measured", action="store_true",
+                       help="use detailed-simulator service times instead "
+                            "of the synthetic defaults")
     return parser
 
 
@@ -440,6 +533,7 @@ def main(argv: list[str] | None = None) -> int:
         "faults": _cmd_faults,
         "profile": _cmd_profile,
         "trace": _cmd_trace,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -13,6 +13,7 @@ from repro.faults.errors import (
 )
 from repro.faults.injector import FaultInjector, FaultRecord
 from repro.faults.plan import FaultPlan
+from repro.faults.schedule import FaultSchedule, StormPhase
 
 __all__ = [
     "CoreHangFault",
@@ -21,6 +22,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultRecord",
+    "FaultSchedule",
+    "StormPhase",
     "GroupFailedError",
     "HardwareFault",
     "PermanentFault",

@@ -47,6 +47,9 @@ class FaultRecord:
     time_ns: float
     recovered: bool
     detail: str = ""
+    device: str = ""
+    """Device identity the fault hit — distinguishes records across a
+    fleet of accelerators sharing one observability hub."""
 
 
 @dataclass
@@ -55,6 +58,9 @@ class FaultInjector:
 
     plan: FaultPlan
     seed: int | None = None
+    device: str = ""
+    """Identity of the accelerator this injector is attached to; stamped
+    on every record so a fleet's fault streams stay distinguishable."""
     records: list[FaultRecord] = field(default_factory=list)
     _rng: random.Random = field(init=False, repr=False)
     _fatal: list[HardwareFault] = field(default_factory=list, repr=False)
@@ -79,7 +85,7 @@ class FaultInjector:
         self.records.append(
             FaultRecord(
                 kind=kind, component=component, time_ns=time_ns,
-                recovered=recovered, detail=detail,
+                recovered=recovered, detail=detail, device=self.device,
             )
         )
 

@@ -673,11 +673,17 @@ class Executor:
                 "faults_injected_total", "hardware faults injected"
             )
             for record in injector.records[fault_mark:]:
+                # Fleet deployments share one tracer across devices: prefix
+                # the track with the device identity so fault streams from
+                # distinct boards never collide on one row.
+                track = record.component
+                if record.device:
+                    track = f"{record.device}.{record.component}"
                 tracer.add_span(
                     record.kind, layer="fault",
                     start_ns=record.time_ns,
                     end_ns=record.time_ns + penalties.get(record.kind, 0.0),
-                    parent=self.trace_ctx, track=record.component,
+                    parent=self.trace_ctx, track=track,
                     recovered=record.recovered, detail=record.detail,
                 )
                 injected.inc(

@@ -14,6 +14,7 @@ read back profiling results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
 
 from repro.caching import COMPILE_CACHE, CompileCache
 from repro.compiler.lowering import CompiledModel, lower_graph
@@ -32,16 +33,32 @@ from repro.runtime.executor import ExecutionResult, Executor
 RuntimeError_ = ReproRuntimeError
 
 
+#: Process-wide monotonic counter behind Device.open's auto-assigned ids.
+_OPEN_COUNTER = count()
+
+
 @dataclass
 class Device:
     """One accelerator card as the host runtime sees it."""
 
     accelerator: Accelerator
+    device_id: str = ""
+    """Unique identity of this card instance. Auto-assigned by
+    :meth:`open` (``"i20-0"``, ``"i20-1"``, ...) so a fleet of devices
+    opened in one process never aliases: launch spans/metrics and fault
+    records carry the id, keeping per-device telemetry distinguishable."""
     _buffers: dict[str, int] = field(default_factory=dict)
 
     @classmethod
-    def open(cls, name: str = "i20", obs=None) -> "Device":
+    def open(
+        cls, name: str = "i20", obs=None, device_id: str | None = None
+    ) -> "Device":
         """Open a simulated device by product name ('i20' or 'i10').
+
+        Every call builds a *distinct* card instance and assigns it a
+        unique ``device_id`` (``"<name>-<n>"`` from a process-wide
+        counter, or the caller's explicit id — fleet managers pass stable
+        ids like ``"i20-r0"`` so reports stay reproducible run-to-run).
 
         ``obs`` optionally attaches an :class:`~repro.obs.Observability`
         hub: every launch then reports spans (runtime/sim/fault/power
@@ -55,7 +72,9 @@ class Device:
             raise ReproRuntimeError(f"unknown device {name!r}")
         if obs is not None:
             accelerator.attach_observability(obs)
-        return cls(accelerator)
+        if device_id is None:
+            device_id = f"{name}-{next(_OPEN_COUNTER)}"
+        return cls(accelerator, device_id=device_id)
 
     # -- memory ---------------------------------------------------------------
 
@@ -173,11 +192,20 @@ class Device:
         obs = self.accelerator.obs
         sim = self.accelerator.sim
         launch_handle = None
+        # Per-device track: distinct cards opened against one tracer keep
+        # their launches on separate rows (and the span carries the id).
+        device_track = (
+            f"device.{self.device_id}" if self.device_id else "device"
+        )
         if obs is not None:
+            span_attrs = {}
+            if self.device_id:
+                span_attrs["device"] = self.device_id
             launch_handle = obs.tracer.begin(
                 f"launch:{compiled.name}", layer="runtime",
-                start_ns=sim.now, parent=trace_ctx, track="device",
+                start_ns=sim.now, parent=trace_ctx, track=device_track,
                 model=compiled.name, tenant=tenant, groups=num_groups,
+                **span_attrs,
             )
 
         overhead_ns = 0.0
@@ -187,7 +215,7 @@ class Device:
             if launch_handle is not None:
                 attempt_handle = obs.tracer.begin(
                     f"attempt{retries}", layer="runtime", start_ns=sim.now,
-                    parent=launch_handle.context, track="device",
+                    parent=launch_handle.context, track=device_track,
                 )
             executor = Executor(self.accelerator)
             if attempt_handle is not None:
@@ -244,13 +272,16 @@ class Device:
             launch_handle.end(
                 self.accelerator.sim.now, status=status, retries=retries
             )
+        # Label launch counters with the device identity when one is set,
+        # so fleet-wide registries can slice outcomes per card.
+        id_label = {"device": self.device_id} if self.device_id else {}
         obs.metrics.counter(
             "runtime_launches_total", "model launches by outcome"
-        ).inc(model=model, status=status)
+        ).inc(model=model, status=status, **id_label)
         if retries:
             obs.metrics.counter(
                 "runtime_launch_retries_total", "launch-level RAS retries"
-            ).inc(retries, model=model)
+            ).inc(retries, model=model, **id_label)
         if latency_ms is not None:
             from repro.obs.metrics import DEFAULT_BUCKETS_MS
 

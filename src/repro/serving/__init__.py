@@ -1,5 +1,15 @@
-"""Cloud inference serving: traces, queueing, SLAs, tenant isolation, RAS."""
+"""Cloud inference serving: traces, queueing, SLAs, tenant isolation, RAS,
+and fleet-level resilience (multi-device failover + quarantine/repair)."""
 
+from repro.serving.fleet import (
+    DeviceReport,
+    FleetConfig,
+    FleetManager,
+    FleetReport,
+    FleetTenantStats,
+    LifecycleEvent,
+    ReplicaStatus,
+)
 from repro.serving.server import (
     CompletedRequest,
     InferenceServer,
@@ -14,8 +24,9 @@ from repro.serving.server import (
 from repro.serving.workload import Request, TrafficPattern, generate_trace
 
 __all__ = [
-    "CompletedRequest", "InferenceServer", "NoHealthyGroupsError", "RasConfig",
-    "Request", "TenantConfig", "TenantHealth", "TenantReport",
+    "CompletedRequest", "DeviceReport", "FleetConfig", "FleetManager",
+    "FleetReport", "FleetTenantStats", "InferenceServer", "LifecycleEvent",
+    "NoHealthyGroupsError", "RasConfig", "ReplicaStatus", "Request",
+    "TenantConfig", "TenantHealth", "TenantReport", "TrafficPattern",
     "batch_service_time_ns", "generate_trace", "measure_service_time_ns",
-    "TrafficPattern",
 ]

@@ -1,0 +1,884 @@
+"""Fleet-level resilience: multi-device failover, quarantine and repair.
+
+One :class:`~repro.serving.server.InferenceServer` survives *request*
+faults inside a single card (retries, admission control, per-group circuit
+breaking). At cloud scale the unit of failure is the whole device — the
+paper positions the i20 as a datacenter inference part, and fleet behavior
+(Jouppi et al.'s observation for TPU pods) dominates serving reliability.
+This module adds that layer:
+
+- :class:`FleetManager` owns N+M simulated :class:`~repro.runtime.Device`
+  replicas (N active, M hot spares), opened through ``Device.open`` with
+  stable per-replica ids and compiled through the shared
+  :data:`~repro.caching.COMPILE_CACHE` — a fleet compiles each tenant
+  model **once**;
+- tenant traffic routes to the least-loaded healthy replica; a fatal
+  outcome triggers a **hedged re-dispatch** on another healthy replica, so
+  a dying board costs latency, not requests;
+- per-device health is scored from fault outcomes:
+  ``quarantine_threshold`` consecutive fatals drive the
+  **quarantine → repair → reintegrate** lifecycle — the replica drains, a
+  hot spare is promoted in its place, and after ``repair_ms`` a *real
+  probe launch* on the simulated device (with the fault schedule's
+  plan at probe time attached) must come back clean before the board
+  rejoins the pool (as active, or as a standby spare when the fleet is
+  already at strength); repeated probe failures retire the board;
+- every stochastic choice derives from one fleet seed via labeled streams
+  (:mod:`repro.seeding`), so a whole fleet run — reports included — is
+  byte-for-byte reproducible.
+
+Time-varying fault pressure comes from a
+:class:`~repro.faults.schedule.FaultSchedule` (storm windows, ramps,
+device kills); :mod:`repro.chaos` composes those into checked scenarios.
+See docs/robustness.md for the lifecycle state machine and the invariant
+catalogue the chaos harness enforces on top of this layer.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.core.errors import ReproRuntimeError
+from repro.faults.errors import HardwareFault
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.models.zoo import build
+from repro.runtime.runtime import Device
+from repro.seeding import derive_rng, derive_seed
+from repro.serving.server import (
+    RasConfig,
+    TenantConfig,
+    measure_service_time_ns,
+)
+from repro.serving.workload import Request
+
+__all__ = [
+    "DeviceReport",
+    "FleetConfig",
+    "FleetManager",
+    "FleetReport",
+    "FleetTenantStats",
+    "LifecycleEvent",
+    "ReplicaStatus",
+]
+
+
+class ReplicaStatus(str, Enum):
+    """Lifecycle state of one fleet replica (see docs/robustness.md)."""
+
+    ACTIVE = "active"
+    """In the routing pool, taking traffic."""
+    STANDBY = "standby"
+    """Healthy hot spare, promoted when an active replica quarantines."""
+    QUARANTINED = "quarantined"
+    """Drained after consecutive fatal outcomes; repair in progress."""
+    RETIRED = "retired"
+    """Failed ``max_repair_attempts`` probes; permanently out."""
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Sizing + lifecycle policy for one :class:`FleetManager`."""
+
+    replicas: int = 2
+    """Target number of active (traffic-taking) replicas."""
+    hot_spares: int = 0
+    """Standby devices promoted when an active replica quarantines."""
+    device: str = "i20"
+    """Product name every replica is opened as (``Device.open``)."""
+    seed: int = 0
+    """Root seed: every RNG stream of the fleet derives from it."""
+    quarantine_threshold: int = 2
+    """Consecutive fatal outcomes on one replica that quarantine it."""
+    repair_ms: float = 25.0
+    """Sim-time dwell between quarantine (or a failed probe) and the
+    next repair probe."""
+    max_repair_attempts: int = 4
+    """Failed probes before a quarantined replica is retired."""
+    max_hedges: int = 2
+    """Re-dispatches of one request after fatal outcomes before it fails."""
+    validate_on_open: bool = True
+    """Run one real launch per replica at bring-up to prove the board."""
+
+    def __post_init__(self) -> None:
+        def reject(message: str) -> None:
+            raise ReproRuntimeError(f"FleetConfig: {message}")
+
+        if self.replicas < 1:
+            reject(f"replicas must be >= 1, got {self.replicas}")
+        if self.hot_spares < 0:
+            reject(f"hot_spares must be >= 0, got {self.hot_spares}")
+        if self.quarantine_threshold < 1:
+            reject(
+                f"quarantine_threshold must be >= 1, "
+                f"got {self.quarantine_threshold}"
+            )
+        if self.repair_ms <= 0:
+            reject(f"repair_ms must be > 0, got {self.repair_ms}")
+        if self.max_repair_attempts < 1:
+            reject(
+                f"max_repair_attempts must be >= 1, "
+                f"got {self.max_repair_attempts}"
+            )
+        if self.max_hedges < 0:
+            reject(f"max_hedges must be >= 0, got {self.max_hedges}")
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One fleet lifecycle transition, on the trace timeline."""
+
+    time_ns: float
+    device: str
+    kind: str
+    """``opened``/``validated``/``quarantined``/``promoted``/
+    ``repair_failed``/``repaired``/``reintegrated``/``retired``."""
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "time_ns": self.time_ns, "device": self.device,
+            "kind": self.kind, "detail": self.detail,
+        }
+
+
+@dataclass
+class FleetTenantStats:
+    """Per-tenant request accounting over one fleet run."""
+
+    tenant: str
+    offered: int = 0
+    served: int = 0
+    failed: int = 0
+    shed: int = 0
+    """Every dropped-before-service request (admission + no capacity)."""
+    shed_no_capacity: int = 0
+    """Subset of ``shed`` that arrived while zero replicas were active."""
+    hedged: int = 0
+    """Served-or-failed requests that needed >= 1 re-dispatch."""
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        """Served / offered over the whole run (1.0 on zero offered)."""
+        if self.offered == 0:
+            return 1.0
+        return self.served / self.offered
+
+    @property
+    def availability_while_healthy(self) -> float:
+        """Served / offered among requests arriving with >= 1 active
+        replica — the floor the chaos invariants hold the fleet to."""
+        eligible = self.offered - self.shed_no_capacity
+        if eligible == 0:
+            return 1.0
+        return self.served / eligible
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant, "offered": self.offered,
+            "served": self.served, "failed": self.failed,
+            "shed": self.shed, "shed_no_capacity": self.shed_no_capacity,
+            "hedged": self.hedged, "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms, "p99_ms": self.p99_ms,
+            "availability": self.availability,
+            "availability_while_healthy": self.availability_while_healthy,
+        }
+
+
+@dataclass
+class DeviceReport:
+    """Health summary of one replica over a fleet run."""
+
+    name: str
+    device_id: str
+    final_status: str
+    served: int
+    fatal_outcomes: int
+    quarantines: int
+    repair_attempts: int
+    reintegrations: int
+    injected_faults: int
+    """Hardware faults the board's injectors recorded (bring-up
+    validation + repair probes)."""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "device_id": self.device_id,
+            "final_status": self.final_status, "served": self.served,
+            "fatal_outcomes": self.fatal_outcomes,
+            "quarantines": self.quarantines,
+            "repair_attempts": self.repair_attempts,
+            "reintegrations": self.reintegrations,
+            "injected_faults": self.injected_faults,
+        }
+
+
+@dataclass
+class FleetReport:
+    """Everything one fleet run produced, JSON-stable for chaos pinning."""
+
+    seed: int
+    replicas: int
+    hot_spares: int
+    tenants: dict[str, FleetTenantStats]
+    devices: list[DeviceReport]
+    events: list[LifecycleEvent]
+    failovers: int
+    hedged_requests: int
+    quarantines: int
+    repairs: int
+    repair_failures: int
+    reintegrations: int
+    promotions: int
+    retirements: int
+    min_healthy: int
+    final_healthy: int
+    horizon_ns: float
+
+    def to_dict(self) -> dict:
+        """Deterministic nested-dict form (same run -> identical JSON)."""
+        return {
+            "seed": self.seed,
+            "replicas": self.replicas,
+            "hot_spares": self.hot_spares,
+            "tenants": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.tenants.items())
+            },
+            "devices": [report.to_dict() for report in self.devices],
+            "events": [event.to_dict() for event in self.events],
+            "failovers": self.failovers,
+            "hedged_requests": self.hedged_requests,
+            "quarantines": self.quarantines,
+            "repairs": self.repairs,
+            "repair_failures": self.repair_failures,
+            "reintegrations": self.reintegrations,
+            "promotions": self.promotions,
+            "retirements": self.retirements,
+            "min_healthy": self.min_healthy,
+            "final_healthy": self.final_healthy,
+            "horizon_ns": self.horizon_ns,
+        }
+
+    def device(self, name: str) -> DeviceReport:
+        for report in self.devices:
+            if report.name == name:
+                return report
+        raise KeyError(f"no device {name!r} in fleet report")
+
+    def transitions(self, device: str) -> list[str]:
+        """Time-ordered lifecycle kinds one device went through."""
+        return [
+            event.kind for event in self.events if event.device == device
+        ]
+
+
+@dataclass
+class _Replica:
+    """Mutable runtime state of one fleet member."""
+
+    index: int
+    name: str
+    device: Device
+    injector: FaultInjector
+    status: ReplicaStatus
+    initial_status: ReplicaStatus
+    compiled: dict[str, object] = field(default_factory=dict)
+    free_at: float = 0.0
+    consecutive_fatals: int = 0
+    served: int = 0
+    fatal_outcomes: int = 0
+    quarantines: int = 0
+    repair_attempts_total: int = 0
+    reintegrations: int = 0
+    probe_faults: int = 0
+    repair_due_ns: float | None = None
+    repair_attempts: int = 0
+
+
+class FleetManager:
+    """Routes tenant traffic over a pool of simulated device replicas.
+
+    The manager serves at request granularity against calibrated service
+    times (one memoized simulator measurement per tenant model — see
+    :func:`~repro.serving.server.measure_service_time_ns`), while the
+    lifecycle machinery exercises the *real* devices: bring-up validation
+    and repair probes are genuine :meth:`Device.launch` calls with fault
+    injectors attached. Dynamic batching stays the single-server layer's
+    job; the fleet routes whole requests (sharding/batching across
+    replicas composes on top of this layer in later work).
+    """
+
+    def __init__(
+        self,
+        tenants: list[TenantConfig],
+        config: FleetConfig | None = None,
+        schedule: FaultSchedule | None = None,
+        ras: RasConfig | None = None,
+        obs=None,
+        service_times_ns: dict[str, float] | None = None,
+    ) -> None:
+        if not tenants:
+            raise ReproRuntimeError("fleet needs at least one tenant")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise ReproRuntimeError(f"duplicate tenant names: {names}")
+        self.tenants = {tenant.name: tenant for tenant in tenants}
+        self.config = config or FleetConfig()
+        self.schedule = schedule or FaultSchedule()
+        self.ras = ras or RasConfig()
+        self.obs = obs
+        self.service_times_ns = dict(service_times_ns or {})
+        for tenant in tenants:
+            if tenant.name not in self.service_times_ns:
+                self.service_times_ns[tenant.name] = measure_service_time_ns(
+                    tenant.model, tenant.groups
+                )
+        self._bringup_events: list[LifecycleEvent] = []
+        self._replicas = self._open_fleet(tenants)
+
+    # -- bring-up ------------------------------------------------------------
+
+    def _open_fleet(self, tenants: list[TenantConfig]) -> list[_Replica]:
+        """Open N active + M standby devices, compile every tenant once."""
+        cfg = self.config
+        replicas: list[_Replica] = []
+        for index in range(cfg.replicas + cfg.hot_spares):
+            name = f"r{index}"
+            device_id = f"{cfg.device}-{name}"
+            device = Device.open(cfg.device, obs=self.obs, device_id=device_id)
+            injector = FaultInjector(
+                self.schedule.base,
+                seed=derive_seed(cfg.seed, "injector", name),
+                device=device_id,
+            )
+            device.accelerator.attach_faults(injector)
+            role = (
+                ReplicaStatus.ACTIVE
+                if index < cfg.replicas
+                else ReplicaStatus.STANDBY
+            )
+            replica = _Replica(
+                index=index, name=name, device=device, injector=injector,
+                status=role, initial_status=role,
+            )
+            for tenant in tenants:
+                # Shared COMPILE_CACHE: the first replica lowers each
+                # model, every later one gets a dictionary hit.
+                replica.compiled[tenant.name] = device.compile(
+                    build(tenant.model), batch=1
+                )
+            self._bringup_events.append(
+                LifecycleEvent(0.0, name, "opened", f"{device_id} as {role.value}")
+            )
+            if cfg.validate_on_open:
+                self._validate(replica, tenants[0])
+            replicas.append(replica)
+        return replicas
+
+    def _validate(self, replica: _Replica, tenant: TenantConfig) -> None:
+        """One real launch proves the board before it joins the pool."""
+        try:
+            replica.device.launch(
+                replica.compiled[tenant.name], num_groups=tenant.groups
+            )
+            detail = f"launch ok ({tenant.model}x{tenant.groups})"
+        except HardwareFault as fault:
+            detail = f"launch faulted: {fault}"
+        self._bringup_events.append(
+            LifecycleEvent(0.0, replica.name, "validated", detail)
+        )
+
+    # -- pool views ----------------------------------------------------------
+
+    def _active(self) -> list[_Replica]:
+        return [
+            replica for replica in self._replicas
+            if replica.status is ReplicaStatus.ACTIVE
+        ]
+
+    def _standby(self) -> _Replica | None:
+        for replica in self._replicas:
+            if replica.status is ReplicaStatus.STANDBY:
+                return replica
+        return None
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self, trace: list[Request]) -> FleetReport:
+        """Replay a request trace over the fleet; returns the full report.
+
+        Deterministic: the same trace, schedule, configs and seed always
+        produce an identical report (every RNG stream is re-derived from
+        the fleet seed on entry, and fleet state is reset to bring-up
+        roles — re-running the same manager reproduces the same report).
+        """
+        self._reset()
+        cfg = self.config
+        rngs = {
+            replica.name: derive_rng(cfg.seed, "serve", replica.name)
+            for replica in self._replicas
+        }
+        events: list[LifecycleEvent] = list(self._bringup_events)
+        stats = {name: FleetTenantStats(tenant=name) for name in self.tenants}
+        latencies: dict[str, list[float]] = {name: [] for name in self.tenants}
+        finishes: dict[str, list[float]] = {name: [] for name in self.tenants}
+        counters = _RunCounters()
+        counters.min_healthy = len(self._active())
+        horizon = 0.0
+        last_arrival = 0.0
+        for request in trace:
+            if request.arrival_ns < last_arrival:
+                raise ReproRuntimeError(
+                    f"trace arrivals must be non-decreasing: request "
+                    f"{request.request_id} at {request.arrival_ns} after "
+                    f"{last_arrival}"
+                )
+            last_arrival = request.arrival_ns
+            if request.tenant not in self.tenants:
+                raise ReproRuntimeError(
+                    f"request {request.request_id}: unknown tenant "
+                    f"{request.tenant!r}"
+                )
+            self._advance(request.arrival_ns, events, counters)
+            tenant_stats = stats[request.tenant]
+            tenant_stats.offered += 1
+            if not self._active():
+                tenant_stats.shed += 1
+                tenant_stats.shed_no_capacity += 1
+                continue
+            if self._admission_shed(request, finishes[request.tenant]):
+                tenant_stats.shed += 1
+                continue
+            finish, status, hedges = self._dispatch(
+                request, rngs, events, counters
+            )
+            if hedges:
+                tenant_stats.hedged += 1
+                counters.hedged_requests += 1
+            status = self._apply_deadline(status, request, finish)
+            if status == "ok":
+                tenant_stats.served += 1
+                latencies[request.tenant].append(
+                    (finish - request.arrival_ns) / 1e6
+                )
+            else:
+                tenant_stats.failed += 1
+            insort(finishes[request.tenant], finish)
+            horizon = max(horizon, finish)
+        self._drain_repairs(events, counters)
+        for name, values in latencies.items():
+            if values:
+                array = np.asarray(values)
+                stats[name].p50_ms = float(np.percentile(array, 50))
+                stats[name].p95_ms = float(np.percentile(array, 95))
+                stats[name].p99_ms = float(np.percentile(array, 99))
+        events.sort(key=lambda event: event.time_ns)
+        horizon = max(
+            [horizon] + [event.time_ns for event in events] or [0.0]
+        )
+        report = self._report(stats, events, counters, horizon)
+        if self.obs is not None:
+            self._export_obs(report)
+        return report
+
+    def _reset(self) -> None:
+        """Restore bring-up roles so repeated runs are reproducible."""
+        for replica in self._replicas:
+            replica.status = replica.initial_status
+            replica.free_at = 0.0
+            replica.consecutive_fatals = 0
+            replica.served = 0
+            replica.fatal_outcomes = 0
+            replica.quarantines = 0
+            replica.repair_attempts_total = 0
+            replica.reintegrations = 0
+            replica.probe_faults = 0
+            replica.repair_due_ns = None
+            replica.repair_attempts = 0
+
+    # -- routing + serving ---------------------------------------------------
+
+    def _admission_shed(self, request: Request, finishes: list[float]) -> bool:
+        """Fleet-wide per-tenant admission control (same policy as the
+        single-server layer): shed when this tenant already has
+        ``queue_depth_limit`` requests queued or in flight."""
+        limit = self.ras.queue_depth_limit
+        if limit is None:
+            return False
+        depth = len(finishes) - bisect_right(finishes, request.arrival_ns)
+        return depth >= limit
+
+    def _dispatch(
+        self,
+        request: Request,
+        rngs: dict,
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+    ) -> tuple[float, str, int]:
+        """Serve one request with hedged re-dispatch across replicas.
+
+        Returns ``(finish_ns, status, hedges)``. A fatal outcome marks the
+        replica (possibly quarantining it), then the request re-dispatches
+        to the next least-loaded healthy replica at the failure time —
+        up to ``max_hedges`` times before the request is declared failed.
+        """
+        dispatch_ns = request.arrival_ns
+        hedges = 0
+        excluded: set[str] = set()
+        finish = dispatch_ns
+        while True:
+            candidates = [
+                replica for replica in self._active()
+                if replica.name not in excluded
+            ]
+            if not candidates:
+                return finish, "failed", hedges
+            replica = min(
+                candidates,
+                key=lambda r: (max(r.free_at, dispatch_ns), r.index),
+            )
+            if excluded:
+                # A prior attempt died fatally and a healthy replica is
+                # taking the request over: that is one hedged failover.
+                hedges += 1
+                counters.failovers += 1
+            start = max(dispatch_ns, replica.free_at)
+            finish, outcome, _retries = self._attempt(
+                replica, request.tenant, start, rngs[replica.name]
+            )
+            replica.free_at = finish
+            if outcome == "ok":
+                replica.served += 1
+                replica.consecutive_fatals = 0
+                return finish, "ok", hedges
+            replica.fatal_outcomes += 1
+            replica.consecutive_fatals += 1
+            self._maybe_quarantine(replica, finish, events, counters)
+            excluded.add(replica.name)
+            if hedges >= self.config.max_hedges:
+                return finish, "failed", hedges
+            dispatch_ns = finish
+
+    def _attempt(
+        self, replica: _Replica, tenant_name: str, start: float, rng
+    ) -> tuple[float, str, int]:
+        """One replica-local service: in-place retries, then ok/fatal.
+
+        Fault pressure comes from the schedule's effective rates at each
+        attempt's dispatch time on this replica — storms hit mid-flight
+        requests. Zero rates consume no randomness, so quiet fleets stay
+        bit-identical to the fault-free path.
+        """
+        service = self.service_times_ns[tenant_name]
+        events_per_attempt = self.ras.transfers_per_request
+        now = start
+        retries = 0
+        while True:
+            transient_rate, fatal_rate = self.schedule.rates_at(
+                now, replica.index
+            )
+            p_fatal = 1.0 - (1.0 - fatal_rate) ** events_per_attempt
+            p_transient = 1.0 - (1.0 - transient_rate) ** events_per_attempt
+            now += service
+            if p_fatal > 0.0 and rng.random() < p_fatal:
+                return now, "fatal", retries
+            if p_transient > 0.0 and rng.random() < p_transient:
+                retries += 1
+                if retries > self.ras.max_retries:
+                    return now, "fatal", retries
+                now += (
+                    self.ras.retry_backoff_ms * 1e6
+                    * (self.ras.backoff_factor ** (retries - 1))
+                )
+                continue
+            return now, "ok", retries
+
+    def _apply_deadline(
+        self, status: str, request: Request, finish: float
+    ) -> str:
+        if (
+            status == "ok"
+            and self.ras.deadline_ms is not None
+            and (finish - request.arrival_ns) > self.ras.deadline_ms * 1e6
+        ):
+            return "failed"
+        return status
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _maybe_quarantine(
+        self,
+        replica: _Replica,
+        now: float,
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+    ) -> None:
+        if (
+            replica.status is not ReplicaStatus.ACTIVE
+            or replica.consecutive_fatals < self.config.quarantine_threshold
+        ):
+            return
+        replica.status = ReplicaStatus.QUARANTINED
+        replica.quarantines += 1
+        replica.repair_due_ns = now + self.config.repair_ms * 1e6
+        replica.repair_attempts = 0
+        counters.quarantines += 1
+        events.append(
+            LifecycleEvent(
+                now, replica.name, "quarantined",
+                f"{replica.consecutive_fatals} consecutive fatal outcomes",
+            )
+        )
+        spare = self._standby()
+        if spare is not None:
+            spare.status = ReplicaStatus.ACTIVE
+            spare.free_at = max(spare.free_at, now)
+            counters.promotions += 1
+            events.append(
+                LifecycleEvent(
+                    now, spare.name, "promoted",
+                    f"hot spare replacing {replica.name}",
+                )
+            )
+        counters.note_healthy(len(self._active()))
+
+    def _advance(
+        self,
+        now: float,
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+    ) -> None:
+        """Process every repair probe due at or before ``now``."""
+        while True:
+            due = [
+                replica for replica in self._replicas
+                if replica.status is ReplicaStatus.QUARANTINED
+                and replica.repair_due_ns is not None
+                and replica.repair_due_ns <= now
+            ]
+            if not due:
+                counters.note_healthy(len(self._active()))
+                return
+            replica = min(due, key=lambda r: (r.repair_due_ns, r.index))
+            self._probe(replica, events, counters)
+
+    def _probe(
+        self,
+        replica: _Replica,
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+    ) -> None:
+        """One real repair launch on the quarantined board.
+
+        The probe runs under the fault schedule's effective plan at the
+        probe time — a probe inside a still-raging storm fails and extends
+        the quarantine; a clean probe reintegrates the board (active when
+        the fleet is under strength, standby spare otherwise).
+        """
+        cfg = self.config
+        due = replica.repair_due_ns
+        attempt = replica.repair_attempts
+        plan = self.schedule.plan_at(due, replica.index)
+        probe_injector = FaultInjector(
+            plan,
+            seed=derive_seed(cfg.seed, "probe", replica.name, attempt),
+            device=replica.device.device_id,
+        )
+        replica.device.accelerator.attach_faults(probe_injector)
+        probe_tenant = next(iter(self.tenants.values()))
+        try:
+            replica.device.launch(
+                replica.compiled[probe_tenant.name],
+                num_groups=probe_tenant.groups,
+            )
+            ok, detail = True, f"probe launch clean (attempt {attempt})"
+        except HardwareFault as fault:
+            ok, detail = False, f"probe faulted: {fault}"
+        finally:
+            replica.device.accelerator.attach_faults(replica.injector)
+        replica.probe_faults += len(probe_injector.records)
+        replica.repair_attempts += 1
+        replica.repair_attempts_total += 1
+        if ok:
+            counters.repairs += 1
+            events.append(LifecycleEvent(due, replica.name, "repaired", detail))
+            under_strength = len(self._active()) < cfg.replicas
+            replica.status = (
+                ReplicaStatus.ACTIVE if under_strength else ReplicaStatus.STANDBY
+            )
+            replica.consecutive_fatals = 0
+            replica.repair_due_ns = None
+            replica.free_at = max(replica.free_at, due)
+            replica.reintegrations += 1
+            counters.reintegrations += 1
+            events.append(
+                LifecycleEvent(
+                    due, replica.name, "reintegrated",
+                    f"rejoined as {replica.status.value}",
+                )
+            )
+            return
+        counters.repair_failures += 1
+        events.append(
+            LifecycleEvent(due, replica.name, "repair_failed", detail)
+        )
+        if replica.repair_attempts >= cfg.max_repair_attempts:
+            replica.status = ReplicaStatus.RETIRED
+            replica.repair_due_ns = None
+            counters.retirements += 1
+            events.append(
+                LifecycleEvent(
+                    due, replica.name, "retired",
+                    f"{replica.repair_attempts} failed repair probes",
+                )
+            )
+        else:
+            replica.repair_due_ns = due + cfg.repair_ms * 1e6
+
+    def _drain_repairs(
+        self, events: list[LifecycleEvent], counters: "_RunCounters"
+    ) -> None:
+        """After the trace ends, let pending repairs run to completion so
+        the report shows each quarantine's final disposition."""
+        while any(
+            replica.status is ReplicaStatus.QUARANTINED
+            and replica.repair_due_ns is not None
+            for replica in self._replicas
+        ):
+            pending = [
+                replica for replica in self._replicas
+                if replica.status is ReplicaStatus.QUARANTINED
+                and replica.repair_due_ns is not None
+            ]
+            replica = min(pending, key=lambda r: (r.repair_due_ns, r.index))
+            self._probe(replica, events, counters)
+        counters.note_healthy(len(self._active()))
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(
+        self,
+        stats: dict[str, FleetTenantStats],
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+        horizon: float,
+    ) -> FleetReport:
+        devices = [
+            DeviceReport(
+                name=replica.name,
+                device_id=replica.device.device_id,
+                final_status=replica.status.value,
+                served=replica.served,
+                fatal_outcomes=replica.fatal_outcomes,
+                quarantines=replica.quarantines,
+                repair_attempts=replica.repair_attempts_total,
+                reintegrations=replica.reintegrations,
+                injected_faults=len(replica.injector.records)
+                + replica.probe_faults,
+            )
+            for replica in self._replicas
+        ]
+        return FleetReport(
+            seed=self.config.seed,
+            replicas=self.config.replicas,
+            hot_spares=self.config.hot_spares,
+            tenants=stats,
+            devices=devices,
+            events=events,
+            failovers=counters.failovers,
+            hedged_requests=counters.hedged_requests,
+            quarantines=counters.quarantines,
+            repairs=counters.repairs,
+            repair_failures=counters.repair_failures,
+            reintegrations=counters.reintegrations,
+            promotions=counters.promotions,
+            retirements=counters.retirements,
+            min_healthy=counters.min_healthy,
+            final_healthy=len(self._active()),
+            horizon_ns=horizon,
+        )
+
+    def _export_obs(self, report: FleetReport) -> None:
+        """Mirror the fleet report into the attached metrics registry.
+
+        The gauge/counter catalogue is documented in docs/observability.md
+        (fleet rows); ``repro profile --fleet`` prints the same numbers.
+        """
+        metrics = self.obs.metrics
+        metrics.gauge(
+            "fleet_replicas", "configured replicas (active target + spares)"
+        ).set(report.replicas + report.hot_spares)
+        metrics.gauge(
+            "fleet_healthy_replicas", "active replicas at end of run"
+        ).set(report.final_healthy)
+        metrics.gauge(
+            "fleet_min_healthy_replicas", "lowest active count seen"
+        ).set(report.min_healthy)
+        counter_values = {
+            "fleet_failovers_total":
+                ("request re-dispatches after a replica fatal",
+                 report.failovers),
+            "fleet_hedged_requests_total":
+                ("requests that needed >= 1 hedged retry",
+                 report.hedged_requests),
+            "fleet_quarantines_total":
+                ("replica quarantine transitions", report.quarantines),
+            "fleet_repairs_total":
+                ("repair probes that came back clean", report.repairs),
+            "fleet_repair_failures_total":
+                ("repair probes that faulted", report.repair_failures),
+            "fleet_reintegrations_total":
+                ("repaired replicas rejoining the pool",
+                 report.reintegrations),
+            "fleet_promotions_total":
+                ("hot spares promoted to active", report.promotions),
+            "fleet_retirements_total":
+                ("replicas retired after failed repairs",
+                 report.retirements),
+        }
+        for name, (help_text, value) in counter_values.items():
+            if value:
+                metrics.counter(name, help_text).inc(value)
+            else:
+                metrics.counter(name, help_text)
+        requests_total = metrics.counter(
+            "fleet_requests_total", "fleet requests by tenant and status"
+        )
+        availability = metrics.gauge(
+            "fleet_availability", "served / offered per tenant"
+        )
+        for name, stats in sorted(report.tenants.items()):
+            for status, value in (
+                ("served", stats.served),
+                ("failed", stats.failed),
+                ("shed", stats.shed),
+            ):
+                if value:
+                    requests_total.inc(value, tenant=name, status=status)
+            availability.set(stats.availability, tenant=name)
+
+
+@dataclass
+class _RunCounters:
+    """Fleet-wide tallies of one run."""
+
+    failovers: int = 0
+    hedged_requests: int = 0
+    quarantines: int = 0
+    repairs: int = 0
+    repair_failures: int = 0
+    reintegrations: int = 0
+    promotions: int = 0
+    retirements: int = 0
+    min_healthy: int = 0
+
+    def note_healthy(self, active: int) -> None:
+        self.min_healthy = min(self.min_healthy, active)

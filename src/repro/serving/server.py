@@ -60,6 +60,7 @@ from repro.faults.plan import FaultPlan
 from repro.models.zoo import build
 from repro.perfmodel.calibration import calibration
 from repro.runtime.runtime import Device
+from repro.seeding import derive_rng
 from repro.serving.workload import Request
 
 
@@ -76,12 +77,20 @@ class TenantConfig:
 
 @dataclass(frozen=True)
 class RasConfig:
-    """Reliability policy knobs for one :class:`InferenceServer`."""
+    """Reliability policy knobs for one :class:`InferenceServer`.
+
+    Every field is validated at construction; a bad knob raises
+    :class:`~repro.core.errors.ReproRuntimeError` naming the field and the
+    offending value — a misconfigured reliability policy should fail the
+    deployment loudly, not silently serve with nonsense retry math.
+    """
 
     max_retries: int = 2
     """Service replays of a transiently-faulted batch before giving up."""
     retry_backoff_ms: float = 0.1
-    """First retry backoff; doubles per subsequent attempt."""
+    """First retry backoff; grows by ``backoff_factor`` per attempt."""
+    backoff_factor: float = 2.0
+    """Multiplier applied to the backoff after each retry (>= 1)."""
     queue_depth_limit: int | None = None
     """Admission control: shed arrivals beyond this per-tenant depth."""
     breaker_threshold: int = 3
@@ -90,20 +99,49 @@ class RasConfig:
     """Degradation floor: a tenant never drops below this many groups."""
     transfers_per_request: int = 16
     """Hardware fault events one inference is exposed to (per sample)."""
+    deadline_ms: float | None = None
+    """Per-request completion deadline: a request finishing (queue +
+    service + retries) past this counts as ``failed``, mirroring a
+    client-side timeout. ``None`` disables the check."""
 
     def __post_init__(self) -> None:
+        def reject(message: str) -> None:
+            raise ReproRuntimeError(f"RasConfig: {message}")
+
         if self.max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+            reject(
+                f"max_retries must be >= 0 (0 disables retries), "
+                f"got {self.max_retries}"
+            )
         if self.retry_backoff_ms < 0:
-            raise ValueError("retry_backoff_ms must be >= 0")
+            reject(
+                f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms}"
+            )
+        if self.backoff_factor < 1.0:
+            reject(
+                f"backoff_factor must be >= 1 (backoff never shrinks), "
+                f"got {self.backoff_factor}"
+            )
         if self.queue_depth_limit is not None and self.queue_depth_limit < 1:
-            raise ValueError("queue_depth_limit must be >= 1")
+            reject(
+                f"queue_depth_limit must be >= 1 or None, "
+                f"got {self.queue_depth_limit}"
+            )
         if self.breaker_threshold < 1:
-            raise ValueError("breaker_threshold must be >= 1")
+            reject(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
         if self.min_groups < 1:
-            raise ValueError("min_groups must be >= 1")
+            reject(f"min_groups must be >= 1, got {self.min_groups}")
         if self.transfers_per_request < 1:
-            raise ValueError("transfers_per_request must be >= 1")
+            reject(
+                f"transfers_per_request must be >= 1, "
+                f"got {self.transfers_per_request}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            reject(
+                f"deadline_ms must be > 0 or None, got {self.deadline_ms}"
+            )
 
 
 class TenantHealth:
@@ -136,6 +174,27 @@ class TenantHealth:
             del self._failures[slot]
             return True
         return False
+
+    def restore_group(self) -> bool:
+        """Reintegrate one routed-around group after repair.
+
+        The repaired group rejoins with a clean failure streak; returns
+        False (no-op) when the slice is already at full strength. This is
+        the path fleet repair drives when a quarantined device comes back.
+        """
+        if self.available >= self.configured:
+            return False
+        self.available += 1
+        self._failures.append(0)
+        return True
+
+    def reset(self) -> None:
+        """Full circuit-breaker reset: all groups live, streaks cleared.
+
+        ``breaker_trips`` is cumulative history and survives the reset.
+        """
+        self.available = self.configured
+        self._failures = [0] * self.configured
 
 
 @dataclass
@@ -398,7 +457,20 @@ class InferenceServer:
             retries += 1
             if retries > self.ras.max_retries:
                 return now, "failed", retries
-            now += self.ras.retry_backoff_ms * 1e6 * (2.0 ** (retries - 1))
+            now += (
+                self.ras.retry_backoff_ms * 1e6
+                * (self.ras.backoff_factor ** (retries - 1))
+            )
+
+    def _final_status(self, status: str, request: Request, finish: float) -> str:
+        """Apply the per-request deadline: late completions count failed."""
+        if (
+            status == "ok"
+            and self.ras.deadline_ms is not None
+            and (finish - request.arrival_ns) > self.ras.deadline_ms * 1e6
+        ):
+            return "failed"
+        return status
 
     # -- simulation ----------------------------------------------------------
 
@@ -526,8 +598,14 @@ class InferenceServer:
                 ).inc(report.sla_violations, tenant=name)
 
     def _rng(self, label: str) -> random.Random:
+        """Per-tenant (or ``"shared"``) draw stream off the plan seed.
+
+        Derived through :func:`repro.seeding.derive_rng`, whose single-label
+        stream name is exactly the historical ``f"{seed}:{label}"`` key —
+        existing campaigns reproduce bit-identically.
+        """
         seed = self.fault_plan.seed if self.fault_plan is not None else 0
-        return random.Random(f"{seed}:{label}")
+        return derive_rng(seed, label)
 
     def _health(self, tenant: TenantConfig) -> TenantHealth:
         return TenantHealth(
@@ -588,7 +666,8 @@ class InferenceServer:
                 completed.append(
                     CompletedRequest(
                         request=request, start_ns=start, finish_ns=finish,
-                        batch_size=len(batch), status=status,
+                        batch_size=len(batch),
+                        status=self._final_status(status, request, finish),
                         retries=retries, degraded=degraded,
                     )
                 )
@@ -641,7 +720,8 @@ class InferenceServer:
                 completed.append(
                     CompletedRequest(
                         request=request, start_ns=start, finish_ns=finish,
-                        batch_size=len(batch), status=status,
+                        batch_size=len(batch),
+                        status=self._final_status(status, request, finish),
                         retries=retries, degraded=degraded,
                     )
                 )

@@ -1,0 +1,208 @@
+"""Chaos harness acceptance: storms, invariants, and byte-exact replay.
+
+Holds the PR's acceptance pins:
+
+- the seeded replica-kill scenario completes with zero lost requests,
+  availability above the floor, and the killed device observed going
+  quarantined -> repaired -> reintegrated;
+- two chaos runs from the same root seed produce byte-identical reports;
+- ``repro chaos --quick`` exits 0 (the CI smoke job runs exactly this).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.chaos import (
+    INVARIANTS,
+    SCENARIOS,
+    render_table,
+    run_scenario,
+    run_suite,
+    scenario_names,
+)
+from repro.cli import main
+from repro.serving.fleet import FleetTenantStats, LifecycleEvent
+
+
+def _invariant(name):
+    return dict(INVARIANTS)[name]
+
+
+class TestReplicaKillAcceptance:
+    """The headline scenario: a replica dies mid-run and nobody notices."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(SCENARIOS["replica-kill"], seed=0)
+
+    def test_passes_every_invariant(self, result):
+        assert result.violations == []
+        assert result.passed
+
+    def test_zero_lost_requests(self, result):
+        for stats in result.report.tenants.values():
+            assert stats.served == stats.offered
+            assert stats.failed == 0 and stats.shed == 0
+
+    def test_availability_meets_the_floor(self, result):
+        floor = SCENARIOS["replica-kill"].availability_floor
+        for stats in result.report.tenants.values():
+            assert stats.availability_while_healthy >= floor
+
+    def test_killed_device_walks_the_lifecycle(self, result):
+        transitions = result.report.transitions("r1")
+        assert "quarantined" in transitions
+        assert "repaired" in transitions
+        assert "reintegrated" in transitions
+        order = [
+            transitions.index("quarantined"),
+            transitions.index("repaired"),
+            transitions.index("reintegrated"),
+        ]
+        assert order == sorted(order)
+
+    def test_failover_absorbed_the_fatal_outcomes(self, result):
+        assert result.report.hedged_requests > 0
+        assert result.report.failovers > 0
+
+
+class TestDeterminism:
+    def test_same_seed_reports_are_byte_identical(self):
+        first = run_suite(quick=True, seed=7)
+        second = run_suite(quick=True, seed=7)
+        assert first.to_json() == second.to_json()
+        assert first.to_json().encode() == second.to_json().encode()
+
+    def test_scenario_report_json_is_byte_identical(self):
+        # the acceptance pin: raw report dicts, not just summaries
+        first = run_scenario(SCENARIOS["replica-kill"], seed=3)
+        second = run_scenario(SCENARIOS["replica-kill"], seed=3)
+        dump = lambda r: json.dumps(r.report.to_dict(), sort_keys=True)  # noqa: E731
+        assert dump(first) == dump(second)
+
+    def test_different_root_seed_changes_the_suite(self):
+        assert (
+            run_suite(quick=True, seed=0).to_json()
+            != run_suite(quick=True, seed=1).to_json()
+        )
+
+    def test_render_table_is_deterministic(self):
+        suite = run_suite(quick=True, seed=0)
+        again = run_suite(quick=True, seed=0)
+        assert render_table(suite) == render_table(again)
+
+
+class TestSuite:
+    def test_quick_suite_passes(self):
+        suite = run_suite(quick=True)
+        assert suite.passed
+        assert [r.scenario.name for r in suite.results] == scenario_names(
+            quick=True
+        )
+
+    def test_full_suite_passes(self):
+        assert run_suite().passed
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown chaos scenario"):
+            run_suite(names=["not-a-scenario"])
+
+    def test_quick_subset_is_a_strict_subset(self):
+        assert set(scenario_names(quick=True)) < set(scenario_names())
+
+
+class TestInvariantChecks:
+    """The checks must actually detect violations, not just pass."""
+
+    @pytest.fixture()
+    def result(self):
+        return run_scenario(SCENARIOS["baseline"], seed=0)
+
+    def test_conservation_catches_lost_requests(self, result):
+        scenario, report = result.scenario, result.report
+        report.tenants["a"].offered += 1  # one request vanished
+        violations = _invariant("conservation")(scenario, report, None)
+        assert violations and "tenant 'a'" in violations[0]
+
+    def test_availability_floor_catches_unavailability(self, result):
+        scenario, report = result.scenario, result.report
+        stats = report.tenants["a"]
+        stats.served -= 5
+        stats.failed += 5
+        violations = _invariant("availability-floor")(scenario, report, None)
+        assert violations and "availability-floor" in violations[0]
+
+    def test_monotone_time_catches_backwards_events(self, result):
+        scenario, report = result.scenario, result.report
+        report.events.append(LifecycleEvent(5e8, "r0", "quarantined"))
+        report.events.append(LifecycleEvent(1e8, "r0", "repaired"))
+        violations = _invariant("monotone-time")(scenario, report, None)
+        assert any("precedes" in v for v in violations)
+
+    def test_monotone_time_catches_horizon_overrun(self, result):
+        scenario, report = result.scenario, result.report
+        beyond = report.horizon_ns + 1e9
+        report.events.append(LifecycleEvent(beyond, "r0", "retired"))
+        violations = _invariant("monotone-time")(scenario, report, None)
+        assert any("beyond horizon" in v for v in violations)
+
+    def test_obs_consistency_catches_counter_drift(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        result = run_scenario(SCENARIOS["replica-kill"], seed=0, obs=obs)
+        assert result.passed  # consistent as produced
+        # now drift a counter behind the report's back
+        obs.metrics.counter("fleet_failovers_total", "").inc(41)
+        violations = _invariant("obs-consistency")(
+            result.scenario, result.report, obs.metrics
+        )
+        assert any("fleet_failovers_total" in v for v in violations)
+
+    def test_failed_suite_reports_violations_and_fails(self):
+        # an impossible floor makes the baseline scenario fail cleanly
+        strict = dataclasses.replace(
+            SCENARIOS["transient-storm"], availability_floor=1.01
+        )
+        result = run_scenario(strict, seed=0)
+        assert not result.passed
+        assert any("availability-floor" in v for v in result.violations)
+
+
+class TestChaosCli:
+    def test_quick_cli_run_exits_zero(self, capsys):
+        assert main(["chaos", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "replica-kill" in out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_single_scenario_json(self, capsys):
+        assert main(["chaos", "--scenario", "replica-kill", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["results"][0]["scenario"] == "replica-kill"
+
+    def test_list_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_unknown_scenario_is_a_usage_error(self, capsys):
+        assert main(["chaos", "--scenario", "nope"]) == 2
+
+    def test_profile_fleet_prints_fleet_gauges(self, capsys):
+        assert main(["profile", "resnet50", "--fleet"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet_healthy_replicas" in out
+        assert "fleet_quarantines_total" in out
+        assert "fleet_availability{a}" in out
+
+
+def test_default_stats_container_roundtrips():
+    stats = FleetTenantStats(tenant="t")
+    assert stats.availability == 1.0
+    assert stats.availability_while_healthy == 1.0
+    assert stats.to_dict()["tenant"] == "t"

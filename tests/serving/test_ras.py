@@ -207,3 +207,68 @@ class TestCircuitBreaker:
         server = _server()
         assert server._service_time("a", 2) == SERVICE["a"]
         assert server._service_time("a", 1) == pytest.approx(2 * SERVICE["a"])
+
+
+class TestBreakerRecovery:
+    """Slot recovery + full reset: the paths fleet repair drives."""
+
+    def _tripped(self):
+        health = TenantHealth(groups=3, threshold=1, min_groups=1)
+        assert health.record_failure(0)
+        assert health.available == 2
+        return health
+
+    def test_restore_group_reintegrates_one_slot(self):
+        health = self._tripped()
+        assert health.restore_group()
+        assert health.available == 3
+        assert not health.degraded
+        assert len(health._failures) == 3
+
+    def test_restored_slot_rejoins_with_a_clean_streak(self):
+        health = TenantHealth(groups=3, threshold=2, min_groups=1)
+        health.record_failure(0)
+        assert health.record_failure(0)  # trips: available 3 -> 2
+        health.record_failure(0)  # streak 1 building on a surviving slot
+        assert health.restore_group()
+        # the rejoined slot (appended last) starts at streak 0: one
+        # failure does not trip it, a second consecutive one does
+        assert not health.record_failure(2)
+        assert health.record_failure(2)
+
+    def test_restore_at_full_strength_is_a_noop(self):
+        health = TenantHealth(groups=2, threshold=2, min_groups=1)
+        assert not health.restore_group()
+        assert health.available == 2
+        assert len(health._failures) == 2
+
+    def test_restore_is_incremental(self):
+        health = TenantHealth(groups=4, threshold=1, min_groups=1)
+        health.record_failure(0)
+        health.record_failure(0)
+        assert health.available == 2
+        assert health.restore_group()
+        assert health.available == 3
+        assert health.restore_group()
+        assert health.available == 4
+        assert not health.restore_group()
+
+    def test_reset_restores_full_strength_and_clears_streaks(self):
+        health = self._tripped()
+        health.record_failure(0)  # partial streak on a live slot
+        health.reset()
+        assert health.available == health.configured == 3
+        assert not health.degraded
+        assert health._failures == [0, 0, 0]
+        # a single failure does not instantly re-trip post-reset streaks
+        health_soft = TenantHealth(groups=2, threshold=2, min_groups=1)
+        health_soft.record_failure(0)
+        health_soft.reset()
+        assert not health_soft.record_failure(0)
+
+    def test_reset_preserves_trip_history(self):
+        health = self._tripped()
+        trips = health.breaker_trips
+        assert trips == 1
+        health.reset()
+        assert health.breaker_trips == trips  # cumulative, not state
