@@ -149,8 +149,22 @@ class CompileCache(_KeyedCache):
     """
 
     @staticmethod
-    def key_for(graph, chip, dtype, fusion: bool) -> tuple:
-        return (graph.structural_hash(), repr(chip), dtype.name, bool(fusion))
+    def key_for(
+        graph, chip, dtype, fusion: bool, verified: bool = False
+    ) -> tuple:
+        """Content-address one compile.
+
+        ``verified`` separates guard-checked compiles from plain ones: a
+        fusion-guard fallback must not poison the unverified entry (and
+        vice versa), so the two flavours get distinct keys.
+        """
+        return (
+            graph.structural_hash(),
+            repr(chip),
+            dtype.name,
+            bool(fusion),
+            bool(verified),
+        )
 
 
 class MeasurementCache(_KeyedCache):

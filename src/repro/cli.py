@@ -16,7 +16,12 @@ Commands:
   runtime / sim / fault / power rows) for chrome://tracing or Perfetto,
 - ``chaos`` — the deterministic chaos suite: scripted fault storms run
   through the fleet manager, with declared invariants checked after every
-  scenario (``--quick`` for the CI smoke subset; exit 1 on violation).
+  scenario (``--quick`` for the CI smoke subset; exit 1 on violation),
+- ``fuzz`` — the differential graph fuzzer: seeded random graphs through
+  the hardened compile pipeline, checking "typed error or
+  numerically-correct compile" on every case (``--quick`` for the CI
+  smoke subset, ``--replay`` for the regression corpus; exit 1 on
+  violation).
 """
 
 from __future__ import annotations
@@ -223,7 +228,9 @@ def _cmd_profile(args) -> int:
         return 2
     obs = Observability()
     device = Device.open(args.device, obs=obs)
-    compiled = device.compile(build(args.model), batch=args.batch)
+    compiled = device.compile(
+        build(args.model), batch=args.batch, verify_fusion=True
+    )
     result = device.launch(compiled, num_groups=args.groups)
     registry = obs.metrics
 
@@ -297,6 +304,22 @@ def _cmd_profile(args) -> int:
               f"{int(hits.value(cache=name)):>7} "
               f"{int(misses.value(cache=name)):>7} "
               f"{rate.value(cache=name):>7.1%}")
+    print()
+
+    # Fusion equivalence guard: the compile above ran with
+    # verify_fusion=True, so check outcomes (and any fallbacks) are in
+    # the same registry. On a cache hit the guard already ran when the
+    # entry was built, so zero checks here just means "cached".
+    header = f"{'fusion guard':<28} {'value':>8}"
+    print(header)
+    print("-" * len(header))
+    checks = registry.get("fusion_guard_checks_total")
+    for outcome in ("ok", "mismatch", "skipped"):
+        value = checks.value(result=outcome) if checks is not None else 0.0
+        print(f"{'checks{result=' + outcome + '}':<28} {value:>8.0f}")
+    fallbacks = registry.get("fusion_guard_fallbacks_total")
+    print(f"{'fallbacks':<28} "
+          f"{fallbacks.total() if fallbacks is not None else 0.0:>8.0f}")
 
     # Fleet-resilience table: run the replica-kill chaos scenario on the
     # SAME registry so its fleet_* gauges/counters land next to the rest.
@@ -429,6 +452,48 @@ def _cmd_chaos(args) -> int:
     return 0 if suite.passed else 1
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.graph.fuzz import (
+        MUTATIONS,
+        replay_corpus,
+        run_fuzz,
+        write_corpus,
+    )
+
+    if args.list:
+        print("mutations:")
+        for name in sorted(MUTATIONS):
+            print(f"  {name}")
+        return 0
+    if args.write_corpus:
+        paths = write_corpus(seed=args.seed)
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+    if args.replay:
+        results = replay_corpus()
+        failed = [r for r in results if r["status"] == "fail"]
+        if args.json:
+            import json as json_module
+
+            print(json_module.dumps(results, indent=2, sort_keys=True))
+        else:
+            for result in results:
+                detail = f"  ({result['detail']})" if result["detail"] else ""
+                print(f"{result['status']:<10} {result['file']}{detail}")
+            print(f"{len(results) - len(failed)}/{len(results)} corpus "
+                  "entries raise their recorded typed error")
+        return 1 if failed else 0
+
+    budget = 25 if args.quick else args.budget
+    report = run_fuzz(seed=args.seed, budget=budget)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -519,6 +584,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--measured", action="store_true",
                        help="use detailed-simulator service times instead "
                             "of the synthetic defaults")
+
+    fuzz = commands.add_parser(
+        "fuzz", help="differential graph fuzzer over the compile pipeline"
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="root seed; generation, mutation and inputs all "
+                           "derive labelled streams from it")
+    fuzz.add_argument("--budget", type=int, default=50,
+                      help="number of generate/mutate/check rounds")
+    fuzz.add_argument("--quick", action="store_true",
+                      help="CI smoke subset (budget 25)")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the canonical JSON campaign report")
+    fuzz.add_argument("--replay", action="store_true",
+                      help="replay the checked-in regression corpus instead "
+                           "of fuzzing")
+    fuzz.add_argument("--write-corpus", action="store_true",
+                      help="regenerate tests/graph/corpus from the seed")
+    fuzz.add_argument("--list", action="store_true",
+                      help="list mutation kinds and exit")
     return parser
 
 
@@ -534,6 +619,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

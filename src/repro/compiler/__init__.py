@@ -1,8 +1,10 @@
 """Operator compiler ("TopsEngine"): tiling, vectorize, tensorize, regalloc, packetize."""
 
 from repro.compiler.codegen import CodegenError, GeneratedKernel, execute_kernel, generate_elementwise_kernel
+from repro.compiler.errors import CompileError
 from repro.compiler.kernel import Kernel, KernelCost
 from repro.compiler.lowering import CompiledModel, LoweringError, lower_graph, lower_node
+from repro.compiler.pipeline import CompileResult, compile_graph
 from repro.compiler.packetizer import PacketizeReport, dependence_graph, packetize
 from repro.compiler.regalloc import AllocationError, AllocationResult, allocate_registers, total_conflicts
 from repro.compiler.tensorize import (
@@ -24,7 +26,8 @@ from repro.compiler.vectorize import (
 )
 
 __all__ = [
-    "AllocationError", "CodegenError", "GeneratedKernel",
+    "AllocationError", "CodegenError", "CompileError", "CompileResult",
+    "GeneratedKernel", "compile_graph",
     "execute_kernel", "generate_elementwise_kernel", "AllocationResult", "CompiledModel", "GemmShape",
     "Kernel", "KernelCost", "LoweringError", "PacketizeReport", "ScalarLoop",
     "ScalarOp", "SuperwordGroup", "TensorizationPlan", "TensorizeError",

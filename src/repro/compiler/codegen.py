@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compiler.errors import CompileError
 from repro.compiler.packetizer import PacketizeReport, packetize
 from repro.compiler.regalloc import AllocationResult, allocate_registers
 from repro.core.datatypes import DType
@@ -33,7 +34,7 @@ from repro.engines.compute_core import ComputeCore
 from repro.engines.vector import lanes_for
 from repro.engines.vliw import Instruction, Program
 from repro.graph.fusion import fused_members
-from repro.graph.ir import Graph, GraphError, Node
+from repro.graph.ir import Graph, Node
 
 #: graph ops the vector slot implements directly
 _VECTOR_OPS = {
@@ -55,7 +56,7 @@ _SFU_OPS = frozenset(
 _ROTATION = 3
 
 
-class CodegenError(GraphError):
+class CodegenError(CompileError):
     """The kernel contains an operator codegen cannot emit."""
 
 

@@ -1,0 +1,30 @@
+"""Typed compile-pipeline errors.
+
+Every failure inside the TopsInference/TopsEngine pipeline — validation,
+optimization passes, lowering, tiling, register allocation — surfaces as a
+:class:`CompileError` (or subclass) carrying the offending node's name and
+the pipeline stage, never a bare ``KeyError``/``IndexError``. The class
+subclasses :class:`repro.graph.ir.GraphError` so existing
+``except GraphError`` / ``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import GraphError
+
+
+class CompileError(GraphError):
+    """The compile pipeline rejected a graph; carries node + stage."""
+
+    def __init__(
+        self,
+        message: str,
+        node: str | None = None,
+        stage: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.node = node
+        self.stage = stage
+
+
+__all__ = ["CompileError"]

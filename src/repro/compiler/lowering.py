@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.compiler.errors import CompileError
 from repro.compiler.kernel import Kernel, KernelCost
 from repro.compiler.tensorize import (
     GemmShape,
@@ -51,7 +52,7 @@ _CODE_INSTRUCTIONS = {
 _BYTES_PER_INSTRUCTION = 16
 
 
-class LoweringError(GraphError):
+class LoweringError(CompileError):
     """Lowering hit a node it cannot compile."""
 
 
@@ -118,19 +119,32 @@ def _node_gemm_shape(node: Node, graph: Graph) -> GemmShape | None:
         batch, _out_c, out_h, out_w = out_type.shape
         out_c, weight_in, k_h, k_w = weight_type.shape
         if any(isinstance(dim, str) for dim in (batch, out_h, out_w)):
-            raise LoweringError(f"{node.name}: bind symbolic dims before lowering")
+            raise LoweringError(
+                f"{node.name}: bind symbolic dims before lowering",
+                node=node.name,
+            )
         return conv2d_as_gemm(batch, out_c, out_h, out_w, weight_in, k_h, k_w)
     if node.op_type == "conv1d":
         out_type = graph.tensor_type(node.outputs[0])
         weight_type = graph.tensor_type(node.inputs[1])
         batch, out_c, out_l = out_type.shape
         _o, weight_in, kernel = weight_type.shape
+        if any(isinstance(dim, str) for dim in (batch, out_l)):
+            raise LoweringError(
+                f"{node.name}: bind symbolic dims before lowering",
+                node=node.name,
+            )
         return GemmShape(m=batch * out_l, n=out_c, k=weight_in * kernel)
     if node.op_type == "conv_transpose2d":
         in_type = graph.tensor_type(node.inputs[0])
         weight_type = graph.tensor_type(node.inputs[1])
         batch, in_c, in_h, in_w = in_type.shape
         _i, out_c, k_h, k_w = weight_type.shape
+        if any(isinstance(dim, str) for dim in (batch, in_h, in_w)):
+            raise LoweringError(
+                f"{node.name}: bind symbolic dims before lowering",
+                node=node.name,
+            )
         return GemmShape(m=batch * in_h * in_w, n=out_c * k_h * k_w, k=in_c)
     if node.op_type == "dense":
         in_type = graph.tensor_type(node.inputs[0])
@@ -138,13 +152,21 @@ def _node_gemm_shape(node: Node, graph: Graph) -> GemmShape | None:
         rows = 1
         for dim in in_type.shape[:-1]:
             if isinstance(dim, str):
-                raise LoweringError(f"{node.name}: bind symbolic dims before lowering")
+                raise LoweringError(
+                    f"{node.name}: bind symbolic dims before lowering",
+                    node=node.name,
+                )
             rows *= dim
         out_features, in_features = weight_type.shape
         return GemmShape(m=rows, n=out_features, k=in_features)
     if node.op_type == "matmul":
         a_type = graph.tensor_type(node.inputs[0])
         out_type = graph.tensor_type(node.outputs[0])
+        if not (a_type.is_static and out_type.is_static):
+            raise LoweringError(
+                f"{node.name}: bind symbolic dims before lowering",
+                node=node.name,
+            )
         batch = 1
         for dim in out_type.shape[:-2]:
             batch *= dim
@@ -251,7 +273,23 @@ def lower_graph(
     for node in graph.topological_nodes():
         if node.op_type == "fused":
             fusion_groups += 1
-        kernels.append(lower_node(node, graph, chip, dtype))
+        try:
+            kernels.append(lower_node(node, graph, chip, dtype))
+        except CompileError:
+            raise
+        except GraphError as error:
+            raise LoweringError(
+                f"lowering node {node.name!r} ({node.op_type}): {error}",
+                node=node.name,
+                stage="lowering",
+            ) from error
+        except Exception as error:
+            raise LoweringError(
+                f"lowering node {node.name!r} ({node.op_type}) crashed: "
+                f"{error!r}",
+                node=node.name,
+                stage="lowering",
+            ) from error
     return CompiledModel(
         name=graph.name,
         kernels=kernels,

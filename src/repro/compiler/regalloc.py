@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.compiler.errors import CompileError
 from repro.engines.vliw import (
     REGISTER_BANKS,
     Instruction,
@@ -35,8 +36,14 @@ from repro.engines.vliw import (
 NUM_PHYSICAL_REGISTERS = 32
 
 
-class AllocationError(RuntimeError):
-    """The program needs more live registers than the file provides."""
+class AllocationError(CompileError, RuntimeError):
+    """The program needs more live registers than the file provides.
+
+    Dual-bases: :class:`~repro.compiler.errors.CompileError` folds it
+    into the typed compile-error taxonomy; ``RuntimeError`` preserves
+    the class's historical base for existing ``except RuntimeError``
+    call sites.
+    """
 
 
 @dataclass(frozen=True)

@@ -18,12 +18,18 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.compiler.errors import CompileError
 from repro.core.datatypes import DType
 from repro.engines.matrix import supported_patterns
 
 
-class TensorizeError(ValueError):
-    """The computation cannot map onto the matrix engine."""
+class TensorizeError(CompileError):
+    """The computation cannot map onto the matrix engine.
+
+    Subclasses :class:`~repro.compiler.errors.CompileError` (a
+    ``ValueError`` via ``GraphError``), so prior ``except ValueError``
+    call sites keep working.
+    """
 
 
 @dataclass(frozen=True)

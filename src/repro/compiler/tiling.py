@@ -19,11 +19,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.compiler.errors import CompileError
 from repro.compiler.kernel import KernelCost
 
 
-class TilingError(ValueError):
-    """No legal tiling exists (e.g. working set below one element)."""
+class TilingError(CompileError):
+    """No legal tiling exists (e.g. working set below one element).
+
+    Subclasses :class:`~repro.compiler.errors.CompileError`, which is a
+    ``ValueError`` through ``GraphError`` — existing
+    ``except ValueError`` call sites keep working.
+    """
 
 
 @dataclass(frozen=True)

@@ -1,19 +1,55 @@
 """Graph compiler front end ("TopsInference"): IR, import, passes, fusion."""
 
 from repro.graph.builder import GraphBuilder
+from repro.graph.equivalence import (
+    FusionGuardReport,
+    GroupCheck,
+    check_fused_group,
+    verify_fused_graph,
+)
 from repro.graph.fusion import FusionReport, fuse_operators, fused_members
-from repro.graph.ir import Graph, GraphError, Node, TensorType
-from repro.graph.onnx_like import export_graph, import_graph, load, save
+from repro.graph.ir import (
+    DuplicateNodeError,
+    DuplicateProducerError,
+    Graph,
+    GraphCycleError,
+    GraphError,
+    GraphValidationError,
+    Node,
+    SignatureError,
+    TensorRefError,
+    TensorType,
+    UndefinedTensorError,
+    UnproducedOutputError,
+    UntypedTensorError,
+)
+from repro.graph.onnx_like import (
+    FormatVersionError,
+    export_graph,
+    import_graph,
+    load,
+    save,
+)
 from repro.graph.ops import OpError, infer_node, node_flops, spec
-from repro.graph.reference import EvaluationError, ReferenceExecutor, materialize_weight
+from repro.graph.reference import (
+    EvaluationError,
+    NumericsError,
+    ReferenceExecutor,
+    materialize_weight,
+)
 from repro.graph.passes import PassManager, dead_code_elimination, eliminate_identities, optimize
 from repro.graph.shape_inference import bind_shapes, dynamic_symbols, infer_shapes
 
 __all__ = [
-    "FusionReport", "Graph", "GraphBuilder", "GraphError", "Node", "OpError",
-    "PassManager", "TensorType", "bind_shapes", "dead_code_elimination",
-    "dynamic_symbols", "eliminate_identities", "EvaluationError",
-    "ReferenceExecutor", "materialize_weight", "export_graph", "fuse_operators",
-    "fused_members", "import_graph", "infer_node", "infer_shapes", "load",
-    "node_flops", "optimize", "save", "spec",
+    "DuplicateNodeError", "DuplicateProducerError", "FormatVersionError",
+    "FusionGuardReport", "FusionReport", "Graph", "GraphBuilder",
+    "GraphCycleError", "GraphError", "GraphValidationError", "GroupCheck",
+    "Node", "NumericsError", "OpError", "PassManager", "SignatureError",
+    "TensorRefError", "TensorType", "UndefinedTensorError",
+    "UnproducedOutputError", "UntypedTensorError", "bind_shapes",
+    "check_fused_group", "dead_code_elimination", "dynamic_symbols",
+    "eliminate_identities", "EvaluationError", "ReferenceExecutor",
+    "materialize_weight", "export_graph", "fuse_operators", "fused_members",
+    "import_graph", "infer_node", "infer_shapes", "load", "node_flops",
+    "optimize", "save", "spec", "verify_fused_graph",
 ]

@@ -27,6 +27,56 @@ class GraphError(ValueError):
     """The graph is structurally invalid."""
 
 
+class GraphValidationError(GraphError):
+    """A structural invariant is violated; carries node/tensor provenance.
+
+    Every checker in :meth:`Graph.validate` raises a subclass of this, so
+    callers can catch the family while error messages (and the ``node`` /
+    ``tensor`` attributes) pinpoint the offending graph element — the
+    contract the differential fuzzer (:mod:`repro.graph.fuzz`) enforces:
+    malformed input must never surface as a bare ``KeyError`` or
+    ``IndexError``.
+    """
+
+    def __init__(self, message: str, node: str | None = None,
+                 tensor: str | None = None) -> None:
+        super().__init__(message)
+        self.node = node
+        self.tensor = tensor
+
+
+class GraphCycleError(GraphValidationError):
+    """The dataflow graph contains a cycle."""
+
+
+class UndefinedTensorError(GraphValidationError):
+    """A node reads a tensor nothing produces or declares."""
+
+
+class DuplicateProducerError(GraphValidationError):
+    """One tensor is written by more than one producer."""
+
+
+class DuplicateNodeError(GraphValidationError):
+    """Two nodes share a name, breaking provenance and fusion bookkeeping."""
+
+
+class UnproducedOutputError(GraphValidationError):
+    """A declared graph output is never produced."""
+
+
+class UntypedTensorError(GraphValidationError):
+    """A graph input (or initializer in use) has no declared tensor type."""
+
+
+class TensorRefError(GraphValidationError):
+    """A node references a tensor by something other than a non-empty str."""
+
+
+class SignatureError(GraphValidationError):
+    """A node violates its operator signature (arity, dtype, rank, attrs)."""
+
+
 def _canonical(value) -> str:
     """Deterministic text form of a value for hashing.
 
@@ -109,6 +159,13 @@ class Node:
             raise GraphError("node needs a name")
         if not self.outputs:
             raise GraphError(f"node {self.name} produces no outputs")
+        for tensor in (*self.inputs, *self.outputs):
+            if not isinstance(tensor, str) or not tensor:
+                raise TensorRefError(
+                    f"node {self.name!r} references tensor {tensor!r}; "
+                    "tensor refs must be non-empty strings",
+                    node=self.name,
+                )
 
     def attr(self, key: str, default=None):
         return self.attrs.get(key, default)
@@ -144,9 +201,11 @@ class Graph:
         for node in self.nodes:
             for output in node.outputs:
                 if output in table:
-                    raise GraphError(
+                    raise DuplicateProducerError(
                         f"tensor {output!r} produced twice "
-                        f"({table[output].name} and {node.name})"
+                        f"({table[output].name} and {node.name})",
+                        node=node.name,
+                        tensor=output,
                     )
                 table[output] = node
         return table
@@ -177,27 +236,133 @@ class Graph:
         try:
             order = list(nx.topological_sort(digraph))
         except nx.NetworkXUnfeasible:
-            raise GraphError(f"graph {self.name!r} contains a cycle") from None
+            try:
+                members = [edge[0] for edge in nx.find_cycle(digraph)]
+            except nx.NetworkXNoCycle:  # pragma: no cover - unfeasible => cycle
+                members = []
+            raise GraphCycleError(
+                f"graph {self.name!r} contains a cycle through "
+                f"{' -> '.join(members)}",
+                node=members[0] if members else None,
+            ) from None
         by_name = {node.name: node for node in self.nodes}
         return [by_name[name] for name in order]
 
-    def validate(self) -> None:
-        """Check structural invariants; raises :class:`GraphError`."""
+    def validate(self, signatures: bool = False) -> None:
+        """Check structural invariants; raises :class:`GraphValidationError`.
+
+        The base check covers connectivity: non-string tensor refs,
+        duplicate node names, duplicate producers, undefined inputs,
+        unproduced outputs, untyped graph inputs and cycles. With
+        ``signatures=True`` every non-fused node is additionally checked
+        against its registered operator signature — arity, attribute
+        sanity, and dtype/rank/static-shape agreement between what the op
+        infers and what ``tensor_types`` declares — so a corrupted graph
+        fails here with node provenance instead of crashing deep inside
+        lowering. The compile pipeline
+        (:func:`repro.compiler.pipeline.compile_graph`) and the importer
+        (:func:`repro.graph.onnx_like.import_graph`) run the full check.
+        """
+        seen_names: set[str] = set()
+        for node in self.nodes:
+            if node.name in seen_names:
+                raise DuplicateNodeError(
+                    f"two nodes named {node.name!r}; node names must be "
+                    "unique",
+                    node=node.name,
+                )
+            seen_names.add(node.name)
+            for tensor in (*node.inputs, *node.outputs):
+                if not isinstance(tensor, str) or not tensor:
+                    raise TensorRefError(
+                        f"node {node.name!r} references tensor {tensor!r}; "
+                        "tensor refs must be non-empty strings",
+                        node=node.name,
+                    )
         producers = self.producers()
+        for tensor, node in producers.items():
+            if tensor in self.inputs or tensor in self.initializers:
+                raise DuplicateProducerError(
+                    f"node {node.name!r} writes {tensor!r}, which is already "
+                    "a graph input or initializer",
+                    node=node.name,
+                    tensor=tensor,
+                )
         available = set(self.inputs) | self.initializers | set(producers)
         for node in self.nodes:
             for tensor in node.inputs:
                 if tensor not in available:
-                    raise GraphError(
-                        f"node {node.name} reads undefined tensor {tensor!r}"
+                    raise UndefinedTensorError(
+                        f"node {node.name!r} reads undefined tensor {tensor!r}",
+                        node=node.name,
+                        tensor=tensor,
                     )
         for tensor in self.outputs:
             if tensor not in available:
-                raise GraphError(f"graph output {tensor!r} is never produced")
+                raise UnproducedOutputError(
+                    f"graph output {tensor!r} is never produced",
+                    tensor=tensor,
+                )
         for tensor in self.inputs:
             if tensor not in self.tensor_types:
-                raise GraphError(f"graph input {tensor!r} has no declared type")
+                raise UntypedTensorError(
+                    f"graph input {tensor!r} has no declared type",
+                    tensor=tensor,
+                )
         self.topological_nodes()  # cycle check
+        if signatures:
+            self._validate_signatures()
+
+    def _validate_signatures(self) -> None:
+        """Per-node op-signature check (arity, attrs, dtype/rank agreement).
+
+        Nodes whose input types are not all declared yet are skipped (shape
+        inference is the pass that fills them in); fused nodes are skipped
+        because their members were checked before fusion.
+        """
+        from repro.graph.ops import infer_node  # deferred: ops imports ir
+
+        for node in self.nodes:
+            if node.op_type == "fused":
+                continue
+            if any(name not in self.tensor_types for name in node.inputs):
+                continue
+            input_types = [self.tensor_types[name] for name in node.inputs]
+            try:
+                inferred = infer_node(node, input_types)
+            except GraphValidationError:
+                raise
+            except GraphError as error:
+                raise SignatureError(
+                    f"node {node.name!r} ({node.op_type}): {error}",
+                    node=node.name,
+                ) from error
+            except Exception as error:
+                raise SignatureError(
+                    f"node {node.name!r} ({node.op_type}) signature check "
+                    f"failed: {error!r}",
+                    node=node.name,
+                ) from error
+            for name, tensor_type in zip(node.outputs, inferred):
+                declared = self.tensor_types.get(name)
+                if declared is None:
+                    continue
+                if (
+                    declared.dtype is not tensor_type.dtype
+                    or declared.rank != tensor_type.rank
+                    or (
+                        declared.is_static
+                        and tensor_type.is_static
+                        and declared.shape != tensor_type.shape
+                    )
+                ):
+                    raise SignatureError(
+                        f"node {node.name!r} ({node.op_type}) output "
+                        f"{name!r} infers as {tensor_type} but is declared "
+                        f"as {declared}",
+                        node=node.name,
+                        tensor=name,
+                    )
 
     # -- convenience ----------------------------------------------------------
 

@@ -13,9 +13,20 @@ import json
 from pathlib import Path
 
 from repro.core.datatypes import DType
-from repro.graph.ir import Graph, GraphError, Node, TensorType
+from repro.graph.ir import (
+    DuplicateNodeError,
+    Graph,
+    GraphValidationError,
+    Node,
+    TensorRefError,
+    TensorType,
+)
 
 FORMAT_VERSION = 1
+
+
+class FormatVersionError(GraphValidationError):
+    """The document's ``format_version`` is not one this reader speaks."""
 
 
 def _shape_to_json(shape) -> list:
@@ -66,10 +77,37 @@ def _attrs_to_json(attrs: dict) -> dict:
 
 
 def import_graph(document: dict) -> Graph:
-    """Deserialize; validates structure and format version."""
+    """Deserialize; validates structure and format version.
+
+    Untrusted documents fail typed: an unknown ``format_version`` raises
+    :class:`FormatVersionError`, duplicate node names raise
+    :class:`~repro.graph.ir.DuplicateNodeError`, non-string tensor refs
+    raise :class:`~repro.graph.ir.TensorRefError`, and the constructed
+    graph runs the full structural + signature check before it is
+    returned.
+    """
     version = document.get("format_version")
     if version != FORMAT_VERSION:
-        raise GraphError(f"unsupported format version {version!r}")
+        raise FormatVersionError(
+            f"unsupported format version {version!r}; this reader speaks "
+            f"version {FORMAT_VERSION}"
+        )
+    seen_names: set[str] = set()
+    for entry in document.get("nodes", []):
+        name = entry.get("name")
+        if name in seen_names:
+            raise DuplicateNodeError(
+                f"document contains two nodes named {name!r}",
+                node=name,
+            )
+        seen_names.add(name)
+        for tensor in (*entry.get("inputs", []), *entry.get("outputs", [])):
+            if not isinstance(tensor, str) or not tensor:
+                raise TensorRefError(
+                    f"document node {name!r} references tensor {tensor!r}; "
+                    "tensor refs must be non-empty strings",
+                    node=name,
+                )
     graph = Graph(
         name=document["name"],
         inputs=list(document["inputs"]),
@@ -93,7 +131,7 @@ def import_graph(document: dict) -> Graph:
             for entry in document["nodes"]
         ],
     )
-    graph.validate()
+    graph.validate(signatures=True)
     return graph
 
 

@@ -40,6 +40,12 @@ def _numel(shape: Shape) -> int:
 
 
 def _conv_out(size: Dim, kernel: int, stride: int, pad: int, dilation: int = 1) -> Dim:
+    if kernel < 1 or stride < 1 or dilation < 1 or pad < 0:
+        raise OpError(
+            f"bad window attributes: kernel={kernel} stride={stride} "
+            f"pad={pad} dilation={dilation} (kernel/stride/dilation must be "
+            ">= 1, pad >= 0)"
+        )
     if isinstance(size, str):
         return size  # symbolic spatial dims stay symbolic
     effective = dilation * (kernel - 1) + 1
@@ -176,6 +182,12 @@ def _infer_conv_transpose2d(node: Node, types: list[TensorType]) -> list[TensorT
     _w_in, out_channels, k_h, k_w = weight.shape
     stride = node.attr("stride", 1)
     pad = node.attr("pad", 0)
+
+    if stride < 1 or pad < 0:
+        raise OpError(
+            f"{node.name}: conv_transpose2d stride must be >= 1 and pad "
+            f">= 0, got stride={stride} pad={pad}"
+        )
 
     def _out(size: Dim, kernel: int) -> Dim:
         if isinstance(size, str):
@@ -604,6 +616,12 @@ def _infer_transpose(node: Node, types: list[TensorType]) -> list[TensorType]:
     axes = node.attr("axes")
     if axes is None:
         raise OpError(f"{node.name}: transpose needs 'axes'")
+    rank = types[0].rank
+    if sorted(axes) != list(range(rank)):
+        raise OpError(
+            f"{node.name}: transpose axes {axes} are not a permutation of "
+            f"range({rank})"
+        )
     shape = tuple(types[0].shape[axis] for axis in axes)
     return [TensorType(shape, types[0].dtype)]
 

@@ -33,6 +33,14 @@ class EvaluationError(GraphError):
     """An operator cannot be evaluated with the given inputs."""
 
 
+class NumericsError(EvaluationError):
+    """``strict_numerics`` tripped: an op produced NaN/Inf outputs."""
+
+    def __init__(self, message: str, node: str | None = None) -> None:
+        super().__init__(message)
+        self.node = node
+
+
 def _weight_rng(name: str, seed: int) -> np.random.Generator:
     digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
     return np.random.default_rng(int.from_bytes(digest[:8], "little"))
@@ -87,6 +95,17 @@ class ReferenceExecutor:
     seed (the calibration/verification sweep in :mod:`repro.quant` does
     this) — weights are deterministic in (name, seed), so sharing never
     changes results.
+
+    ``flatten_fused=False`` executes fused nodes through the dedicated
+    :meth:`_op_fused` handler instead of splicing members into the
+    schedule — the mode the fusion equivalence guard
+    (:mod:`repro.graph.equivalence`) exercises, because it keeps "what the
+    fused kernel computes" as a distinct, doctorable code path.
+
+    ``strict_numerics=True`` checks every op's outputs for NaN/Inf and
+    raises :class:`NumericsError` naming the node; with an ``obs`` hub
+    attached, trips also increment
+    ``reference_numeric_guard_trips_total``.
     """
 
     def __init__(
@@ -94,9 +113,15 @@ class ReferenceExecutor:
         graph: Graph,
         seed: int = 0,
         weight_cache: dict[str, np.ndarray] | None = None,
+        flatten_fused: bool = True,
+        strict_numerics: bool = False,
+        obs=None,
     ) -> None:
         self.graph = graph
         self.seed = seed
+        self.flatten_fused = flatten_fused
+        self.strict_numerics = strict_numerics
+        self.obs = obs
         self.sfu = SpecialFunctionUnit()
         self._weights: dict[str, np.ndarray] = (
             weight_cache if weight_cache is not None else {}
@@ -133,13 +158,21 @@ class ReferenceExecutor:
         return {name: env[name] for name in self.graph.outputs}
 
     def _plan(self) -> list[Node]:
-        """Flattened execution schedule, topo-sorted once per executor."""
+        """Execution schedule, topo-sorted once per executor.
+
+        With ``flatten_fused`` (the default) fused-group members are
+        spliced inline; otherwise fused nodes stay whole and dispatch to
+        :meth:`_op_fused`.
+        """
         if self._schedule is None:
-            self._schedule = [
-                member
-                for node in self.graph.topological_nodes()
-                for member in fused_members(node)
-            ]
+            if self.flatten_fused:
+                self._schedule = [
+                    member
+                    for node in self.graph.topological_nodes()
+                    for member in fused_members(node)
+                ]
+            else:
+                self._schedule = list(self.graph.topological_nodes())
         return self._schedule
 
     def _handler(self, op_type: str):
@@ -166,7 +199,32 @@ class ReferenceExecutor:
         if not isinstance(results, tuple):
             results = (results,)
         for name, value in zip(node.outputs, results):
-            env[name] = np.asarray(value, dtype=np.float64)
+            value = np.asarray(value, dtype=np.float64)
+            if self.strict_numerics and not np.all(np.isfinite(value)):
+                if self.obs is not None:
+                    self.obs.metrics.counter(
+                        "reference_numeric_guard_trips_total",
+                        "strict_numerics NaN/Inf detections",
+                    ).inc(op=node.op_type)
+                raise NumericsError(
+                    f"node {node.name!r} ({node.op_type}) produced "
+                    f"non-finite values in output {name!r}",
+                    node=node.name,
+                )
+            env[name] = value
+
+    def _op_fused(self, node: Node, operands):
+        """Evaluate a fused group as one unit (``flatten_fused=False``).
+
+        The default semantics replay the members in order inside a scratch
+        environment, so results are bit-identical to the flattened
+        schedule; tests monkeypatch this method to model a miscompiled
+        fused kernel and exercise the equivalence guard's fallback.
+        """
+        scratch = dict(zip(node.inputs, operands))
+        for member in fused_members(node):
+            self._evaluate(member, scratch)
+        return tuple(scratch[name] for name in node.outputs)
 
     # convolution family ------------------------------------------------------
 

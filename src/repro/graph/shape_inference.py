@@ -9,27 +9,47 @@ a dynamic tensor arrives).
 
 from __future__ import annotations
 
-from repro.graph.ir import Graph, GraphError
+from repro.graph.ir import Graph, GraphError, SignatureError, UntypedTensorError
 from repro.graph.ops import infer_node
 
 
 def infer_shapes(graph: Graph) -> Graph:
-    """Populate every tensor's type, in place; returns the graph."""
+    """Populate every tensor's type, in place; returns the graph.
+
+    Failures always surface typed: an op rule that raises anything other
+    than a :class:`GraphError` (e.g. a ``TypeError`` from arithmetic on an
+    unbound symbolic dim reaching a static-only op) is re-raised as a
+    :class:`~repro.graph.ir.SignatureError` naming the node.
+    """
     graph.validate()
     for node in graph.topological_nodes():
         input_types = []
         for tensor in node.inputs:
             if tensor not in graph.tensor_types:
-                raise GraphError(
-                    f"node {node.name} input {tensor!r} has no type; "
-                    "declare graph inputs and initializers first"
+                raise UntypedTensorError(
+                    f"node {node.name!r} input {tensor!r} has no type; "
+                    "declare graph inputs and initializers first",
+                    node=node.name,
+                    tensor=tensor,
                 )
             input_types.append(graph.tensor_types[tensor])
-        output_types = infer_node(node, input_types)
+        try:
+            output_types = infer_node(node, input_types)
+        except GraphError:
+            raise
+        except Exception as error:
+            raise SignatureError(
+                f"node {node.name!r} ({node.op_type}): shape inference "
+                f"crashed on input types "
+                f"{[str(t) for t in input_types]}: {error!r} — likely an "
+                "unbound symbolic dim reaching a static-only rule",
+                node=node.name,
+            ) from error
         if len(output_types) != len(node.outputs):
-            raise GraphError(
-                f"node {node.name} declares {len(node.outputs)} outputs but "
-                f"inference produced {len(output_types)}"
+            raise SignatureError(
+                f"node {node.name!r} declares {len(node.outputs)} outputs "
+                f"but inference produced {len(output_types)}",
+                node=node.name,
             )
         for name, tensor_type in zip(node.outputs, output_types):
             existing = graph.tensor_types.get(name)

@@ -17,14 +17,14 @@ from dataclasses import dataclass, field
 from itertools import count
 
 from repro.caching import COMPILE_CACHE, CompileCache
-from repro.compiler.lowering import CompiledModel, lower_graph
+from repro.compiler.lowering import CompiledModel
+from repro.compiler.pipeline import compile_graph
 from repro.core.accelerator import Accelerator
 from repro.core.datatypes import DType
 from repro.core.errors import ReproRuntimeError
 from repro.core.resource import recommend_groups
 from repro.faults.errors import DeadlineExceededError, TransientFault
 from repro.graph.ir import Graph
-from repro.graph.passes import optimize
 from repro.graph.shape_inference import bind_shapes, dynamic_symbols
 from repro.runtime.executor import ExecutionResult, Executor
 
@@ -99,17 +99,26 @@ class Device:
         dtype: DType = DType.FP16,
         fusion: bool | None = None,
         cache: CompileCache | bool | None = None,
+        verify_fusion: bool = False,
         **shape_bindings: int,
     ) -> CompiledModel:
-        """TopsInference + TopsEngine pipeline: optimize, bind, lower.
+        """TopsInference + TopsEngine pipeline: validate, optimize, lower.
 
         Compiled models are content-addressed: the bound graph's
         :meth:`~repro.graph.ir.Graph.structural_hash` plus chip config,
-        dtype and fusion flag key the process-wide
+        dtype, fusion flag and guard flag key the process-wide
         :data:`repro.caching.COMPILE_CACHE` (see docs/performance.md), so
         recompiling an identical graph returns the shared, already-lowered
         model. Pass ``cache`` to use a private cache, or ``cache=False``
         to force a fresh lowering.
+
+        The pipeline is hardened (see docs/robustness.md): malformed
+        graphs raise :class:`~repro.graph.ir.GraphValidationError` /
+        :class:`~repro.compiler.errors.CompileError` naming the offending
+        node, and ``verify_fusion=True`` replays every fused group
+        against its unfused members on seeded inputs, auto-falling back
+        to an unfused compile (with a warning and a
+        ``fusion_guard_fallbacks_total`` bump) on numeric mismatch.
         """
         if shape_bindings:
             graph = bind_shapes(graph, **shape_bindings)
@@ -123,14 +132,23 @@ class Device:
             fusion = self.accelerator.chip.features.operator_fusion
 
         def build() -> CompiledModel:
-            optimized, _report = optimize(graph, fusion=fusion)
-            return lower_graph(optimized, self.accelerator.chip, dtype)
+            result = compile_graph(
+                graph,
+                self.accelerator.chip,
+                dtype=dtype,
+                fusion=fusion,
+                verify_fusion=verify_fusion,
+                obs=self.accelerator.obs,
+            )
+            return result.model
 
         if cache is False:
             return build()
         if cache is None:
             cache = COMPILE_CACHE
-        key = CompileCache.key_for(graph, self.accelerator.chip, dtype, fusion)
+        key = CompileCache.key_for(
+            graph, self.accelerator.chip, dtype, fusion, verify_fusion
+        )
         hits_before = cache.stats.hits
         compiled = cache.get_or_build(key, build)
         obs = self.accelerator.obs

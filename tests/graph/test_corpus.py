@@ -1,0 +1,43 @@
+"""Regression corpus replay: every checked-in malformed graph must raise
+its recorded typed error with node/tensor provenance in the message."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.graph.fuzz import MUTATIONS, classify_error, _graph_from_document
+
+CORPUS = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS.glob("*.json"))
+
+#: Exception type names that count as "typed" for the corpus contract.
+TYPED_NAMES = {
+    "GraphValidationError", "GraphCycleError", "UndefinedTensorError",
+    "DuplicateProducerError", "DuplicateNodeError", "UnproducedOutputError",
+    "UntypedTensorError", "TensorRefError", "SignatureError",
+    "CompileError", "LoweringError", "TilingError", "TensorizeError",
+    "CodegenError", "OpError", "GraphError", "FormatVersionError",
+}
+
+
+def test_corpus_covers_every_mutation():
+    assert {path.stem for path in ENTRIES} == set(MUTATIONS)
+
+
+@pytest.mark.parametrize(
+    "path", ENTRIES, ids=[path.stem for path in ENTRIES]
+)
+def test_corpus_entry_raises_recorded_error(path):
+    entry = json.loads(path.read_text())
+    graph = _graph_from_document(entry["document"])
+    observed = classify_error(graph)
+    assert observed is not None, "corpus graph compiled without error"
+    error_type, message = observed
+    assert error_type == entry["error_type"]
+    assert error_type in TYPED_NAMES, (
+        f"untyped {error_type} escaped the pipeline: {message}"
+    )
+    assert entry["provenance"] in message, (
+        f"provenance {entry['provenance']!r} missing from: {message}"
+    )

@@ -1,0 +1,118 @@
+"""Differential graph fuzzer: determinism, invariant enforcement, and the
+delta-debugging minimizer."""
+
+import pytest
+
+from repro.graph.fuzz import (
+    FAMILIES,
+    MUTATIONS,
+    check_malformed_graph,
+    check_valid_graph,
+    generate_graph,
+    minimize_failure,
+    mutate_graph,
+    run_fuzz,
+)
+from repro.graph.ir import GraphError
+from repro.seeding import derive_rng
+
+
+class TestGenerator:
+    def test_generated_graphs_are_valid(self):
+        for index in range(12):
+            _family, graph = generate_graph(seed=0, index=index)
+            graph.validate(signatures=True)
+
+    def test_generation_is_deterministic(self):
+        for index in range(6):
+            _f1, first = generate_graph(seed=3, index=index)
+            _f2, second = generate_graph(seed=3, index=index)
+            assert first.structural_hash() == second.structural_hash()
+
+    def test_different_seeds_differ(self):
+        hashes = {
+            generate_graph(seed=seed, index=0)[1].structural_hash()
+            for seed in range(6)
+        }
+        assert len(hashes) > 1
+
+    def test_every_family_buildable(self):
+        for name, family in FAMILIES.items():
+            rng = derive_rng(0, "family-smoke", name)
+            graph = family(rng, 0)
+            graph.validate(signatures=True)
+
+
+class TestMutator:
+    def test_every_mutation_yields_typed_error(self):
+        """Each mutation kind, applied to a graph it fits, must be caught
+        typed with the corrupted node/tensor named in the message."""
+        exercised = set()
+        for index in range(60):
+            _family, graph = generate_graph(seed=0, index=index)
+            mutated = mutate_graph(graph, seed=0, index=index)
+            assert mutated is not None
+            mutation, mutant, provenance = mutated
+            violation = check_malformed_graph(mutant, provenance)
+            assert violation is None, f"{mutation}: {violation}"
+            exercised.add(mutation)
+        assert exercised == set(MUTATIONS)
+
+    def test_mutation_leaves_original_untouched(self):
+        _family, graph = generate_graph(seed=0, index=0)
+        digest = graph.structural_hash()
+        mutate_graph(graph, seed=0, index=0)
+        assert graph.structural_hash() == digest
+
+    def test_valid_side_passes(self):
+        for index in range(10):
+            _family, graph = generate_graph(seed=0, index=index)
+            assert check_valid_graph(graph, seed=0, index=index) is None
+
+
+class TestCampaign:
+    def test_campaign_passes(self):
+        report = run_fuzz(seed=0, budget=30)
+        assert report.ok
+        assert len(report.cases) == 30
+
+    def test_same_seed_byte_identical(self):
+        first = run_fuzz(seed=7, budget=15)
+        second = run_fuzz(seed=7, budget=15)
+        assert first.to_json() == second.to_json()
+
+    def test_report_shape(self):
+        report = run_fuzz(seed=0, budget=10)
+        data = report.to_dict()
+        assert data["ok"] is True
+        assert data["violation_count"] == 0
+        assert sum(data["families"].values()) == 10
+        assert "PASS" in report.render()
+
+
+class TestMinimizer:
+    def test_minimizer_shrinks_and_preserves_signature(self):
+        from repro.graph.fuzz import classify_error
+
+        rng = derive_rng(0, "minimize-test")
+        graph = FAMILIES["cnn"](rng, 0)
+        provenance = MUTATIONS["undefined-input"](graph, rng)
+        before = classify_error(graph)
+        assert before is not None
+        minimized = minimize_failure(graph, provenance)
+        after = classify_error(minimized)
+        assert after is not None
+        assert after[0] == before[0]
+        assert str(provenance) in after[1]
+        assert len(minimized.nodes) <= len(graph.nodes)
+
+    def test_minimized_graph_still_fails_typed(self):
+        rng = derive_rng(0, "minimize-typed")
+        graph = FAMILIES["mlp"](rng, 0)
+        provenance = MUTATIONS["cycle"](graph, rng)
+        minimized = minimize_failure(graph, provenance)
+        with pytest.raises(GraphError):
+            from repro.compiler.pipeline import compile_graph
+            from repro.core.config import dtu2_config
+
+            compile_graph(minimized, dtu2_config())

@@ -85,3 +85,75 @@ def test_imported_graph_compiles(tmp_path):
     optimized, _ = optimize(bound)
     compiled = lower_graph(optimized, dtu2_config())
     assert compiled.total_flops > 0
+
+
+# -- hardened import (typed rejections + seeded round-trip property) --------
+
+
+def test_unknown_version_raises_named_error():
+    from repro.graph.onnx_like import FormatVersionError
+
+    document = export_graph(_sample_graph())
+    document["format_version"] = 99
+    with pytest.raises(FormatVersionError) as excinfo:
+        import_graph(document)
+    assert "99" in str(excinfo.value)
+
+
+def test_missing_version_raises_named_error():
+    from repro.graph.onnx_like import FormatVersionError
+
+    document = export_graph(_sample_graph())
+    del document["format_version"]
+    with pytest.raises(FormatVersionError):
+        import_graph(document)
+
+
+def test_duplicate_node_names_rejected():
+    from repro.graph.ir import DuplicateNodeError
+
+    document = export_graph(_sample_graph())
+    document["nodes"][1]["name"] = document["nodes"][0]["name"]
+    with pytest.raises(DuplicateNodeError) as excinfo:
+        import_graph(document)
+    assert document["nodes"][0]["name"] in str(excinfo.value)
+
+
+def test_nonstring_tensor_ref_rejected():
+    from repro.graph.ir import TensorRefError
+
+    document = export_graph(_sample_graph())
+    document["nodes"][0]["inputs"][0] = 123
+    with pytest.raises(TensorRefError) as excinfo:
+        import_graph(document)
+    assert "123" in str(excinfo.value)
+
+
+def test_import_runs_signature_checks():
+    from repro.graph.ir import SignatureError
+
+    document = export_graph(_sample_graph())
+    document["nodes"][0]["attrs"]["stride"] = 0
+    with pytest.raises(SignatureError) as excinfo:
+        import_graph(document)
+    assert document["nodes"][0]["name"] in str(excinfo.value)
+
+
+def test_seeded_roundtrip_structural_hash_property():
+    """Property test over the fuzzer's generator: export -> import keeps
+    structural_hash for a spread of seeded random graphs."""
+    from repro.graph.fuzz import generate_graph
+
+    for index in range(20):
+        _family, graph = generate_graph(seed=11, index=index)
+        restored = import_graph(export_graph(graph))
+        assert restored.structural_hash() == graph.structural_hash()
+
+
+def test_roundtrip_hash_stable_on_disk(tmp_path):
+    from repro.graph.fuzz import generate_graph
+
+    _family, graph = generate_graph(seed=5, index=0)
+    path = tmp_path / "fuzzed.json"
+    save(graph, path)
+    assert load(path).structural_hash() == graph.structural_hash()

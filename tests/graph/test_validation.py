@@ -1,0 +1,279 @@
+"""Typed-diagnostics tests: the GraphValidationError taxonomy and the
+hardened compile pipeline's "typed error, never a bare crash" contract."""
+
+import pytest
+
+from repro.compiler.errors import CompileError
+from repro.compiler.lowering import LoweringError
+from repro.compiler.pipeline import compile_graph
+from repro.compiler.regalloc import AllocationError
+from repro.compiler.tensorize import TensorizeError
+from repro.compiler.tiling import TilingError
+from repro.core.config import dtu2_config
+from repro.core.datatypes import DType
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import (
+    DuplicateNodeError,
+    DuplicateProducerError,
+    Graph,
+    GraphCycleError,
+    GraphError,
+    GraphValidationError,
+    Node,
+    SignatureError,
+    TensorRefError,
+    TensorType,
+    UndefinedTensorError,
+    UnproducedOutputError,
+    UntypedTensorError,
+)
+from repro.graph.shape_inference import infer_shapes
+
+
+def _mlp():
+    builder = GraphBuilder("mlp")
+    data = builder.input("x", (2, 8))
+    out = builder.dense(data, 16, name="fc0")
+    out = builder.relu(out, name="act0")
+    out = builder.dense(out, 4, name="head")
+    return builder.finish(outputs=[out])
+
+
+class TestTaxonomy:
+    """Every validation failure raises its dedicated subclass, and every
+    subclass stays catchable as GraphError (and ValueError)."""
+
+    def test_hierarchy(self):
+        for subclass in (
+            GraphCycleError, UndefinedTensorError, DuplicateProducerError,
+            DuplicateNodeError, UnproducedOutputError, UntypedTensorError,
+            TensorRefError, SignatureError,
+        ):
+            assert issubclass(subclass, GraphValidationError)
+            assert issubclass(subclass, GraphError)
+            assert issubclass(subclass, ValueError)
+
+    def test_compile_errors_fold_into_graph_error(self):
+        from repro.compiler.codegen import CodegenError
+
+        for subclass in (
+            LoweringError, TilingError, TensorizeError, CodegenError
+        ):
+            assert issubclass(subclass, CompileError)
+            assert issubclass(subclass, ValueError)
+        # AllocationError keeps its historical RuntimeError base too.
+        assert issubclass(AllocationError, CompileError)
+        assert issubclass(AllocationError, RuntimeError)
+
+    def test_undefined_tensor(self):
+        graph = _mlp()
+        graph.nodes[0].inputs[0] = "ghost"
+        with pytest.raises(UndefinedTensorError) as excinfo:
+            graph.validate()
+        assert excinfo.value.node == "fc0"
+        assert "ghost" in str(excinfo.value)
+
+    def test_duplicate_producer(self):
+        graph = _mlp()
+        graph.nodes[1].outputs[0] = graph.nodes[0].outputs[0]
+        with pytest.raises(DuplicateProducerError) as excinfo:
+            graph.validate()
+        assert excinfo.value.tensor == graph.nodes[0].outputs[0]
+
+    def test_producer_colliding_with_input(self):
+        graph = _mlp()
+        graph.nodes[0].outputs[0] = "x"
+        with pytest.raises(DuplicateProducerError) as excinfo:
+            graph.validate()
+        assert excinfo.value.node == "fc0"
+
+    def test_duplicate_node_name(self):
+        graph = _mlp()
+        graph.nodes[1].name = "fc0"
+        with pytest.raises(DuplicateNodeError) as excinfo:
+            graph.validate()
+        assert excinfo.value.node == "fc0"
+
+    def test_unproduced_output(self):
+        graph = _mlp()
+        graph.outputs.append("phantom")
+        with pytest.raises(UnproducedOutputError) as excinfo:
+            graph.validate()
+        assert excinfo.value.tensor == "phantom"
+
+    def test_untyped_input(self):
+        graph = _mlp()
+        del graph.tensor_types["x"]
+        with pytest.raises(UntypedTensorError) as excinfo:
+            graph.validate()
+        assert excinfo.value.tensor == "x"
+
+    def test_cycle_names_members(self):
+        graph = _mlp()
+        node = graph.nodes[1]
+        node.inputs[0] = node.outputs[0]
+        with pytest.raises(GraphCycleError) as excinfo:
+            graph.validate()
+        assert "act0" in str(excinfo.value)
+
+    def test_nonstring_ref_at_construction(self):
+        with pytest.raises(TensorRefError):
+            Node(name="n", op_type="relu", inputs=[42], outputs=["y"])
+
+    def test_nonstring_ref_after_mutation(self):
+        graph = _mlp()
+        graph.nodes[0].inputs[0] = 42
+        with pytest.raises(TensorRefError) as excinfo:
+            graph.validate()
+        assert excinfo.value.node == "fc0"
+
+
+class TestSignatureChecks:
+    def test_clean_graph_passes(self):
+        _mlp().validate(signatures=True)
+
+    def test_unknown_op(self):
+        graph = _mlp()
+        graph.nodes[1].op_type = "quantum_fft"
+        with pytest.raises(SignatureError) as excinfo:
+            graph.validate(signatures=True)
+        assert excinfo.value.node == "act0"
+        assert "quantum_fft" in str(excinfo.value)
+
+    def test_rank_mismatch(self):
+        graph = _mlp()
+        name = graph.nodes[0].outputs[0]
+        declared = graph.tensor_types[name]
+        graph.tensor_types[name] = TensorType(
+            declared.shape + (7,), declared.dtype
+        )
+        with pytest.raises(SignatureError) as excinfo:
+            graph.validate(signatures=True)
+        assert excinfo.value.node == "fc0"
+
+    def test_dtype_mismatch(self):
+        graph = _mlp()
+        name = graph.nodes[0].outputs[0]
+        declared = graph.tensor_types[name]
+        graph.tensor_types[name] = TensorType(declared.shape, DType.INT8)
+        with pytest.raises(SignatureError):
+            graph.validate(signatures=True)
+
+    def test_bad_attr_is_typed_with_node_name(self):
+        builder = GraphBuilder("cnn")
+        data = builder.input("x", (1, 3, 8, 8))
+        out = builder.conv2d(data, 4, kernel=3, pad=1, name="conv0")
+        graph = builder.finish(outputs=[out])
+        graph.node_by_name("conv0").attrs["stride"] = 0
+        with pytest.raises(SignatureError) as excinfo:
+            graph.validate(signatures=True)
+        assert excinfo.value.node == "conv0"
+        assert "stride=0" in str(excinfo.value)
+
+    def test_fused_nodes_are_skipped(self):
+        from repro.graph.passes import optimize
+
+        graph, _report = optimize(_mlp(), fusion=True)
+        assert any(node.op_type == "fused" for node in graph.nodes)
+        graph.validate(signatures=True)
+
+    def test_cycle_beats_signature_check(self):
+        """A cycle that also corrupts arity must report as a cycle."""
+        graph = _mlp()
+        node = graph.nodes[0]
+        node.inputs[0] = node.outputs[0]
+        with pytest.raises(GraphCycleError):
+            graph.validate(signatures=True)
+
+
+class TestCompilePipeline:
+    def test_valid_graph_compiles(self):
+        result = compile_graph(_mlp(), dtu2_config(), dtype=DType.FP16)
+        assert result.model.kernels
+        assert result.fusion is True
+        assert not result.fell_back
+
+    def test_does_not_mutate_caller_graph(self):
+        graph = _mlp()
+        names_before = [node.name for node in graph.nodes]
+        compile_graph(graph, dtu2_config(), fusion=True)
+        assert [node.name for node in graph.nodes] == names_before
+
+    def test_malformed_graph_raises_typed(self):
+        graph = _mlp()
+        graph.nodes[0].inputs[0] = "ghost"
+        with pytest.raises(GraphValidationError) as excinfo:
+            compile_graph(graph, dtu2_config())
+        assert "fc0" in str(excinfo.value)
+
+    def test_transpose_bad_axes_is_typed(self):
+        builder = GraphBuilder("t")
+        data = builder.input("x", (2, 3, 4))
+        out = builder.transpose(data, (0, 2, 1))
+        graph = builder.finish(outputs=[out])
+        graph.nodes[0].attrs["axes"] = (0, 2, 9)
+        with pytest.raises(GraphError):
+            compile_graph(graph, dtu2_config())
+
+    def test_symbolic_dims_raise_lowering_error(self):
+        builder = GraphBuilder("sym")
+        data = builder.input("x", ("batch", 8))
+        out = builder.dense(data, 4, name="fc")
+        graph = builder.finish(outputs=[out])
+        with pytest.raises(LoweringError) as excinfo:
+            compile_graph(graph, dtu2_config())
+        assert excinfo.value.node == "fc"
+
+
+class TestShapeInferenceProvenance:
+    """Satellite: typed errors (with node name) out of shape inference,
+    plus dynamic-dim binding edge cases."""
+
+    def _symbolic_pixel_shuffle(self):
+        graph = Graph(name="sym", inputs=["x"], outputs=["ps.out"])
+        graph.tensor_types["x"] = TensorType((1, "chan", 4, 4))
+        graph.nodes = [
+            Node(name="ps", op_type="pixel_shuffle", inputs=["x"],
+                 outputs=["ps.out"], attrs={"scale": 2}),
+        ]
+        return graph
+
+    def test_unbound_symbol_in_static_rule_is_typed(self):
+        # pixel_shuffle requires a static channel count; the unbound
+        # symbol must surface as an OpError from _static, not a TypeError.
+        graph = self._symbolic_pixel_shuffle()
+        with pytest.raises(GraphError):
+            infer_shapes(graph)
+        with pytest.raises((GraphError,)) as excinfo:
+            infer_shapes(self._symbolic_pixel_shuffle())
+        assert not isinstance(excinfo.value, TypeError)
+
+    def test_binding_resolves_static_rule(self):
+        graph = self._symbolic_pixel_shuffle()
+        from repro.graph.shape_inference import bind_shapes
+
+        bound = bind_shapes(graph, chan=8)
+        assert bound.tensor_type("ps.out").shape == (1, 2, 8, 8)
+
+    def test_partial_binding_keeps_symbols(self):
+        builder = GraphBuilder("partial")
+        data = builder.input("x", ("batch", "seq", 8))
+        out = builder.dense(data, 4, name="fc")
+        graph = builder.finish(outputs=[out])
+        from repro.graph.shape_inference import bind_shapes, dynamic_symbols
+
+        bound = bind_shapes(graph, batch=2)
+        assert dynamic_symbols(bound) == {"seq"}
+        fully = bind_shapes(bound, seq=3)
+        assert fully.tensor_type("fc.out").shape == (2, 3, 4)
+
+    def test_binding_then_validate_signatures(self):
+        builder = GraphBuilder("bindcheck")
+        data = builder.input("x", ("batch", 3, 8, 8))
+        out = builder.conv2d(data, 4, kernel=3, pad=1, name="conv0")
+        graph = builder.finish(outputs=[out])
+        from repro.graph.shape_inference import bind_shapes
+
+        bound = bind_shapes(graph, batch=2)
+        bound.validate(signatures=True)
+        assert bound.tensor_type("conv0.out").shape == (2, 4, 8, 8)
