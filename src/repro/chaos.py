@@ -33,9 +33,12 @@ from repro.faults.plan import FaultPlan
 from repro.faults.schedule import FaultSchedule, StormPhase
 from repro.obs import Observability
 from repro.seeding import derive_seed
+from repro.serving.admission import AdmissionPolicy, SloClass
+from repro.serving.autoscale import AutoscalerConfig
 from repro.serving.fleet import FleetConfig, FleetManager, FleetReport
+from repro.serving.loadgen import LoadSpec, generate_load
 from repro.serving.server import RasConfig, TenantConfig
-from repro.serving.workload import TrafficPattern, generate_trace
+from repro.serving.workload import Request, TrafficPattern, generate_trace
 
 __all__ = [
     "ChaosScenario",
@@ -86,6 +89,23 @@ class ChaosScenario:
     was active (the availability-floor invariant)."""
     quick: bool = True
     """Included in the ``--quick`` CI smoke subset."""
+    load: tuple[LoadSpec, ...] = ()
+    """Open-loop loadgen specs; when non-empty they replace ``traffic``
+    (the overload scenarios drive flash crowds through these)."""
+    admission: AdmissionPolicy | None = None
+    """SLO-class admission policy the fleet runs under (None = legacy
+    flat queue-depth admission)."""
+    autoscaler: AutoscalerConfig | None = None
+    """Autoscaler control loop (None = static replica count)."""
+    class_availability_floors: tuple[tuple[str, float], ...] = ()
+    """Per-SLO-class floors on availability-while-healthy, aggregated
+    across tenants — how 'interactive survives while batch sheds' is
+    stated as an invariant."""
+    overload_multipliers: tuple[float, ...] = ()
+    """Offered-load multipliers for the shed-monotonicity sweep: the shed
+    rate must be non-decreasing across these (run in order)."""
+    max_scale_reversals: int = 2
+    """Autoscaler-convergence bound: up/down direction flips allowed."""
 
 
 @dataclass
@@ -95,6 +115,9 @@ class ScenarioResult:
     scenario: ChaosScenario
     report: FleetReport
     violations: list[str]
+    sweep: list[dict] | None = None
+    """Shed-monotonicity sweep rows (one per overload multiplier), when
+    the scenario declares ``overload_multipliers``."""
 
     @property
     def passed(self) -> bool:
@@ -107,6 +130,7 @@ class ScenarioResult:
             "violations": list(self.violations),
             "availability_floor": self.scenario.availability_floor,
             "report": self.report.to_dict(),
+            "sweep": self.sweep,
         }
 
 
@@ -236,6 +260,160 @@ def _check_obs_consistency(scenario, report, registry) -> list[str]:
     return violations
 
 
+def _check_class_conservation(scenario, report, registry) -> list[str]:
+    """Per-SLO-class conservation + the interactive protection pledge.
+
+    Every class accounts all its requests, and no class with shed
+    priority 0 (``interactive``) is ever brownout-shed — an admitted-or-
+    shed-with-reason ledger, never a silent drop.
+    """
+    if scenario.admission is None:
+        return []
+    violations = []
+    protected = {
+        cls.name for cls in scenario.admission.classes
+        if cls.shed_priority == 0
+    }
+    for name, stats in sorted(report.tenants.items()):
+        class_total = 0
+        for slo_class, entry in sorted(stats.by_class.items()):
+            accounted = entry.served + entry.failed + entry.shed
+            class_total += entry.offered
+            if accounted != entry.offered:
+                violations.append(
+                    f"class-conservation: tenant {name!r} class "
+                    f"{slo_class!r} accounted {accounted} of "
+                    f"{entry.offered} offered requests"
+                )
+            if slo_class in protected and entry.shed_for("brownout"):
+                violations.append(
+                    f"class-conservation: protected class {slo_class!r} of "
+                    f"tenant {name!r} was brownout-shed "
+                    f"{entry.shed_for('brownout')} times"
+                )
+        if class_total != stats.offered:
+            violations.append(
+                f"class-conservation: tenant {name!r} class breakdown "
+                f"covers {class_total} of {stats.offered} offered requests"
+            )
+    return violations
+
+
+def _check_class_availability_floors(scenario, report, registry) -> list[str]:
+    """Per-class availability-while-healthy floors (across tenants)."""
+    violations = []
+    for slo_class, floor in scenario.class_availability_floors:
+        served = 0
+        eligible = 0
+        for stats in report.tenants.values():
+            entry = stats.by_class.get(slo_class)
+            if entry is None:
+                continue
+            served += entry.served
+            eligible += entry.offered - entry.shed_for("no-capacity")
+        achieved = served / eligible if eligible else 1.0
+        if achieved < floor:
+            violations.append(
+                f"class-availability-floor: class {slo_class!r} served "
+                f"{achieved:.4f} < floor {floor} while >= 1 replica "
+                f"was healthy"
+            )
+    return violations
+
+
+def _check_brownout_ordering(scenario, report, registry) -> list[str]:
+    """Brownout sheds batch before standard before interactive.
+
+    If a class with a *lower* shed priority took brownout sheds, every
+    class shedding *earlier* (higher priority) that saw traffic must have
+    taken some too — degradation never skips over the sacrificial tier.
+    """
+    if scenario.admission is None:
+        return []
+    violations = []
+    brownout: dict[str, int] = {}
+    offered: dict[str, int] = {}
+    for stats in report.tenants.values():
+        for slo_class, entry in stats.by_class.items():
+            brownout[slo_class] = (
+                brownout.get(slo_class, 0) + entry.shed_for("brownout")
+            )
+            offered[slo_class] = offered.get(slo_class, 0) + entry.offered
+    priorities = {
+        cls.name: cls.shed_priority for cls in scenario.admission.classes
+    }
+    for lower, lower_priority in sorted(priorities.items()):
+        if lower_priority == 0 or not brownout.get(lower, 0):
+            continue
+        for higher, higher_priority in sorted(priorities.items()):
+            if (
+                higher_priority > lower_priority
+                and offered.get(higher, 0) > 0
+                and brownout.get(higher, 0) == 0
+            ):
+                violations.append(
+                    f"brownout-ordering: class {lower!r} (priority "
+                    f"{lower_priority}) was brownout-shed while "
+                    f"earlier-shed class {higher!r} (priority "
+                    f"{higher_priority}) was not"
+                )
+    return violations
+
+
+def _check_autoscaler_convergence(scenario, report, registry) -> list[str]:
+    """The autoscaler converges — no flapping between up and down."""
+    if scenario.autoscaler is None:
+        return []
+    violations = []
+    if report.autoscale_reversals > scenario.max_scale_reversals:
+        violations.append(
+            f"autoscaler-convergence: {report.autoscale_reversals} "
+            f"up/down reversals > allowed {scenario.max_scale_reversals} "
+            f"({report.autoscale_ups} ups, {report.autoscale_downs} downs)"
+        )
+    return violations
+
+
+def _check_serving_obs_consistency(scenario, report, registry) -> list[str]:
+    """Admission/autoscaler metrics agree exactly with the report."""
+    if registry is None:
+        return []
+    violations = []
+    shed_metric = registry.get("serving_shed_total")
+    for name, stats in sorted(report.tenants.items()):
+        for slo_class, entry in sorted(stats.by_class.items()):
+            for reason, expected in sorted(entry.shed_reasons.items()):
+                actual = (
+                    shed_metric.value(
+                        tenant=name, slo_class=slo_class, reason=reason
+                    )
+                    if shed_metric is not None else 0.0
+                )
+                if actual != float(expected):
+                    violations.append(
+                        f"obs-consistency: serving_shed_total{{tenant={name},"
+                        f"slo_class={slo_class},reason={reason}}} exported "
+                        f"{actual} but the report says {expected}"
+                    )
+    if report.autoscale_ups or report.autoscale_downs:
+        scale_metric = registry.get("autoscaler_scale_events_total")
+        for direction, expected in (
+            ("up", report.autoscale_ups),
+            ("down", report.autoscale_downs),
+        ):
+            actual = (
+                scale_metric.value(direction=direction)
+                if scale_metric is not None else 0.0
+            )
+            if actual != float(expected):
+                violations.append(
+                    f"obs-consistency: autoscaler_scale_events_total"
+                    f"{{direction={direction}}} exported {actual} but the "
+                    f"report says {expected}"
+                )
+    return violations
+
+
 #: Declared invariants, checked in order after every scenario. Each entry
 #: is ``(name, check(scenario, report, registry) -> [violation, ...])``.
 INVARIANTS = (
@@ -243,12 +421,68 @@ INVARIANTS = (
     ("availability-floor", _check_availability_floor),
     ("monotone-time", _check_monotone_time),
     ("obs-consistency", _check_obs_consistency),
+    ("class-conservation", _check_class_conservation),
+    ("class-availability-floor", _check_class_availability_floors),
+    ("brownout-ordering", _check_brownout_ordering),
+    ("autoscaler-convergence", _check_autoscaler_convergence),
+    ("serving-obs-consistency", _check_serving_obs_consistency),
 )
 
 
 # ---------------------------------------------------------------------------
 # built-in scenario suite
 # ---------------------------------------------------------------------------
+
+#: Shared overload-scenario serving policy. Tenant "a" keeps the 1 ms
+#: synthetic service time; at max_batch=8 on the i20 batch curve one
+#: replica sustains ~1.47 krps, so the two-active-replica fleets below
+#: saturate near 2.9 krps offered.
+_OVERLOAD_TENANTS = (
+    TenantConfig(
+        "a", "resnet50", groups=2, max_batch=8, sla_ms=50.0,
+        coalesce_window_ms=2.0,
+    ),
+)
+_OVERLOAD_ADMISSION = AdmissionPolicy(
+    classes=(
+        SloClass(
+            "interactive", deadline_ms=60.0, queue_limit=64, shed_priority=0
+        ),
+        SloClass(
+            "standard", deadline_ms=120.0, queue_limit=48, shed_priority=1
+        ),
+        SloClass("batch", deadline_ms=None, queue_limit=48, shed_priority=2),
+    ),
+    brownout_enter=0.5,
+    brownout_exit=0.25,
+)
+_OVERLOAD_AUTOSCALER = AutoscalerConfig(
+    min_active=1, max_active=4, eval_interval_ms=25.0,
+    p99_targets_ms=(("interactive", 40.0), ("standard", 150.0)),
+    cooldown_ms=75.0, scale_down_consecutive=3,
+)
+
+
+def _flash_crowd_load(
+    interactive: float, standard: float, batch: float, flash_at_s: float = 0.15
+) -> tuple[LoadSpec, ...]:
+    """Three-class open-loop population with an interactive flash crowd."""
+    return (
+        LoadSpec(
+            tenant="a", rate_per_s=interactive, slo_class="interactive",
+            shape="flash-crowd", users=200, flash_at_s=flash_at_s,
+            flash_duration_s=0.2, flash_multiplier=4.0, flash_ramp_s=0.05,
+        ),
+        LoadSpec(
+            tenant="a", rate_per_s=standard, slo_class="standard",
+            shape="diurnal", users=300, period_s=0.5, amplitude=0.6,
+        ),
+        LoadSpec(
+            tenant="a", rate_per_s=batch, slo_class="batch",
+            shape="poisson", users=50, session_mean_requests=8.0,
+        ),
+    )
+
 
 def _builtin_scenarios() -> dict[str, ChaosScenario]:
     scenarios = [
@@ -325,6 +559,70 @@ def _builtin_scenarios() -> dict[str, ChaosScenario]:
             availability_floor=0.95,
             quick=False,
         ),
+        ChaosScenario(
+            name="flash-crowd",
+            description=(
+                "interactive flash crowd over a fault-free fleet: brownout "
+                "sheds batch first, the autoscaler absorbs the spike"
+            ),
+            schedule=FaultSchedule(),
+            tenants=_OVERLOAD_TENANTS,
+            load=_flash_crowd_load(400.0, 500.0, 600.0),
+            admission=_OVERLOAD_ADMISSION,
+            autoscaler=_OVERLOAD_AUTOSCALER,
+            fleet=FleetConfig(replicas=2, hot_spares=2, repair_ms=60.0),
+            availability_floor=0.5,
+            class_availability_floors=(("interactive", 0.9),),
+        ),
+        ChaosScenario(
+            name="overload-storm",
+            description=(
+                "flash crowd times fault storm at ~2x capacity: interactive "
+                "survives, batch sheds, and the shed rate rises "
+                "monotonically with offered overload"
+            ),
+            schedule=FaultSchedule(
+                phases=(
+                    StormPhase(
+                        start_s=0.15, end_s=0.35,
+                        plan=FaultPlan(
+                            dma_corrupt_rate=0.002, ecc_ce_rate=0.002,
+                        ),
+                    ),
+                ),
+            ),
+            tenants=_OVERLOAD_TENANTS,
+            load=_flash_crowd_load(500.0, 900.0, 1300.0),
+            admission=_OVERLOAD_ADMISSION,
+            autoscaler=_OVERLOAD_AUTOSCALER,
+            fleet=FleetConfig(replicas=2, hot_spares=2, repair_ms=60.0),
+            availability_floor=0.3,
+            class_availability_floors=(("interactive", 0.9),),
+            overload_multipliers=(0.5, 1.0, 1.5, 2.0),
+            quick=False,
+        ),
+        ChaosScenario(
+            name="scale-up-race",
+            description=(
+                "a replica dies exactly as the flash crowd lands: failover "
+                "promotion and autoscaler promotion race for the spares "
+                "without flapping or losing requests"
+            ),
+            schedule=FaultSchedule(
+                phases=(StormPhase.kill(device=1, at_s=0.15, duration_s=0.2),),
+            ),
+            tenants=_OVERLOAD_TENANTS,
+            load=_flash_crowd_load(400.0, 500.0, 600.0, flash_at_s=0.15),
+            admission=_OVERLOAD_ADMISSION,
+            autoscaler=_OVERLOAD_AUTOSCALER,
+            fleet=FleetConfig(
+                replicas=2, hot_spares=2, repair_ms=60.0,
+                quarantine_threshold=2,
+            ),
+            availability_floor=0.3,
+            class_availability_floors=(("interactive", 0.85),),
+            quick=False,
+        ),
     ]
     return {scenario.name: scenario for scenario in scenarios}
 
@@ -376,19 +674,102 @@ def run_scenario(
         ras=scenario.ras,
         obs=own_obs,
         service_times_ns=service_times,
+        admission=scenario.admission,
+        autoscaler=scenario.autoscaler,
     )
-    trace = generate_trace(
-        list(scenario.traffic),
-        duration_s=scenario.duration_s,
-        seed=derive_seed(seed, "trace", scenario.name) % 2**32,
-    )
+    trace = _scenario_trace(scenario, seed)
     report = manager.run(trace)
     violations: list[str] = []
     for _name, check in INVARIANTS:
         violations.extend(check(scenario, report, own_obs.metrics))
+    sweep = None
+    if scenario.overload_multipliers:
+        sweep = _overload_sweep(
+            scenario, seed, fleet_config, service_times, violations
+        )
     return ScenarioResult(
-        scenario=scenario, report=report, violations=violations
+        scenario=scenario, report=report, violations=violations, sweep=sweep
     )
+
+
+def _scenario_trace(
+    scenario: ChaosScenario, seed: int, multiplier: float = 1.0
+) -> list[Request]:
+    """The scenario's request trace, open-loop (``load``) or legacy.
+
+    ``multiplier`` scales every baseline rate (the overload sweep); the
+    stream seed stays fixed so runs at different multipliers share one
+    root and stay individually byte-reproducible.
+    """
+    if scenario.load:
+        specs = [
+            replace(spec, rate_per_s=spec.rate_per_s * multiplier)
+            for spec in scenario.load
+        ]
+        return generate_load(
+            specs,
+            duration_s=scenario.duration_s,
+            seed=derive_seed(seed, "load", scenario.name) % 2**32,
+        )
+    patterns = [
+        replace(pattern, rate_per_s=pattern.rate_per_s * multiplier)
+        for pattern in scenario.traffic
+    ]
+    return generate_trace(
+        patterns,
+        duration_s=scenario.duration_s,
+        seed=derive_seed(seed, "trace", scenario.name) % 2**32,
+    )
+
+
+def _overload_sweep(
+    scenario: ChaosScenario,
+    seed: int,
+    fleet_config: FleetConfig,
+    service_times: dict[str, float] | None,
+    violations: list[str],
+) -> list[dict]:
+    """Shed-monotonicity: re-run at scaled offered loads, off-telemetry.
+
+    The shed *rate* (shed / offered) must be non-decreasing in the
+    offered-load multiplier — an admission layer that sheds less as
+    overload deepens is lying about its backpressure. Runs on a separate
+    fleet without observability so the main run's exported metrics stay
+    exactly what the obs-consistency invariants audited.
+    """
+    sweep_manager = FleetManager(
+        list(scenario.tenants),
+        config=fleet_config,
+        schedule=scenario.schedule,
+        ras=scenario.ras,
+        service_times_ns=(
+            dict(service_times) if service_times is not None else None
+        ),
+        admission=scenario.admission,
+        autoscaler=scenario.autoscaler,
+    )
+    rows: list[dict] = []
+    previous_rate: float | None = None
+    for multiplier in scenario.overload_multipliers:
+        trace = _scenario_trace(scenario, seed, multiplier=multiplier)
+        report = sweep_manager.run(trace)
+        offered = sum(s.offered for s in report.tenants.values())
+        shed = sum(s.shed for s in report.tenants.values())
+        shed_rate = shed / offered if offered else 0.0
+        rows.append(
+            {
+                "multiplier": multiplier, "offered": offered,
+                "shed": shed, "shed_rate": shed_rate,
+            }
+        )
+        if previous_rate is not None and shed_rate < previous_rate - 0.01:
+            violations.append(
+                f"shed-monotonicity: shed rate {shed_rate:.4f} at "
+                f"{multiplier}x offered load below {previous_rate:.4f} "
+                f"at the previous multiplier"
+            )
+        previous_rate = max(previous_rate or 0.0, shed_rate)
+    return rows
 
 
 def run_suite(

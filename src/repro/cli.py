@@ -21,7 +21,12 @@ Commands:
   the hardened compile pipeline, checking "typed error or
   numerically-correct compile" on every case (``--quick`` for the CI
   smoke subset, ``--replay`` for the regression corpus; exit 1 on
-  violation).
+  violation),
+- ``loadgen`` — deterministic open-loop load generation: per-class
+  arrival processes (Poisson / diurnal / flash-crowd) over synthetic
+  user populations, summarized per (tenant, SLO class); ``--json`` for
+  the canonical byte-stable report (``--quick`` for the CI smoke
+  variant).
 """
 
 from __future__ import annotations
@@ -494,6 +499,38 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_loadgen(args) -> int:
+    import json as json_module
+
+    from repro.serving.loadgen import demo_specs, generate_load, summarize_trace
+
+    scale = 0.25 if args.quick else args.scale
+    duration = 0.2 if args.quick else args.duration
+    specs = demo_specs(scale=scale)
+    trace = generate_load(specs, duration_s=duration, seed=args.seed)
+    summaries = summarize_trace(trace, duration_s=duration)
+    if args.json:
+        payload = {
+            "seed": args.seed,
+            "duration_s": duration,
+            "scale": scale,
+            "requests": len(trace),
+            "classes": [summary.to_dict() for summary in summaries],
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"open-loop load: {len(trace)} requests over {duration:g}s "
+          f"(seed {args.seed}, scale {scale:g})")
+    print(f"{'tenant':<10} {'class':<12} {'requests':>8} {'mean r/s':>9} "
+          f"{'peak r/s':>9} {'users':>6} {'sessions':>8}")
+    for summary in summaries:
+        print(f"{summary.tenant:<10} {summary.slo_class:<12} "
+              f"{summary.requests:>8} {summary.mean_rate_per_s:>9.1f} "
+              f"{summary.peak_rate_per_s:>9.1f} {summary.users:>6} "
+              f"{summary.sessions:>8}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -604,6 +641,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="regenerate tests/graph/corpus from the seed")
     fuzz.add_argument("--list", action="store_true",
                       help="list mutation kinds and exit")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="deterministic open-loop load generation demo"
+    )
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="root seed; every spec draws its own labelled "
+                              "stream from it")
+    loadgen.add_argument("--duration", type=float, default=0.5,
+                         help="trace duration in seconds")
+    loadgen.add_argument("--scale", type=float, default=1.0,
+                         help="rate multiplier applied to the demo specs")
+    loadgen.add_argument("--quick", action="store_true",
+                         help="CI smoke variant (scale 0.25, duration 0.2s)")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the canonical byte-stable JSON summary")
     return parser
 
 
@@ -620,6 +672,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,
         "fuzz": _cmd_fuzz,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 

@@ -139,6 +139,36 @@ class HistogramSeries:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in buckets.
+
+        The estimate follows the Prometheus ``histogram_quantile``
+        convention: the target rank ``q * count`` is located in the
+        cumulative bucket counts, then interpolated linearly between the
+        bucket's bounds (the first bucket interpolates up from 0, and a
+        rank landing in the +Inf bucket reports the highest finite bound
+        — a histogram cannot resolve beyond its last edge). An empty
+        series reports 0.0 so all-shed serving reports stay finite.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if running + count >= rank:
+                if index >= len(self.buckets):  # +Inf bucket
+                    return self.buckets[-1]
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                upper = self.buckets[index]
+                fraction = (rank - running) / count
+                return lower + (upper - lower) * fraction
+            running += count
+        return self.buckets[-1]
+
 
 @dataclass
 class Histogram(Instrument):

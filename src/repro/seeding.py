@@ -24,6 +24,10 @@ label path                consumer
 ``probe:<replica>:<n>``   repair-probe injector seed (attempt ``n``)
 ``scenario:<name>``       :mod:`repro.chaos` per-scenario fleet seed
 ``trace:<name>``          :mod:`repro.chaos` per-scenario traffic seed
+``load:<name>``           :mod:`repro.chaos` per-scenario open-loop loadgen
+                          seed (overload scenarios)
+``loadgen:<i>:<t>:<c>``   :mod:`repro.serving.loadgen` per-spec arrival +
+                          session stream (spec index, tenant, SLO class)
 ========================  =====================================================
 
 docs/robustness.md documents how the chaos harness pins this: two chaos

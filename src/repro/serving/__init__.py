@@ -1,6 +1,16 @@
 """Cloud inference serving: traces, queueing, SLAs, tenant isolation, RAS,
-and fleet-level resilience (multi-device failover + quarantine/repair)."""
+fleet-level resilience (multi-device failover + quarantine/repair) and
+overload robustness (open-loop load generation, SLO-class admission,
+continuous batching, autoscaling)."""
 
+from repro.serving.admission import (
+    DEFAULT_SLO_CLASSES,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    SloClass,
+)
+from repro.serving.autoscale import Autoscaler, AutoscalerConfig, ScaleAction
 from repro.serving.fleet import (
     DeviceReport,
     FleetConfig,
@@ -10,11 +20,20 @@ from repro.serving.fleet import (
     LifecycleEvent,
     ReplicaStatus,
 )
+from repro.serving.loadgen import (
+    LoadSpec,
+    LoadSummary,
+    demo_specs,
+    generate_load,
+    merge_traces,
+    summarize_trace,
+)
 from repro.serving.server import (
     CompletedRequest,
     InferenceServer,
     NoHealthyGroupsError,
     RasConfig,
+    SloClassStats,
     TenantConfig,
     TenantHealth,
     TenantReport,
@@ -24,9 +43,13 @@ from repro.serving.server import (
 from repro.serving.workload import Request, TrafficPattern, generate_trace
 
 __all__ = [
-    "CompletedRequest", "DeviceReport", "FleetConfig", "FleetManager",
+    "AdmissionController", "AdmissionDecision", "AdmissionPolicy",
+    "Autoscaler", "AutoscalerConfig", "CompletedRequest",
+    "DEFAULT_SLO_CLASSES", "DeviceReport", "FleetConfig", "FleetManager",
     "FleetReport", "FleetTenantStats", "InferenceServer", "LifecycleEvent",
-    "NoHealthyGroupsError", "RasConfig", "ReplicaStatus", "Request",
+    "LoadSpec", "LoadSummary", "NoHealthyGroupsError", "RasConfig",
+    "ReplicaStatus", "Request", "ScaleAction", "SloClass", "SloClassStats",
     "TenantConfig", "TenantHealth", "TenantReport", "TrafficPattern",
-    "batch_service_time_ns", "generate_trace", "measure_service_time_ns",
+    "batch_service_time_ns", "demo_specs", "generate_load", "generate_trace",
+    "measure_service_time_ns", "merge_traces", "summarize_trace",
 ]

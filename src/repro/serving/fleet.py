@@ -51,7 +51,9 @@ from repro.runtime.runtime import Device
 from repro.seeding import derive_rng, derive_seed
 from repro.serving.server import (
     RasConfig,
+    SloClassStats,
     TenantConfig,
+    batch_service_time_ns,
     measure_service_time_ns,
 )
 from repro.serving.workload import Request
@@ -136,7 +138,8 @@ class LifecycleEvent:
     device: str
     kind: str
     """``opened``/``validated``/``quarantined``/``promoted``/
-    ``repair_failed``/``repaired``/``reintegrated``/``retired``."""
+    ``repair_failed``/``repaired``/``reintegrated``/``retired``/
+    ``scaled-up``/``scaled-down`` (the last two autoscaler-driven)."""
     detail: str = ""
 
     def to_dict(self) -> dict:
@@ -163,6 +166,11 @@ class FleetTenantStats:
     p50_ms: float = 0.0
     p95_ms: float = 0.0
     p99_ms: float = 0.0
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    """Shed counts by admission reason (``queue-full``/``deadline``/
+    ``brownout``/``no-capacity``); empty without an admission policy."""
+    by_class: dict[str, SloClassStats] = field(default_factory=dict)
+    """Per-SLO-class breakdown (populated when admission is attached)."""
 
     @property
     def availability(self) -> float:
@@ -189,6 +197,11 @@ class FleetTenantStats:
             "p95_ms": self.p95_ms, "p99_ms": self.p99_ms,
             "availability": self.availability,
             "availability_while_healthy": self.availability_while_healthy,
+            "shed_reasons": dict(sorted(self.shed_reasons.items())),
+            "by_class": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.by_class.items())
+            },
         }
 
 
@@ -241,6 +254,16 @@ class FleetReport:
     min_healthy: int
     final_healthy: int
     horizon_ns: float
+    autoscale_ups: int = 0
+    """Standby promotions the autoscaler drove (not failover promotions)."""
+    autoscale_downs: int = 0
+    """Active replicas the autoscaler drained back to standby."""
+    autoscale_reversals: int = 0
+    """Up/down direction flips in the action history (flap measure)."""
+    max_brownout_level: int = 0
+    """Deepest brownout degradation level the admission layer reached."""
+    peak_backpressure: float = 0.0
+    """Worst per-class queue-fullness signal seen during the run."""
 
     def to_dict(self) -> dict:
         """Deterministic nested-dict form (same run -> identical JSON)."""
@@ -265,6 +288,11 @@ class FleetReport:
             "min_healthy": self.min_healthy,
             "final_healthy": self.final_healthy,
             "horizon_ns": self.horizon_ns,
+            "autoscale_ups": self.autoscale_ups,
+            "autoscale_downs": self.autoscale_downs,
+            "autoscale_reversals": self.autoscale_reversals,
+            "max_brownout_level": self.max_brownout_level,
+            "peak_backpressure": self.peak_backpressure,
         }
 
     def device(self, name: str) -> DeviceReport:
@@ -324,6 +352,8 @@ class FleetManager:
         ras: RasConfig | None = None,
         obs=None,
         service_times_ns: dict[str, float] | None = None,
+        admission=None,
+        autoscaler=None,
     ) -> None:
         if not tenants:
             raise ReproRuntimeError("fleet needs at least one tenant")
@@ -335,6 +365,21 @@ class FleetManager:
         self.schedule = schedule or FaultSchedule()
         self.ras = ras or RasConfig()
         self.obs = obs
+        # SLO-class admission (AdmissionPolicy) supersedes the flat
+        # ras.queue_depth_limit; the autoscaler (AutoscalerConfig) drives
+        # standby promotion / active drain on top of the failover
+        # lifecycle. Both are optional and change nothing when absent.
+        self.admission = admission
+        self._admission_ctl = None
+        if admission is not None:
+            from repro.serving.admission import AdmissionController
+
+            self._admission_ctl = AdmissionController(admission)
+        self._autoscaler = None
+        if autoscaler is not None:
+            from repro.serving.autoscale import Autoscaler
+
+            self._autoscaler = Autoscaler(autoscaler)
         self.service_times_ns = dict(service_times_ns or {})
         for tenant in tenants:
             if tenant.name not in self.service_times_ns:
@@ -429,12 +474,22 @@ class FleetManager:
         events: list[LifecycleEvent] = list(self._bringup_events)
         stats = {name: FleetTenantStats(tenant=name) for name in self.tenants}
         latencies: dict[str, list[float]] = {name: [] for name in self.tenants}
+        class_latencies: dict[tuple[str, str], list[float]] = {}
         finishes: dict[str, list[float]] = {name: [] for name in self.tenants}
+        # Fleet-wide per-class finish times: the admission layer's queue
+        # depths and backpressure read these (the fleet is one shared pool).
+        class_finishes: dict[str, list[float]] = {}
         counters = _RunCounters()
         counters.min_healthy = len(self._active())
         horizon = 0.0
         last_arrival = 0.0
-        for request in trace:
+        joined = [False] * len(trace)
+        next_tick = (
+            self._autoscaler.config.eval_interval_ms * 1e6
+            if self._autoscaler is not None
+            else None
+        )
+        for index, request in enumerate(trace):
             if request.arrival_ns < last_arrival:
                 raise ReproRuntimeError(
                     f"trace arrivals must be non-decreasing: request "
@@ -447,31 +502,60 @@ class FleetManager:
                     f"request {request.request_id}: unknown tenant "
                     f"{request.tenant!r}"
                 )
+            if joined[index]:
+                continue  # coalesced into an earlier batch, accounted there
+            while next_tick is not None and next_tick <= request.arrival_ns:
+                self._autoscale_tick(
+                    next_tick, class_finishes, events, counters
+                )
+                next_tick += self._autoscaler.config.eval_interval_ms * 1e6
             self._advance(request.arrival_ns, events, counters)
             tenant_stats = stats[request.tenant]
             tenant_stats.offered += 1
             if not self._active():
                 tenant_stats.shed += 1
                 tenant_stats.shed_no_capacity += 1
+                self._note_shed(tenant_stats, request, "no-capacity")
                 continue
-            if self._admission_shed(request, finishes[request.tenant]):
+            shed_reason = self._admission_shed(
+                request, finishes[request.tenant], class_finishes
+            )
+            if shed_reason is not None:
                 tenant_stats.shed += 1
+                self._note_shed(tenant_stats, request, shed_reason)
                 continue
+            members = self._coalesce(trace, index, joined)
+            for member in members[1:]:
+                tenant_stats.offered += 1
             finish, status, hedges = self._dispatch(
-                request, rngs, events, counters
+                members, rngs, events, counters
             )
             if hedges:
-                tenant_stats.hedged += 1
-                counters.hedged_requests += 1
-            status = self._apply_deadline(status, request, finish)
-            if status == "ok":
-                tenant_stats.served += 1
-                latencies[request.tenant].append(
-                    (finish - request.arrival_ns) / 1e6
+                tenant_stats.hedged += len(members)
+                counters.hedged_requests += len(members)
+            for member in members:
+                final = self._apply_deadline(status, member, finish)
+                latency_ms = (finish - member.arrival_ns) / 1e6
+                if final == "ok":
+                    tenant_stats.served += 1
+                    latencies[member.tenant].append(latency_ms)
+                    if self._admission_ctl is not None:
+                        class_latencies.setdefault(
+                            (member.tenant, member.slo_class), []
+                        ).append(latency_ms)
+                        self._class_stat(tenant_stats, member).served += 1
+                    if self._autoscaler is not None:
+                        self._autoscaler.observe(member.slo_class, latency_ms)
+                else:
+                    tenant_stats.failed += 1
+                    if self._admission_ctl is not None:
+                        self._class_stat(tenant_stats, member).failed += 1
+                if self._admission_ctl is not None:
+                    self._class_stat(tenant_stats, member).offered += 1
+                insort(finishes[member.tenant], finish)
+                insort(
+                    class_finishes.setdefault(member.slo_class, []), finish
                 )
-            else:
-                tenant_stats.failed += 1
-            insort(finishes[request.tenant], finish)
             horizon = max(horizon, finish)
         self._drain_repairs(events, counters)
         for name, values in latencies.items():
@@ -480,6 +564,13 @@ class FleetManager:
                 stats[name].p50_ms = float(np.percentile(array, 50))
                 stats[name].p95_ms = float(np.percentile(array, 95))
                 stats[name].p99_ms = float(np.percentile(array, 99))
+        if self._admission_ctl is not None:
+            from repro.obs.metrics import DEFAULT_BUCKETS_MS
+
+            for (tenant, slo_class), values in class_latencies.items():
+                stats[tenant].by_class[slo_class].set_percentiles(
+                    values, DEFAULT_BUCKETS_MS
+                )
         events.sort(key=lambda event: event.time_ns)
         horizon = max(
             [horizon] + [event.time_ns for event in events] or [0.0]
@@ -488,6 +579,115 @@ class FleetManager:
         if self.obs is not None:
             self._export_obs(report)
         return report
+
+    def _class_stat(
+        self, tenant_stats: FleetTenantStats, request: Request
+    ) -> SloClassStats:
+        by_class = tenant_stats.by_class
+        if request.slo_class not in by_class:
+            by_class[request.slo_class] = SloClassStats(
+                slo_class=request.slo_class
+            )
+        return by_class[request.slo_class]
+
+    def _note_shed(
+        self, tenant_stats: FleetTenantStats, request: Request, reason: str
+    ) -> None:
+        tenant_stats.shed_reasons[reason] = (
+            tenant_stats.shed_reasons.get(reason, 0) + 1
+        )
+        if self._admission_ctl is not None:
+            entry = self._class_stat(tenant_stats, request)
+            entry.offered += 1
+            entry.record_shed(reason)
+
+    def _coalesce(
+        self, trace: list[Request], index: int, joined: list[bool]
+    ) -> list[Request]:
+        """Continuous batching: same-(tenant, class) arrivals inside the
+        coalescing window ride along with the head request.
+
+        The window is anchored at the batch's earliest possible start
+        (the least-loaded active replica's free time); joiners bypass the
+        per-arrival admission checks — they consume a batch slot that is
+        already paid for, not queue depth. A zero window (the default)
+        returns ``[head]`` and reproduces the unbatched fleet exactly.
+        """
+        head = trace[index]
+        tenant = self.tenants[head.tenant]
+        members = [head]
+        window_ns = tenant.coalesce_window_ms * 1e6
+        if window_ns <= 0 or tenant.max_batch <= 1:
+            return members
+        start = min(
+            max(replica.free_at, head.arrival_ns)
+            for replica in self._active()
+        )
+        horizon = start + window_ns
+        probe = index + 1
+        while (
+            probe < len(trace)
+            and len(members) < tenant.max_batch
+            and trace[probe].arrival_ns <= horizon
+        ):
+            candidate = trace[probe]
+            if (
+                not joined[probe]
+                and candidate.tenant == head.tenant
+                and candidate.slo_class == head.slo_class
+            ):
+                members.append(candidate)
+                joined[probe] = True
+            probe += 1
+        return members
+
+    def _autoscale_tick(
+        self,
+        now: float,
+        class_finishes: dict[str, list[float]],
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+    ) -> None:
+        """One autoscaler evaluation: promote a standby or drain an
+        active replica back to standby (never below one, never past the
+        devices the fleet actually opened)."""
+        self._advance(now, events, counters)
+        scaler = self._autoscaler
+        active = self._active()
+        backpressure = 0.0
+        if self._admission_ctl is not None:
+            depths = {
+                name: len(f) - bisect_right(f, now)
+                for name, f in class_finishes.items()
+            }
+            backpressure = self._admission_ctl.backpressure(depths)
+        spare = self._standby()
+        delta = scaler.evaluate(
+            now, len(active), backpressure,
+            can_up=spare is not None,
+            can_down=len(active) > 1,
+        )
+        if delta > 0:
+            spare.status = ReplicaStatus.ACTIVE
+            spare.free_at = max(spare.free_at, now)
+            counters.autoscale_ups += 1
+            events.append(
+                LifecycleEvent(
+                    now, spare.name, "scaled-up",
+                    scaler.actions[-1].reason,
+                )
+            )
+        elif delta < 0:
+            victim = max(active, key=lambda replica: replica.index)
+            victim.status = ReplicaStatus.STANDBY
+            counters.autoscale_downs += 1
+            events.append(
+                LifecycleEvent(
+                    now, victim.name, "scaled-down",
+                    scaler.actions[-1].reason,
+                )
+            )
+        counters.note_healthy(len(self._active()))
 
     def _reset(self) -> None:
         """Restore bring-up roles so repeated runs are reproducible."""
@@ -503,34 +703,70 @@ class FleetManager:
             replica.probe_faults = 0
             replica.repair_due_ns = None
             replica.repair_attempts = 0
+        if self._admission_ctl is not None:
+            self._admission_ctl.reset()
+        if self._autoscaler is not None:
+            self._autoscaler.reset()
 
     # -- routing + serving ---------------------------------------------------
 
-    def _admission_shed(self, request: Request, finishes: list[float]) -> bool:
-        """Fleet-wide per-tenant admission control (same policy as the
-        single-server layer): shed when this tenant already has
-        ``queue_depth_limit`` requests queued or in flight."""
+    def _admission_shed(
+        self,
+        request: Request,
+        finishes: list[float],
+        class_finishes: dict[str, list[float]],
+    ) -> str | None:
+        """Admission control at the fleet door; returns a shed reason or
+        ``None`` to admit.
+
+        With an :class:`~repro.serving.admission.AdmissionPolicy`
+        attached, the request's SLO class gets the full treatment —
+        bounded per-class queue, deadline-aware early shedding, brownout
+        — driven by fleet-wide per-class depths. Without one, the legacy
+        flat per-tenant ``ras.queue_depth_limit`` applies.
+        """
+        now = request.arrival_ns
+        if self._admission_ctl is not None:
+            ctl = self._admission_ctl
+            depths = {
+                name: len(f) - bisect_right(f, now)
+                for name, f in class_finishes.items()
+            }
+            ctl.update(ctl.backpressure(depths))
+            earliest = min(
+                max(replica.free_at, now) for replica in self._active()
+            )
+            decision = ctl.decide(
+                request.slo_class,
+                depths.get(request.slo_class, 0),
+                earliest - now,
+                self.service_times_ns[request.tenant],
+            )
+            return None if decision.admitted else decision.reason
         limit = self.ras.queue_depth_limit
         if limit is None:
-            return False
-        depth = len(finishes) - bisect_right(finishes, request.arrival_ns)
-        return depth >= limit
+            return None
+        depth = len(finishes) - bisect_right(finishes, now)
+        return "queue-full" if depth >= limit else None
 
     def _dispatch(
         self,
-        request: Request,
+        members: list[Request],
         rngs: dict,
         events: list[LifecycleEvent],
         counters: "_RunCounters",
     ) -> tuple[float, str, int]:
-        """Serve one request with hedged re-dispatch across replicas.
+        """Serve one batch with hedged re-dispatch across replicas.
 
         Returns ``(finish_ns, status, hedges)``. A fatal outcome marks the
-        replica (possibly quarantining it), then the request re-dispatches
+        replica (possibly quarantining it), then the batch re-dispatches
         to the next least-loaded healthy replica at the failure time —
-        up to ``max_hedges`` times before the request is declared failed.
+        up to ``max_hedges`` times before the batch is declared failed.
+        ``members`` is usually one request; continuous batching passes
+        the coalesced group, which lives and dies together.
         """
-        dispatch_ns = request.arrival_ns
+        head = members[0]
+        dispatch_ns = head.arrival_ns
         hedges = 0
         excluded: set[str] = set()
         finish = dispatch_ns
@@ -547,16 +783,19 @@ class FleetManager:
             )
             if excluded:
                 # A prior attempt died fatally and a healthy replica is
-                # taking the request over: that is one hedged failover.
+                # taking the batch over: that is one hedged failover.
                 hedges += 1
                 counters.failovers += 1
             start = max(dispatch_ns, replica.free_at)
+            # Continuous batching: the launch waits for its last joiner.
+            start = max(start, members[-1].arrival_ns)
             finish, outcome, _retries = self._attempt(
-                replica, request.tenant, start, rngs[replica.name]
+                replica, head.tenant, start, rngs[replica.name],
+                batch=len(members),
             )
             replica.free_at = finish
             if outcome == "ok":
-                replica.served += 1
+                replica.served += len(members)
                 replica.consecutive_fatals = 0
                 return finish, "ok", hedges
             replica.fatal_outcomes += 1
@@ -568,7 +807,12 @@ class FleetManager:
             dispatch_ns = finish
 
     def _attempt(
-        self, replica: _Replica, tenant_name: str, start: float, rng
+        self,
+        replica: _Replica,
+        tenant_name: str,
+        start: float,
+        rng,
+        batch: int = 1,
     ) -> tuple[float, str, int]:
         """One replica-local service: in-place retries, then ok/fatal.
 
@@ -577,8 +821,10 @@ class FleetManager:
         requests. Zero rates consume no randomness, so quiet fleets stay
         bit-identical to the fault-free path.
         """
-        service = self.service_times_ns[tenant_name]
-        events_per_attempt = self.ras.transfers_per_request
+        service = batch_service_time_ns(
+            self.service_times_ns[tenant_name], batch
+        )
+        events_per_attempt = self.ras.transfers_per_request * batch
         now = start
         retries = 0
         while True:
@@ -804,6 +1050,23 @@ class FleetManager:
             min_healthy=counters.min_healthy,
             final_healthy=len(self._active()),
             horizon_ns=horizon,
+            autoscale_ups=counters.autoscale_ups,
+            autoscale_downs=counters.autoscale_downs,
+            autoscale_reversals=(
+                self._autoscaler.reversals()
+                if self._autoscaler is not None
+                else 0
+            ),
+            max_brownout_level=(
+                self._admission_ctl.max_level_seen
+                if self._admission_ctl is not None
+                else 0
+            ),
+            peak_backpressure=(
+                self._admission_ctl.peak_backpressure
+                if self._admission_ctl is not None
+                else 0.0
+            ),
         )
 
     def _export_obs(self, report: FleetReport) -> None:
@@ -864,6 +1127,55 @@ class FleetManager:
                 if value:
                     requests_total.inc(value, tenant=name, status=status)
             availability.set(stats.availability, tenant=name)
+        self._export_serving_obs(report)
+
+    def _export_serving_obs(self, report: FleetReport) -> None:
+        """Admission/autoscaler metric rows (docs/observability.md)."""
+        metrics = self.obs.metrics
+        if self._admission_ctl is not None:
+            shed_total = metrics.counter(
+                "serving_shed_total",
+                "requests shed by admission, by reason",
+            )
+            class_p99 = metrics.gauge(
+                "serving_class_p99_ms", "per-SLO-class p99 latency",
+                unit="ms",
+            )
+            class_availability = metrics.gauge(
+                "serving_class_availability",
+                "served / offered per SLO class",
+            )
+            for name, stats in sorted(report.tenants.items()):
+                for slo_class, entry in sorted(stats.by_class.items()):
+                    for reason, count in sorted(entry.shed_reasons.items()):
+                        shed_total.inc(
+                            count, tenant=name, slo_class=slo_class,
+                            reason=reason,
+                        )
+                    class_p99.set(
+                        entry.p99_ms, tenant=name, slo_class=slo_class
+                    )
+                    class_availability.set(
+                        entry.availability, tenant=name, slo_class=slo_class
+                    )
+            metrics.gauge(
+                "serving_brownout_level", "degradation level at run end"
+            ).set(self._admission_ctl.brownout_level)
+            metrics.gauge(
+                "serving_backpressure_peak", "worst queue fullness seen"
+            ).set(report.peak_backpressure)
+        if self._autoscaler is not None:
+            metrics.gauge(
+                "autoscaler_replicas", "active replicas at end of run"
+            ).set(report.final_healthy)
+            scale_events = metrics.counter(
+                "autoscaler_scale_events_total",
+                "autoscaler actions by direction",
+            )
+            if report.autoscale_ups:
+                scale_events.inc(report.autoscale_ups, direction="up")
+            if report.autoscale_downs:
+                scale_events.inc(report.autoscale_downs, direction="down")
 
 
 @dataclass
@@ -879,6 +1191,8 @@ class _RunCounters:
     promotions: int = 0
     retirements: int = 0
     min_healthy: int = 0
+    autoscale_ups: int = 0
+    autoscale_downs: int = 0
 
     def note_healthy(self, active: int) -> None:
         self.min_healthy = min(self.min_healthy, active)

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -73,6 +73,20 @@ class TenantConfig:
     groups: int
     max_batch: int = 1
     sla_ms: float | None = None
+    coalesce_window_ms: float = 0.0
+    """Continuous batching: a dispatching batch keeps admitting requests
+    arriving up to this long after its nominal start (until ``max_batch``)
+    instead of closing at a fixed boundary. 0 keeps the legacy
+    waiting-requests-only batching bit-identically."""
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.coalesce_window_ms < 0:
+            raise ValueError(
+                f"coalesce_window_ms must be >= 0, "
+                f"got {self.coalesce_window_ms}"
+            )
 
 
 @dataclass(frozen=True)
@@ -226,6 +240,74 @@ class CompletedRequest:
 
 
 @dataclass
+class SloClassStats:
+    """Per-SLO-class request accounting (shared by server and fleet).
+
+    ``p99_ms`` is interpolated from histogram buckets via
+    :meth:`~repro.obs.metrics.HistogramSeries.quantile` — the same
+    estimator the autoscaler uses — so reports and control decisions
+    read one number.
+    """
+
+    slo_class: str
+    offered: int = 0
+    served: int = 0
+    failed: int = 0
+    shed: int = 0
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    """Shed counts by reason: ``queue-full`` / ``deadline`` / ``brownout``
+    / ``no-capacity``."""
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+
+    def record_shed(self, reason: str) -> None:
+        self.shed += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+
+    def shed_for(self, reason: str) -> int:
+        return self.shed_reasons.get(reason, 0)
+
+    @property
+    def availability(self) -> float:
+        """Served fraction of offered requests (1.0 on zero offered)."""
+        if self.offered == 0:
+            return 1.0
+        return self.served / self.offered
+
+    @property
+    def availability_while_healthy(self) -> float:
+        """Availability among arrivals that found >= 1 replica active."""
+        eligible = self.offered - self.shed_for("no-capacity")
+        if eligible == 0:
+            return 1.0
+        return self.served / eligible
+
+    def set_percentiles(self, latencies_ms: list[float], buckets) -> None:
+        """Fill p50/p95/p99 from bucket interpolation (0s when empty)."""
+        from repro.obs.metrics import HistogramSeries
+
+        if not latencies_ms:
+            return
+        series = HistogramSeries(tuple(buckets))
+        for value in latencies_ms:
+            series.observe(value)
+        self.p50_ms = series.quantile(0.50)
+        self.p95_ms = series.quantile(0.95)
+        self.p99_ms = series.quantile(0.99)
+
+    def to_dict(self) -> dict:
+        return {
+            "slo_class": self.slo_class, "offered": self.offered,
+            "served": self.served, "failed": self.failed, "shed": self.shed,
+            "shed_reasons": dict(sorted(self.shed_reasons.items())),
+            "p50_ms": self.p50_ms, "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "availability": self.availability,
+        }
+
+
+@dataclass
 class TenantReport:
     """Serving statistics for one tenant over a run."""
 
@@ -246,6 +328,10 @@ class TenantReport:
     """Requests dropped by admission control before service."""
     degraded: int = 0
     """Requests served while the tenant's slice was degraded."""
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    """Shed counts by reason (``queue-full``/``deadline``/``brownout``)."""
+    by_class: dict[str, SloClassStats] = field(default_factory=dict)
+    """Per-SLO-class breakdown (populated when classes are in play)."""
 
     @property
     def offered(self) -> int:
@@ -346,6 +432,7 @@ class InferenceServer:
         degraded_service_times_ns: dict[tuple[str, int], float] | None = None,
         obs=None,
         measurement_fault_plan: FaultPlan | None = None,
+        admission=None,
     ) -> None:
         if not tenants:
             raise ValueError("server needs at least one tenant")
@@ -358,6 +445,15 @@ class InferenceServer:
         self.obs = obs
         self.measurement_fault_plan = measurement_fault_plan
         self.ras = ras or RasConfig()
+        # SLO-class admission (repro.serving.admission): when a policy is
+        # attached, per-class bounded queues + deadline-aware early
+        # shedding + brownout supersede the flat ras.queue_depth_limit.
+        self.admission = admission
+        self._admission_ctl = None
+        if admission is not None:
+            from repro.serving.admission import AdmissionController
+
+            self._admission_ctl = AdmissionController(admission)
         self.service_times_ns = service_times_ns or {}
         # Tenants whose base time we measured on the detailed simulator get
         # degraded-slice times measured (calibrated) too; user-provided
@@ -486,9 +582,11 @@ class InferenceServer:
         produce identical reports (per-run RNGs are re-seeded from the
         plan seed on every call).
         """
+        if self._admission_ctl is not None:
+            self._admission_ctl.reset()
         if self.isolated:
             completed: list[CompletedRequest] = []
-            shed: list[Request] = []
+            shed: list[tuple[Request, str]] = []
             for name in self.tenants:
                 tenant_trace = [r for r in trace if r.tenant == name]
                 done, dropped = self._run_single_queue(tenant_trace, name)
@@ -506,7 +604,7 @@ class InferenceServer:
     def _emit_observability(
         self,
         completed: list[CompletedRequest],
-        shed: list[Request],
+        shed: list[tuple[Request, str]],
         reports: dict[str, TenantReport],
     ) -> None:
         """Report the run into the attached Observability hub.
@@ -542,6 +640,14 @@ class InferenceServer:
             "serving_degraded_requests_total",
             "requests served on a degraded slice",
         )
+        shed_total = metrics.counter(
+            "serving_shed_total", "requests shed by admission, by reason"
+        )
+        class_latency = metrics.histogram(
+            "serving_class_latency_ms", "per-SLO-class request latency",
+            unit="ms", buckets=DEFAULT_BUCKETS_MS,
+        )
+        classes_in_play = self._admission_ctl is not None
         for request in sorted(completed, key=lambda c: c.request.request_id):
             tenant = request.request.tenant
             root = tracer.begin(
@@ -572,16 +678,26 @@ class InferenceServer:
                 latency_hist.observe(request.latency_ms, tenant=tenant)
                 queue_hist.observe(request.queue_ms, tenant=tenant)
                 batch_hist.observe(request.batch_size, tenant=tenant)
+                if classes_in_play:
+                    class_latency.observe(
+                        request.latency_ms, tenant=tenant,
+                        slo_class=request.request.slo_class,
+                    )
             if request.retries:
                 retries_total.inc(request.retries, tenant=tenant)
             if request.degraded:
                 degraded_total.inc(tenant=tenant)
-        for request in shed:
+        for request, reason in shed:
             tracer.add_event(
                 "shed", layer="serving", time_ns=request.arrival_ns,
                 track=f"tenant.{request.tenant}", tenant=request.tenant,
+                reason=reason,
             )
             requests_total.inc(tenant=request.tenant, status="shed")
+            shed_total.inc(
+                tenant=request.tenant, slo_class=request.slo_class,
+                reason=reason,
+            )
         for name, report in reports.items():
             metrics.gauge(
                 "serving_throughput_rps", "completed requests per second",
@@ -596,6 +712,13 @@ class InferenceServer:
                 metrics.counter(
                     "serving_sla_violations_total", "requests over SLA"
                 ).inc(report.sla_violations, tenant=name)
+        if self._admission_ctl is not None:
+            metrics.gauge(
+                "serving_brownout_level", "degradation level at run end"
+            ).set(self._admission_ctl.brownout_level)
+            metrics.gauge(
+                "serving_backpressure_peak", "worst queue fullness seen"
+            ).set(self._admission_ctl.peak_backpressure)
 
     def _rng(self, label: str) -> random.Random:
         """Per-tenant (or ``"shared"``) draw stream off the plan seed.
@@ -629,34 +752,110 @@ class InferenceServer:
         depth = len(finishes) - bisect_right(finishes, request.arrival_ns)
         return depth >= limit
 
+    def _admission_decision(
+        self,
+        head: Request,
+        free_at: float,
+        class_finishes: dict[str, list[float]],
+        service_ns: float,
+    ):
+        """Class-aware admission for one arrival (policy attached only).
+
+        The brownout level steps on every arrival from the backpressure
+        signal (worst per-class queue fullness), then the class's bounded
+        queue and deadline check decide the request's fate.
+        """
+        ctl = self._admission_ctl
+        now = head.arrival_ns
+        depths = {
+            name: len(finishes) - bisect_right(finishes, now)
+            for name, finishes in class_finishes.items()
+        }
+        ctl.update(ctl.backpressure(depths))
+        predicted_wait = max(0.0, free_at - now)
+        return ctl.decide(
+            head.slo_class, depths.get(head.slo_class, 0),
+            predicted_wait, service_ns,
+        )
+
+    def _collect_batch(
+        self,
+        trace: list[Request],
+        index: int,
+        start: float,
+        tenant: TenantConfig,
+        served: list[bool] | None = None,
+    ) -> tuple[list[Request], int]:
+        """Dynamic + continuous batching from ``trace[index]`` onward.
+
+        Requests already waiting at ``start`` join as before; with a
+        ``coalesce_window_ms`` the batch stays open for late arrivals up
+        to ``start + window`` (continuous batching) — still capped at
+        ``max_batch`` and, when SLO classes are in play, restricted to
+        the head's class so one slow batch-class batch never captures an
+        interactive request. Returns the batch and the next probe index
+        (single-queue mode); shared mode passes ``served`` flags instead
+        and ignores the probe index.
+        """
+        head = trace[index]
+        window_ns = tenant.coalesce_window_ms * 1e6
+        horizon = start + window_ns
+        batch = [head]
+        probe = index + 1
+        while (
+            probe < len(trace)
+            and len(batch) < tenant.max_batch
+            and trace[probe].arrival_ns <= horizon
+        ):
+            candidate = trace[probe]
+            eligible = (
+                candidate.tenant == head.tenant
+                and candidate.slo_class == head.slo_class
+                and (served is None or not served[probe])
+            )
+            if eligible:
+                batch.append(candidate)
+                if served is not None:
+                    served[probe] = True
+            elif served is None:
+                # Single-queue mode is FIFO per tenant: a non-matching
+                # request closes the batch (it must be served next).
+                break
+            probe += 1
+        return batch, probe
+
     def _run_single_queue(
         self, trace: list[Request], tenant_name: str
-    ) -> tuple[list[CompletedRequest], list[Request]]:
+    ) -> tuple[list[CompletedRequest], list[tuple[Request, str]]]:
         tenant = self.tenants[tenant_name]
         rng = self._rng(tenant_name)
         health = self._health(tenant)
         completed: list[CompletedRequest] = []
-        shed: list[Request] = []
+        shed: list[tuple[Request, str]] = []
         finishes: list[float] = []
+        class_finishes: dict[str, list[float]] = {}
         free_at = 0.0
         index = 0
         while index < len(trace):
             head = trace[index]
-            if self._shed_at_arrival(head, finishes):
-                shed.append(head)
+            if self._admission_ctl is not None:
+                base = self._service_time(tenant_name, health.available)
+                decision = self._admission_decision(
+                    head, free_at, class_finishes,
+                    batch_service_time_ns(base, 1),
+                )
+                if not decision.admitted:
+                    shed.append((head, decision.reason))
+                    index += 1
+                    continue
+            elif self._shed_at_arrival(head, finishes):
+                shed.append((head, "queue-full"))
                 index += 1
                 continue
             start = max(head.arrival_ns, free_at)
-            # dynamic batching: everything already waiting joins, capped.
-            batch = [head]
-            probe = index + 1
-            while (
-                probe < len(trace)
-                and len(batch) < tenant.max_batch
-                and trace[probe].arrival_ns <= start
-            ):
-                batch.append(trace[probe])
-                probe += 1
+            batch, probe = self._collect_batch(trace, index, start, tenant)
+            # Continuous batching: the launch waits for its last joiner.
+            start = max(start, batch[-1].arrival_ns)
             base = self._service_time(tenant_name, health.available)
             degraded = health.degraded
             finish, status, retries = self._serve_batch(
@@ -671,6 +870,7 @@ class InferenceServer:
                         retries=retries, degraded=degraded,
                     )
                 )
+                class_finishes.setdefault(request.slo_class, []).append(finish)
             finishes.extend([finish] * len(batch))
             free_at = finish
             index = probe
@@ -678,14 +878,16 @@ class InferenceServer:
 
     def _run_shared_queue(
         self, trace: list[Request]
-    ) -> tuple[list[CompletedRequest], list[Request]]:
+    ) -> tuple[list[CompletedRequest], list[tuple[Request, str]]]:
         rng = self._rng("shared")
         healths = {
             name: self._health(tenant) for name, tenant in self.tenants.items()
         }
         finishes: dict[str, list[float]] = {name: [] for name in self.tenants}
+        # One shared queue → class depths aggregate across tenants.
+        class_finishes: dict[str, list[float]] = {}
         completed: list[CompletedRequest] = []
-        shed: list[Request] = []
+        shed: list[tuple[Request, str]] = []
         served = [False] * len(trace)
         free_at = 0.0
         for index, head in enumerate(trace):
@@ -694,23 +896,23 @@ class InferenceServer:
             served[index] = True
             tenant = self.tenants[head.tenant]
             health = healths[head.tenant]
-            if self._shed_at_arrival(head, finishes[head.tenant]):
-                shed.append(head)
+            if self._admission_ctl is not None:
+                base = self._service_time(head.tenant, health.available)
+                decision = self._admission_decision(
+                    head, free_at, class_finishes,
+                    batch_service_time_ns(base, 1),
+                )
+                if not decision.admitted:
+                    shed.append((head, decision.reason))
+                    continue
+            elif self._shed_at_arrival(head, finishes[head.tenant]):
+                shed.append((head, "queue-full"))
                 continue
             start = max(head.arrival_ns, free_at)
             # Same-tenant requests already waiting coalesce into the batch
             # (other tenants' requests keep their place in the FIFO).
-            batch = [head]
-            probe = index + 1
-            while (
-                probe < len(trace)
-                and len(batch) < tenant.max_batch
-                and trace[probe].arrival_ns <= start
-            ):
-                if not served[probe] and trace[probe].tenant == head.tenant:
-                    batch.append(trace[probe])
-                    served[probe] = True
-                probe += 1
+            batch, _ = self._collect_batch(trace, index, start, tenant, served)
+            start = max(start, batch[-1].arrival_ns)
             base = self._service_time(head.tenant, health.available)
             degraded = health.degraded
             finish, status, retries = self._serve_batch(
@@ -725,17 +927,54 @@ class InferenceServer:
                         retries=retries, degraded=degraded,
                     )
                 )
+                class_finishes.setdefault(request.slo_class, []).append(finish)
             finishes[head.tenant].extend([finish] * len(batch))
             free_at = finish
         return completed, shed
 
     # -- reporting ----------------------------------------------------------
 
+    def _class_stats(
+        self,
+        mine: list[CompletedRequest],
+        my_shed: list[tuple[Request, str]],
+    ) -> dict[str, SloClassStats]:
+        """Per-SLO-class breakdown for one tenant (empty without classes)."""
+        if self._admission_ctl is None:
+            return {}
+        from repro.obs.metrics import DEFAULT_BUCKETS_MS
+
+        stats: dict[str, SloClassStats] = {}
+
+        def stat(slo_class: str) -> SloClassStats:
+            if slo_class not in stats:
+                stats[slo_class] = SloClassStats(slo_class=slo_class)
+            return stats[slo_class]
+
+        latencies: dict[str, list[float]] = {}
+        for done in mine:
+            entry = stat(done.request.slo_class)
+            entry.offered += 1
+            if done.ok:
+                entry.served += 1
+                latencies.setdefault(done.request.slo_class, []).append(
+                    done.latency_ms
+                )
+            else:
+                entry.failed += 1
+        for request, reason in my_shed:
+            entry = stat(request.slo_class)
+            entry.offered += 1
+            entry.record_shed(reason)
+        for slo_class, values in latencies.items():
+            stats[slo_class].set_percentiles(values, DEFAULT_BUCKETS_MS)
+        return dict(sorted(stats.items()))
+
     def _report(
         self,
         completed: list[CompletedRequest],
         trace: list[Request],
-        shed: list[Request] | None = None,
+        shed: list[tuple[Request, str]] | None = None,
     ) -> dict[str, TenantReport]:
         shed = shed or []
         # Throughput horizon: the run lasts until the last completion, not
@@ -750,15 +989,20 @@ class InferenceServer:
             failed = len(mine) - len(ok)
             retried = sum(1 for c in mine if c.retries > 0)
             degraded = sum(1 for c in mine if c.degraded)
-            shed_count = sum(1 for r in shed if r.tenant == name)
+            my_shed = [(r, reason) for r, reason in shed if r.tenant == name]
+            shed_reasons: dict[str, int] = {}
+            for _, reason in my_shed:
+                shed_reasons[reason] = shed_reasons.get(reason, 0) + 1
+            by_class = self._class_stats(mine, my_shed)
             latencies = np.asarray([c.latency_ms for c in ok])
             if latencies.size == 0:
                 reports[name] = TenantReport(
                     tenant=name, completed=0, throughput_per_s=0.0,
                     p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, mean_batch=0.0,
                     sla_ms=tenant.sla_ms, sla_violations=0,
-                    failed=failed, retried=retried, shed=shed_count,
-                    degraded=degraded,
+                    failed=failed, retried=retried, shed=len(my_shed),
+                    degraded=degraded, shed_reasons=shed_reasons,
+                    by_class=by_class,
                 )
                 continue
             violations = 0
@@ -776,7 +1020,9 @@ class InferenceServer:
                 sla_violations=violations,
                 failed=failed,
                 retried=retried,
-                shed=shed_count,
+                shed=len(my_shed),
                 degraded=degraded,
+                shed_reasons=shed_reasons,
+                by_class=by_class,
             )
         return reports

@@ -22,6 +22,13 @@ class Request:
     request_id: int
     tenant: str
     arrival_ns: float
+    slo_class: str = "standard"
+    """SLO class the admission layer queues/sheds this request under
+    (see :mod:`repro.serving.admission`); legacy traces default to
+    ``standard`` and behave exactly as before."""
+    user_id: int = -1
+    """Synthetic user the open-loop generator attributed the request to
+    (:mod:`repro.serving.loadgen`); -1 for closed-form traces."""
 
 
 @dataclass(frozen=True)
@@ -30,13 +37,16 @@ class TrafficPattern:
 
     tenant: str
     rate_per_s: float
-    """Mean request rate."""
+    """Mean request rate; 0 is allowed and generates no requests (useful
+    when sweeping a tenant's share of a composed workload down to zero)."""
     burstiness: float = 1.0
     """1.0 = Poisson; >1 squeezes gaps into bursts of idle/active phases."""
+    slo_class: str = "standard"
+    """SLO class stamped on every generated request."""
 
     def __post_init__(self) -> None:
-        if self.rate_per_s <= 0:
-            raise ValueError(f"rate must be positive, got {self.rate_per_s}")
+        if self.rate_per_s < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate_per_s}")
         if self.burstiness < 1.0:
             raise ValueError(f"burstiness must be >= 1, got {self.burstiness}")
 
@@ -53,6 +63,8 @@ def generate_trace(
     requests: list[Request] = []
     request_id = 0
     for pattern in patterns:
+        if pattern.rate_per_s == 0:
+            continue
         mean_gap_ns = 1e9 / pattern.rate_per_s
         now = 0.0
         active = True
@@ -72,7 +84,10 @@ def generate_trace(
             if now > duration_s * 1e9:
                 break
             requests.append(
-                Request(request_id=request_id, tenant=pattern.tenant, arrival_ns=now)
+                Request(
+                    request_id=request_id, tenant=pattern.tenant,
+                    arrival_ns=now, slo_class=pattern.slo_class,
+                )
             )
             request_id += 1
     requests.sort(key=lambda request: (request.arrival_ns, request.request_id))

@@ -6,6 +6,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    HistogramSeries,
     MetricsRegistry,
 )
 
@@ -114,3 +115,72 @@ class TestRegistry:
 
     def test_get_missing_is_none(self):
         assert MetricsRegistry().get("nope") is None
+
+
+class TestHistogramQuantile:
+    BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def _series(self, samples):
+        series = HistogramSeries(self.BUCKETS)
+        for value in samples:
+            series.observe(value)
+        return series
+
+    @staticmethod
+    def _exact(samples, q):
+        """The exact q-quantile of the sorted samples (ceil-rank rule)."""
+        ordered = sorted(samples)
+        rank = max(1, int(-(-q * len(ordered) // 1)))  # ceil(q * n)
+        return ordered[rank - 1]
+
+    def test_empty_series_reports_zero(self):
+        assert HistogramSeries(self.BUCKETS).quantile(0.99) == 0.0
+
+    def test_quantile_validates_range(self):
+        series = self._series([1.0])
+        with pytest.raises(ValueError):
+            series.quantile(-0.1)
+        with pytest.raises(ValueError):
+            series.quantile(1.1)
+
+    def test_single_sample_interpolates_inside_its_bucket(self):
+        # One sample at 3.0 lands in (2, 4]; any quantile interpolates
+        # within that bucket's bounds.
+        series = self._series([3.0])
+        assert 2.0 <= series.quantile(0.5) <= 4.0
+        assert 2.0 <= series.quantile(0.99) <= 4.0
+
+    def test_overflow_bucket_clamps_to_last_finite_bound(self):
+        series = self._series([100.0, 200.0, 300.0])
+        assert series.quantile(0.99) == self.BUCKETS[-1]
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_estimate_within_one_bucket_of_exact(self, q):
+        # The bucket estimate can never be more than one bucket away
+        # from the exact sorted-sample quantile.
+        samples = [0.5, 1.5, 1.7, 2.5, 3.0, 3.5, 5.0, 6.0, 7.5, 12.0]
+        series = self._series(samples)
+        exact = self._exact(samples, q)
+        estimate = series.quantile(q)
+        # Find exact's bucket bounds; the estimate must fall inside them.
+        lower, upper = 0.0, self.BUCKETS[0]
+        for index, edge in enumerate(self.BUCKETS):
+            if exact <= edge:
+                lower = self.BUCKETS[index - 1] if index else 0.0
+                upper = edge
+                break
+        assert lower <= estimate <= upper
+
+    def test_monotone_in_q(self):
+        samples = [0.3, 0.9, 1.1, 2.2, 3.3, 4.4, 6.6, 9.9, 15.0]
+        series = self._series(samples)
+        quantiles = [series.quantile(q / 100) for q in range(0, 101, 5)]
+        assert quantiles == sorted(quantiles)
+
+    def test_uniform_samples_median_close_to_exact(self):
+        # 160 evenly spread samples in (0, 16]: every bucket is well
+        # populated, so interpolation lands near the true quantile.
+        samples = [0.1 * i for i in range(1, 161)]
+        series = self._series(samples)
+        exact = self._exact(samples, 0.5)
+        assert abs(series.quantile(0.5) - exact) <= 0.5

@@ -1,0 +1,205 @@
+"""Unit tests for open-loop load generation (repro.serving.loadgen)."""
+
+import dataclasses
+
+import pytest
+
+from repro.serving.loadgen import (
+    LoadSpec,
+    demo_specs,
+    generate_load,
+    merge_traces,
+    summarize_trace,
+)
+from repro.serving.workload import TrafficPattern, generate_trace
+
+
+class TestLoadSpecValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            LoadSpec("a", rate_per_s=-1.0)
+
+    def test_zero_rate_allowed(self):
+        assert LoadSpec("a", rate_per_s=0.0).peak_rate_per_s == 0.0
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            LoadSpec("a", rate_per_s=10.0, shape="sawtooth")
+
+    def test_bad_population_rejected(self):
+        with pytest.raises(ValueError, match="users"):
+            LoadSpec("a", rate_per_s=10.0, users=0)
+        with pytest.raises(ValueError, match="session_mean_requests"):
+            LoadSpec("a", rate_per_s=10.0, session_mean_requests=0.5)
+
+    def test_bad_diurnal_params_rejected(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            LoadSpec("a", rate_per_s=10.0, shape="diurnal", amplitude=1.0)
+        with pytest.raises(ValueError, match="period"):
+            LoadSpec("a", rate_per_s=10.0, shape="diurnal", period_s=0.0)
+
+    def test_bad_flash_params_rejected(self):
+        with pytest.raises(ValueError, match="flash_multiplier"):
+            LoadSpec("a", rate_per_s=10.0, shape="flash-crowd",
+                     flash_multiplier=0.5)
+        with pytest.raises(ValueError, match="flash_ramp_s"):
+            LoadSpec("a", rate_per_s=10.0, shape="flash-crowd",
+                     flash_duration_s=0.1, flash_ramp_s=0.2)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            generate_load([LoadSpec("a", 10.0)], duration_s=0.0)
+
+
+class TestRateShapes:
+    def test_poisson_rate_is_constant(self):
+        spec = LoadSpec("a", rate_per_s=100.0)
+        assert spec.rate_at(0.0) == spec.rate_at(0.7) == 100.0
+        assert spec.peak_rate_per_s == 100.0
+
+    def test_diurnal_swings_around_baseline(self):
+        spec = LoadSpec("a", rate_per_s=100.0, shape="diurnal",
+                        period_s=1.0, amplitude=0.5)
+        assert spec.rate_at(0.0) == pytest.approx(50.0)    # trough at t=0
+        assert spec.rate_at(0.5) == pytest.approx(150.0)   # peak mid-period
+        assert spec.peak_rate_per_s == pytest.approx(150.0)
+
+    def test_flash_crowd_ramps_to_peak_and_back(self):
+        spec = LoadSpec("a", rate_per_s=100.0, shape="flash-crowd",
+                        flash_at_s=0.2, flash_duration_s=0.2,
+                        flash_multiplier=4.0, flash_ramp_s=0.05)
+        assert spec.rate_at(0.1) == 100.0                      # before
+        assert spec.rate_at(0.225) == pytest.approx(250.0)     # mid-ramp
+        assert spec.rate_at(0.3) == pytest.approx(400.0)       # plateau
+        assert spec.rate_at(0.5) == 100.0                      # after
+        assert spec.peak_rate_per_s == pytest.approx(400.0)
+
+
+class TestGenerateLoad:
+    def test_same_seed_byte_identical(self):
+        specs = demo_specs(scale=0.5)
+        a = generate_load(specs, duration_s=0.3, seed=11)
+        b = generate_load(specs, duration_s=0.3, seed=11)
+        assert [repr(r) for r in a] == [repr(r) for r in b]
+
+    def test_different_seed_differs(self):
+        specs = demo_specs(scale=0.5)
+        a = generate_load(specs, duration_s=0.3, seed=0)
+        b = generate_load(specs, duration_s=0.3, seed=1)
+        assert [r.arrival_ns for r in a] != [r.arrival_ns for r in b]
+
+    def test_trace_sorted_and_ids_sequential(self):
+        trace = generate_load(demo_specs(), duration_s=0.3, seed=0)
+        arrivals = [r.arrival_ns for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+
+    def test_requests_carry_class_and_user(self):
+        trace = generate_load(demo_specs(), duration_s=0.3, seed=0)
+        classes = {r.slo_class for r in trace}
+        assert classes == {"interactive", "standard", "batch"}
+        assert all(r.user_id is not None for r in trace)
+
+    def test_adding_a_spec_never_perturbs_existing_streams(self):
+        base = [LoadSpec("a", 200.0, slo_class="interactive")]
+        extended = base + [LoadSpec("b", 300.0, slo_class="batch")]
+        solo = generate_load(base, duration_s=0.3, seed=3)
+        both = generate_load(extended, duration_s=0.3, seed=3)
+        mine = [r.arrival_ns for r in both if r.tenant == "a"]
+        assert mine == [r.arrival_ns for r in solo]
+
+    def test_mean_rate_tracks_spec(self):
+        trace = generate_load(
+            [LoadSpec("a", 1000.0)], duration_s=1.0, seed=0
+        )
+        assert 800 <= len(trace) <= 1200  # ~3 sigma around 1000
+
+    def test_flash_crowd_concentrates_arrivals(self):
+        spec = LoadSpec("a", 500.0, shape="flash-crowd", flash_at_s=0.3,
+                        flash_duration_s=0.2, flash_multiplier=5.0)
+        trace = generate_load([spec], duration_s=1.0, seed=0)
+        inside = sum(1 for r in trace if 0.3e9 <= r.arrival_ns < 0.5e9)
+        outside_rate = (len(trace) - inside) / 0.8
+        assert inside / 0.2 > 2.0 * outside_rate
+
+    def test_zero_rate_spec_emits_nothing(self):
+        trace = generate_load(
+            [LoadSpec("a", 0.0), LoadSpec("b", 100.0)], duration_s=0.3,
+            seed=0,
+        )
+        assert trace
+        assert all(r.tenant == "b" for r in trace)
+
+    def test_user_population_bound(self):
+        spec = LoadSpec("a", 2000.0, users=7)
+        trace = generate_load([spec], duration_s=0.5, seed=0)
+        assert {r.user_id for r in trace} <= set(range(7))
+
+    def test_sessions_issue_multiple_requests(self):
+        spec = LoadSpec("a", 2000.0, users=500, session_mean_requests=8.0)
+        trace = generate_load([spec], duration_s=0.5, seed=0)
+        summary = summarize_trace(trace, duration_s=0.5)[0]
+        assert summary.sessions < summary.requests
+
+
+class TestMergeTraces:
+    def test_merge_interleaves_and_reids(self):
+        open_loop = generate_load(
+            [LoadSpec("a", 300.0, slo_class="interactive")],
+            duration_s=0.3, seed=0,
+        )
+        closed = generate_trace(
+            [TrafficPattern("b", 300.0)], duration_s=0.3, seed=1
+        )
+        merged = merge_traces(open_loop, closed)
+        assert len(merged) == len(open_loop) + len(closed)
+        arrivals = [r.arrival_ns for r in merged]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in merged] == list(range(len(merged)))
+        assert {r.tenant for r in merged} == {"a", "b"}
+
+    def test_merge_preserves_classes(self):
+        open_loop = generate_load(
+            [LoadSpec("a", 300.0, slo_class="batch")], duration_s=0.3,
+            seed=0,
+        )
+        merged = merge_traces(open_loop)
+        assert all(r.slo_class == "batch" for r in merged)
+
+
+class TestSummarize:
+    def test_summary_groups_by_tenant_and_class(self):
+        trace = generate_load(demo_specs(), duration_s=0.3, seed=0)
+        summaries = summarize_trace(trace, duration_s=0.3)
+        keys = [(s.tenant, s.slo_class) for s in summaries]
+        assert keys == sorted(keys)
+        assert {k[1] for k in keys} == {"interactive", "standard", "batch"}
+        assert sum(s.requests for s in summaries) == len(trace)
+
+    def test_peak_rate_at_least_mean(self):
+        trace = generate_load(demo_specs(), duration_s=0.3, seed=0)
+        for summary in summarize_trace(trace, duration_s=0.3):
+            assert summary.peak_rate_per_s >= summary.mean_rate_per_s
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            summarize_trace([], duration_s=0.0)
+
+    def test_to_dict_roundtrip_fields(self):
+        trace = generate_load(demo_specs(), duration_s=0.2, seed=0)
+        payload = summarize_trace(trace, duration_s=0.2)[0].to_dict()
+        assert set(payload) == {
+            "tenant", "slo_class", "requests", "mean_rate_per_s",
+            "peak_rate_per_s", "users", "sessions",
+        }
+
+
+class TestDemoSpecs:
+    def test_demo_specs_scale(self):
+        base = demo_specs()
+        scaled = demo_specs(scale=2.0)
+        for spec, double in zip(base, scaled):
+            assert double.rate_per_s == pytest.approx(2.0 * spec.rate_per_s)
+            assert dataclasses.replace(
+                double, rate_per_s=spec.rate_per_s
+            ) == spec

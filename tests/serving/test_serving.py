@@ -56,11 +56,19 @@ class TestWorkload:
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError):
-            TrafficPattern("a", 0.0)
+            TrafficPattern("a", -1.0)
         with pytest.raises(ValueError):
             TrafficPattern("a", 10.0, burstiness=0.5)
         with pytest.raises(ValueError):
             generate_trace([TrafficPattern("a", 10.0)], duration_s=0.0)
+
+    def test_zero_rate_pattern_generates_nothing(self):
+        trace = generate_trace(
+            [TrafficPattern("a", 0.0), TrafficPattern("b", 50.0)],
+            duration_s=1.0, seed=3,
+        )
+        assert trace
+        assert all(request.tenant == "b" for request in trace)
 
 
 class TestBatchScaling:
