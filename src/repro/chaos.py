@@ -37,6 +37,7 @@ from repro.serving.admission import AdmissionPolicy, SloClass
 from repro.serving.autoscale import AutoscalerConfig
 from repro.serving.fleet import FleetConfig, FleetManager, FleetReport
 from repro.serving.loadgen import LoadSpec, generate_load
+from repro.sim.parallel import prewarm_measurements, run_sharded
 from repro.serving.server import RasConfig, TenantConfig
 from repro.serving.workload import Request, TrafficPattern, generate_trace
 
@@ -772,24 +773,78 @@ def _overload_sweep(
     return rows
 
 
+def _prewarm_compiles(device_models) -> None:
+    """Lower each (device, model) once so the compile memo is warm.
+
+    In a serial suite the first scenario pays each model's cold compile
+    and every later fleet hits :data:`repro.caching.COMPILE_CACHE`.
+    Sharded workers fork from this process, so warming the cache *here*
+    restores that sharing — compiles are content-addressed and
+    deterministic, so nothing observable changes.
+    """
+    from repro.models.zoo import build
+    from repro.runtime.runtime import Device
+
+    for device_name, model in device_models:
+        Device.open(device_name).compile(build(model), batch=1)
+
+
+def _run_scenario_task(task) -> ScenarioResult:
+    """Sharded-worker body: one named scenario run (picklable result)."""
+    name, seed, measured = task
+    return run_scenario(SCENARIOS[name], seed=seed, measured=measured)
+
+
 def run_suite(
     names: list[str] | None = None,
     seed: int = 0,
     quick: bool = False,
     measured: bool = False,
+    workers: int | None = None,
 ) -> SuiteResult:
-    """Run a set of built-in scenarios (all, the quick subset, or named)."""
+    """Run a set of built-in scenarios (all, the quick subset, or named).
+
+    Scenarios are independent simulations — every stream derives from
+    ``(seed, scenario name)``, never from suite position — so they run
+    sharded across worker processes via :mod:`repro.sim.parallel` and
+    merge back in declared order, byte-identical to a serial run.
+    ``workers=1`` forces the serial path.
+    """
     selected = names if names is not None else scenario_names(quick=quick)
-    suite = SuiteResult(seed=seed)
     for name in selected:
         if name not in SCENARIOS:
             raise KeyError(
                 f"unknown chaos scenario {name!r}; "
                 f"choose from {sorted(SCENARIOS)}"
             )
-        suite.results.append(
-            run_scenario(SCENARIOS[name], seed=seed, measured=measured)
+    _prewarm_compiles(
+        sorted(
+            {
+                (SCENARIOS[name].fleet.device, tenant.model)
+                for name in selected
+                for tenant in SCENARIOS[name].tenants
+            }
         )
+    )
+    if measured:
+        # Warm the measurement memo once in the parent; otherwise every
+        # shard re-measures the same tenant models from scratch.
+        prewarm_measurements(
+            sorted(
+                {
+                    (tenant.model, tenant.groups)
+                    for name in selected
+                    for tenant in SCENARIOS[name].tenants
+                }
+            ),
+            workers=workers,
+        )
+    suite = SuiteResult(seed=seed)
+    suite.results = run_sharded(
+        _run_scenario_task,
+        [(name, seed, measured) for name in selected],
+        workers=workers,
+    )
     return suite
 
 

@@ -291,6 +291,44 @@ def _cmd_profile(args) -> int:
         print(f"{family:<12} {tracks:>7} {busy_ns / 1e3:>10.1f} {duty:>8.1%}")
     print()
 
+    # Engine-core table: dispatch + fast-path accounting the executor
+    # exported after the launch (docs/sim-internals.md). The vectorized
+    # hit rate is the share of busy-time queries the NumPy batch path
+    # served; pool reuse is process-wide Timeout interning.
+    from repro.sim.parallel import export_shard_metrics
+
+    export_shard_metrics(registry)
+    dispatched = registry.get("sim_events_dispatched")
+    steps = registry.get("sim_time_steps")
+    queries = registry.get("sim_busy_queries")
+    pool_hits = registry.get("sim_timeout_pool_hits")
+    pool_misses = registry.get("sim_timeout_pool_misses")
+    scalar = queries.value(path="scalar") if queries is not None else 0.0
+    vector = queries.value(path="vector") if queries is not None else 0.0
+    hits = pool_hits.value() if pool_hits is not None else 0.0
+    misses = pool_misses.value() if pool_misses is not None else 0.0
+    header = f"{'engine core':<28} {'value':>10}"
+    print(header)
+    print("-" * len(header))
+    engine = device.accelerator.sim.engine
+    print(f"{'engine':<28} {engine:>10}")
+    print(f"{'events dispatched':<28} "
+          f"{dispatched.value(engine=engine) if dispatched else 0.0:>10.0f}")
+    print(f"{'clock time steps':<28} "
+          f"{steps.value(engine=engine) if steps else 0.0:>10.0f}")
+    print(f"{'busy queries (scalar)':<28} {scalar:>10.0f}")
+    print(f"{'busy queries (vector)':<28} {vector:>10.0f}")
+    vector_rate = vector / (scalar + vector) if scalar + vector else 0.0
+    print(f"{'vectorized-batch hit rate':<28} {vector_rate:>10.1%}")
+    pool_rate = hits / (hits + misses) if hits + misses else 0.0
+    print(f"{'timeout pool reuse rate':<28} {pool_rate:>10.1%}")
+    shard_wall = registry.get("sim_shard_wall_seconds")
+    if shard_wall is not None:
+        for labels, value in sorted(shard_wall.samples()):
+            print(f"{'shard ' + labels['shard'] + ' wall s':<28} "
+                  f"{value:>10.4f}")
+    print()
+
     # Process-wide cache table (compile + measurement), mirrored into the
     # registry as gauges so exporters see the same numbers.
     from repro.caching import export_cache_metrics
@@ -448,7 +486,8 @@ def _cmd_chaos(args) -> int:
                   f"{scenario_names()}", file=sys.stderr)
             return 2
     suite = run_suite(
-        names=names, seed=args.seed, quick=args.quick, measured=args.measured
+        names=names, seed=args.seed, quick=args.quick,
+        measured=args.measured, workers=args.workers,
     )
     if args.json:
         print(suite.to_json())
@@ -621,6 +660,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--measured", action="store_true",
                        help="use detailed-simulator service times instead "
                             "of the synthetic defaults")
+    chaos.add_argument("--workers", type=int, default=None,
+                       help="shard scenarios across N worker processes "
+                            "(default: CPU count; 1 forces serial; results "
+                            "are byte-identical either way)")
 
     fuzz = commands.add_parser(
         "fuzz", help="differential graph fuzzer over the compile pipeline"

@@ -82,6 +82,11 @@ def _pipeline_time(
     return config_time + dma_per_tile_ns + tiles * bottleneck
 
 
+#: memo of completed searches — the tuner is a pure function of its
+#: arguments, and a model's many same-shape kernels repeat them exactly.
+_TUNE_MEMO: dict[tuple, TilingPlan] = {}
+
+
 def tune_tiling(
     cost: KernelCost,
     l1_capacity_bytes: int,
@@ -93,13 +98,24 @@ def tune_tiling(
 ) -> TilingPlan:
     """Pick the best tiling for one kernel; deterministic exhaustive search."""
     search = search or TilingSearchSpace()
+    memo_key = (
+        cost, l1_capacity_bytes, compute_flops_per_ns, dma_bandwidth_gbps,
+        dma_config_overhead_ns, repeat_mode, search,
+    )
+    memoized = _TUNE_MEMO.get(memo_key)
+    if memoized is not None:
+        return memoized
     working_set = cost.boundary_bytes + cost.internal_bytes
     if working_set <= 0:
         raise TilingError("kernel moves no data; nothing to tile")
     if compute_flops_per_ns <= 0 or dma_bandwidth_gbps <= 0:
         raise TilingError("throughputs must be positive")
 
+    # Track the winning candidate as scalars; only the winner is
+    # materialized as a TilingPlan (the search visits ~128 candidates).
     best: TilingPlan | None = None
+    best_time: float | None = None
+    best_candidate: tuple | None = None
     for buffers in search.buffer_depths:
         for tiles in range(1, search.max_tiles + 1):
             tile_bytes = -(-working_set // tiles)  # ceil
@@ -116,17 +132,25 @@ def tune_tiling(
                 dma_config_overhead_ns,
                 configurations,
             )
-            plan = TilingPlan(
-                tiles=tiles,
-                buffers=buffers,
-                tile_bytes=tile_bytes,
-                compute_time_ns=compute_per_tile * tiles,
-                dma_time_ns=dma_per_tile * tiles,
-                pipelined_time_ns=time,
-                dma_configurations=configurations,
-            )
-            if best is None or plan.pipelined_time_ns < best.pipelined_time_ns:
-                best = plan
+            if best_time is None or time < best_time:
+                best_time = time
+                best_candidate = (
+                    tiles, buffers, tile_bytes, compute_per_tile,
+                    dma_per_tile, configurations,
+                )
+    if best_candidate is not None:
+        tiles, buffers, tile_bytes, compute_per_tile, dma_per_tile, configurations = (
+            best_candidate
+        )
+        best = TilingPlan(
+            tiles=tiles,
+            buffers=buffers,
+            tile_bytes=tile_bytes,
+            compute_time_ns=compute_per_tile * tiles,
+            dma_time_ns=dma_per_tile * tiles,
+            pipelined_time_ns=best_time,
+            dma_configurations=configurations,
+        )
     if best is None:
         # Working set so large that even max_tiles slices overflow L1:
         # fall back to the finest slicing and accept spilling through L2.
@@ -147,4 +171,5 @@ def tune_tiling(
             ),
             dma_configurations=configurations,
         )
+    _TUNE_MEMO[memo_key] = best
     return best

@@ -57,14 +57,25 @@ class VmmPattern:
         return self.rows * self.cols
 
 
+_PATTERNS: tuple[VmmPattern, ...] | None = None
+
+
 def supported_patterns() -> tuple[VmmPattern, ...]:
     """All VMM patterns DTU 2.0's matrix engine accepts (>40, per Table II).
 
     For each dtype with ``L = 512 / bits`` lanes the matrix is ``m x L`` with
     ``m`` in ``{L/4, L/2, L}`` capped at the 32 matrix-register rows, each
     pattern available transposed / plain and accumulating / overwriting.
+
+    The table is a pure function of the hardware description, so it is
+    built once and memoized — the compiler's tensorization pass consults
+    it for every candidate node.
     """
-    patterns = []
+    global _PATTERNS
+    if _PATTERNS is not None:
+        return _PATTERNS
+    patterns: list[VmmPattern] = []
+    seen: set[VmmPattern] = set()
     for dtype in DType:
         lanes = lanes_for(dtype)
         for rows in (lanes // 4, lanes // 2, lanes):
@@ -78,9 +89,11 @@ def supported_patterns() -> tuple[VmmPattern, ...]:
                         transposed=transposed,
                         accumulate=accumulate,
                     )
-                    if pattern not in patterns:
+                    if pattern not in seen:
+                        seen.add(pattern)
                         patterns.append(pattern)
-    return tuple(patterns)
+    _PATTERNS = tuple(patterns)
+    return _PATTERNS
 
 
 _SUPPORTED: frozenset[tuple] = frozenset(

@@ -19,40 +19,67 @@ from repro.graph.ir import Graph
 
 
 def eliminate_identities(graph: Graph) -> Graph:
-    """Remove identity nodes, rewiring consumers to the identity's input."""
-    removed = True
-    while removed:
-        removed = False
-        for node in list(graph.nodes):
-            if node.op_type != "identity":
-                continue
-            source = node.inputs[0]
-            alias = node.outputs[0]
-            for other in graph.nodes:
-                other.inputs = [
-                    source if tensor == alias else tensor for tensor in other.inputs
-                ]
-            graph.outputs = [
-                source if tensor == alias else tensor for tensor in graph.outputs
-            ]
-            graph.nodes.remove(node)
-            graph.tensor_types.pop(alias, None)
-            removed = True
+    """Remove identity nodes, rewiring consumers to the identity's input.
+
+    Identity chains (``a -> b -> c``) collapse to the chain's ultimate
+    source in one pass: collect every ``alias -> source`` edge, then
+    rewrite each consumer input through the chain — the same final graph
+    the one-removal-per-sweep loop produced, without rescanning every node
+    per removed identity.
+    """
+    alias_to_source: dict = {}
+    kept = []
+    for node in graph.nodes:
+        if node.op_type == "identity":
+            alias_to_source[node.outputs[0]] = node.inputs[0]
+        else:
+            kept.append(node)
+    if not alias_to_source:
+        return graph
+
+    limit = len(alias_to_source)
+
+    def resolve(tensor):
+        hops = 0
+        while tensor in alias_to_source and hops <= limit:
+            tensor = alias_to_source[tensor]
+            hops += 1
+        return tensor
+
+    for node in kept:
+        node.inputs = [resolve(tensor) for tensor in node.inputs]
+    graph.outputs = [resolve(tensor) for tensor in graph.outputs]
+    for alias in alias_to_source:
+        graph.tensor_types.pop(alias, None)
+    graph.nodes = kept
     return graph
 
 
 def dead_code_elimination(graph: Graph) -> Graph:
-    """Drop nodes that contribute to no graph output."""
+    """Drop nodes that contribute to no graph output.
+
+    Liveness is the least fixpoint of "a node with a live output makes all
+    its inputs live", which the backward worklist below reaches in one
+    linear sweep — the same set the naive repeated forward sweep converges
+    to, without its quadratic restarts.
+    """
     live: set[str] = set(graph.outputs)
-    changed = True
-    while changed:
-        changed = False
-        for node in graph.nodes:
-            if any(output in live for output in node.outputs):
-                new_live = set(node.inputs) - live
-                if new_live:
-                    live |= new_live
-                    changed = True
+    producers: dict[str, list] = {}
+    for node in graph.nodes:
+        for output in node.outputs:
+            producers.setdefault(output, []).append(node)
+    worklist = list(live)
+    visited: set[int] = set()
+    while worklist:
+        tensor = worklist.pop()
+        for node in producers.get(tensor, ()):
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            for source in node.inputs:
+                if source not in live:
+                    live.add(source)
+                    worklist.append(source)
     graph.nodes = [
         node for node in graph.nodes if any(output in live for output in node.outputs)
     ]

@@ -66,15 +66,16 @@ class Cpme:
         ``grant_step_watts`` increments while the reserve lasts — assuring
         "the overall power integrity is risk-free".
         """
+        lpmes = self.lpmes
+        requests = []
         for report in reports:
-            if report.returned_watts and report.unit not in self.lpmes:
+            if report.returned_watts and report.unit not in lpmes:
                 raise PowerIntegrityError(f"report from unknown unit {report.unit}")
+            if report.borrow_requested:
+                requests.append(report)
         grants: dict[str, float] = {}
-        requests = sorted(
-            (report for report in reports if report.borrow_requested),
-            key=lambda report: report.throttle,
-            reverse=True,
-        )
+        if requests:
+            requests.sort(key=lambda report: report.throttle, reverse=True)
         for report in requests:
             lpme = self.lpmes[report.unit]
             needed = max(
@@ -106,11 +107,19 @@ class Cpme:
     ) -> dict[str, WindowReport]:
         """Convenience: observe every LPME then process the reports."""
         reports = {}
+        get_activity = activities.get
+        get_frequency = frequencies.get
+        settled = True
         for name, lpme in self.lpmes.items():
-            reports[name] = lpme.observe(
-                activities.get(name, 0.0),
-                frequencies.get(name, lpme.unit_model.curve.f_max_ghz),
+            reports[name] = report = lpme.observe(
+                get_activity(name, 0.0),
+                get_frequency(name, lpme.unit_model.curve.f_max_ghz),
                 window_ns,
             )
-        self.handle_reports(list(reports.values()))
+            if report.borrow_requested or report.returned_watts:
+                settled = False
+        if not settled:
+            # Only windows with borrows or returns can move budgets; a
+            # settled window would make handle_reports a no-op re-assert.
+            self.handle_reports(list(reports.values()))
         return reports

@@ -30,6 +30,14 @@ class DvfsCurve:
             raise ValueError(f"bad frequency range {self.f_min_ghz}..{self.f_max_ghz}")
         if not 0 < self.v_min <= self.v_max:
             raise ValueError(f"bad voltage range {self.v_min}..{self.v_max}")
+        # Memo of f_ghz -> (f/f_max, (V(f)/V_max)**2). The DVFS governor
+        # steps through a small discrete set of frequencies, but the power
+        # manager evaluates every unit at every observation window — caching
+        # the two scale factors per distinct frequency removes a clamp +
+        # voltage interpolation from each of those evaluations. Entries are
+        # computed by exactly the arithmetic power_watts used inline, so the
+        # cached path is bit-identical.
+        object.__setattr__(self, "_scale_memo", {})
 
     def clamp(self, f_ghz: float) -> float:
         return min(max(f_ghz, self.f_min_ghz), self.f_max_ghz)
@@ -64,12 +72,20 @@ class UnitPowerModel:
         """P = P_static + P_dyn_peak * activity * (f/f_max) * (V/V_max)^2."""
         if not 0.0 <= activity <= 1.0:
             raise ValueError(f"activity {activity} outside [0, 1]")
-        f_ghz = self.curve.f_max_ghz if f_ghz is None else self.curve.clamp(f_ghz)
-        f_scale = f_ghz / self.curve.f_max_ghz
-        v_scale = self.curve.voltage(f_ghz) / self.curve.v_max
+        curve = self.curve
+        memo = curve._scale_memo
+        scales = memo.get(f_ghz)
+        if scales is None:
+            clamped = curve.f_max_ghz if f_ghz is None else curve.clamp(f_ghz)
+            f_scale = clamped / curve.f_max_ghz
+            v_scale = curve.voltage(clamped) / curve.v_max
+            if len(memo) > 128:  # DVFS steps are discrete; this never trips
+                memo.clear()  # pragma: no cover - memo growth backstop
+            scales = memo[f_ghz] = (f_scale, v_scale**2)
+        params = self.params
         return (
-            self.params.static_watts
-            + self.params.dynamic_watts_peak * activity * f_scale * v_scale**2
+            params.static_watts
+            + params.dynamic_watts_peak * activity * scales[0] * scales[1]
         )
 
     def max_power_watts(self) -> float:

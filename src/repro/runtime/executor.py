@@ -32,7 +32,6 @@ from repro.core.accelerator import Accelerator
 from repro.core.processing_group import ProcessingGroup
 from repro.core.resource import Assignment
 from repro.power.dvfs import Observation
-from repro.power.model import chip_power_watts
 from repro.sim.kernel import AllOf, Timeout
 from repro.sync.events import Barrier
 
@@ -244,11 +243,13 @@ class Executor:
                 )
             )
 
-        # 3. Compute overlapped with DMA (double buffering).
-        compute_process = sim.spawn(self._busy(compute_ns))
+        # 3. Compute overlapped with DMA (double buffering). Compute has no
+        # cross-resource interaction, so it is a bare timer event rather
+        # than a spawned process — same completion time, two fewer event
+        # dispatches per kernel per group.
         compute_start = sim.now
         waits = [process.done_event for process in dma_processes]
-        waits.append(compute_process.done_event)
+        waits.append(sim.timer(compute_ns))
         yield AllOf(waits)
         dma_ns = sim.now - dma_start
         trace.record(f"core.{group.name}", kernel.name, compute_start, compute_start + compute_ns)
@@ -283,28 +284,41 @@ class Executor:
             )
         )
 
-    @staticmethod
-    def _busy(duration_ns: float):
-        if duration_ns > 0:
-            yield Timeout(duration_ns)
-        return None
-        yield  # pragma: no cover - make this a generator even for 0 ns
-
     # -- power manager ----------------------------------------------------------
 
     def _power_manager(self):
-        sim = self.accelerator.sim
-        trace = self.accelerator.trace
-        chip = self.accelerator.chip
-        units = self.accelerator.power_units
-        cpme = self.accelerator.cpme
-        dvfs = self.accelerator.dvfs
-        group_names = [group.name for group in self.accelerator.groups]
+        accelerator = self.accelerator
+        sim = accelerator.sim
+        trace = accelerator.trace
+        chip = accelerator.chip
+        units = accelerator.power_units
+        cpme = accelerator.cpme
+        dvfs = accelerator.dvfs
+        group_names = [group.name for group in accelerator.groups]
+        num_groups = len(group_names)
         cores_per_group = chip.cores_per_group
+        window_ns = self.window_ns
+        busy_in = trace.busy_time
+
+        # Window-invariant lookups, hoisted: engine/unit key strings and the
+        # core-index -> group-index map never change across windows.
+        core_engines = [f"core.{name}" for name in group_names]
+        dma_engines = [f"dma.{name}" for name in group_names]
+        stall_engines = [f"stall.{name}" for name in group_names]
+        core_group = [
+            min(index // cores_per_group, num_groups - 1)
+            for index in range(chip.total_cores)
+        ]
+        core_keys = [f"core{index}" for index in range(chip.total_cores)]
+        dma_group = [
+            min(index, num_groups - 1) for index in range(chip.total_groups)
+        ]
+        dma_keys = [f"dma{index}" for index in range(chip.total_groups)]
+        core_units = [name for name in units if name.startswith("core")]
 
         while not self._finished:
             window_start = sim.now
-            yield Timeout(self.window_ns)
+            yield Timeout(window_ns)
             window_end = sim.now
             if self._finished:
                 # Clamp the last window to the workload's actual end so the
@@ -314,28 +328,32 @@ class Executor:
             if span <= 0:
                 break
 
-            core_utils = [
-                trace.utilization(f"core.{name}", window_start, window_end)
-                for name in group_names
+            # One trace query per engine per window: utilization is
+            # busy_time / span by definition, so derive it instead of
+            # asking the trace twice (identical float division).
+            core_busy = [
+                busy_in(engine, window_start, window_end)
+                for engine in core_engines
             ]
-            dma_utils = [
-                trace.utilization(f"dma.{name}", window_start, window_end)
-                for name in group_names
+            dma_busy = [
+                busy_in(engine, window_start, window_end)
+                for engine in dma_engines
             ]
-            mean_core = sum(core_utils) / len(core_utils)
-            mean_dma = sum(dma_utils) / len(dma_utils)
+            stall_busy = [
+                busy_in(engine, window_start, window_end)
+                for engine in stall_engines
+            ]
+            core_utils = [busy / span for busy in core_busy]
+            dma_utils = [busy / span for busy in dma_busy]
+            stall_utils = [busy / span for busy in stall_busy]
+            mean_core = sum(core_utils) / num_groups
+            mean_dma = sum(dma_utils) / num_groups
 
             # DVFS loop: Observation -> Evaluation -> Decision -> Action.
             # LPMEs report event time, not wall-clock: of the cycles spent
             # inside kernels, how many computed vs stalled on L3-bound DMA.
-            busy_time = sum(
-                trace.busy_time(f"core.{name}", window_start, window_end)
-                for name in group_names
-            )
-            stall_time = sum(
-                trace.busy_time(f"stall.{name}", window_start, window_end)
-                for name in group_names
-            )
+            busy_time = sum(core_busy)
+            stall_time = sum(stall_busy)
             in_kernel = busy_time + stall_time
             if in_kernel > 0:
                 dvfs.update(
@@ -350,30 +368,32 @@ class Executor:
             # keep toggling while it waits on DMA, so stalled time counts as
             # partial activity — the power DVFS reclaims by downclocking
             # bandwidth-bound phases.
-            stall_utils = [
-                trace.utilization(f"stall.{name}", window_start, window_end)
-                for name in group_names
+            group_activity = [
+                min(
+                    1.0,
+                    core_utils[index]
+                    + _STALL_CLOCK_ACTIVITY * stall_utils[index],
+                )
+                for index in range(num_groups)
             ]
             activities: dict[str, float] = {}
-            for index in range(chip.total_cores):
-                group_index = min(index // cores_per_group, len(core_utils) - 1)
-                activities[f"core{index}"] = min(
-                    1.0,
-                    core_utils[group_index]
-                    + _STALL_CLOCK_ACTIVITY * stall_utils[group_index],
-                )
-            for index in range(chip.total_groups):
-                activities[f"dma{index}"] = min(1.0, dma_utils[min(index, len(dma_utils) - 1)])
+            for key, group_index in zip(core_keys, core_group):
+                activities[key] = group_activity[group_index]
+            for key, group_index in zip(dma_keys, dma_group):
+                activities[key] = min(1.0, dma_utils[group_index])
             activities["hbm"] = min(1.0, mean_dma)
             activities["fabric"] = min(1.0, (mean_core + mean_dma) / 2)
-            frequencies = {
-                name: self.accelerator.clock_ghz
-                for name in units
-                if name.startswith("core")
-            }
-            cpme.run_window(activities, frequencies, span)
+            frequencies = dict.fromkeys(core_units, accelerator.clock_ghz)
+            reports = cpme.run_window(activities, frequencies, span)
 
-            power = chip_power_watts(units, activities, frequencies)
+            # chip_power_watts(units, activities, frequencies) walks the
+            # same units in the same order with the same activities and
+            # frequencies the LPMEs just observed, so the chip draw is
+            # exactly the left-to-right sum of the projections already in
+            # the window reports.
+            power = 0.0
+            for report in reports.values():
+                power += report.projected_watts
             self._power_samples.append(power)
             self._power_timeline.append((window_end, power))
             self._energy_joules += power * span * 1e-9
@@ -716,6 +736,30 @@ class Executor:
             if self.accelerator.dvfs.decisions
             else self.accelerator.clock_ghz
         )
+
+        # engine core: dispatch + fast-path accounting (the `repro profile`
+        # engine table; docs/sim-internals.md). Gauges, not counters: these
+        # snapshot monotonic totals owned by the engine objects.
+        sim = self.accelerator.sim
+        metrics.gauge(
+            "sim_events_dispatched", "event-core wakeups dispatched"
+        ).set(getattr(sim, "events_dispatched", 0), engine=sim.engine)
+        metrics.gauge(
+            "sim_time_steps", "distinct timestamps the clock stepped through"
+        ).set(getattr(sim, "time_steps", 0), engine=sim.engine)
+        query_stats = self.accelerator.trace.query_stats()
+        metrics.gauge(
+            "sim_busy_queries", "trace busy-time queries by evaluation path"
+        ).set(query_stats["scalar_queries"], path="scalar")
+        metrics.gauge("sim_busy_queries").set(
+            query_stats["vector_queries"], path="vector"
+        )
+        metrics.gauge(
+            "sim_timeout_pool_hits", "interned Timeout reuses (process-wide)"
+        ).set(Timeout.pool_hits)
+        metrics.gauge(
+            "sim_timeout_pool_misses", "Timeout allocations (process-wide)"
+        ).set(Timeout.pool_misses)
 
         # hardware counters mirrored from the results.
         if results:

@@ -357,7 +357,11 @@ class NoHealthyGroupsError(ReproRuntimeError):
 
 
 def measure_service_time_ns(
-    model: str, groups: int, obs=None, fault_plan: FaultPlan | None = None
+    model: str,
+    groups: int,
+    obs=None,
+    fault_plan: FaultPlan | None = None,
+    use_cache: bool = True,
 ) -> float:
     """One detailed-simulator run: the per-inference service time.
 
@@ -374,9 +378,12 @@ def measure_service_time_ns(
     deterministic, so re-measuring (model, groups) always reproduces the
     cached latency. Measurements with a hub or fault plan attached bypass
     the memo: their spans and fault timelines are the point of running
-    them.
+    them. ``use_cache=False`` bypasses the memo in both directions — the
+    sharded pre-warm (:func:`repro.sim.parallel.prewarm_measurements`)
+    measures in worker processes this way and seeds the parent's memo
+    itself, keeping cache statistics identical to a serial run.
     """
-    memoizable = obs is None and fault_plan is None
+    memoizable = use_cache and obs is None and fault_plan is None
     if memoizable:
         cached = MEASUREMENT_CACHE.get(MeasurementCache.key_for(model, groups))
         if cached is not None:
@@ -463,6 +470,18 @@ class InferenceServer:
             for tenant in tenants
             if tenant.name not in self.service_times_ns
         }
+        if obs is None and measurement_fault_plan is None:
+            # Plain measurements are memoizable, hence independent
+            # simulations: warm the memo across worker processes first
+            # (bit-identical to serial — see repro.sim.parallel), then
+            # the loop below is pure cache hits.
+            from repro.sim.parallel import prewarm_measurements
+
+            prewarm_measurements(
+                (tenant.model, tenant.groups)
+                for tenant in tenants
+                if tenant.name not in self.service_times_ns
+            )
         for tenant in tenants:
             if tenant.name not in self.service_times_ns:
                 self.service_times_ns[tenant.name] = measure_service_time_ns(

@@ -20,12 +20,34 @@ that models stay readable:
 [10.0]
 
 Time is a float; by repository convention it is **nanoseconds**.
+
+Engine contract (docs/sim-internals.md)
+---------------------------------------
+
+Two interchangeable event cores implement the same scheduling contract:
+
+- :class:`Simulator` — the default fast engine: same-timestamp wakeups are
+  drained in one batch (the clock is written once per distinct time, not
+  once per event), :class:`Timeout` objects are interned so repeated
+  delays allocate nothing, and :class:`AllOf` joins use counting gates
+  instead of closure chains;
+- :class:`~repro.sim.kernel_reference.ReferenceSimulator` — the pinned
+  original loop (one pop + one resume per event), kept as the
+  bit-reproducibility anchor.
+
+Both order the event queue by ``(time, sequence)`` — ``sequence`` is a
+per-simulator monotonic counter, so ties at one timestamp resolve in
+scheduling order and **never** by object identity. Any workload must
+produce byte-identical traces and clocks on both engines; pick one with
+:func:`make_simulator` (or ``REPRO_SIM_ENGINE=reference`` in the
+environment).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from dataclasses import dataclass, field
 
 
@@ -66,9 +88,17 @@ class Event:
             raise SimulationError(f"event {self.name!r} fired twice")
         self._fired = True
         self._value = value
-        waiters, self._waiters = self._waiters, []
-        for process in waiters:
-            self.sim._schedule(self.sim.now, process, value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            sim = self.sim
+            schedule = sim._schedule
+            now = sim.now
+            for process in waiters:
+                schedule(now, process, value)
+
+    #: timer events sit directly in the queue; dispatching one fires it
+    _resume = succeed
 
     def _add_waiter(self, process: "Process") -> None:
         if self._fired:
@@ -77,44 +107,102 @@ class Event:
             self._waiters.append(process)
 
 
-@dataclass(frozen=True)
 class Timeout:
-    """Yielded by a process to advance simulated time by ``delay``."""
+    """Yielded by a process to advance simulated time by ``delay``.
 
-    delay: float
+    Timeouts are immutable value objects and are **interned**: the engine
+    keeps a bounded pool keyed on ``delay``, so the hot loops that sleep
+    for the same durations over and over (DMA configuration overhead,
+    power-manager windows, per-tile transfer times) reuse one object
+    instead of allocating per event. ``pool_hits`` / ``pool_misses`` feed
+    the ``sim_timeout_pool_*`` observability gauges.
+    """
 
-    def __post_init__(self) -> None:
-        if self.delay < 0:
-            raise ValueError(f"negative timeout: {self.delay}")
+    __slots__ = ("delay",)
+
+    _pool: dict = {}
+    _POOL_LIMIT = 1024
+    #: process-wide interning statistics (monotonic)
+    pool_hits: int = 0
+    pool_misses: int = 0
+
+    def __new__(cls, delay: float) -> "Timeout":
+        cached = cls._pool.get(delay)
+        if cached is not None:
+            cls.pool_hits += 1
+            return cached
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self = super().__new__(cls)
+        object.__setattr__(self, "delay", delay)
+        pool = cls._pool
+        if len(pool) < cls._POOL_LIMIT:
+            pool[delay] = self
+        cls.pool_misses += 1
+        return self
+
+    def __setattr__(self, name, value):  # frozen: pooled instances are shared
+        raise AttributeError(f"Timeout is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"Timeout is immutable; cannot delete {name!r}")
+
+    def __repr__(self) -> str:
+        return f"Timeout(delay={self.delay})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Timeout):
+            return self.delay == other.delay
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Timeout, self.delay))
+
+    def __reduce__(self):  # re-intern on unpickle
+        return (Timeout, (self.delay,))
 
 
 class AllOf:
     """Composite wait: resumes the process once every child event has fired."""
 
+    __slots__ = ("events",)
+
     def __init__(self, events) -> None:
         self.events = list(events)
 
     def _bind(self, sim: "Simulator", process: "Process") -> None:
-        pending = [event for event in self.events if not event.fired]
+        pending = [event for event in self.events if not event._fired]
         if not pending:
             sim._schedule(sim.now, process, [event.value for event in self.events])
             return
-        remaining = {"count": len(pending)}
-
-        def _make_gate(outer: "AllOf"):
-            def _gate(_value, outer=outer):
-                remaining["count"] -= 1
-                if remaining["count"] == 0:
-                    sim._schedule(
-                        sim.now, process, [event.value for event in outer.events]
-                    )
-
-            return _gate
-
-        gate = _make_gate(self)
+        gate = _AllOfGate(sim, process, self.events, len(pending))
         for event in pending:
-            watcher = _CallbackWaiter(gate)
-            event._add_waiter(watcher)
+            event._waiters.append(gate)
+
+
+class _AllOfGate:
+    """Counting join: one shared waiter object per :class:`AllOf`.
+
+    Sits directly in each pending event's waiter list (events schedule
+    their waiters through the queue, so the gate's decrements happen in
+    the same deterministic order the closure-based implementation used).
+    """
+
+    __slots__ = ("sim", "process", "events", "remaining")
+
+    def __init__(self, sim, process, events, remaining) -> None:
+        self.sim = sim
+        self.process = process
+        self.events = events
+        self.remaining = remaining
+
+    def _resume(self, _value) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            sim = self.sim
+            sim._schedule(
+                sim.now, self.process, [event._value for event in self.events]
+            )
 
 
 class _CallbackWaiter:
@@ -143,26 +231,44 @@ class Process:
     return value, so processes compose like futures.
     """
 
+    __slots__ = ("sim", "generator", "pid", "_name", "done_event")
+
     _ids = itertools.count()
 
     def __init__(self, sim: "Simulator", generator, name: str = "") -> None:
         self.sim = sim
         self.generator = generator
         self.pid = next(Process._ids)
-        self.name = name or f"process-{self.pid}"
-        self.done_event = Event(sim, name=f"{self.name}.done")
+        self._name = name
+        self.done_event = Event(sim, name="")
+
+    @property
+    def name(self) -> str:
+        return self._name or f"process-{self.pid}"
 
     @property
     def done(self) -> bool:
-        return self.done_event.fired
+        return self.done_event._fired
 
     def _resume(self, value) -> None:
+        # ``send(None)`` on a fresh generator is ``next()`` — the first
+        # wakeup (scheduled by spawn) primes the coroutine, every later one
+        # delivers the awaited value. One code path, zero flags.
         try:
             yielded = self.generator.send(value)
         except StopIteration as stop:
             self.done_event.succeed(stop.value)
             return
-        self._wait_on(yielded)
+        if yielded.__class__ is Timeout:
+            # The overwhelmingly common yield: inline the schedule. The
+            # deadline cannot be in the past (delay >= 0 by construction).
+            sim = self.sim
+            heapq.heappush(
+                sim._queue,
+                (sim.now + yielded.delay, next(sim._counter), self, None),
+            )
+        else:
+            self._wait_on(yielded)
 
     def _wait_on(self, yielded) -> None:
         sim = self.sim
@@ -181,13 +287,26 @@ class Process:
 
 
 class Simulator:
-    """Event queue + clock. Deterministic: ties break by insertion order."""
+    """Event queue + clock. Deterministic: ties break by insertion order.
+
+    This is the fast engine: the queue is a min-heap of
+    ``(time, sequence, target, value)`` tuples (comparison never reaches
+    ``target`` — ``sequence`` is unique per simulator), and the drain loop
+    batches every wakeup sharing one timestamp into a single clock
+    advance. Dispatch accounting (:attr:`events_dispatched`,
+    :attr:`time_steps`) feeds the ``repro profile`` engine table.
+    """
+
+    engine = "fast"
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: list = []
         self._counter = itertools.count()
-        self._live_processes = 0
+        #: wakeups dispatched over this simulator's lifetime
+        self.events_dispatched: int = 0
+        #: distinct timestamps the clock stepped through while dispatching
+        self.time_steps: int = 0
 
     def event(self, name: str = "") -> Event:
         return Event(self, name=name)
@@ -195,14 +314,25 @@ class Simulator:
     def spawn(self, generator, name: str = "") -> Process:
         """Register ``generator`` as a process starting at the current time."""
         process = Process(self, generator, name=name)
-        self._live_processes += 1
-        self._schedule(self.now, process, None, first=True)
+        self._schedule(self.now, process, None)
         return process
 
-    def _schedule(self, when: float, target, value, first: bool = False) -> None:
+    def timer(self, delay: float, value=None, name: str = "") -> Event:
+        """An event that fires by itself ``delay`` ns from now.
+
+        Cheaper than spawning a sleep-only process (no generator, no
+        Process object, one queue entry) for pure-delay modelling.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timer delay: {delay}")
+        event = Event(self, name=name or "timer")
+        self._schedule(self.now + delay, event, value)
+        return event
+
+    def _schedule(self, when: float, target, value) -> None:
         if when < self.now:
             raise SimulationError(f"scheduling into the past: {when} < {self.now}")
-        heapq.heappush(self._queue, (when, next(self._counter), target, value, first))
+        heapq.heappush(self._queue, (when, next(self._counter), target, value))
 
     def run(self, until: float | None = None) -> float:
         """Drain the event queue; returns the final simulated time.
@@ -210,31 +340,59 @@ class Simulator:
         ``until`` caps simulated time: events scheduled later stay queued and
         the clock stops exactly at ``until``.
         """
-        while self._queue:
-            when, _seq, target, value, first = self._queue[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._queue)
-            self.now = when
-            if isinstance(target, Process):
-                if first:
-                    self._start(target)
-                else:
+        queue = self._queue
+        pop = heapq.heappop
+        dispatched = 0
+        steps = 0
+        now = self.now
+        try:
+            if until is None:
+                while queue:
+                    when, _seq, target, value = pop(queue)
+                    if when > now:
+                        self.now = now = when
+                        steps += 1
+                    dispatched += 1
                     target._resume(value)
             else:
-                target._resume(value)
-        if until is not None:
-            self.now = max(self.now, until)
+                while queue:
+                    when = queue[0][0]
+                    if when > until:
+                        self.now = until
+                        return until
+                    when, _seq, target, value = pop(queue)
+                    if when > now:
+                        self.now = now = when
+                        steps += 1
+                    dispatched += 1
+                    target._resume(value)
+                self.now = max(self.now, until)
+        finally:
+            self.events_dispatched += dispatched
+            self.time_steps += steps
         return self.now
 
-    def _start(self, process: Process) -> None:
-        try:
-            yielded = next(process.generator)
-        except StopIteration as stop:
-            process.done_event.succeed(stop.value)
-            return
-        process._wait_on(yielded)
+
+def make_simulator(engine: str | None = None):
+    """Build an event core by name: ``"fast"`` (default) or ``"reference"``.
+
+    With ``engine=None`` the choice comes from the ``REPRO_SIM_ENGINE``
+    environment variable, so a whole run — accelerators, fleets, benches —
+    can be flipped onto the pinned reference kernel without code changes.
+    Both engines satisfy the same ordering contract (docs/sim-internals.md)
+    and must produce byte-identical results.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_SIM_ENGINE", "fast")
+    if engine == "fast":
+        return Simulator()
+    if engine == "reference":
+        from repro.sim.kernel_reference import ReferenceSimulator
+
+        return ReferenceSimulator()
+    raise SimulationError(
+        f"unknown simulation engine {engine!r}; expected 'fast' or 'reference'"
+    )
 
 
 @dataclass
@@ -254,6 +412,8 @@ class Resource:
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError(f"{self.name}: capacity must be >= 1")
+        # one interned grant name: request() is on the DMA hot path
+        self._grant_name = f"{self.name}.grant"
 
     @property
     def in_use(self) -> int:
@@ -264,7 +424,7 @@ class Resource:
         return len(self._wait_queue)
 
     def request(self) -> Event:
-        event = self.sim.event(name=f"{self.name}.grant")
+        event = Event(self.sim, name=self._grant_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             event.succeed()

@@ -14,6 +14,9 @@ schema-versioned ``BENCH_<n>.json`` report (see
 - **serving** — a two-tenant :class:`~repro.serving.InferenceServer`
   scenario, plus the measurement-cache guarantee that a second server over
   the same tenant set performs zero additional simulator measurements.
+- **sim.parallel_shards** — the chaos suite run serially and sharded
+  across forced worker processes (:mod:`repro.sim.parallel`), byte-diffed:
+  sharding must never change a result.
 
 Two kinds of numbers come out, and the regression gate treats them
 differently (documented in docs/performance.md):
@@ -214,6 +217,46 @@ def bench_serving(quick: bool) -> dict:
     }
 
 
+def bench_parallel_shards(quick: bool) -> dict:
+    """Sharded chaos suite vs serial: byte-identical results, shard walls.
+
+    Runs the same scenario set twice — serial (``workers=1``) and forced
+    two-worker sharded — and byte-diffs the canonical JSON. The
+    ``identical`` metric is the gated invariant (1.0 or 0.0): sharding
+    must never change a result, on any host. The wall-clock ratio is
+    reported for trend-watching only; on a single-CPU runner the sharded
+    run is legitimately no faster (docs/performance.md).
+    """
+    from repro.chaos import run_suite
+    from repro.sim import parallel
+
+    names = ["baseline", "transient-storm"] if quick else None
+
+    start = time.perf_counter()
+    serial = run_suite(names=names, seed=7, workers=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    sharded = run_suite(names=names, seed=7, workers=2)
+    sharded_s = time.perf_counter() - start
+    stats = parallel.LAST_SHARD_STATS  # the sharded suite's shard table
+
+    return {
+        "name": "sim.parallel_shards",
+        "wall_seconds": serial_s + sharded_s,
+        "metrics": {
+            "scenarios": float(len(serial.results)),
+            "identical": 1.0 if serial.to_json() == sharded.to_json() else 0.0,
+            "workers": float(stats.workers if stats else 1),
+            "serial_wall_seconds": serial_s,
+            "sharded_wall_seconds": sharded_s,
+            "speedup": serial_s / sharded_s if sharded_s else float("inf"),
+            "max_shard_wall_seconds": (
+                stats.max_shard_wall_seconds if stats else 0.0
+            ),
+        },
+    }
+
+
 def run_benchmarks(quick: bool) -> dict:
     from repro.caching import reset_global_caches
 
@@ -222,6 +265,7 @@ def run_benchmarks(quick: bool) -> dict:
     benchmarks = [bench_gemm(quick), bench_rle(quick)]
     benchmarks += [bench_e2e(model, quick) for model in models]
     benchmarks.append(bench_serving(quick))
+    benchmarks.append(bench_parallel_shards(quick))
     return {
         "schema_version": SCHEMA_VERSION,
         "run": {
@@ -407,6 +451,11 @@ def main(argv: list[str] | None = None) -> int:
         if "second_server_measurement_runs" in metrics:
             highlights.append(
                 f"re-measurements {int(metrics['second_server_measurement_runs'])}"
+            )
+        if "identical" in metrics:
+            highlights.append(
+                "shards identical" if metrics["identical"] == 1.0
+                else "SHARDS DIVERGED"
             )
         print(f"{bench['name']:<{width}}  {bench['wall_seconds']:8.3f} s  "
               + "  ".join(highlights))
