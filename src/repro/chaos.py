@@ -648,6 +648,7 @@ def run_scenario(
     seed: int = 0,
     obs: Observability | None = None,
     measured: bool = False,
+    routing: str | None = None,
 ) -> ScenarioResult:
     """Run one scenario and check every declared invariant.
 
@@ -656,6 +657,9 @@ def run_scenario(
     streams), so one root reproduces the entire suite. With
     ``measured=True`` the fleet uses detailed-simulator service times
     (memoized process-wide) instead of the synthetic defaults.
+    ``routing`` selects the fleet's replica-selection implementation
+    (``"heap"``/``"reference"`` — see :mod:`repro.serving.routing`);
+    both produce byte-identical suite reports.
     """
     own_obs = obs if obs is not None else Observability()
     fleet_config = replace(
@@ -677,6 +681,7 @@ def run_scenario(
         service_times_ns=service_times,
         admission=scenario.admission,
         autoscaler=scenario.autoscaler,
+        routing=routing,
     )
     trace = _scenario_trace(scenario, seed)
     report = manager.run(trace)
@@ -686,7 +691,8 @@ def run_scenario(
     sweep = None
     if scenario.overload_multipliers:
         sweep = _overload_sweep(
-            scenario, seed, fleet_config, service_times, violations
+            scenario, seed, fleet_config, service_times, violations,
+            routing=routing,
         )
     return ScenarioResult(
         scenario=scenario, report=report, violations=violations, sweep=sweep
@@ -729,6 +735,7 @@ def _overload_sweep(
     fleet_config: FleetConfig,
     service_times: dict[str, float] | None,
     violations: list[str],
+    routing: str | None = None,
 ) -> list[dict]:
     """Shed-monotonicity: re-run at scaled offered loads, off-telemetry.
 
@@ -748,6 +755,7 @@ def _overload_sweep(
         ),
         admission=scenario.admission,
         autoscaler=scenario.autoscaler,
+        routing=routing,
     )
     rows: list[dict] = []
     previous_rate: float | None = None
@@ -791,8 +799,10 @@ def _prewarm_compiles(device_models) -> None:
 
 def _run_scenario_task(task) -> ScenarioResult:
     """Sharded-worker body: one named scenario run (picklable result)."""
-    name, seed, measured = task
-    return run_scenario(SCENARIOS[name], seed=seed, measured=measured)
+    name, seed, measured, routing = task
+    return run_scenario(
+        SCENARIOS[name], seed=seed, measured=measured, routing=routing
+    )
 
 
 def run_suite(
@@ -801,6 +811,7 @@ def run_suite(
     quick: bool = False,
     measured: bool = False,
     workers: int | None = None,
+    routing: str | None = None,
 ) -> SuiteResult:
     """Run a set of built-in scenarios (all, the quick subset, or named).
 
@@ -842,7 +853,7 @@ def run_suite(
     suite = SuiteResult(seed=seed)
     suite.results = run_sharded(
         _run_scenario_task,
-        [(name, seed, measured) for name in selected],
+        [(name, seed, measured, routing) for name in selected],
         workers=workers,
     )
     return suite

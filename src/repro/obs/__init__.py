@@ -41,6 +41,13 @@ from repro.obs.exporters import (
     to_json_snapshot,
     to_prometheus_text,
 )
+from repro.obs.labels import (
+    DEFAULT_DEVICE_LABEL_CAP,
+    DEVICE_LABEL_CAP_ENV_VAR,
+    OVERFLOW_DEVICE_LABEL,
+    device_label,
+    device_label_cap,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS_MS,
     DEFAULT_BUCKETS_NS,
@@ -70,8 +77,10 @@ class Observability:
 
 __all__ = [
     "Counter", "CounterSample", "DEFAULT_BUCKETS_MS", "DEFAULT_BUCKETS_NS",
-    "Gauge", "Histogram", "LAYERS", "MetricsRegistry", "Observability",
-    "Span", "SpanHandle", "TraceContext", "TraceEvent", "Tracer",
-    "save_chrome_trace", "save_json_snapshot", "to_chrome_trace",
-    "to_json_snapshot", "to_prometheus_text",
+    "DEFAULT_DEVICE_LABEL_CAP", "DEVICE_LABEL_CAP_ENV_VAR", "Gauge",
+    "Histogram", "LAYERS", "MetricsRegistry", "OVERFLOW_DEVICE_LABEL",
+    "Observability", "Span", "SpanHandle", "TraceContext", "TraceEvent",
+    "Tracer", "device_label", "device_label_cap", "save_chrome_trace",
+    "save_json_snapshot", "to_chrome_trace", "to_json_snapshot",
+    "to_prometheus_text",
 ]

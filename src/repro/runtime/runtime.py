@@ -212,13 +212,19 @@ class Device:
         launch_handle = None
         # Per-device track: distinct cards opened against one tracer keep
         # their launches on separate rows (and the span carries the id).
-        device_track = (
-            f"device.{self.device_id}" if self.device_id else "device"
-        )
+        # Beyond REPRO_OBS_DEVICE_LABEL_CAP distinct cards, the identity
+        # collapses into the "other" bucket (repro.obs.labels) so
+        # thousand-device fleets don't explode span/label cardinality.
+        device_name = self.device_id
+        if device_name and obs is not None:
+            from repro.obs.labels import device_label
+
+            device_name = device_label(obs, self.device_id)
+        device_track = f"device.{device_name}" if device_name else "device"
         if obs is not None:
             span_attrs = {}
-            if self.device_id:
-                span_attrs["device"] = self.device_id
+            if device_name:
+                span_attrs["device"] = device_name
             launch_handle = obs.tracer.begin(
                 f"launch:{compiled.name}", layer="runtime",
                 start_ns=sim.now, parent=trace_ctx, track=device_track,
@@ -291,8 +297,14 @@ class Device:
                 self.accelerator.sim.now, status=status, retries=retries
             )
         # Label launch counters with the device identity when one is set,
-        # so fleet-wide registries can slice outcomes per card.
-        id_label = {"device": self.device_id} if self.device_id else {}
+        # so fleet-wide registries can slice outcomes per card. The
+        # identity is capped (repro.obs.labels): past the cap, devices
+        # share the "other" bucket instead of minting new label values.
+        id_label = {}
+        if self.device_id:
+            from repro.obs.labels import device_label
+
+            id_label = {"device": device_label(obs, self.device_id)}
         obs.metrics.counter(
             "runtime_launches_total", "model launches by outcome"
         ).inc(model=model, status=status, **id_label)

@@ -36,9 +36,7 @@ catalogue the chaos harness enforces on top of this layer.
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
 from dataclasses import dataclass, field
-from enum import Enum
 
 import numpy as np
 
@@ -49,6 +47,13 @@ from repro.faults.schedule import FaultSchedule
 from repro.models.zoo import build
 from repro.runtime.runtime import Device
 from repro.seeding import derive_rng, derive_seed
+from repro.serving.routing import (
+    DepthView,
+    PrunedFinishes,
+    ReplicaStatus,
+    make_router,
+    resolve_routing,
+)
 from repro.serving.server import (
     RasConfig,
     SloClassStats,
@@ -67,19 +72,6 @@ __all__ = [
     "LifecycleEvent",
     "ReplicaStatus",
 ]
-
-
-class ReplicaStatus(str, Enum):
-    """Lifecycle state of one fleet replica (see docs/robustness.md)."""
-
-    ACTIVE = "active"
-    """In the routing pool, taking traffic."""
-    STANDBY = "standby"
-    """Healthy hot spare, promoted when an active replica quarantines."""
-    QUARANTINED = "quarantined"
-    """Drained after consecutive fatal outcomes; repair in progress."""
-    RETIRED = "retired"
-    """Failed ``max_repair_attempts`` probes; permanently out."""
 
 
 @dataclass(frozen=True)
@@ -354,6 +346,7 @@ class FleetManager:
         service_times_ns: dict[str, float] | None = None,
         admission=None,
         autoscaler=None,
+        routing: str | None = None,
     ) -> None:
         if not tenants:
             raise ReproRuntimeError("fleet needs at least one tenant")
@@ -398,6 +391,14 @@ class FleetManager:
             self.service_times_ns[tenant.name] = measure_service_time_ns(
                 tenant.model, tenant.groups
             )
+        # Replica selection: "heap" (the O(log N) fast path, default) or
+        # "reference" (the pinned O(N) scans) — explicit arg wins over the
+        # REPRO_FLEET_ROUTING environment override. Both produce
+        # byte-identical reports (tests/serving/test_routing.py).
+        self.routing = resolve_routing(routing)
+        self._router = make_router(self.routing)
+        self._service_memo: dict[tuple[str, int], float] = {}
+        self._group_next: list[int] = []
         self._bringup_events: list[LifecycleEvent] = []
         self._replicas = self._open_fleet(tenants)
 
@@ -407,6 +408,13 @@ class FleetManager:
         """Open N active + M standby devices, compile every tenant once."""
         cfg = self.config
         replicas: list[_Replica] = []
+        # One lowering per tenant model for the whole fleet: replicas are
+        # the same chip, so COMPILE_CACHE would hand every later replica
+        # the identical CompiledModel anyway — compiling through the first
+        # device and sharing the object skips the per-replica cache-key
+        # hashing that dominated bring-up at thousands of devices.
+        built = {tenant.name: build(tenant.model) for tenant in tenants}
+        compiled_shared: dict[str, object] = {}
         for index in range(cfg.replicas + cfg.hot_spares):
             name = f"r{index}"
             device_id = f"{cfg.device}-{name}"
@@ -427,11 +435,11 @@ class FleetManager:
                 status=role, initial_status=role,
             )
             for tenant in tenants:
-                # Shared COMPILE_CACHE: the first replica lowers each
-                # model, every later one gets a dictionary hit.
-                replica.compiled[tenant.name] = device.compile(
-                    build(tenant.model), batch=1
-                )
+                compiled = compiled_shared.get(tenant.name)
+                if compiled is None:
+                    compiled = device.compile(built[tenant.name], batch=1)
+                    compiled_shared[tenant.name] = compiled
+                replica.compiled[tenant.name] = compiled
             self._bringup_events.append(
                 LifecycleEvent(0.0, name, "opened", f"{device_id} as {role.value}")
             )
@@ -479,6 +487,8 @@ class FleetManager:
         """
         self._reset()
         cfg = self.config
+        router = self._router
+        router.rebuild(self._replicas)
         rngs = {
             replica.name: derive_rng(cfg.seed, "serve", replica.name)
             for replica in self._replicas
@@ -487,14 +497,27 @@ class FleetManager:
         stats = {name: FleetTenantStats(tenant=name) for name in self.tenants}
         latencies: dict[str, list[float]] = {name: [] for name in self.tenants}
         class_latencies: dict[tuple[str, str], list[float]] = {}
-        finishes: dict[str, list[float]] = {name: [] for name in self.tenants}
-        # Fleet-wide per-class finish times: the admission layer's queue
-        # depths and backpressure read these (the fleet is one shared pool).
-        class_finishes: dict[str, list[float]] = {}
+        # Bounded per-tenant / fleet-wide per-class finish times: the
+        # admission layer's queue depths and backpressure read these (the
+        # fleet is one shared pool). Maintained only when something reads
+        # them, and pruned as depth queries move forward in time.
+        finishes: dict[str, PrunedFinishes] = {
+            name: PrunedFinishes() for name in self.tenants
+        }
+        class_finishes: dict[str, PrunedFinishes] = {}
+        track_tenant_finishes = (
+            self._admission_ctl is None
+            and self.ras.queue_depth_limit is not None
+        )
+        track_class_finishes = self._admission_ctl is not None
         counters = _RunCounters()
-        counters.min_healthy = len(self._active())
+        counters.min_healthy = router.active_count()
         horizon = 0.0
-        last_arrival = 0.0
+        # One vectorized pass validates the whole trace (same first error
+        # the per-request checks raised) and precomputes the per-(tenant,
+        # class) chain the coalescer walks instead of rescanning forward.
+        self._validate_trace(trace)
+        self._group_next = self._group_chains(trace)
         joined = [False] * len(trace)
         next_tick = (
             self._autoscaler.config.eval_interval_ms * 1e6
@@ -502,29 +525,19 @@ class FleetManager:
             else None
         )
         for index, request in enumerate(trace):
-            if request.arrival_ns < last_arrival:
-                raise ReproRuntimeError(
-                    f"trace arrivals must be non-decreasing: request "
-                    f"{request.request_id} at {request.arrival_ns} after "
-                    f"{last_arrival}"
-                )
-            last_arrival = request.arrival_ns
-            if request.tenant not in self.tenants:
-                raise ReproRuntimeError(
-                    f"request {request.request_id}: unknown tenant "
-                    f"{request.tenant!r}"
-                )
             if joined[index]:
                 continue  # coalesced into an earlier batch, accounted there
-            while next_tick is not None and next_tick <= request.arrival_ns:
+            arrival = request.arrival_ns
+            while next_tick is not None and next_tick <= arrival:
                 self._autoscale_tick(
                     next_tick, class_finishes, events, counters
                 )
                 next_tick += self._autoscaler.config.eval_interval_ms * 1e6
-            self._advance(request.arrival_ns, events, counters)
+            router.advance(arrival)
+            self._advance(arrival, events, counters)
             tenant_stats = stats[request.tenant]
             tenant_stats.offered += 1
-            if not self._active():
+            if not router.active_count():
                 tenant_stats.shed += 1
                 tenant_stats.shed_no_capacity += 1
                 self._note_shed(tenant_stats, request, "no-capacity")
@@ -564,10 +577,15 @@ class FleetManager:
                         self._class_stat(tenant_stats, member).failed += 1
                 if self._admission_ctl is not None:
                     self._class_stat(tenant_stats, member).offered += 1
-                insort(finishes[member.tenant], finish)
-                insort(
-                    class_finishes.setdefault(member.slo_class, []), finish
-                )
+                if track_tenant_finishes:
+                    finishes[member.tenant].push(finish)
+                if track_class_finishes:
+                    entry = class_finishes.get(member.slo_class)
+                    if entry is None:
+                        entry = class_finishes[member.slo_class] = (
+                            PrunedFinishes()
+                        )
+                    entry.push(finish)
             horizon = max(horizon, finish)
         self._drain_repairs(events, counters)
         for name, values in latencies.items():
@@ -591,6 +609,60 @@ class FleetManager:
         if self.obs is not None:
             self._export_obs(report)
         return report
+
+    def _validate_trace(self, trace: list[Request]) -> None:
+        """Whole-trace validation in one vectorized pass.
+
+        Raises exactly what the historical per-request checks raised, at
+        the same first offending request: the arrival-order check wins
+        over the unknown-tenant check at equal index (it ran first).
+        """
+        n = len(trace)
+        if not n:
+            return
+        arrivals = np.fromiter(
+            (request.arrival_ns for request in trace),
+            dtype=np.float64, count=n,
+        )
+        previous = np.empty(n)
+        previous[0] = 0.0
+        previous[1:] = arrivals[:-1]
+        drops = np.flatnonzero(arrivals < previous)
+        bad_arrival = int(drops[0]) if drops.size else n
+        known = self.tenants
+        bad_tenant = n
+        for index in range(min(bad_arrival + 1, n)):
+            if trace[index].tenant not in known:
+                bad_tenant = index
+                break
+        if bad_arrival >= n and bad_tenant >= n:
+            return
+        if bad_arrival <= bad_tenant:
+            request = trace[bad_arrival]
+            raise ReproRuntimeError(
+                f"trace arrivals must be non-decreasing: request "
+                f"{request.request_id} at {request.arrival_ns} after "
+                f"{float(previous[bad_arrival])}"
+            )
+        request = trace[bad_tenant]
+        raise ReproRuntimeError(
+            f"request {request.request_id}: unknown tenant "
+            f"{request.tenant!r}"
+        )
+
+    @staticmethod
+    def _group_chains(trace: list[Request]) -> list[int]:
+        """``chain[i]`` = index of the next same-(tenant, class) request
+        after ``i`` (-1 at the tail) — the coalescer walks this instead
+        of rescanning every following arrival."""
+        chain = [-1] * len(trace)
+        last: dict[tuple[str, str], int] = {}
+        for index in range(len(trace) - 1, -1, -1):
+            request = trace[index]
+            key = (request.tenant, request.slo_class)
+            chain[index] = last.get(key, -1)
+            last[key] = index
+        return chain
 
     def _class_stat(
         self, tenant_stats: FleetTenantStats, request: Request
@@ -631,32 +703,27 @@ class FleetManager:
         window_ns = tenant.coalesce_window_ms * 1e6
         if window_ns <= 0 or tenant.max_batch <= 1:
             return members
-        start = min(
-            max(replica.free_at, head.arrival_ns)
-            for replica in self._active()
-        )
+        start = self._router.earliest_start(head.arrival_ns)
         horizon = start + window_ns
-        probe = index + 1
+        # Walk the precomputed same-(tenant, class) chain: arrivals are
+        # non-decreasing, so stopping at the first chain member past the
+        # horizon visits exactly the candidates the forward scan did.
+        probe = self._group_next[index]
         while (
-            probe < len(trace)
+            probe != -1
             and len(members) < tenant.max_batch
             and trace[probe].arrival_ns <= horizon
         ):
-            candidate = trace[probe]
-            if (
-                not joined[probe]
-                and candidate.tenant == head.tenant
-                and candidate.slo_class == head.slo_class
-            ):
-                members.append(candidate)
+            if not joined[probe]:
+                members.append(trace[probe])
                 joined[probe] = True
-            probe += 1
+            probe = self._group_next[probe]
         return members
 
     def _autoscale_tick(
         self,
         now: float,
-        class_finishes: dict[str, list[float]],
+        class_finishes: dict[str, PrunedFinishes],
         events: list[LifecycleEvent],
         counters: "_RunCounters",
     ) -> None:
@@ -665,23 +732,23 @@ class FleetManager:
         devices the fleet actually opened)."""
         self._advance(now, events, counters)
         scaler = self._autoscaler
-        active = self._active()
+        router = self._router
+        n_active = router.active_count()
         backpressure = 0.0
         if self._admission_ctl is not None:
-            depths = {
-                name: len(f) - bisect_right(f, now)
-                for name, f in class_finishes.items()
-            }
-            backpressure = self._admission_ctl.backpressure(depths)
-        spare = self._standby()
+            backpressure = self._admission_ctl.backpressure(
+                DepthView(class_finishes, now)
+            )
+        spare = router.standby()
         delta = scaler.evaluate(
-            now, len(active), backpressure,
+            now, n_active, backpressure,
             can_up=spare is not None,
-            can_down=len(active) > 1,
+            can_down=n_active > 1,
         )
         if delta > 0:
             spare.status = ReplicaStatus.ACTIVE
             spare.free_at = max(spare.free_at, now)
+            router.update(spare)
             counters.autoscale_ups += 1
             events.append(
                 LifecycleEvent(
@@ -690,8 +757,9 @@ class FleetManager:
                 )
             )
         elif delta < 0:
-            victim = max(active, key=lambda replica: replica.index)
+            victim = router.drain_victim()
             victim.status = ReplicaStatus.STANDBY
+            router.update(victim)
             counters.autoscale_downs += 1
             events.append(
                 LifecycleEvent(
@@ -699,7 +767,7 @@ class FleetManager:
                     scaler.actions[-1].reason,
                 )
             )
-        counters.note_healthy(len(self._active()))
+        counters.note_healthy(router.active_count())
 
     def _reset(self) -> None:
         """Restore bring-up roles so repeated runs are reproducible."""
@@ -725,8 +793,8 @@ class FleetManager:
     def _admission_shed(
         self,
         request: Request,
-        finishes: list[float],
-        class_finishes: dict[str, list[float]],
+        finishes: PrunedFinishes,
+        class_finishes: dict[str, PrunedFinishes],
     ) -> str | None:
         """Admission control at the fleet door; returns a shed reason or
         ``None`` to admit.
@@ -740,14 +808,9 @@ class FleetManager:
         now = request.arrival_ns
         if self._admission_ctl is not None:
             ctl = self._admission_ctl
-            depths = {
-                name: len(f) - bisect_right(f, now)
-                for name, f in class_finishes.items()
-            }
+            depths = DepthView(class_finishes, now)
             ctl.update(ctl.backpressure(depths))
-            earliest = min(
-                max(replica.free_at, now) for replica in self._active()
-            )
+            earliest = self._router.earliest_start(now)
             decision = ctl.decide(
                 request.slo_class,
                 depths.get(request.slo_class, 0),
@@ -758,8 +821,7 @@ class FleetManager:
         limit = self.ras.queue_depth_limit
         if limit is None:
             return None
-        depth = len(finishes) - bisect_right(finishes, now)
-        return "queue-full" if depth >= limit else None
+        return "queue-full" if finishes.depth(now) >= limit else None
 
     def _dispatch(
         self,
@@ -780,19 +842,14 @@ class FleetManager:
         head = members[0]
         dispatch_ns = head.arrival_ns
         hedges = 0
-        excluded: set[str] = set()
+        excluded: set[int] = set()
         finish = dispatch_ns
+        router = self._router
+        last_joiner_ns = members[-1].arrival_ns
         while True:
-            candidates = [
-                replica for replica in self._active()
-                if replica.name not in excluded
-            ]
-            if not candidates:
+            replica = router.pick(dispatch_ns, excluded)
+            if replica is None:
                 return finish, "failed", hedges
-            replica = min(
-                candidates,
-                key=lambda r: (max(r.free_at, dispatch_ns), r.index),
-            )
             if excluded:
                 # A prior attempt died fatally and a healthy replica is
                 # taking the batch over: that is one hedged failover.
@@ -800,12 +857,13 @@ class FleetManager:
                 counters.failovers += 1
             start = max(dispatch_ns, replica.free_at)
             # Continuous batching: the launch waits for its last joiner.
-            start = max(start, members[-1].arrival_ns)
+            start = max(start, last_joiner_ns)
             finish, outcome, _retries = self._attempt(
                 replica, head.tenant, start, rngs[replica.name],
                 batch=len(members),
             )
             replica.free_at = finish
+            router.update(replica)
             if outcome == "ok":
                 replica.served += len(members)
                 replica.consecutive_fatals = 0
@@ -813,7 +871,7 @@ class FleetManager:
             replica.fatal_outcomes += 1
             replica.consecutive_fatals += 1
             self._maybe_quarantine(replica, finish, events, counters)
-            excluded.add(replica.name)
+            excluded.add(replica.index)
             if hedges >= self.config.max_hedges:
                 return finish, "failed", hedges
             dispatch_ns = finish
@@ -833,9 +891,13 @@ class FleetManager:
         requests. Zero rates consume no randomness, so quiet fleets stay
         bit-identical to the fault-free path.
         """
-        service = batch_service_time_ns(
-            self.service_times_ns[tenant_name], batch
-        )
+        memo_key = (tenant_name, batch)
+        service = self._service_memo.get(memo_key)
+        if service is None:
+            service = batch_service_time_ns(
+                self.service_times_ns[tenant_name], batch
+            )
+            self._service_memo[memo_key] = service
         events_per_attempt = self.ras.transfers_per_request * batch
         now = start
         retries = 0
@@ -888,6 +950,7 @@ class FleetManager:
         replica.quarantines += 1
         replica.repair_due_ns = now + self.config.repair_ms * 1e6
         replica.repair_attempts = 0
+        self._router.update(replica)
         counters.quarantines += 1
         events.append(
             LifecycleEvent(
@@ -895,10 +958,11 @@ class FleetManager:
                 f"{replica.consecutive_fatals} consecutive fatal outcomes",
             )
         )
-        spare = self._standby()
+        spare = self._router.standby()
         if spare is not None:
             spare.status = ReplicaStatus.ACTIVE
             spare.free_at = max(spare.free_at, now)
+            self._router.update(spare)
             counters.promotions += 1
             events.append(
                 LifecycleEvent(
@@ -906,7 +970,7 @@ class FleetManager:
                     f"hot spare replacing {replica.name}",
                 )
             )
-        counters.note_healthy(len(self._active()))
+        counters.note_healthy(self._router.active_count())
 
     def _advance(
         self,
@@ -915,17 +979,12 @@ class FleetManager:
         counters: "_RunCounters",
     ) -> None:
         """Process every repair probe due at or before ``now``."""
+        router = self._router
         while True:
-            due = [
-                replica for replica in self._replicas
-                if replica.status is ReplicaStatus.QUARANTINED
-                and replica.repair_due_ns is not None
-                and replica.repair_due_ns <= now
-            ]
-            if not due:
-                counters.note_healthy(len(self._active()))
+            replica = router.due_repair(now)
+            if replica is None:
+                counters.note_healthy(router.active_count())
                 return
-            replica = min(due, key=lambda r: (r.repair_due_ns, r.index))
             self._probe(replica, events, counters)
 
     def _probe(
@@ -968,7 +1027,7 @@ class FleetManager:
         if ok:
             counters.repairs += 1
             events.append(LifecycleEvent(due, replica.name, "repaired", detail))
-            under_strength = len(self._active()) < cfg.replicas
+            under_strength = self._router.active_count() < cfg.replicas
             replica.status = (
                 ReplicaStatus.ACTIVE if under_strength else ReplicaStatus.STANDBY
             )
@@ -976,6 +1035,7 @@ class FleetManager:
             replica.repair_due_ns = None
             replica.free_at = max(replica.free_at, due)
             replica.reintegrations += 1
+            self._router.update(replica)
             counters.reintegrations += 1
             events.append(
                 LifecycleEvent(
@@ -1000,25 +1060,20 @@ class FleetManager:
             )
         else:
             replica.repair_due_ns = due + cfg.repair_ms * 1e6
+        self._router.update(replica)
 
     def _drain_repairs(
         self, events: list[LifecycleEvent], counters: "_RunCounters"
     ) -> None:
         """After the trace ends, let pending repairs run to completion so
         the report shows each quarantine's final disposition."""
-        while any(
-            replica.status is ReplicaStatus.QUARANTINED
-            and replica.repair_due_ns is not None
-            for replica in self._replicas
-        ):
-            pending = [
-                replica for replica in self._replicas
-                if replica.status is ReplicaStatus.QUARANTINED
-                and replica.repair_due_ns is not None
-            ]
-            replica = min(pending, key=lambda r: (r.repair_due_ns, r.index))
+        router = self._router
+        while True:
+            replica = router.due_repair(None)
+            if replica is None:
+                break
             self._probe(replica, events, counters)
-        counters.note_healthy(len(self._active()))
+        counters.note_healthy(router.active_count())
 
     # -- reporting -----------------------------------------------------------
 
@@ -1060,7 +1115,7 @@ class FleetManager:
             promotions=counters.promotions,
             retirements=counters.retirements,
             min_healthy=counters.min_healthy,
-            final_healthy=len(self._active()),
+            final_healthy=self._router.active_count(),
             horizon_ns=horizon,
             autoscale_ups=counters.autoscale_ups,
             autoscale_downs=counters.autoscale_downs,

@@ -48,7 +48,6 @@ server.
 from __future__ import annotations
 
 import random
-from bisect import bisect_right
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -61,6 +60,7 @@ from repro.models.zoo import build
 from repro.perfmodel.calibration import calibration
 from repro.runtime.runtime import Device
 from repro.seeding import derive_rng
+from repro.serving.routing import DepthView, PrunedFinishes
 from repro.serving.workload import Request
 
 
@@ -418,11 +418,22 @@ def measure_service_time_ns(
     return result.latency_ns
 
 
+_BATCH_SCALE_CACHE: dict[int, float] = {}
+
+
 def batch_service_time_ns(base_ns: float, batch: int) -> float:
-    """Sub-linear batch scaling from the i20 calibration curve."""
+    """Sub-linear batch scaling from the i20 calibration curve.
+
+    The curve value is memoized per batch size (it is a pure function of
+    the calibration constants); the arithmetic against ``base_ns`` is
+    unchanged, so results stay bit-identical.
+    """
     if batch < 1:
         raise ValueError(f"batch {batch} < 1")
-    scale = calibration("i20").batch_scale(batch)
+    scale = _BATCH_SCALE_CACHE.get(batch)
+    if scale is None:
+        scale = calibration("i20").batch_scale(batch)
+        _BATCH_SCALE_CACHE[batch] = scale
     return base_ns * batch / scale
 
 
@@ -757,25 +768,24 @@ class InferenceServer:
         )
 
     def _shed_at_arrival(
-        self, request: Request, finishes: list[float]
+        self, request: Request, finishes: PrunedFinishes
     ) -> bool:
         """Admission control: is the queue too deep at this arrival?
 
-        ``finishes`` holds the (non-decreasing) finish times of every
-        request of this tenant scheduled so far; entries still beyond the
-        arrival are requests still queued or in service.
+        ``finishes`` holds the finish times of this tenant's scheduled
+        requests still beyond a past arrival — entries the pruned
+        structure has not yet dropped are requests queued or in service.
         """
         limit = self.ras.queue_depth_limit
         if limit is None:
             return False
-        depth = len(finishes) - bisect_right(finishes, request.arrival_ns)
-        return depth >= limit
+        return finishes.depth(request.arrival_ns) >= limit
 
     def _admission_decision(
         self,
         head: Request,
         free_at: float,
-        class_finishes: dict[str, list[float]],
+        class_finishes: dict[str, PrunedFinishes],
         service_ns: float,
     ):
         """Class-aware admission for one arrival (policy attached only).
@@ -786,10 +796,7 @@ class InferenceServer:
         """
         ctl = self._admission_ctl
         now = head.arrival_ns
-        depths = {
-            name: len(finishes) - bisect_right(finishes, now)
-            for name, finishes in class_finishes.items()
-        }
+        depths = DepthView(class_finishes, now)
         ctl.update(ctl.backpressure(depths))
         predicted_wait = max(0.0, free_at - now)
         return ctl.decide(
@@ -851,8 +858,15 @@ class InferenceServer:
         health = self._health(tenant)
         completed: list[CompletedRequest] = []
         shed: list[tuple[Request, str]] = []
-        finishes: list[float] = []
-        class_finishes: dict[str, list[float]] = {}
+        # Bounded depth tracking: maintained only for the admission path
+        # that actually reads it, pruned as arrivals move forward.
+        finishes = PrunedFinishes()
+        class_finishes: dict[str, PrunedFinishes] = {}
+        track_finishes = (
+            self._admission_ctl is None
+            and self.ras.queue_depth_limit is not None
+        )
+        track_classes = self._admission_ctl is not None
         free_at = 0.0
         index = 0
         while index < len(trace):
@@ -889,8 +903,15 @@ class InferenceServer:
                         retries=retries, degraded=degraded,
                     )
                 )
-                class_finishes.setdefault(request.slo_class, []).append(finish)
-            finishes.extend([finish] * len(batch))
+                if track_classes:
+                    entry = class_finishes.get(request.slo_class)
+                    if entry is None:
+                        entry = class_finishes[request.slo_class] = (
+                            PrunedFinishes()
+                        )
+                    entry.push(finish)
+                if track_finishes:
+                    finishes.push(finish)
             free_at = finish
             index = probe
         return completed, shed
@@ -902,9 +923,16 @@ class InferenceServer:
         healths = {
             name: self._health(tenant) for name, tenant in self.tenants.items()
         }
-        finishes: dict[str, list[float]] = {name: [] for name in self.tenants}
+        finishes: dict[str, PrunedFinishes] = {
+            name: PrunedFinishes() for name in self.tenants
+        }
         # One shared queue → class depths aggregate across tenants.
-        class_finishes: dict[str, list[float]] = {}
+        class_finishes: dict[str, PrunedFinishes] = {}
+        track_finishes = (
+            self._admission_ctl is None
+            and self.ras.queue_depth_limit is not None
+        )
+        track_classes = self._admission_ctl is not None
         completed: list[CompletedRequest] = []
         shed: list[tuple[Request, str]] = []
         served = [False] * len(trace)
@@ -946,8 +974,15 @@ class InferenceServer:
                         retries=retries, degraded=degraded,
                     )
                 )
-                class_finishes.setdefault(request.slo_class, []).append(finish)
-            finishes[head.tenant].extend([finish] * len(batch))
+                if track_classes:
+                    entry = class_finishes.get(request.slo_class)
+                    if entry is None:
+                        entry = class_finishes[request.slo_class] = (
+                            PrunedFinishes()
+                        )
+                    entry.push(finish)
+                if track_finishes:
+                    finishes[head.tenant].push(finish)
             free_at = finish
         return completed, shed
 

@@ -1,0 +1,95 @@
+"""Device-label cardinality cap (`repro.obs.labels`).
+
+At fleet scale, per-device metric labels and span tracks explode
+registry cardinality. The cap admits the first N distinct device ids
+per hub and collapses the rest into ``device="other"``; the census is
+per-registry so fresh hubs never inherit another run's budget.
+"""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_DEVICE_LABEL_CAP,
+    DEVICE_LABEL_CAP_ENV_VAR,
+    OVERFLOW_DEVICE_LABEL,
+    Observability,
+    device_label,
+    device_label_cap,
+)
+
+
+def test_default_cap(monkeypatch):
+    monkeypatch.delenv(DEVICE_LABEL_CAP_ENV_VAR, raising=False)
+    assert device_label_cap() == DEFAULT_DEVICE_LABEL_CAP
+
+
+def test_env_override(monkeypatch):
+    monkeypatch.setenv(DEVICE_LABEL_CAP_ENV_VAR, "3")
+    assert device_label_cap() == 3
+
+
+def test_non_integer_cap_rejected(monkeypatch):
+    monkeypatch.setenv(DEVICE_LABEL_CAP_ENV_VAR, "lots")
+    with pytest.raises(ValueError, match=DEVICE_LABEL_CAP_ENV_VAR):
+        device_label_cap()
+
+
+def test_first_cap_ids_keep_identity_later_collapse(monkeypatch):
+    monkeypatch.setenv(DEVICE_LABEL_CAP_ENV_VAR, "2")
+    obs = Observability()
+    assert device_label(obs, "i20-0") == "i20-0"
+    assert device_label(obs, "i20-1") == "i20-1"
+    assert device_label(obs, "i20-2") == OVERFLOW_DEVICE_LABEL
+    assert device_label(obs, "i20-3") == OVERFLOW_DEVICE_LABEL
+    # admitted ids stay admitted for the hub's lifetime
+    assert device_label(obs, "i20-0") == "i20-0"
+    assert device_label(obs, "i20-1") == "i20-1"
+
+
+def test_cap_below_one_disables(monkeypatch):
+    monkeypatch.setenv(DEVICE_LABEL_CAP_ENV_VAR, "0")
+    obs = Observability()
+    for i in range(200):
+        assert device_label(obs, f"d{i}") == f"d{i}"
+
+
+def test_census_is_per_registry(monkeypatch):
+    monkeypatch.setenv(DEVICE_LABEL_CAP_ENV_VAR, "1")
+    first, second = Observability(), Observability()
+    assert device_label(first, "a") == "a"
+    assert device_label(first, "b") == OVERFLOW_DEVICE_LABEL
+    # a fresh hub starts with a fresh budget
+    assert device_label(second, "b") == "b"
+    assert device_label(second, "a") == OVERFLOW_DEVICE_LABEL
+
+
+def test_launch_counters_collapse_past_the_cap(monkeypatch):
+    from repro import Device, build_model
+
+    monkeypatch.setenv(DEVICE_LABEL_CAP_ENV_VAR, "2")
+    obs = Observability()
+    model = build_model("resnet50")
+    for index in range(4):
+        device = Device.open("i20", obs=obs, device_id=f"i20-{index}")
+        device.launch(device.compile(model, batch=1))
+    devices = {}
+    for metric in obs.metrics.collect():
+        if metric.name != "runtime_launches_total":
+            continue
+        for labels, value in metric._values.items():
+            label_map = dict(labels)
+            if "device" in label_map:
+                devices[label_map["device"]] = (
+                    devices.get(label_map["device"], 0.0) + value
+                )
+    assert set(devices) == {"i20-0", "i20-1", OVERFLOW_DEVICE_LABEL}
+    # the two capped devices share one overflow bucket
+    assert devices[OVERFLOW_DEVICE_LABEL] == 2.0
+    # spans follow the same budget: no per-device track past the cap
+    tracks = {
+        span.track for span in obs.tracer.spans
+        if span.track.startswith("device.")
+    }
+    assert tracks == {
+        "device.i20-0", "device.i20-1", f"device.{OVERFLOW_DEVICE_LABEL}",
+    }

@@ -14,6 +14,10 @@ schema-versioned ``BENCH_<n>.json`` report (see
 - **serving** — a two-tenant :class:`~repro.serving.InferenceServer`
   scenario, plus the measurement-cache guarantee that a second server over
   the same tenant set performs zero additional simulator measurements.
+- **serving.fleet_scale** — the fleet request loop at 16/256(/2048)
+  devices over one fixed Poisson + flash-crowd trace: per-request cost
+  must stay near-flat as the fleet grows (O(log N) routing), and the
+  heap router must stay byte-identical to the pinned reference router.
 - **sim.parallel_shards** — the chaos suite run serially and sharded
   across forced worker processes (:mod:`repro.sim.parallel`), byte-diffed:
   sharding must never change a result.
@@ -217,6 +221,96 @@ def bench_serving(quick: bool) -> dict:
     }
 
 
+def bench_fleet_scale(quick: bool) -> dict:
+    """Fleet routing fast path at 16/256(/2048) devices, fixed trace.
+
+    The workload never changes — one Poisson tenant plus one flash-crowd
+    tenant over the same loadgen seed — only the fleet size does, so the
+    per-request request-loop cost isolates the router's scaling. With
+    O(log N) heap routing the 2048-device per-request cost must stay
+    within 2x the 16-device cost (gated, full tier); the quick tier runs
+    the 16/256 rows for the CI smoke job. The 16-device row also replays
+    through the pinned reference router and byte-compares the reports
+    (``reference_identical`` is a gated invariant on every tier).
+    """
+    import json as _json
+
+    from repro.serving.fleet import FleetConfig, FleetManager
+    from repro.serving.loadgen import LoadSpec, generate_load
+    from repro.serving.server import RasConfig, TenantConfig
+
+    tenants = [
+        TenantConfig("steady", "resnet50", groups=4),
+        TenantConfig("bursty", "bert_large", groups=4),
+    ]
+    # Sized so even the 16-device fleet serves the whole trace (peak
+    # demand ~12 replicas-worth): every size then performs identical
+    # per-request work and the cost ratio isolates the routing layer.
+    service_times_ns = {"steady": 0.1e6, "bursty": 0.5e6}
+    specs = [
+        LoadSpec(tenant="steady", rate_per_s=20_000.0, users=500),
+        LoadSpec(
+            tenant="bursty", rate_per_s=4_000.0, shape="flash-crowd",
+            users=300, flash_at_s=0.1, flash_duration_s=0.15,
+            flash_multiplier=5.0, flash_ramp_s=0.03,
+        ),
+    ]
+    duration_s = 0.12 if quick else 0.6
+    trace = generate_load(specs, duration_s=duration_s, seed=23)
+    sizes = [16, 256] if quick else [16, 256, 2048]
+
+    def fleet(replicas: int, routing: str) -> FleetManager:
+        return FleetManager(
+            tenants,
+            config=FleetConfig(
+                replicas=replicas, hot_spares=0, seed=5,
+                validate_on_open=False,
+            ),
+            ras=RasConfig(queue_depth_limit=4096),
+            service_times_ns=dict(service_times_ns),
+            routing=routing,
+        )
+
+    metrics: dict[str, float] = {"trace_requests": float(len(trace))}
+    wall_total = 0.0
+    cost_by_size: dict[int, float] = {}
+    for replicas in sizes:
+        manager = fleet(replicas, "heap")
+        start = time.perf_counter()
+        report = manager.run(trace)
+        run_s = time.perf_counter() - start
+        wall_total += run_s
+        cost_by_size[replicas] = run_s / len(trace)
+        metrics[f"run_wall_seconds_{replicas}"] = run_s
+        metrics[f"per_request_cost_us_{replicas}"] = (
+            run_s / len(trace) * 1e6
+        )
+        metrics[f"served_{replicas}"] = float(
+            sum(stats.served for stats in report.tenants.values())
+        )
+        if replicas == 16:
+            heap_json = _json.dumps(report.to_dict(), sort_keys=True)
+            start = time.perf_counter()
+            reference = fleet(replicas, "reference").run(trace)
+            wall_total += time.perf_counter() - start
+            reference_json = _json.dumps(
+                reference.to_dict(), sort_keys=True
+            )
+            metrics["reference_identical"] = (
+                1.0 if heap_json == reference_json else 0.0
+            )
+    base_cost = cost_by_size[16]
+    for replicas in sizes[1:]:
+        metrics[f"per_request_cost_ratio_{replicas}_vs_16"] = (
+            cost_by_size[replicas] / base_cost if base_cost else float("inf")
+        )
+    return {
+        "name": "serving.fleet_scale",
+        "wall_seconds": wall_total,
+        "metrics": metrics,
+    }
+
+
 def bench_parallel_shards(quick: bool) -> dict:
     """Sharded chaos suite vs serial: byte-identical results, shard walls.
 
@@ -265,6 +359,7 @@ def run_benchmarks(quick: bool) -> dict:
     benchmarks = [bench_gemm(quick), bench_rle(quick)]
     benchmarks += [bench_e2e(model, quick) for model in models]
     benchmarks.append(bench_serving(quick))
+    benchmarks.append(bench_fleet_scale(quick))
     benchmarks.append(bench_parallel_shards(quick))
     return {
         "schema_version": SCHEMA_VERSION,
@@ -345,12 +440,16 @@ def check_regressions(report: dict, baseline: dict) -> list[str]:
 
     Gates marked ``"quick_only": true`` cover metrics whose expected value
     depends on the quick-tier workload (e.g. serving percentiles over the
-    short trace) and are skipped for full-tier reports.
+    short trace) and are skipped for full-tier reports. Gates marked
+    ``"full_only": true`` cover metrics that only the full tier produces
+    (e.g. the 2048-device fleet row) and are skipped for quick reports.
     """
     by_name = {bench["name"]: bench["metrics"] for bench in report["benchmarks"]}
     failures: list[str] = []
     for gate in baseline["gates"]:
         if gate.get("quick_only") and not report["run"]["quick"]:
+            continue
+        if gate.get("full_only") and report["run"]["quick"]:
             continue
         bench, metric = gate["benchmark"], gate["metric"]
         where = f"{bench}:{metric}"
@@ -456,6 +555,19 @@ def main(argv: list[str] | None = None) -> int:
             highlights.append(
                 "shards identical" if metrics["identical"] == 1.0
                 else "SHARDS DIVERGED"
+            )
+        if "reference_identical" in metrics:
+            highlights.append(
+                "routing identical" if metrics["reference_identical"] == 1.0
+                else "ROUTING DIVERGED"
+            )
+        if "per_request_cost_ratio_256_vs_16" in metrics:
+            highlights.append(
+                f"256/16 cost {metrics['per_request_cost_ratio_256_vs_16']:.2f}x"
+            )
+        if "per_request_cost_ratio_2048_vs_16" in metrics:
+            highlights.append(
+                f"2048/16 cost {metrics['per_request_cost_ratio_2048_vs_16']:.2f}x"
             )
         print(f"{bench['name']:<{width}}  {bench['wall_seconds']:8.3f} s  "
               + "  ".join(highlights))
