@@ -37,6 +37,7 @@ from repro.serving.admission import AdmissionPolicy, SloClass
 from repro.serving.autoscale import AutoscalerConfig
 from repro.serving.fleet import FleetConfig, FleetManager, FleetReport
 from repro.serving.loadgen import LoadSpec, generate_load
+from repro.serving.powercap import PowerCapConfig, PowerCapPhase
 from repro.sim.parallel import prewarm_measurements, run_sharded
 from repro.serving.server import RasConfig, TenantConfig
 from repro.serving.workload import Request, TrafficPattern, generate_trace
@@ -107,6 +108,16 @@ class ChaosScenario:
     rate must be non-decreasing across these (run in order)."""
     max_scale_reversals: int = 2
     """Autoscaler-convergence bound: up/down direction flips allowed."""
+    powercap: PowerCapConfig | None = None
+    """Fleet power governor attached to the run (None = no power
+    capping; the report then has no ``power`` section and stays
+    byte-identical to pre-governor builds)."""
+    cap_multipliers: tuple[float, ...] = ()
+    """Fleet-budget multipliers for the cap-monotonicity sweep, run in
+    declared order (loosest first): total modelled energy must be
+    non-increasing as the whole storm's budget tightens. Scenarios size
+    their budgets inside the DVFS-dominated region where this holds —
+    deep stall-throttling inverts it (docs/power.md)."""
 
 
 @dataclass
@@ -119,13 +130,17 @@ class ScenarioResult:
     sweep: list[dict] | None = None
     """Shed-monotonicity sweep rows (one per overload multiplier), when
     the scenario declares ``overload_multipliers``."""
+    cap_sweep: list[dict] | None = None
+    """Cap-monotonicity sweep rows (one per cap multiplier), when the
+    scenario declares ``cap_multipliers``. The key is omitted from
+    ``to_dict`` otherwise so pre-governor suite JSON stays byte-stable."""
 
     @property
     def passed(self) -> bool:
         return not self.violations
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "scenario": self.scenario.name,
             "passed": self.passed,
             "violations": list(self.violations),
@@ -133,6 +148,9 @@ class ScenarioResult:
             "report": self.report.to_dict(),
             "sweep": self.sweep,
         }
+        if self.cap_sweep is not None:
+            data["cap_sweep"] = self.cap_sweep
+        return data
 
 
 @dataclass
@@ -415,6 +433,84 @@ def _check_serving_obs_consistency(scenario, report, registry) -> list[str]:
     return violations
 
 
+def _check_power_integrity(scenario, report, registry) -> list[str]:
+    """The governor never over-commits the budget it was given.
+
+    Every governor window: the freshly apportioned device caps sum to at
+    most that window's fleet budget, and the modelled draw never exceeds
+    the caps that were in force while the window elapsed.
+    """
+    power = report.power
+    if power is None:
+        return []
+    violations = []
+    for row in power["window_rows"]:
+        end_ms = row["end_ns"] / 1e6
+        if row["cap_watts"] > row["budget_watts"] + 1e-9:
+            violations.append(
+                f"power-integrity: window ending {end_ms:.1f}ms apportioned "
+                f"{row['cap_watts']:.3f}W of caps over budget "
+                f"{row['budget_watts']:.3f}W"
+            )
+        if row["draw_watts"] > row["cap_in_force_watts"] + 1e-9:
+            violations.append(
+                f"power-integrity: window ending {end_ms:.1f}ms drew "
+                f"{row['draw_watts']:.3f}W over the {row['cap_in_force_watts']:.3f}W "
+                f"of caps in force"
+            )
+        if not 0.0 <= row["throttle_ratio"] <= 1.0:
+            violations.append(
+                f"power-integrity: window ending {end_ms:.1f}ms throttle "
+                f"ratio {row['throttle_ratio']} outside [0, 1]"
+            )
+    return violations
+
+
+def _check_power_obs_consistency(scenario, report, registry) -> list[str]:
+    """Exported power gauges/counters agree exactly with the report."""
+    power = report.power
+    if power is None or registry is None:
+        return []
+    violations = []
+    gauges = {
+        "fleet_power_cap_watts": power["budget_watts"],
+        "fleet_power_draw_watts": power["mean_draw_watts"],
+        "powercap_throttle_ratio": power["mean_throttle_ratio"],
+        "energy_per_inference_mj": power["energy_per_inference_mj"],
+    }
+    for name, expected in sorted(gauges.items()):
+        metric = registry.get(name)
+        actual = metric.value() if metric is not None else None
+        if actual != expected:
+            violations.append(
+                f"obs-consistency: {name} exported {actual} but the "
+                f"power report says {expected}"
+            )
+    device_cap = registry.get("device_power_cap_watts")
+    for name, entry in sorted(power["devices"].items()):
+        actual = (
+            device_cap.value(device=name) if device_cap is not None else None
+        )
+        if actual != entry["final_cap_watts"]:
+            violations.append(
+                f"obs-consistency: device_power_cap_watts{{device={name}}} "
+                f"exported {actual} but the power report says "
+                f"{entry['final_cap_watts']}"
+            )
+    reapportions = registry.get("powercap_reapportion_total")
+    actual = (
+        reapportions.value(policy=power["policy"])
+        if reapportions is not None else 0.0
+    )
+    if actual != float(power["reapportions"]):
+        violations.append(
+            f"obs-consistency: powercap_reapportion_total"
+            f"{{policy={power['policy']}}} exported {actual} but the power "
+            f"report says {power['reapportions']}"
+        )
+    return violations
+
+
 #: Declared invariants, checked in order after every scenario. Each entry
 #: is ``(name, check(scenario, report, registry) -> [violation, ...])``.
 INVARIANTS = (
@@ -427,6 +523,8 @@ INVARIANTS = (
     ("brownout-ordering", _check_brownout_ordering),
     ("autoscaler-convergence", _check_autoscaler_convergence),
     ("serving-obs-consistency", _check_serving_obs_consistency),
+    ("power-integrity", _check_power_integrity),
+    ("power-obs-consistency", _check_power_obs_consistency),
 )
 
 
@@ -624,6 +722,57 @@ def _builtin_scenarios() -> dict[str, ChaosScenario]:
             class_availability_floors=(("interactive", 0.85),),
             quick=False,
         ),
+        ChaosScenario(
+            name="power-cap-storm",
+            description=(
+                "datacenter power budget cut in waves — step, ramp, "
+                "oscillation — over a fault-free fleet: devices downclock "
+                "and stall instead of shedding, and a tighter storm "
+                "never costs more energy"
+            ),
+            schedule=FaultSchedule(),
+            fleet=FleetConfig(replicas=2, hot_spares=1, repair_ms=60.0),
+            # Heavy enough that dynamic energy dominates window
+            # quantization noise — the cap-monotonicity sweep needs the
+            # V^2 savings visible above discretization jitter.
+            traffic=(
+                TrafficPattern("a", 1200.0),
+                TrafficPattern("b", 80.0),
+            ),
+            powercap=PowerCapConfig(
+                fleet_budget_watts=450.0,
+                phases=(
+                    PowerCapPhase(0.10, 0.22, 330.0, shape="step"),
+                    PowerCapPhase(0.22, 0.34, 300.0, shape="ramp"),
+                    PowerCapPhase(
+                        0.36, 0.48, 345.0, shape="oscillate", period_s=0.04
+                    ),
+                ),
+            ),
+            cap_multipliers=(1.0, 0.85, 0.75),
+            availability_floor=0.98,
+        ),
+        ChaosScenario(
+            name="cap-with-device-loss",
+            description=(
+                "a board dies in the middle of a power-cap step: failover "
+                "and the governor re-apportion the same shrinking budget "
+                "without losing requests or over-committing a watt"
+            ),
+            schedule=FaultSchedule(
+                phases=(StormPhase.kill(device=1, at_s=0.15, duration_s=0.2),),
+            ),
+            fleet=FleetConfig(
+                replicas=2, hot_spares=1, repair_ms=60.0,
+                quarantine_threshold=2,
+            ),
+            powercap=PowerCapConfig(
+                fleet_budget_watts=450.0,
+                phases=(PowerCapPhase(0.10, 0.35, 330.0, shape="step"),),
+            ),
+            availability_floor=0.95,
+            quick=False,
+        ),
     ]
     return {scenario.name: scenario for scenario in scenarios}
 
@@ -682,6 +831,7 @@ def run_scenario(
         admission=scenario.admission,
         autoscaler=scenario.autoscaler,
         routing=routing,
+        powercap=scenario.powercap,
     )
     trace = _scenario_trace(scenario, seed)
     report = manager.run(trace)
@@ -694,8 +844,15 @@ def run_scenario(
             scenario, seed, fleet_config, service_times, violations,
             routing=routing,
         )
+    cap_sweep = None
+    if scenario.cap_multipliers and scenario.powercap is not None:
+        cap_sweep = _cap_sweep(
+            scenario, seed, fleet_config, service_times, violations,
+            routing=routing,
+        )
     return ScenarioResult(
-        scenario=scenario, report=report, violations=violations, sweep=sweep
+        scenario=scenario, report=report, violations=violations, sweep=sweep,
+        cap_sweep=cap_sweep,
     )
 
 
@@ -778,6 +935,82 @@ def _overload_sweep(
                 f"at the previous multiplier"
             )
         previous_rate = max(previous_rate or 0.0, shed_rate)
+    return rows
+
+
+def _cap_sweep(
+    scenario: ChaosScenario,
+    seed: int,
+    fleet_config: FleetConfig,
+    service_times: dict[str, float] | None,
+    violations: list[str],
+    routing: str | None = None,
+) -> list[dict]:
+    """Cap-monotonicity: re-run the same trace under tightening budgets.
+
+    Scaling the whole storm's budget down (base + every phase at once,
+    via :meth:`PowerCapConfig.scaled`) must not *increase* total
+    modelled energy — downclocking saves super-linear dynamic power, so
+    in the DVFS-dominated region the scenario is sized for, a tighter
+    cap is strictly cheaper. Tighter runs drain their dilated tails
+    later, so every run's energy is *leveled* to the sweep's longest
+    horizon first (boards idling at floor power for the difference) —
+    otherwise a few extra milliseconds of idle burn would dominate the
+    comparison. Runs off-telemetry on a separate fleet so the main
+    run's exported metrics stay exactly what the obs-consistency
+    invariants audited.
+    """
+    rows: list[dict] = []
+    horizons: list[float] = []
+    for multiplier in scenario.cap_multipliers:
+        manager = FleetManager(
+            list(scenario.tenants),
+            config=fleet_config,
+            schedule=scenario.schedule,
+            ras=scenario.ras,
+            service_times_ns=(
+                dict(service_times) if service_times is not None else None
+            ),
+            admission=scenario.admission,
+            autoscaler=scenario.autoscaler,
+            routing=routing,
+            powercap=scenario.powercap.scaled(multiplier),
+        )
+        trace = _scenario_trace(scenario, seed)
+        report = manager.run(trace)
+        power = report.power
+        served = sum(s.served for s in report.tenants.values())
+        horizons.append(report.horizon_ns)
+        rows.append(
+            {
+                "multiplier": multiplier,
+                "budget_watts": power["budget_watts"],
+                "energy_joules": power["energy_joules"],
+                "energy_per_inference_mj": power["energy_per_inference_mj"],
+                "mean_throttle_ratio": power["mean_throttle_ratio"],
+                "served": served,
+            }
+        )
+    # Device count is fleet-config-fixed, so the last run's roster works
+    # for every row.
+    idle_floor_watts = (
+        scenario.powercap.device_idle_watts * len(power["devices"])
+        if rows else 0.0
+    )
+    common_horizon = max(horizons, default=0.0)
+    previous_energy: float | None = None
+    for row, horizon in zip(rows, horizons):
+        leveled = row["energy_joules"] + idle_floor_watts * (
+            (common_horizon - horizon) / 1e9
+        )
+        row["leveled_energy_joules"] = leveled
+        if previous_energy is not None and leveled > previous_energy + 1e-6:
+            violations.append(
+                f"cap-monotonicity: {row['multiplier']}x budget used "
+                f"{leveled:.3f}J (horizon-leveled), more than "
+                f"{previous_energy:.3f}J at the previous (looser) multiplier"
+            )
+        previous_energy = leveled
     return rows
 
 

@@ -397,6 +397,38 @@ def _cmd_profile(args) -> int:
             availability = registry.get("fleet_availability")
             print(f"{'fleet_availability{' + tenant + '}':<28} "
                   f"{availability.value(tenant=tenant):>8.1%}")
+
+        # Fleet-power table: run the power-cap-storm scenario on the same
+        # registry and read the table straight from the gauges the
+        # governor exported (docs/power.md).
+        result = run_scenario(SCENARIOS["power-cap-storm"], seed=0, obs=obs)
+        power = result.report.power
+        print()
+        header = f"{'fleet power':<28} {'value':>10}"
+        print(header)
+        print("-" * len(header))
+        for metric, fmt in (
+            ("fleet_power_cap_watts", "{:>10.1f}"),
+            ("fleet_power_draw_watts", "{:>10.1f}"),
+            ("powercap_throttle_ratio", "{:>10.3f}"),
+            ("energy_per_inference_mj", "{:>10.1f}"),
+        ):
+            series = registry.get(metric)
+            value = series.value() if series is not None else 0.0
+            print(f"{metric:<28} {fmt.format(value)}")
+        device_cap = registry.get("device_power_cap_watts")
+        device_draw = registry.get("device_power_draw_watts")
+        device_throttle = registry.get("device_power_throttle")
+        print()
+        header = (f"{'device':<10} {'draw W':>8} {'cap W':>8} "
+                  f"{'throttle':>8}")
+        print(header)
+        print("-" * len(header))
+        for name in sorted(power["devices"]):
+            print(f"{name:<10} "
+                  f"{device_draw.value(device=name):>8.1f} "
+                  f"{device_cap.value(device=name):>8.1f} "
+                  f"{device_throttle.value(device=name):>8.3f}")
     return 0
 
 

@@ -33,6 +33,15 @@ class Cpme:
     lpmes: dict[str, Lpme] = field(default_factory=dict)
     grants_issued: int = 0
     grants_denied: int = 0
+    recaps: int = 0
+
+    def __post_init__(self) -> None:
+        # Conservation ledger: an *incrementally* tracked reserve, mirrored
+        # against the recomputed `committed_watts` sum after every budget
+        # movement. Grants never read it (reserve_watts stays the computed
+        # property), so it cannot change decisions — it only catches float
+        # drift between the two bookkeeping paths.
+        self._ledger_reserve = self.power_limit_watts
 
     def register_units(self, units: dict[str, UnitPowerModel]) -> None:
         """Boot: create one LPME per unit with a conservative baseline."""
@@ -49,6 +58,7 @@ class Cpme:
                 f"baseline budgets {self.committed_watts:.1f} W exceed the "
                 f"{self.power_limit_watts:.1f} W limit"
             )
+        self._ledger_reserve = self.power_limit_watts - self.committed_watts
 
     @property
     def committed_watts(self) -> float:
@@ -57,6 +67,59 @@ class Cpme:
     @property
     def reserve_watts(self) -> float:
         return self.power_limit_watts - self.committed_watts
+
+    def _assert_conservation(self, context: str) -> None:
+        """committed + reserve must equal the limit after every movement."""
+        drift = self.committed_watts + self._ledger_reserve - self.power_limit_watts
+        if abs(drift) > 1e-9:
+            raise PowerIntegrityError(
+                f"budget conservation violated after {context}: committed "
+                f"{self.committed_watts:.9f} W + reserve "
+                f"{self._ledger_reserve:.9f} W != limit "
+                f"{self.power_limit_watts:.9f} W (drift {drift:+.3e} W)"
+            )
+
+    def set_power_limit(self, watts: float) -> float:
+        """Re-cap the board limit (fleet governor interface); returns it.
+
+        Raising the limit grows the reserve; nothing else moves. Tightening
+        first shrinks the reserve, then claws back LPME budgets above their
+        static floors — proportionally to each unit's excess, in
+        registration order — so committed budgets never exceed the new
+        limit. A limit the static floors alone cannot satisfy is refused.
+        """
+        if watts < 0:
+            raise PowerIntegrityError(f"negative power limit {watts}")
+        floors = {
+            name: lpme.unit_model.min_power_watts()
+            for name, lpme in self.lpmes.items()
+        }
+        floor_total = sum(floors.values())
+        if watts < floor_total - 1e-9:
+            worst = max(floors, key=lambda name: (floors[name], name))
+            raise PowerIntegrityError(
+                f"limit {watts:.2f} W below the {floor_total:.2f} W static "
+                f"floor of registered units (largest: {worst} at "
+                f"{floors[worst]:.2f} W)"
+            )
+        need = self.committed_watts - watts
+        if need > 0:
+            excess = {
+                name: self.lpmes[name].budget_watts - floors[name]
+                for name in self.lpmes
+            }
+            total_excess = sum(excess.values())
+            scale = min(1.0, need / total_excess) if total_excess > 0 else 0.0
+            for name, lpme in self.lpmes.items():
+                take = excess[name] * scale
+                if take > 0:
+                    lpme.reclaim(take)
+        self.power_limit_watts = watts
+        self._ledger_reserve = watts - self.committed_watts
+        self.recaps += 1
+        self._assert_integrity()
+        self._assert_conservation(f"re-cap to {watts:.2f} W")
+        return watts
 
     def handle_reports(self, reports: list[WindowReport]) -> dict[str, float]:
         """Process one window's LPME reports; returns grants made by unit.
@@ -68,9 +131,17 @@ class Cpme:
         """
         lpmes = self.lpmes
         requests = []
+        moved = None
         for report in reports:
-            if report.returned_watts and report.unit not in lpmes:
-                raise PowerIntegrityError(f"report from unknown unit {report.unit}")
+            if report.returned_watts:
+                if report.unit not in lpmes:
+                    raise PowerIntegrityError(
+                        f"report from unknown unit {report.unit}"
+                    )
+                # The LPME already shrank its budget when it returned the
+                # excess; credit the reserve ledger so conservation holds.
+                self._ledger_reserve += report.returned_watts
+                moved = report.unit
             if report.borrow_requested:
                 requests.append(report)
         grants: dict[str, float] = {}
@@ -88,8 +159,12 @@ class Cpme:
                 continue
             lpme.grant(grant)
             grants[report.unit] = grant
+            self._ledger_reserve -= grant
+            moved = report.unit
             self.grants_issued += 1
         self._assert_integrity()
+        if moved is not None:
+            self._assert_conservation(f"grant/return cycle touching {moved}")
         return grants
 
     def _assert_integrity(self) -> None:

@@ -58,6 +58,8 @@ class DvfsDecision:
     kind: WorkloadKind
     f_ghz: float
     changed: bool
+    forced: bool = False
+    """True when a power cap forced the step regardless of classification."""
 
 
 @dataclass
@@ -74,6 +76,7 @@ class DvfsController:
     """Consecutive same-kind windows required before acting (Decision stage)."""
     enabled: bool = True
     f_ghz: float = field(init=False)
+    cap_ghz: float | None = field(init=False, default=None)
     _history: deque = field(init=False)
     decisions: list[DvfsDecision] = field(default_factory=list)
 
@@ -83,6 +86,16 @@ class DvfsController:
         # performance-first default is safe.
         self.f_ghz = self.curve.f_max_ghz
         self._history = deque(maxlen=self.hysteresis_windows)
+
+    def set_cap(self, f_ghz: float | None) -> None:
+        """Install (or lift, with None) a power-cap frequency ceiling.
+
+        The cap is clamped to the envelope and takes effect on the next
+        ``update()``: a clock above the ceiling is stepped straight down to
+        it, bypassing hysteresis — the forced step the fleet governor uses
+        when a device's power cap tightens mid-run.
+        """
+        self.cap_ghz = None if f_ghz is None else self.curve.clamp(f_ghz)
 
     # -- Evaluation stage ------------------------------------------------
 
@@ -102,13 +115,25 @@ class DvfsController:
             decision = DvfsDecision(kind=kind, f_ghz=self.f_ghz, changed=False)
             self.decisions.append(decision)
             return decision
+        cap = self.cap_ghz
+        if cap is not None and self.f_ghz > cap + 1e-12:
+            # Forced step under cap: power integrity outranks the Decision
+            # stage, so the clamp bypasses hysteresis and lands immediately.
+            self.f_ghz = cap
+            self._history.clear()
+            decision = DvfsDecision(
+                kind=kind, f_ghz=self.f_ghz, changed=True, forced=True
+            )
+            self.decisions.append(decision)
+            return decision
         self._history.append(kind)
         changed = False
         if len(self._history) == self.hysteresis_windows and all(
             entry is kind for entry in self._history
         ):
-            if kind is WorkloadKind.COMPUTE_BOUND and self.f_ghz < self.curve.f_max_ghz:
-                self.f_ghz = self.curve.clamp(self.f_ghz + self.step_ghz)
+            ceiling = self.curve.f_max_ghz if cap is None else cap
+            if kind is WorkloadKind.COMPUTE_BOUND and self.f_ghz < ceiling:
+                self.f_ghz = min(ceiling, self.curve.clamp(self.f_ghz + self.step_ghz))
                 changed = True
             elif (
                 kind is WorkloadKind.BANDWIDTH_BOUND

@@ -147,6 +147,20 @@ class Lpme:
         self.history.clear()
         self._memo_key = None
 
+    def reclaim(self, watts: float) -> None:
+        """CPME clawed budget back (board limit tightened under a cap)."""
+        if watts < 0:
+            raise ValueError(f"negative reclaim {watts}")
+        floor = self.unit_model.min_power_watts()
+        if self.budget_watts - watts < floor - 1e-12:
+            raise RuntimeError(
+                f"{self.name}: reclaim {watts} W would cut budget below the "
+                f"{floor} W static floor"
+            )
+        self.budget_watts -= watts
+        self.history.clear()
+        self._memo_key = None
+
     def effective_slowdown(self, report: WindowReport) -> float:
         """Workload time dilation the throttle causes this window.
 

@@ -28,6 +28,11 @@ from repro.serving.loadgen import (
     merge_traces,
     summarize_trace,
 )
+from repro.serving.powercap import (
+    FleetPowerGovernor,
+    PowerCapConfig,
+    PowerCapPhase,
+)
 from repro.serving.server import (
     CompletedRequest,
     InferenceServer,
@@ -46,8 +51,10 @@ __all__ = [
     "AdmissionController", "AdmissionDecision", "AdmissionPolicy",
     "Autoscaler", "AutoscalerConfig", "CompletedRequest",
     "DEFAULT_SLO_CLASSES", "DeviceReport", "FleetConfig", "FleetManager",
-    "FleetReport", "FleetTenantStats", "InferenceServer", "LifecycleEvent",
-    "LoadSpec", "LoadSummary", "NoHealthyGroupsError", "RasConfig",
+    "FleetPowerGovernor", "FleetReport", "FleetTenantStats",
+    "InferenceServer", "LifecycleEvent",
+    "LoadSpec", "LoadSummary", "NoHealthyGroupsError",
+    "PowerCapConfig", "PowerCapPhase", "RasConfig",
     "ReplicaStatus", "Request", "ScaleAction", "SloClass", "SloClassStats",
     "TenantConfig", "TenantHealth", "TenantReport", "TrafficPattern",
     "batch_service_time_ns", "demo_specs", "generate_load", "generate_trace",

@@ -145,6 +145,7 @@ class Autoscaler:
         self._window = _Window()
         self._last_action_ns: float | None = None
         self._quiet_streak = 0
+        self.power_blocked_ups = 0
 
     def reset(self) -> None:
         """Pristine state so repeated runs replay bit-identically."""
@@ -152,6 +153,7 @@ class Autoscaler:
         self._window = _Window()
         self._last_action_ns = None
         self._quiet_streak = 0
+        self.power_blocked_ups = 0
 
     # -- signal intake -----------------------------------------------------
 
@@ -168,6 +170,7 @@ class Autoscaler:
         backpressure: float,
         can_up: bool = True,
         can_down: bool = True,
+        power_feasible: bool = True,
     ) -> int:
         """One control tick: returns the desired replica delta (+1/-1/0).
 
@@ -181,6 +184,10 @@ class Autoscaler:
         standby must exist to promote; an active replica must be
         drainable) — an infeasible action is never recorded, keeping the
         convergence audit honest about what the loop *did*.
+        ``power_feasible`` is the fleet power governor's budget check: a
+        promotion the rack budget cannot power is suppressed (and tallied
+        in ``power_blocked_ups``) rather than throttled back down a
+        window later — scaling into a power cap is a guaranteed flap.
         """
         cfg = self.config
         window, self._window = self._window, _Window()
@@ -204,6 +211,9 @@ class Autoscaler:
         if overloaded:
             self._quiet_streak = 0
             if in_cooldown or active >= cfg.max_active or not can_up:
+                return 0
+            if not power_feasible:
+                self.power_blocked_ups += 1
                 return 0
             if overloaded_classes:
                 name, p99, target = overloaded_classes[0]

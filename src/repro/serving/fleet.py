@@ -49,6 +49,7 @@ from repro.runtime.runtime import Device
 from repro.seeding import derive_rng, derive_seed
 from repro.serving.routing import (
     DepthView,
+    PowerAwareRouter,
     PrunedFinishes,
     ReplicaStatus,
     make_router,
@@ -256,10 +257,14 @@ class FleetReport:
     """Deepest brownout degradation level the admission layer reached."""
     peak_backpressure: float = 0.0
     """Worst per-class queue-fullness signal seen during the run."""
+    power: dict | None = None
+    """Fleet power governor section (None when no governor is attached;
+    the key is omitted from ``to_dict`` then, so ungoverned reports stay
+    byte-identical to builds without the power layer)."""
 
     def to_dict(self) -> dict:
         """Deterministic nested-dict form (same run -> identical JSON)."""
-        return {
+        data = {
             "seed": self.seed,
             "replicas": self.replicas,
             "hot_spares": self.hot_spares,
@@ -286,6 +291,9 @@ class FleetReport:
             "max_brownout_level": self.max_brownout_level,
             "peak_backpressure": self.peak_backpressure,
         }
+        if self.power is not None:
+            data["power"] = self.power
+        return data
 
     def device(self, name: str) -> DeviceReport:
         for report in self.devices:
@@ -321,6 +329,9 @@ class _Replica:
     probe_faults: int = 0
     repair_due_ns: float | None = None
     repair_attempts: int = 0
+    power_dilation: float = 1.0
+    """Service-time stretch the fleet power governor's cap imposes
+    (1.0 = uncapped; only read when a governor is attached)."""
 
 
 class FleetManager:
@@ -347,6 +358,7 @@ class FleetManager:
         admission=None,
         autoscaler=None,
         routing: str | None = None,
+        powercap=None,
     ) -> None:
         if not tenants:
             raise ReproRuntimeError("fleet needs at least one tenant")
@@ -373,6 +385,15 @@ class FleetManager:
             from repro.serving.autoscale import Autoscaler
 
             self._autoscaler = Autoscaler(autoscaler)
+        # The fleet power governor (PowerCapConfig) caps the rack budget
+        # and dilates per-replica service under cap. Optional: without it
+        # no power state exists and every path below is bit-identical to
+        # an ungoverned build.
+        self._governor = None
+        if powercap is not None:
+            from repro.serving.powercap import FleetPowerGovernor
+
+            self._governor = FleetPowerGovernor(powercap)
         self.service_times_ns = dict(service_times_ns or {})
         missing = [
             tenant for tenant in tenants
@@ -397,6 +418,8 @@ class FleetManager:
         # byte-identical reports (tests/serving/test_routing.py).
         self.routing = resolve_routing(routing)
         self._router = make_router(self.routing)
+        if self._governor is not None:
+            self._router = PowerAwareRouter(self._router)
         self._service_memo: dict[tuple[str, int], float] = {}
         self._group_next: list[int] = []
         self._bringup_events: list[LifecycleEvent] = []
@@ -489,6 +512,12 @@ class FleetManager:
         cfg = self.config
         router = self._router
         router.rebuild(self._replicas)
+        governor = self._governor
+        gov_next: float | None = None
+        if governor is not None:
+            governor.reset(self._replicas)
+            self._apply_power_signals()
+            gov_next = governor.window_ns
         rngs = {
             replica.name: derive_rng(cfg.seed, "serve", replica.name)
             for replica in self._replicas
@@ -528,16 +557,43 @@ class FleetManager:
             if joined[index]:
                 continue  # coalesced into an earlier batch, accounted there
             arrival = request.arrival_ns
-            while next_tick is not None and next_tick <= arrival:
-                self._autoscale_tick(
-                    next_tick, class_finishes, events, counters
-                )
-                next_tick += self._autoscaler.config.eval_interval_ms * 1e6
+            # Governor windows and autoscaler ticks interleave in time
+            # order (governor first on ties: caps land before the scale
+            # decision reads them). With no governor this reduces exactly
+            # to the historical autoscaler-only stepping.
+            while True:
+                due_gov = gov_next is not None and gov_next <= arrival
+                due_scale = next_tick is not None and next_tick <= arrival
+                if due_gov and (not due_scale or gov_next <= next_tick):
+                    self._powercap_tick(gov_next)
+                    gov_next += governor.window_ns
+                elif due_scale:
+                    self._autoscale_tick(
+                        next_tick, class_finishes, events, counters
+                    )
+                    next_tick += (
+                        self._autoscaler.config.eval_interval_ms * 1e6
+                    )
+                else:
+                    break
             router.advance(arrival)
             self._advance(arrival, events, counters)
             tenant_stats = stats[request.tenant]
             tenant_stats.offered += 1
-            if not router.active_count():
+            active = router.active_count()
+            if active and governor is not None:
+                # Parked replicas are powered off by the cap: they sit in
+                # the routing pool but cannot take traffic, so a fully
+                # parked fleet sheds for lack of capacity like a fully
+                # quarantined one.
+                parked = governor.parked_indices()
+                if parked:
+                    active -= sum(
+                        1 for index in parked
+                        if self._replicas[index].status
+                        is ReplicaStatus.ACTIVE
+                    )
+            if not active:
                 tenant_stats.shed += 1
                 tenant_stats.shed_no_capacity += 1
                 self._note_shed(tenant_stats, request, "no-capacity")
@@ -588,6 +644,12 @@ class FleetManager:
                     entry.push(finish)
             horizon = max(horizon, finish)
         self._drain_repairs(events, counters)
+        if governor is not None:
+            # Close governor windows until every occupied interval is
+            # accounted, so the energy integral covers the whole run.
+            while gov_next - governor.window_ns < horizon:
+                self._powercap_tick(gov_next)
+                gov_next += governor.window_ns
         for name, values in latencies.items():
             if values:
                 array = np.asarray(values)
@@ -720,6 +782,24 @@ class FleetManager:
             probe = self._group_next[probe]
         return members
 
+    def _powercap_tick(self, now: float) -> None:
+        """One governor window: account draw, re-apportion caps, refresh
+        the dilation/routing signals the serving path reads."""
+        governor = self._governor
+        governor.close_window(
+            now, [replica.status for replica in self._replicas]
+        )
+        self._apply_power_signals()
+
+    def _apply_power_signals(self) -> None:
+        governor = self._governor
+        dilations = governor.dilations()
+        for replica in self._replicas:
+            replica.power_dilation = dilations[replica.index]
+        self._router.set_power_sets(
+            governor.avoid_indices(), governor.parked_indices()
+        )
+
     def _autoscale_tick(
         self,
         now: float,
@@ -739,11 +819,18 @@ class FleetManager:
             backpressure = self._admission_ctl.backpressure(
                 DepthView(class_finishes, now)
             )
+        power_feasible = True
+        if self._governor is not None:
+            backpressure = max(
+                backpressure, self._governor.power_pressure()
+            )
+            power_feasible = self._governor.can_power_promotion(n_active)
         spare = router.standby()
         delta = scaler.evaluate(
             now, n_active, backpressure,
             can_up=spare is not None,
             can_down=n_active > 1,
+            power_feasible=power_feasible,
         )
         if delta > 0:
             spare.status = ReplicaStatus.ACTIVE
@@ -783,6 +870,7 @@ class FleetManager:
             replica.probe_faults = 0
             replica.repair_due_ns = None
             replica.repair_attempts = 0
+            replica.power_dilation = 1.0
         if self._admission_ctl is not None:
             self._admission_ctl.reset()
         if self._autoscaler is not None:
@@ -809,7 +897,13 @@ class FleetManager:
         if self._admission_ctl is not None:
             ctl = self._admission_ctl
             depths = DepthView(class_finishes, now)
-            ctl.update(ctl.backpressure(depths))
+            pressure = ctl.backpressure(depths)
+            if self._governor is not None:
+                # Sustained power throttle reads as backpressure: a capped
+                # fleet escalates brownout instead of queueing into SLO
+                # misses it cannot serve at the throttled rate.
+                pressure = max(pressure, self._governor.power_pressure())
+            ctl.update(pressure)
             earliest = self._router.earliest_start(now)
             decision = ctl.decide(
                 request.slo_class,
@@ -863,6 +957,10 @@ class FleetManager:
                 batch=len(members),
             )
             replica.free_at = finish
+            if self._governor is not None:
+                # Fatal attempts burned power too: every occupied
+                # interval feeds the governor's draw accounting.
+                self._governor.note_busy(replica.index, start, finish)
             router.update(replica)
             if outcome == "ok":
                 replica.served += len(members)
@@ -898,6 +996,10 @@ class FleetManager:
                 self.service_times_ns[tenant_name], batch
             )
             self._service_memo[memo_key] = service
+        if self._governor is not None and replica.power_dilation != 1.0:
+            # The power cap's performance echo: a throttled device serves
+            # the same work, stretched by the governor's dilation.
+            service = service * replica.power_dilation
         events_per_attempt = self.ras.transfers_per_request * batch
         now = start
         retries = 0
@@ -1099,6 +1201,15 @@ class FleetManager:
             )
             for replica in self._replicas
         ]
+        power = None
+        if self._governor is not None:
+            if self._autoscaler is not None:
+                self._governor.power_blocked_scaleups = (
+                    self._autoscaler.power_blocked_ups
+                )
+            power = self._governor.build_report(
+                sum(entry.served for entry in stats.values())
+            )
         return FleetReport(
             seed=self.config.seed,
             replicas=self.config.replicas,
@@ -1134,6 +1245,7 @@ class FleetManager:
                 if self._admission_ctl is not None
                 else 0.0
             ),
+            power=power,
         )
 
     def _export_obs(self, report: FleetReport) -> None:
@@ -1195,6 +1307,8 @@ class FleetManager:
                     requests_total.inc(value, tenant=name, status=status)
             availability.set(stats.availability, tenant=name)
         self._export_serving_obs(report)
+        if report.power is not None:
+            self._export_power_obs(report)
 
     def _export_serving_obs(self, report: FleetReport) -> None:
         """Admission/autoscaler metric rows (docs/observability.md)."""
@@ -1243,6 +1357,60 @@ class FleetManager:
                 scale_events.inc(report.autoscale_ups, direction="up")
             if report.autoscale_downs:
                 scale_events.inc(report.autoscale_downs, direction="down")
+
+    def _export_power_obs(self, report: FleetReport) -> None:
+        """Fleet power governor gauge/counter rows (docs/power.md)."""
+        metrics = self.obs.metrics
+        power = report.power
+        metrics.gauge(
+            "fleet_power_cap_watts", "base fleet power budget", unit="W"
+        ).set(power["budget_watts"])
+        metrics.gauge(
+            "fleet_power_draw_watts",
+            "mean modelled fleet draw over the run", unit="W",
+        ).set(power["mean_draw_watts"])
+        metrics.gauge(
+            "powercap_throttle_ratio",
+            "mean power-throttle across active devices",
+        ).set(power["mean_throttle_ratio"])
+        metrics.gauge(
+            "energy_per_inference_mj",
+            "modelled energy per served inference", unit="mJ",
+        ).set(power["energy_per_inference_mj"])
+        device_cap = metrics.gauge(
+            "device_power_cap_watts",
+            "final per-device power cap", unit="W",
+        )
+        device_draw = metrics.gauge(
+            "device_power_draw_watts",
+            "mean per-device modelled draw", unit="W",
+        )
+        device_throttle = metrics.gauge(
+            "device_power_throttle",
+            "final per-device power throttle",
+        )
+        for name, entry in sorted(power["devices"].items()):
+            device_cap.set(entry["final_cap_watts"], device=name)
+            device_draw.set(entry["mean_draw_watts"], device=name)
+            device_throttle.set(entry["final_throttle"], device=name)
+        reapportions = metrics.counter(
+            "powercap_reapportion_total",
+            "governor windows that moved at least one device cap",
+        )
+        if power["reapportions"]:
+            reapportions.inc(power["reapportions"], policy=power["policy"])
+        parked = metrics.counter(
+            "powercap_parked_device_windows_total",
+            "device-windows spent parked by the budget",
+        )
+        if power["parked_device_windows"]:
+            parked.inc(power["parked_device_windows"])
+        blocked = metrics.counter(
+            "powercap_blocked_scaleups_total",
+            "autoscaler promotions the power budget vetoed",
+        )
+        if power["power_blocked_scaleups"]:
+            blocked.inc(power["power_blocked_scaleups"])
 
 
 @dataclass

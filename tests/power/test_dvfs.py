@@ -93,6 +93,84 @@ class TestDisabled:
         assert decision.kind is WorkloadKind.BANDWIDTH_BOUND
 
 
+class TestPowerCap:
+    """Cap interactions: forced steps outrank the Decision stage."""
+
+    def test_cap_clamped_to_envelope(self):
+        controller = _controller()
+        controller.set_cap(0.8)
+        assert controller.cap_ghz == pytest.approx(1.0)
+        controller.set_cap(2.0)
+        assert controller.cap_ghz == pytest.approx(1.4)
+        controller.set_cap(None)
+        assert controller.cap_ghz is None
+
+    def test_forced_step_bypasses_hysteresis(self):
+        controller = _controller(hysteresis_windows=3)
+        controller.set_cap(1.1)
+        decision = controller.update(BALANCED)  # a single window suffices
+        assert decision.forced and decision.changed
+        assert controller.f_ghz == pytest.approx(1.1)
+
+    def test_forced_step_clears_classification_history(self):
+        controller = _controller(hysteresis_windows=2)
+        controller.update(COMPUTE)  # one window of compute history banked
+        controller.set_cap(1.1)
+        controller.update(COMPUTE)  # forced step; history resets
+        controller.set_cap(None)
+        decision = controller.update(COMPUTE)
+        # Only one post-reset compute window: hysteresis must hold the clock.
+        assert controller.f_ghz == pytest.approx(1.1)
+        assert not decision.changed
+
+    def test_step_up_ceiling_is_the_cap(self):
+        controller = _controller(hysteresis_windows=1)
+        controller.set_cap(1.1)
+        for _ in range(10):
+            controller.update(COMPUTE)
+        assert controller.f_ghz == pytest.approx(1.1)
+
+    def test_lifting_cap_recovers_to_max(self):
+        controller = _controller(hysteresis_windows=1)
+        controller.set_cap(1.0)
+        controller.update(COMPUTE)
+        assert controller.f_ghz == pytest.approx(1.0)
+        controller.set_cap(None)
+        for _ in range(10):
+            controller.update(COMPUTE)
+        assert controller.f_ghz == pytest.approx(1.4)
+
+    def test_cap_at_or_above_clock_is_not_forced(self):
+        controller = _controller(hysteresis_windows=3)
+        controller.set_cap(1.4)
+        decision = controller.update(BALANCED)
+        assert not decision.forced and not decision.changed
+        assert controller.f_ghz == pytest.approx(1.4)
+
+    def test_alternating_phases_do_not_oscillate(self):
+        """Anti-oscillation: a trace flapping between compute- and
+        bandwidth-bound every window never accumulates the consecutive
+        same-kind history hysteresis demands, so the clock holds still."""
+        controller = _controller(hysteresis_windows=2)
+        decisions = [
+            controller.update(COMPUTE if i % 2 == 0 else BANDWIDTH)
+            for i in range(20)
+        ]
+        assert not any(decision.changed for decision in decisions)
+        assert controller.f_ghz == pytest.approx(1.4)
+
+    def test_alternating_phases_under_cap_hold_at_cap(self):
+        controller = _controller(hysteresis_windows=2)
+        controller.set_cap(1.2)
+        controller.update(COMPUTE)  # the one forced step down to the cap
+        decisions = [
+            controller.update(BANDWIDTH if i % 2 == 0 else COMPUTE)
+            for i in range(20)
+        ]
+        assert not any(decision.changed for decision in decisions)
+        assert controller.f_ghz == pytest.approx(1.2)
+
+
 class TestAnalysis:
     def test_frequency_profile_counts_windows(self):
         controller = _controller(hysteresis_windows=1)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.power.cpme import Cpme, PowerIntegrityError
-from repro.power.lpme import Lpme
+from repro.power.lpme import Lpme, WindowReport
 from repro.power.model import DvfsCurve, UnitPowerModel, UnitPowerParams, dtu2_power_units
 
 
@@ -65,6 +65,43 @@ class TestLpme:
         lpme = Lpme(unit_model=_unit(), budget_watts=2.5)
         report = lpme.observe(1.0, 1.4, 1000.0)
         assert lpme.effective_slowdown(report) == pytest.approx(2.0)
+
+    def test_borrow_boundary_exactly_m_of_n(self):
+        """Borrow fires at exactly M starved windows of the last N, not M-1.
+
+        With ``_unit()`` and a 2.5 W budget, activity 1.0 at 1.4 GHz
+        projects 4.5 W and starves the window (throttle 0.5); activity
+        0.45 projects 2.3 W, throttles nothing, and returns nothing
+        (keep = 2.3 * 1.25 > 2.5), so the budget and history evolve only
+        through the starved/ok pattern under test.
+        """
+        STARVED, OK = 1.0, 0.45
+
+        def run(pattern):
+            lpme = Lpme(
+                unit_model=_unit(), budget_watts=2.5, borrow_m=3, borrow_n=5
+            )
+            return [
+                lpme.observe(activity, 1.4, 1000.0).borrow_requested
+                for activity in pattern
+            ]
+
+        at_m = run([STARVED, STARVED, OK, OK, STARVED])
+        assert not any(at_m[:4])  # window 5 completes the history
+        assert at_m[4]  # exactly M = 3 of N = 5 starved
+
+        below_m = run([STARVED, STARVED, OK, OK, OK])
+        assert not any(below_m)  # M - 1 starved: no request
+
+        rolling = run([STARVED, OK, OK, OK, STARVED, STARVED])
+        assert not any(rolling)  # oldest starved window rolled out
+
+    def test_ok_window_between_starved_does_not_return_budget(self):
+        lpme = Lpme(unit_model=_unit(), budget_watts=2.5)
+        report = lpme.observe(0.45, 1.4, 1000.0)
+        assert report.throttle == 0.0
+        assert report.returned_watts == 0.0
+        assert lpme.budget_watts == 2.5
 
 
 class TestCpme:
@@ -129,3 +166,188 @@ class TestCpme:
         assert cpme.grants_denied > 0
         assert cpme.committed_watts <= 60.0 + 1e-9
         assert cpme.reserve_watts < 1.0
+
+
+def _drift(cpme):
+    return cpme.committed_watts + cpme._ledger_reserve - cpme.power_limit_watts
+
+
+class TestBudgetConservation:
+    """The conservation guard: committed + reserve == limit, always.
+
+    The ledger reserve is tracked incrementally across grants, returns and
+    re-caps, and mirrored against the recomputed committed sum; any drift
+    beyond 1e-9 W means a budget movement was double-counted or lost.
+    """
+
+    def test_holds_through_grant_return_cycles(self):
+        cpme = Cpme(power_limit_watts=150.0)
+        cpme.register_units(dtu2_power_units())
+        assert abs(_drift(cpme)) <= 1e-9
+        hot = {name: 1.0 for name in cpme.lpmes}
+        cold = {name: 0.05 for name in cpme.lpmes}
+        for window in range(60):
+            # Alternate starvation (borrows) and idleness (returns).
+            cpme.run_window(hot if (window // 10) % 2 == 0 else cold, {}, 10_000.0)
+            assert abs(_drift(cpme)) <= 1e-9
+        assert cpme.grants_issued > 0  # the cycle actually moved budget
+
+    def test_holds_through_recap_cycles(self):
+        cpme = Cpme(power_limit_watts=150.0)
+        cpme.register_units(dtu2_power_units())
+        floor_total = sum(
+            lpme.unit_model.min_power_watts() for lpme in cpme.lpmes.values()
+        )
+        hot = {name: 1.0 for name in cpme.lpmes}
+        for limit in (150.0, floor_total + 1.0, 150.0, floor_total + 5.0, 150.0):
+            cpme.set_power_limit(limit)
+            assert abs(_drift(cpme)) <= 1e-9
+            for _ in range(5):
+                cpme.run_window(hot, {}, 10_000.0)
+                assert abs(_drift(cpme)) <= 1e-9
+        assert cpme.recaps == 5
+
+    def test_violation_names_the_offending_unit(self):
+        """A corrupted ledger is caught at the next movement, not silently."""
+        cpme = Cpme(power_limit_watts=50.0)
+        cpme.register_units({"a": _unit(), "b": _unit()})
+        cpme._ledger_reserve += 0.5  # simulate lost-update drift
+        lpme_a = cpme.lpmes["a"]
+        lpme_a.budget_watts -= 0.2  # the LPME's side of a return
+        report = WindowReport(
+            unit="a",
+            activity=0.0,
+            projected_watts=0.5,
+            budget_watts=lpme_a.budget_watts,
+            throttle=0.0,
+            borrow_requested=False,
+            returned_watts=0.2,
+        )
+        with pytest.raises(
+            PowerIntegrityError, match="grant/return cycle touching a"
+        ):
+            cpme.handle_reports([report])
+
+    def test_settled_windows_move_nothing(self):
+        cpme = Cpme(power_limit_watts=150.0)
+        cpme.register_units(dtu2_power_units())
+        cpme.run_window({}, {}, 10_000.0)  # idle: boot excess returned
+        committed = cpme.committed_watts
+        reserve = cpme._ledger_reserve
+        for _ in range(5):
+            cpme.run_window({}, {}, 10_000.0)  # settled: nothing moves
+        assert cpme.committed_watts == committed
+        assert cpme._ledger_reserve == reserve
+        assert cpme.grants_issued == 0
+        assert abs(_drift(cpme)) <= 1e-9
+
+
+class TestRecap:
+    """set_power_limit: the fleet governor's re-cap entry point."""
+
+    def test_tighten_claws_back_proportionally_to_excess(self):
+        cpme = Cpme(power_limit_watts=50.0)
+        cpme.register_units({"a": _unit(), "b": _unit()})
+        cpme.lpmes["a"].grant(1.0)  # unequal budgets above the floors
+        floors = {
+            name: lpme.unit_model.min_power_watts()
+            for name, lpme in cpme.lpmes.items()
+        }
+        before = {name: lpme.budget_watts for name, lpme in cpme.lpmes.items()}
+        need = 1.0
+        new_limit = cpme.committed_watts - need
+        excess = {name: before[name] - floors[name] for name in before}
+        scale = need / sum(excess.values())
+        cpme.set_power_limit(new_limit)
+        for name, lpme in cpme.lpmes.items():
+            assert lpme.budget_watts == pytest.approx(
+                before[name] - excess[name] * scale
+            )
+            assert lpme.budget_watts >= floors[name]
+        assert cpme.committed_watts <= new_limit + 1e-9
+        assert abs(_drift(cpme)) <= 1e-9
+
+    def test_tighten_to_floor_leaves_floors_intact(self):
+        cpme = Cpme(power_limit_watts=50.0)
+        cpme.register_units({"a": _unit(), "b": _unit()})
+        floor_total = sum(
+            lpme.unit_model.min_power_watts() for lpme in cpme.lpmes.values()
+        )
+        cpme.set_power_limit(floor_total)
+        for lpme in cpme.lpmes.values():
+            assert lpme.budget_watts == pytest.approx(
+                lpme.unit_model.min_power_watts()
+            )
+
+    def test_below_floor_refused_names_largest_floor_unit(self):
+        cpme = Cpme(power_limit_watts=50.0)
+        cpme.register_units(
+            {
+                "big": UnitPowerModel(
+                    UnitPowerParams("big", static_watts=2.0, dynamic_watts_peak=4.0),
+                    DvfsCurve(1.0, 1.4),
+                ),
+                "small": _unit(),
+            }
+        )
+        with pytest.raises(PowerIntegrityError, match="big"):
+            cpme.set_power_limit(1.0)
+        assert cpme.power_limit_watts == 50.0  # refusal leaves state intact
+
+    def test_raise_grows_reserve_only(self):
+        cpme = Cpme(power_limit_watts=50.0)
+        cpme.register_units({"a": _unit(), "b": _unit()})
+        budgets = {name: lpme.budget_watts for name, lpme in cpme.lpmes.items()}
+        reserve = cpme.reserve_watts
+        cpme.set_power_limit(60.0)
+        assert cpme.reserve_watts == pytest.approx(reserve + 10.0)
+        for name, lpme in cpme.lpmes.items():
+            assert lpme.budget_watts == budgets[name]
+        assert cpme.recaps == 1
+        assert abs(_drift(cpme)) <= 1e-9
+
+    def test_negative_limit_rejected(self):
+        cpme = Cpme(power_limit_watts=50.0)
+        cpme.register_units({"a": _unit()})
+        with pytest.raises(PowerIntegrityError):
+            cpme.set_power_limit(-1.0)
+
+    def test_returned_budget_reabsorbed_before_grants(self):
+        """Reabsorption ordering: returns credit the reserve before borrow
+        requests are served, so a grant can be funded by budget returned in
+        the very same window even when the reserve started empty —
+        regardless of report order."""
+        cpme = Cpme(power_limit_watts=50.0)
+        cpme.register_units({"a": _unit(), "b": _unit()})
+        cpme.set_power_limit(cpme.committed_watts)  # drain the reserve
+        assert cpme.reserve_watts == pytest.approx(0.0)
+        lpme_a = cpme.lpmes["a"]
+        lpme_b = cpme.lpmes["b"]
+        returned = 0.4
+        lpme_a.budget_watts -= returned  # the LPME's side of the return
+        reports = [
+            # The borrower is listed *first*: ordering must not matter.
+            WindowReport(
+                unit="b",
+                activity=1.0,
+                projected_watts=4.5,
+                budget_watts=lpme_b.budget_watts,
+                throttle=0.5,
+                borrow_requested=True,
+                returned_watts=0.0,
+            ),
+            WindowReport(
+                unit="a",
+                activity=0.0,
+                projected_watts=0.5,
+                budget_watts=lpme_a.budget_watts,
+                throttle=0.0,
+                borrow_requested=False,
+                returned_watts=returned,
+            ),
+        ]
+        grants = cpme.handle_reports(reports)
+        assert grants == {"b": pytest.approx(returned)}
+        assert cpme.grants_denied == 0
+        assert cpme.committed_watts <= cpme.power_limit_watts + 1e-9
+        assert abs(_drift(cpme)) <= 1e-9

@@ -18,6 +18,10 @@ schema-versioned ``BENCH_<n>.json`` report (see
   devices over one fixed Poisson + flash-crowd trace: per-request cost
   must stay near-flat as the fleet grows (O(log N) routing), and the
   heap router must stay byte-identical to the pinned reference router.
+- **serving.powercap** — one fixed trace under a loose vs a tight fleet
+  power budget: the tight run must be byte-reproducible, serve no less,
+  and land strictly lower energy-per-inference at bounded p99 inflation
+  (the DVFS V^2 dividend — docs/power.md).
 - **sim.parallel_shards** — the chaos suite run serially and sharded
   across forced worker processes (:mod:`repro.sim.parallel`), byte-diffed:
   sharding must never change a result.
@@ -351,6 +355,78 @@ def bench_parallel_shards(quick: bool) -> dict:
     }
 
 
+def bench_powercap(quick: bool) -> dict:
+    """Fleet power governor: a tighter cap is cheaper per inference.
+
+    One fixed trace runs under a loose fleet budget (caps never bind)
+    and a tight one sized inside the DVFS-dominated region, plus a
+    same-seed repeat of the tight run. Gated invariants: the repeat is
+    byte-identical, the tight run serves everything the loose run
+    served, and downclocking's super-linear (V^2) dynamic savings make
+    the tight run's energy-per-inference strictly lower at bounded p99
+    inflation (docs/power.md). All metrics are simulated/deterministic.
+    """
+    from repro.serving.fleet import FleetConfig, FleetManager
+    from repro.serving.powercap import PowerCapConfig
+    from repro.serving.server import TenantConfig
+    from repro.serving.workload import TrafficPattern, generate_trace
+
+    tenants = [TenantConfig("a", "resnet50", groups=2, max_batch=1)]
+    duration_s = 0.2 if quick else 0.5
+    trace = generate_trace(
+        [TrafficPattern("a", 1200.0)], duration_s=duration_s, seed=11
+    )
+
+    def run(budget_watts: float):
+        manager = FleetManager(
+            tenants,
+            config=FleetConfig(replicas=2, hot_spares=0, seed=5),
+            service_times_ns={"a": 1.0e6},
+            powercap=PowerCapConfig(fleet_budget_watts=budget_watts),
+        )
+        return manager.run(trace)
+
+    start = time.perf_counter()
+    loose = run(300.0)   # 2x device peak: the governor never throttles
+    tight = run(240.0)   # binds into DVFS downclock, not deep stall
+    repeat = run(240.0)
+    wall_s = time.perf_counter() - start
+
+    identical = json.dumps(tight.to_dict(), sort_keys=True) == json.dumps(
+        repeat.to_dict(), sort_keys=True
+    )
+    loose_stats = loose.tenants["a"]
+    tight_stats = tight.tenants["a"]
+    loose_einf = loose.power["energy_per_inference_mj"]
+    tight_einf = tight.power["energy_per_inference_mj"]
+    return {
+        "name": "serving.powercap",
+        "wall_seconds": wall_s,
+        "metrics": {
+            "trace_requests": float(len(trace)),
+            "rerun_identical": 1.0 if identical else 0.0,
+            "served_conserved": (
+                1.0 if tight_stats.served >= loose_stats.served else 0.0
+            ),
+            "loose_energy_per_inference_mj": loose_einf,
+            "tight_energy_per_inference_mj": tight_einf,
+            "energy_per_inference_ratio": (
+                tight_einf / loose_einf if loose_einf else 0.0
+            ),
+            "loose_p99_ms": loose_stats.p99_ms,
+            "tight_p99_ms": tight_stats.p99_ms,
+            "p99_inflation": (
+                tight_stats.p99_ms / loose_stats.p99_ms
+                if loose_stats.p99_ms else 0.0
+            ),
+            "tight_mean_throttle_ratio": (
+                tight.power["mean_throttle_ratio"]
+            ),
+            "run_wall_seconds": wall_s,
+        },
+    }
+
+
 def run_benchmarks(quick: bool) -> dict:
     from repro.caching import reset_global_caches
 
@@ -359,6 +435,7 @@ def run_benchmarks(quick: bool) -> dict:
     benchmarks = [bench_gemm(quick), bench_rle(quick)]
     benchmarks += [bench_e2e(model, quick) for model in models]
     benchmarks.append(bench_serving(quick))
+    benchmarks.append(bench_powercap(quick))
     benchmarks.append(bench_fleet_scale(quick))
     benchmarks.append(bench_parallel_shards(quick))
     return {
@@ -560,6 +637,11 @@ def main(argv: list[str] | None = None) -> int:
             highlights.append(
                 "routing identical" if metrics["reference_identical"] == 1.0
                 else "ROUTING DIVERGED"
+            )
+        if "energy_per_inference_ratio" in metrics:
+            highlights.append(
+                f"tight/loose energy {metrics['energy_per_inference_ratio']:.2f}x"
+                f"  p99 {metrics['p99_inflation']:.2f}x"
             )
         if "per_request_cost_ratio_256_vs_16" in metrics:
             highlights.append(
