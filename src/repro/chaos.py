@@ -14,7 +14,11 @@ invariant against the resulting :class:`~repro.serving.fleet.FleetReport`:
 - **monotone-time** — the fleet timeline never runs backwards: lifecycle
   events are time-ordered per device and nothing outruns the horizon;
 - **obs-consistency** — the metrics registry the run exported agrees
-  exactly with the report (no counter drift between telemetry and truth).
+  exactly with the report (no counter drift between telemetry and truth);
+- **end-to-end-correctness** — under a declared SDC defense, every
+  injected silent corruption is either detected or within the scenario's
+  served-corruption budget, with bounded detection latency, and a
+  defenses-off control rerun proves the storm actually corrupts.
 
 Determinism is part of the contract: one root seed derives every stream
 (see :mod:`repro.seeding`), so ``run_suite(seed=7)`` twice produces
@@ -38,6 +42,7 @@ from repro.serving.autoscale import AutoscalerConfig
 from repro.serving.fleet import FleetConfig, FleetManager, FleetReport
 from repro.serving.loadgen import LoadSpec, generate_load
 from repro.serving.powercap import PowerCapConfig, PowerCapPhase
+from repro.serving.sdc import SdcConfig
 from repro.sim.parallel import prewarm_measurements, run_sharded
 from repro.serving.server import RasConfig, TenantConfig
 from repro.serving.workload import Request, TrafficPattern, generate_trace
@@ -48,6 +53,7 @@ __all__ = [
     "SCENARIOS",
     "ScenarioResult",
     "SuiteResult",
+    "declared_invariants",
     "render_table",
     "run_scenario",
     "run_suite",
@@ -118,6 +124,17 @@ class ChaosScenario:
     non-increasing as the whole storm's budget tightens. Scenarios size
     their budgets inside the DVFS-dominated region where this holds —
     deep stall-throttling inverts it (docs/power.md)."""
+    sdc: SdcConfig | None = None
+    """Silent-data-corruption defense the fleet runs under (None = no
+    tracker; the report then has no ``sdc`` section and stays
+    byte-identical to pre-SDC builds). Scenarios that set this also get
+    a defenses-off control rerun proving the storm actually corrupts."""
+    max_sdc_served: int = 0
+    """End-to-end-correctness ceiling: corruption events allowed to
+    reach a client undetected under the declared defense."""
+    sdc_detection_latency_ms: float | None = None
+    """Bound on the worst injection-to-detection latency of caught
+    events (None = unbounded)."""
 
 
 @dataclass
@@ -134,6 +151,12 @@ class ScenarioResult:
     """Cap-monotonicity sweep rows (one per cap multiplier), when the
     scenario declares ``cap_multipliers``. The key is omitted from
     ``to_dict`` otherwise so pre-governor suite JSON stays byte-stable."""
+    sdc_control: dict | None = None
+    """The defenses-off control rerun's ``sdc`` report section, when the
+    scenario declares an :class:`SdcConfig` — same seed, same storm, no
+    detection — proving the defended zero is not vacuous. The key is
+    omitted from ``to_dict`` otherwise so pre-SDC suite JSON stays
+    byte-stable."""
 
     @property
     def passed(self) -> bool:
@@ -150,6 +173,8 @@ class ScenarioResult:
         }
         if self.cap_sweep is not None:
             data["cap_sweep"] = self.cap_sweep
+        if self.sdc_control is not None:
+            data["sdc_control"] = self.sdc_control
         return data
 
 
@@ -511,6 +536,89 @@ def _check_power_obs_consistency(scenario, report, registry) -> list[str]:
     return violations
 
 
+def _check_end_to_end_correctness(scenario, report, registry) -> list[str]:
+    """Corrupted results never reach clients beyond the declared budget.
+
+    Four clauses, all over the report's ``sdc`` section: (1) the section
+    exists exactly when the scenario declares a defense; (2) the
+    conserved ledger holds — every injected corruption event lands in
+    exactly one detection bucket or the served bucket; (3) the served
+    bucket stays within ``max_sdc_served`` and the worst detection
+    latency within ``sdc_detection_latency_ms``; (4) the exported
+    ``sdc_*`` metrics agree exactly with the report.
+    """
+    sdc = report.sdc
+    if scenario.sdc is None:
+        if sdc is not None:
+            return [
+                "end-to-end-correctness: report has an 'sdc' section but "
+                "the scenario declares no SdcConfig (detached path broken)"
+            ]
+        return []
+    violations = []
+    if sdc is None:
+        return [
+            "end-to-end-correctness: scenario declares an SdcConfig but "
+            "the report has no 'sdc' section"
+        ]
+    detected_total = sum(sdc["detected"].values())
+    if detected_total != sdc["detected_total"]:
+        violations.append(
+            f"end-to-end-correctness: detection buckets sum to "
+            f"{detected_total} but detected_total says "
+            f"{sdc['detected_total']}"
+        )
+    accounted = sdc["detected_total"] + sdc["served_corrupted"]
+    if accounted != sdc["injected"]:
+        violations.append(
+            f"end-to-end-correctness: ledger accounts {accounted} of "
+            f"{sdc['injected']} injected corruption events "
+            f"(detected {sdc['detected_total']} + served "
+            f"{sdc['served_corrupted']})"
+        )
+    if sdc["served_corrupted"] > scenario.max_sdc_served:
+        violations.append(
+            f"end-to-end-correctness: {sdc['served_corrupted']} corrupted "
+            f"results reached clients, over the declared ceiling of "
+            f"{scenario.max_sdc_served}"
+        )
+    bound = scenario.sdc_detection_latency_ms
+    if bound is not None and sdc["max_detection_latency_ms"] > bound:
+        violations.append(
+            f"end-to-end-correctness: worst detection latency "
+            f"{sdc['max_detection_latency_ms']:.3f}ms over the declared "
+            f"bound of {bound}ms"
+        )
+    if registry is not None:
+        injected_metric = registry.get("sdc_injected_total")
+        actual = injected_metric.total() if injected_metric is not None else 0.0
+        if actual != float(sdc["injected"]):
+            violations.append(
+                f"end-to-end-correctness: sdc_injected_total exported "
+                f"{actual} but the report says {sdc['injected']}"
+            )
+        detected_metric = registry.get("sdc_detected_total")
+        for method, expected in sorted(sdc["detected"].items()):
+            actual = (
+                detected_metric.value(method=method)
+                if detected_metric is not None else 0.0
+            )
+            if actual != float(expected):
+                violations.append(
+                    f"end-to-end-correctness: sdc_detected_total"
+                    f"{{method={method}}} exported {actual} but the report "
+                    f"says {expected}"
+                )
+        served_metric = registry.get("sdc_served_total")
+        actual = served_metric.total() if served_metric is not None else 0.0
+        if actual != float(sdc["served_corrupted"]):
+            violations.append(
+                f"end-to-end-correctness: sdc_served_total exported "
+                f"{actual} but the report says {sdc['served_corrupted']}"
+            )
+    return violations
+
+
 #: Declared invariants, checked in order after every scenario. Each entry
 #: is ``(name, check(scenario, report, registry) -> [violation, ...])``.
 INVARIANTS = (
@@ -525,7 +633,38 @@ INVARIANTS = (
     ("serving-obs-consistency", _check_serving_obs_consistency),
     ("power-integrity", _check_power_integrity),
     ("power-obs-consistency", _check_power_obs_consistency),
+    ("end-to-end-correctness", _check_end_to_end_correctness),
 )
+
+
+#: Which catalogue invariants actively constrain a scenario (beyond the
+#: vacuous pass every check returns when its feature is absent), plus the
+#: sweep checks run_scenario adds outside the catalogue. ``repro chaos
+#: --list`` prints these per scenario.
+_ALWAYS_INVARIANTS = (
+    "conservation", "availability-floor", "monotone-time", "obs-consistency",
+)
+
+
+def declared_invariants(scenario: ChaosScenario) -> list[str]:
+    """The invariant names a scenario's configuration puts in force."""
+    names = list(_ALWAYS_INVARIANTS)
+    if scenario.admission is not None:
+        names += ["class-conservation", "brownout-ordering"]
+        names.append("serving-obs-consistency")
+    if scenario.class_availability_floors:
+        names.append("class-availability-floor")
+    if scenario.autoscaler is not None:
+        names.append("autoscaler-convergence")
+    if scenario.powercap is not None:
+        names += ["power-integrity", "power-obs-consistency"]
+    if scenario.sdc is not None:
+        names += ["end-to-end-correctness", "undefended-exposure"]
+    if scenario.overload_multipliers:
+        names.append("shed-monotonicity")
+    if scenario.cap_multipliers and scenario.powercap is not None:
+        names.append("cap-monotonicity")
+    return names
 
 
 # ---------------------------------------------------------------------------
@@ -773,6 +912,70 @@ def _builtin_scenarios() -> dict[str, ChaosScenario]:
             availability_floor=0.95,
             quick=False,
         ),
+        ChaosScenario(
+            name="silent-corruption-storm",
+            description=(
+                "mid-run burst of silent GEMM/DMA/codec corruption on "
+                "every board: strict ABFT, golden-vector screens and "
+                "sampled audits keep every served result clean"
+            ),
+            schedule=FaultSchedule(
+                phases=(
+                    StormPhase(
+                        start_s=0.1, end_s=0.35,
+                        plan=FaultPlan(
+                            sdc_gemm_rate=0.004, sdc_dma_rate=0.002,
+                            sdc_sparse_rate=0.002,
+                        ),
+                    ),
+                ),
+            ),
+            fleet=FleetConfig(
+                replicas=2, hot_spares=2, repair_ms=60.0,
+                quarantine_threshold=2, screen_vectors=3,
+            ),
+            sdc=SdcConfig(
+                abft="strict", screen_interval_ms=40.0, screen_vectors=2,
+                screen_cost_ms=2.0, audit_fraction=0.25,
+                quarantine_threshold=2, retire_after=8,
+            ),
+            max_sdc_served=0,
+            sdc_detection_latency_ms=50.0,
+            availability_floor=0.9,
+        ),
+        ChaosScenario(
+            name="defective-core-outbreak",
+            description=(
+                "one board's defective core corrupts a quarter of its "
+                "launches for most of the run: probe ABFT plus screens "
+                "convict the repeat offender and retire it, the spare "
+                "absorbs the traffic"
+            ),
+            schedule=FaultSchedule(
+                phases=(
+                    StormPhase(
+                        start_s=0.05, end_s=0.45,
+                        plan=FaultPlan(
+                            sdc_gemm_rate=0.02, sdc_cores=(3,),
+                        ),
+                        devices=(1,),
+                    ),
+                ),
+            ),
+            fleet=FleetConfig(
+                replicas=2, hot_spares=2, repair_ms=60.0,
+                quarantine_threshold=2, screen_vectors=3,
+            ),
+            sdc=SdcConfig(
+                abft="probe", probe_coverage=0.9,
+                screen_interval_ms=30.0, screen_vectors=3,
+                screen_cost_ms=2.0, quarantine_threshold=2, retire_after=6,
+            ),
+            max_sdc_served=6,
+            sdc_detection_latency_ms=50.0,
+            availability_floor=0.9,
+            quick=False,
+        ),
     ]
     return {scenario.name: scenario for scenario in scenarios}
 
@@ -832,6 +1035,7 @@ def run_scenario(
         autoscaler=scenario.autoscaler,
         routing=routing,
         powercap=scenario.powercap,
+        sdc=scenario.sdc,
     )
     trace = _scenario_trace(scenario, seed)
     report = manager.run(trace)
@@ -850,9 +1054,15 @@ def run_scenario(
             scenario, seed, fleet_config, service_times, violations,
             routing=routing,
         )
+    sdc_control = None
+    if scenario.sdc is not None:
+        sdc_control = _sdc_control(
+            scenario, seed, fleet_config, service_times, violations,
+            routing=routing,
+        )
     return ScenarioResult(
         scenario=scenario, report=report, violations=violations, sweep=sweep,
-        cap_sweep=cap_sweep,
+        cap_sweep=cap_sweep, sdc_control=sdc_control,
     )
 
 
@@ -1012,6 +1222,51 @@ def _cap_sweep(
             )
         previous_energy = leveled
     return rows
+
+
+def _sdc_control(
+    scenario: ChaosScenario,
+    seed: int,
+    fleet_config: FleetConfig,
+    service_times: dict[str, float] | None,
+    violations: list[str],
+    routing: str | None = None,
+) -> dict:
+    """Undefended-exposure: rerun the same storm with every defense off.
+
+    Same seed, same trace, same corruption schedule — but no ABFT, no
+    screener, no audits. If even this run serves zero corrupted results
+    the storm never threatened anything, and the defended scenario's
+    ``max_sdc_served`` ceiling is a vacuous pass; that is flagged as a
+    violation. Runs off-telemetry on a separate fleet so the main run's
+    exported metrics stay exactly what the obs-consistency invariants
+    audited.
+    """
+    manager = FleetManager(
+        list(scenario.tenants),
+        config=fleet_config,
+        schedule=scenario.schedule,
+        ras=scenario.ras,
+        service_times_ns=(
+            dict(service_times) if service_times is not None else None
+        ),
+        admission=scenario.admission,
+        autoscaler=scenario.autoscaler,
+        routing=routing,
+        powercap=scenario.powercap,
+        sdc=SdcConfig(),
+    )
+    trace = _scenario_trace(scenario, seed)
+    report = manager.run(trace)
+    control = report.sdc
+    if control["served_corrupted"] < 1:
+        violations.append(
+            "undefended-exposure: the defenses-off control run served "
+            f"{control['served_corrupted']} corrupted results — the storm "
+            "never threatened correctness, so the defended ceiling is "
+            "vacuous"
+        )
+    return control
 
 
 def _prewarm_compiles(device_models) -> None:

@@ -496,18 +496,22 @@ def _cmd_trace(args) -> int:
 def _cmd_chaos(args) -> int:
     from repro.chaos import (
         SCENARIOS,
+        declared_invariants,
         render_table,
         run_suite,
         scenario_names,
     )
 
     if args.list:
-        header = f"{'scenario':<18} {'quick':>5}  description"
+        width = max(len(name) for name in SCENARIOS)
+        header = f"{'scenario':<{width}} {'quick':>5}  description"
         print(header)
         print("-" * 72)
         for name, scenario in SCENARIOS.items():
             quick = "yes" if scenario.quick else "no"
-            print(f"{name:<18} {quick:>5}  {scenario.description}")
+            print(f"{name:<{width}} {quick:>5}  {scenario.description}")
+            invariants = ", ".join(declared_invariants(scenario))
+            print(f"{'':<{width}} {'':>5}  invariants: {invariants}")
         return 0
 
     names = args.scenario or None

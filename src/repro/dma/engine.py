@@ -171,6 +171,11 @@ class DmaEngine:
                 break
             self.stats.replays += 1
 
+        if self.faults is not None:
+            # Corruption the CRC *missed*: no replay, no abort, no timing
+            # change — just a detected=False record (repro.faults.silent).
+            self.faults.silent_dma(self.name, label, self.sim.now)
+
         end = self.sim.now
         self.stats.transactions += 1
         self.stats.bytes_moved += nbytes * len(destinations)

@@ -83,8 +83,14 @@ def compress(array: np.ndarray, format: SparseFormat) -> CompressedTensor:
     )
 
 
-def decompress(compressed: CompressedTensor) -> np.ndarray:
-    """Invert :func:`compress`; what the DMA does while storing."""
+def decompress(compressed: CompressedTensor, corruptor=None) -> np.ndarray:
+    """Invert :func:`compress`; what the DMA does while storing.
+
+    ``corruptor`` (a :class:`~repro.faults.silent.SilentCorruptor`) models
+    a marginal decompression datapath: the decoded tensor may come back
+    with one element silently wrong — format checks still pass, nothing
+    raises. ``None`` (the default) is the exact legacy path.
+    """
     if compressed.format is SparseFormat.BITMASK:
         flat = _decompress_bitmask(compressed)
     elif compressed.format is SparseFormat.RLE:
@@ -98,7 +104,10 @@ def decompress(compressed: CompressedTensor) -> np.ndarray:
         raise SparseCodecError(
             f"payload decodes to {flat.size} elements, shape wants {expected}"
         )
-    return flat.reshape(compressed.shape)
+    dense = flat.reshape(compressed.shape)
+    if corruptor is not None:
+        dense = corruptor.corrupt_sparse(dense)
+    return dense
 
 
 def _compress_bitmask(flat: np.ndarray) -> bytes:

@@ -1,0 +1,211 @@
+"""ABFT: algorithm-based fault tolerance for the matrix engine's GEMM.
+
+Huang–Abraham checksums detect silent data corruption *inside* the
+result, with no second execution. For ``C = A @ B``:
+
+- **row checksum** (strict): ``ones @ C`` must equal ``(ones @ A) @ B``
+  — a length-``n`` vector whose residual localizes corrupted *columns*;
+- **column checksum** (strict): ``C @ ones`` must equal ``A @ (B @ ones)``
+  — a length-``m`` vector whose residual localizes corrupted *rows*;
+- **Freivalds probe** (cheap): ``C @ r`` vs ``A @ (B @ r)`` for one
+  seeded ±1 vector ``r`` — an O(mk + kn) check that catches any single
+  corrupted element with probability 1 (a nonzero error row dots a ±1
+  vector to zero only if multiple errors cancel).
+
+Both modes cost two matrix-vector products against the O(m·k·n) GEMM
+itself, so the gated overhead budget (``serving.sdc_overhead`` bench:
+strict <= 2.0x, probe <= 1.2x) has comfortable headroom.
+
+Tolerances are *relative to magnitude checksums* (``ones @ |A| @ |B|``),
+not to the values being compared: the fast-path GEMM and the checksum
+reassociate IEEE-754 sums, so residuals up to ~``(m+k)·eps`` of the
+magnitude sum are legitimate rounding, while injected corruptions (see
+:mod:`repro.faults.silent`) carry relative errors >= ~2^-12 of a single
+element — orders of magnitude above the default ``rtol`` of 1e-9.
+
+Detached contract: ``mode="off"`` is a bit-identical pass-through to
+:meth:`~repro.engines.matrix.MatrixEngine.gemm` — no checksum is
+computed, no randomness is consumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engines.matrix import MatrixEngine
+from repro.faults.errors import SilentCorruptionFault
+
+__all__ = [
+    "AbftReport",
+    "checked_gemm",
+    "golden_digest",
+    "verify_gemm",
+]
+
+MODES = ("off", "probe", "strict")
+
+#: Default relative tolerance against the magnitude checksum. Sits well
+#: above float64 reassociation noise (~(m+k)·2^-52) and well below the
+#: smallest injected corruption (~2^-12 of one element).
+DEFAULT_RTOL = 1e-9
+DEFAULT_ATOL = 1e-12
+
+
+@dataclass(frozen=True)
+class AbftReport:
+    """Outcome of one checksum verification."""
+
+    mode: str
+    ok: bool
+    bad_rows: tuple[int, ...] = ()
+    """Rows the column checksum implicates (strict and probe modes)."""
+    bad_cols: tuple[int, ...] = ()
+    """Columns the row checksum implicates (strict mode only)."""
+    max_residual: float = 0.0
+    """Largest residual, normalized by its tolerance (> 1 means failed)."""
+
+    @property
+    def cells(self) -> tuple[tuple[int, int], ...]:
+        """Suspect (row, col) localization — the strict-mode cross product."""
+        return tuple(
+            (row, col) for row in self.bad_rows for col in self.bad_cols
+        )
+
+
+def _as_2d(array: np.ndarray, label: str) -> np.ndarray:
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"{label} must be 2-D, got shape {array.shape}")
+    return array
+
+
+def verify_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    mode: str = "strict",
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+    probe_seed: int = 0,
+) -> AbftReport:
+    """Checksum-verify that ``c`` is (numerically) ``a @ b``.
+
+    Never raises on a mismatch — returns the report and lets the caller
+    decide (``checked_gemm`` raises a typed
+    :class:`~repro.faults.errors.SilentCorruptionFault`).
+    """
+    if mode == "off":
+        return AbftReport(mode="off", ok=True)
+    if mode not in MODES:
+        raise ValueError(f"ABFT mode must be one of {MODES}, got {mode!r}")
+    a = _as_2d(a, "a")
+    b = _as_2d(b, "b")
+    c = _as_2d(c, "c")
+    m, k = a.shape
+    if b.shape[0] != k or c.shape != (m, b.shape[1]):
+        raise ValueError(
+            f"inconsistent GEMM shapes: {a.shape} x {b.shape} -> {c.shape}"
+        )
+    n = b.shape[1]
+    if m == 0 or n == 0:
+        return AbftReport(mode=mode, ok=True)
+    abs_a = np.abs(a)
+    abs_b = np.abs(b)
+
+    if mode == "probe":
+        # Freivalds with a seeded ±1 probe vector: one draw sequence per
+        # verification, deterministic for a given probe_seed.
+        rng = random.Random(probe_seed)
+        r = np.array([1.0 if rng.random() < 0.5 else -1.0 for _ in range(n)])
+        residual = np.abs(c @ r - a @ (b @ r))
+        # |B @ r| <= |B| @ ones elementwise, so this bounds the true
+        # magnitude sum of every term in the probe product.
+        tolerance = atol + rtol * (abs_a @ (abs_b @ np.ones(n)))
+        failed = residual > tolerance
+        scaled = residual / tolerance
+        return AbftReport(
+            mode="probe",
+            ok=not bool(failed.any()),
+            bad_rows=tuple(int(i) for i in np.flatnonzero(failed)),
+            max_residual=float(scaled.max()) if scaled.size else 0.0,
+        )
+
+    ones_m = np.ones(m)
+    ones_n = np.ones(n)
+    row_residual = np.abs(ones_m @ c - (ones_m @ a) @ b)
+    row_tolerance = atol + rtol * ((ones_m @ abs_a) @ abs_b)
+    col_residual = np.abs(c @ ones_n - a @ (b @ ones_n))
+    col_tolerance = atol + rtol * (abs_a @ (abs_b @ ones_n))
+    bad_cols = row_residual > row_tolerance
+    bad_rows = col_residual > col_tolerance
+    scaled = max(
+        float((row_residual / row_tolerance).max()),
+        float((col_residual / col_tolerance).max()),
+    )
+    return AbftReport(
+        mode="strict",
+        ok=not bool(bad_cols.any() or bad_rows.any()),
+        bad_rows=tuple(int(i) for i in np.flatnonzero(bad_rows)),
+        bad_cols=tuple(int(i) for i in np.flatnonzero(bad_cols)),
+        max_residual=scaled,
+    )
+
+
+def checked_gemm(
+    engine: MatrixEngine,
+    a: np.ndarray,
+    b: np.ndarray,
+    mode: str = "strict",
+    tile_rows: int | None = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+    probe_seed: int = 0,
+) -> np.ndarray:
+    """ABFT-wrapped :meth:`~repro.engines.matrix.MatrixEngine.gemm`.
+
+    Runs the engine's GEMM, then verifies the result against the operand
+    checksums. On a mismatch the corruptor's recorded events (if the
+    engine has one attached) are marked ``detected`` with method
+    ``abft`` and the typed fault raises. ``mode="off"`` is a pure
+    pass-through — bit-identical results, zero extra work.
+    """
+    result = engine.gemm(a, b, tile_rows=tile_rows)
+    if mode == "off":
+        return result
+    report = verify_gemm(
+        a, b, result, mode=mode, rtol=rtol, atol=atol, probe_seed=probe_seed
+    )
+    if report.ok:
+        return result
+    corruptor = engine.corruptor
+    fault: SilentCorruptionFault | None = None
+    if corruptor is not None:
+        for event in corruptor.undetected:
+            if event.site == "gemm":
+                corruptor.mark_detected(event, "abft")
+                fault = event.fault
+    if fault is None:
+        fault = SilentCorruptionFault(
+            f"ABFT {report.mode} checksum mismatch: rows {report.bad_rows} "
+            f"cols {report.bad_cols} (residual {report.max_residual:.3g}x "
+            f"tolerance)"
+        )
+    raise fault
+
+
+def golden_digest(array: np.ndarray) -> str:
+    """Pinned digest of a result tensor, for golden-vector screens.
+
+    Covers dtype, shape and exact bytes, so any single-bit corruption of
+    any element changes the digest.
+    """
+    array = np.ascontiguousarray(array)
+    hasher = hashlib.sha256()
+    hasher.update(str(array.dtype).encode())
+    hasher.update(str(array.shape).encode())
+    hasher.update(array.tobytes())
+    return hasher.hexdigest()

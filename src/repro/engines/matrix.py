@@ -17,12 +17,16 @@ would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.datatypes import DType
 from repro.engines.vector import VECTOR_BITS, lanes_for
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.faults.silent import SilentCorruptor
 
 MATRIX_REGISTER_ROWS = 32
 NUM_MATRIX_REGISTERS = 2
@@ -117,6 +121,13 @@ class MatrixEngine:
 
     dtype: DType = DType.FP32
     trace: Trace | None = None
+    corruptor: "SilentCorruptor | None" = None
+    """Optional silent-corruption source (:mod:`repro.faults.silent`).
+    When attached, :meth:`gemm` results may be corrupted *after* all
+    architectural state updates — the register file keeps the true
+    partials, exactly like a defect on the result readout path — and
+    nothing raises. ``None`` (the default) is bit-identical to a build
+    without the fault layer."""
     matrix_registers: list = field(
         default_factory=lambda: [None] * NUM_MATRIX_REGISTERS
     )
@@ -274,7 +285,10 @@ class MatrixEngine:
         if m == 0 or n == 0 or k == 0:
             # Degenerate extents take the reference path (it is trivially
             # fast there and keeps the error behaviour identical).
-            return self.gemm_reference(a, b, tile_rows)
+            result = self.gemm_reference(a, b, tile_rows)
+            if self.corruptor is not None:
+                result = self.corruptor.corrupt_gemm(result)
+            return result
 
         num_col_tiles = -(-n // lanes)
         num_k_tiles = -(-k // tile_k)
@@ -333,6 +347,11 @@ class MatrixEngine:
         last_tile = np.zeros((tile_k, lanes), dtype=np.float64)
         last_tile[: last_k1 - last_k0, :width] = b[last_k0:last_k1, last_col0:last_col1]
         self.matrix_registers[0] = last_tile
+        if self.corruptor is not None:
+            # Corruption lands after every architectural state update: the
+            # accumulation registers keep the true partials, only the
+            # returned result is wrong — wrong numbers, no error signal.
+            acc = self.corruptor.corrupt_gemm(acc)
         return acc
 
     def gemm_reference(

@@ -4,25 +4,35 @@ from repro.faults.errors import (
     CoreHangFault,
     DeadlineExceededError,
     DmaTransferFault,
+    ExponentBitFlipFault,
     GroupFailedError,
     HardwareFault,
+    MantissaBitFlipFault,
     PermanentFault,
+    SilentCorruptionFault,
     SyncTimeoutError,
     TransientFault,
     UncorrectableEccError,
+    ValueScaleFault,
 )
 from repro.faults.injector import FaultInjector, FaultRecord
 from repro.faults.plan import FaultPlan
 from repro.faults.schedule import FaultSchedule, StormPhase
+from repro.faults.silent import CorruptionEvent, SilentCorruptor
 
 __all__ = [
     "CoreHangFault",
+    "CorruptionEvent",
     "DeadlineExceededError",
     "DmaTransferFault",
+    "ExponentBitFlipFault",
     "FaultInjector",
     "FaultPlan",
     "FaultRecord",
     "FaultSchedule",
+    "MantissaBitFlipFault",
+    "SilentCorruptionFault",
+    "SilentCorruptor",
     "StormPhase",
     "GroupFailedError",
     "HardwareFault",
@@ -30,4 +40,5 @@ __all__ = [
     "SyncTimeoutError",
     "TransientFault",
     "UncorrectableEccError",
+    "ValueScaleFault",
 ]

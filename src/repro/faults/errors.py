@@ -46,5 +46,27 @@ class GroupFailedError(PermanentFault):
     """A processing group was declared dead by the health tracker."""
 
 
+class SilentCorruptionFault(HardwareFault):
+    """A datapath returned wrong numbers with no error signal.
+
+    The injection side never raises these — silent corruption is, by
+    definition, invisible at the moment it happens (the launch completes,
+    CRC and ECC see nothing). Instances are raised only by *detectors*:
+    the ABFT-checked GEMM, golden-vector screens and dual-execution
+    audits (docs/robustness.md, "Silent data corruption")."""
+
+
+class MantissaBitFlipFault(SilentCorruptionFault):
+    """A defective core flipped a mantissa bit of one result element."""
+
+
+class ExponentBitFlipFault(SilentCorruptionFault):
+    """A defective core flipped an exponent bit of one result element."""
+
+
+class ValueScaleFault(SilentCorruptionFault):
+    """A marginal datapath scaled a result element by a small factor."""
+
+
 class DeadlineExceededError(ReproRuntimeError):
     """A launch finished (after retries) past its per-request deadline."""

@@ -50,6 +50,14 @@ class FaultRecord:
     device: str = ""
     """Device identity the fault hit — distinguishes records across a
     fleet of accelerators sharing one observability hub."""
+    detected: bool = True
+    """Whether the stack *saw* this fault. Every legacy fault is detected
+    by construction (CRC, ECC, watchdog, typed raise); silent corruption
+    records start ``False`` and flip via :meth:`FaultInjector.mark_detected`
+    when a checksum, screen or audit catches it."""
+    method: str = ""
+    """Detection channel that caught a silent fault (``abft``/``screen``/
+    ``audit``); empty for legacy faults and for still-undetected ones."""
 
 
 @dataclass
@@ -81,11 +89,14 @@ class FaultInjector:
         time_ns: float,
         recovered: bool,
         detail: str = "",
+        detected: bool = True,
+        method: str = "",
     ) -> None:
         self.records.append(
             FaultRecord(
                 kind=kind, component=component, time_ns=time_ns,
                 recovered=recovered, detail=detail, device=self.device,
+                detected=detected, method=method,
             )
         )
 
@@ -109,15 +120,43 @@ class FaultInjector:
 
     def counters(self) -> dict[str, float]:
         """Aggregate fault counts, merged into ExecutionResult.counters."""
+        silent = sum(not r.detected for r in self.records)
         out: dict[str, float] = {
             "faults_injected": float(len(self.records)),
             "faults_recovered": float(sum(r.recovered for r in self.records)),
-            "faults_fatal": float(sum(not r.recovered for r in self.records)),
+            # Silent records are unrecovered but not fatal — nothing raised.
+            "faults_fatal": float(
+                sum(not r.recovered and r.detected for r in self.records)
+            ),
         }
+        if silent:
+            # Key exists only when silent faults were injected, so legacy
+            # counter dicts stay byte-identical without an SDC campaign.
+            out["faults_silent"] = float(silent)
         for rec in self.records:
             key = f"fault.{rec.kind}"
             out[key] = out.get(key, 0.0) + 1.0
         return out
+
+    @property
+    def silent_records(self) -> list[FaultRecord]:
+        """Injected-but-undetected corruption records (the SDC backlog)."""
+        return [r for r in self.records if not r.detected]
+
+    def mark_detected(self, record: FaultRecord, method: str) -> FaultRecord:
+        """Flip one silent record's detection channel in place.
+
+        Returns the updated (frozen, replaced) record; the original list
+        slot is swapped so later ``silent_records`` views shrink.
+        """
+        from dataclasses import replace
+
+        updated = replace(record, detected=True, method=method)
+        for index, existing in enumerate(self.records):
+            if existing is record:
+                self.records[index] = updated
+                break
+        return updated
 
     # -- hook points -----------------------------------------------------------
 
@@ -185,3 +224,44 @@ class FaultInjector:
             self.record("core.hang", component, time_ns, recovered=False)
             return True
         return False
+
+    # -- silent corruption (never raises, never perturbs timing) --------------
+
+    def _silent_core(self) -> int:
+        """Attribute one silent fault to a core (plan-pinned or drawn)."""
+        cores = self.plan.sdc_cores
+        if cores:
+            return cores[self._rng.randrange(len(cores))] if len(cores) > 1 else cores[0]
+        return self._rng.randrange(4)
+
+    def _silent(self, rate: float, kind: str, component: str, time_ns: float, detail: str) -> bool:
+        if not self._draw(rate):
+            return False
+        core = self._silent_core()
+        self.record(
+            kind, component, time_ns, recovered=False,
+            detail=f"core{core}: {self.plan.sdc_mode} {detail}".rstrip(),
+            detected=False,
+        )
+        return True
+
+    def silent_compute(self, kernel: str, group: str, time_ns: float) -> bool:
+        """Per-kernel draw: did a defective core silently corrupt this
+        kernel's output? Timing is untouched and nothing raises — the
+        ``detected=False`` record is the only trace until a screen,
+        checksum or audit catches it."""
+        return self._silent(
+            self.plan.sdc_gemm_rate, "sdc.compute", group, time_ns, kernel
+        )
+
+    def silent_dma(self, engine: str, label: str, time_ns: float) -> bool:
+        """Per-transaction draw: corruption the DMA CRC *missed*."""
+        return self._silent(
+            self.plan.sdc_dma_rate, "sdc.dma", engine, time_ns, label
+        )
+
+    def silent_sparse(self, component: str, label: str, time_ns: float) -> bool:
+        """Per-decompression draw: the sparse codec emitted wrong values."""
+        return self._silent(
+            self.plan.sdc_sparse_rate, "sdc.sparse", component, time_ns, label
+        )

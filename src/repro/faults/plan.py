@@ -41,6 +41,29 @@ class FaultPlan:
     sync_loss_rate: float = 0.0
     """Lost sync event -> recovered by the engine's timeout path."""
 
+    # -- silent data corruption (never raises; see repro.faults.silent) -----
+    sdc_gemm_rate: float = 0.0
+    """Silent corruption of one GEMM/compute result — wrong numbers, no
+    error signal. Per kernel per group on the timed path, per ``gemm``
+    call on the functional :class:`~repro.engines.matrix.MatrixEngine`."""
+    sdc_dma_rate: float = 0.0
+    """Silent corruption of one DMA transaction's payload that the CRC
+    *missed* (contrast ``dma_corrupt_rate``, which is CRC-detected)."""
+    sdc_sparse_rate: float = 0.0
+    """Silent corruption of one sparse-codec decompression."""
+
+    # -- silent-corruption shape --------------------------------------------
+    sdc_mode: str = "mantissa"
+    """How values are corrupted: ``mantissa`` / ``exponent`` bit flips or
+    ``scale`` (multiply by ``sdc_scale_factor``)."""
+    sdc_scale_factor: float = 1.001953125
+    """Multiplier the ``scale`` mode applies (1 + 2**-9 by default: a
+    marginal-datapath error well above checksum rounding noise)."""
+    sdc_cores: tuple[int, ...] = ()
+    """Defective core indices corruption is attributed to; empty means
+    any core (drawn uniformly) — per-core attribution feeds the fleet's
+    repeat-offender containment."""
+
     # -- recovery penalties --------------------------------------------------
     dma_retry_limit: int = 3
     """Replays before a still-corrupt transaction is declared failed."""
@@ -69,6 +92,17 @@ class FaultPlan:
             raise ValueError(
                 f"core_slowdown_factor must be >= 1, got {self.core_slowdown_factor}"
             )
+        if self.sdc_mode not in ("mantissa", "exponent", "scale"):
+            raise ValueError(
+                f"sdc_mode must be mantissa/exponent/scale, got {self.sdc_mode!r}"
+            )
+        if self.sdc_scale_factor <= 0.0 or self.sdc_scale_factor == 1.0:
+            raise ValueError(
+                f"sdc_scale_factor must be positive and != 1, "
+                f"got {self.sdc_scale_factor}"
+            )
+        if any(core < 0 for core in self.sdc_cores):
+            raise ValueError(f"sdc_cores must be >= 0, got {self.sdc_cores}")
 
     @property
     def enabled(self) -> bool:
@@ -93,5 +127,21 @@ class FaultPlan:
             (1.0 - self.dma_abort_rate)
             * (1.0 - self.ecc_ue_rate)
             * (1.0 - self.core_hang_rate)
+        )
+        return 1.0 - survive
+
+    @property
+    def silent_event_rate(self) -> float:
+        """Per-event probability of an *undetected* wrong result.
+
+        Silent corruption contributes to neither transient nor fatal
+        rates — nothing raises, nothing retries — which is exactly the
+        threat: the serving layer would return the corrupted answer
+        unless a detection layer (ABFT, screens, audits) is attached.
+        """
+        survive = (
+            (1.0 - self.sdc_gemm_rate)
+            * (1.0 - self.sdc_dma_rate)
+            * (1.0 - self.sdc_sparse_rate)
         )
         return 1.0 - survive

@@ -115,6 +115,24 @@ class FaultSchedule:
         plan = self.plan_at(time_ns, device)
         return plan.transient_event_rate, plan.fatal_event_rate
 
+    def silent_rate_at(self, time_ns: float, device: int) -> float:
+        """Effective silent-corruption rate per event (0 on a quiet path).
+
+        Kept separate from :meth:`rates_at` so existing consumers draw the
+        same stream positions: a schedule with no silent rates never calls
+        this into a randomness-consuming branch.
+        """
+        if not self.any_silent:
+            return 0.0
+        return self.plan_at(time_ns, device).silent_event_rate
+
+    @property
+    def any_silent(self) -> bool:
+        """True when any plan (background or storm) can silently corrupt."""
+        return self.base.silent_event_rate > 0.0 or any(
+            phase.plan.silent_event_rate > 0.0 for phase in self.phases
+        )
+
     @property
     def quiet(self) -> bool:
         """True when nothing (background or storm) ever injects a fault."""

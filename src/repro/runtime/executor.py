@@ -208,6 +208,10 @@ class Executor:
             compute_ns = injector.perturb_compute(
                 kernel.name, group.name, compute_ns, sim.now
             )
+            # Silent corruption: wrong numbers, no error signal — timing
+            # is untouched and nothing raises; only a detected=False
+            # record marks that this kernel's output is wrong.
+            injector.silent_compute(kernel.name, group.name, sim.now)
 
         dma_start = sim.now
         dma_processes = []

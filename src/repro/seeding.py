@@ -21,7 +21,18 @@ label path                consumer
                           outcome draws on one replica
 ``injector:<replica>``    per-replica :class:`~repro.faults.FaultInjector`
                           seed for bring-up validation launches
-``probe:<replica>:<n>``   repair-probe injector seed (attempt ``n``)
+``probe:<replica>:<n>``   repair-probe injector seed (attempt ``n``; the
+                          first screen vector keeps this legacy label)
+``probe:<r>:<n>:<v>``     repair-probe injector seed for screen vector
+                          ``v`` >= 1 (multi-vector screens)
+``probe-screen:<r>:<n>``  repair-probe corruption-screen draws (attempt
+                          ``n``, :class:`~repro.serving.fleet.FleetManager`)
+``sdc:<replica>``         :class:`~repro.serving.sdc.SdcTracker` silent-
+                          corruption + probe-coverage draws per replica
+``screen:<replica>``      :class:`~repro.serving.sdc.SdcTracker` golden-
+                          vector screen draws per replica
+``audit``                 :class:`~repro.serving.sdc.SdcTracker` audit
+                          sampling + secondary-execution draws
 ``scenario:<name>``       :mod:`repro.chaos` per-scenario fleet seed
 ``trace:<name>``          :mod:`repro.chaos` per-scenario traffic seed
 ``load:<name>``           :mod:`repro.chaos` per-scenario open-loop loadgen

@@ -98,6 +98,11 @@ class FleetConfig:
     """Re-dispatches of one request after fatal outcomes before it fails."""
     validate_on_open: bool = True
     """Run one real launch per replica at bring-up to prove the board."""
+    screen_vectors: int = 1
+    """Real launches per repair probe. The historical single-launch probe
+    (``1``, the default — byte-identical) can pass a board that corrupts
+    only some operand patterns; multi-vector probes launch ``n`` seeded
+    vectors and require all of them clean before reintegration."""
 
     def __post_init__(self) -> None:
         def reject(message: str) -> None:
@@ -121,6 +126,8 @@ class FleetConfig:
             )
         if self.max_hedges < 0:
             reject(f"max_hedges must be >= 0, got {self.max_hedges}")
+        if self.screen_vectors < 1:
+            reject(f"screen_vectors must be >= 1, got {self.screen_vectors}")
 
 
 @dataclass(frozen=True)
@@ -261,6 +268,10 @@ class FleetReport:
     """Fleet power governor section (None when no governor is attached;
     the key is omitted from ``to_dict`` then, so ungoverned reports stay
     byte-identical to builds without the power layer)."""
+    sdc: dict | None = None
+    """Silent-data-corruption section (None when no SdcConfig is
+    attached; omitted from ``to_dict`` then — same conditional-key
+    contract as ``power``). See :mod:`repro.serving.sdc`."""
 
     def to_dict(self) -> dict:
         """Deterministic nested-dict form (same run -> identical JSON)."""
@@ -293,6 +304,8 @@ class FleetReport:
         }
         if self.power is not None:
             data["power"] = self.power
+        if self.sdc is not None:
+            data["sdc"] = self.sdc
         return data
 
     def device(self, name: str) -> DeviceReport:
@@ -359,6 +372,7 @@ class FleetManager:
         autoscaler=None,
         routing: str | None = None,
         powercap=None,
+        sdc=None,
     ) -> None:
         if not tenants:
             raise ReproRuntimeError("fleet needs at least one tenant")
@@ -394,6 +408,12 @@ class FleetManager:
             from repro.serving.powercap import FleetPowerGovernor
 
             self._governor = FleetPowerGovernor(powercap)
+        # Silent-data-corruption defense (SdcConfig): ABFT result
+        # checking, golden-vector screens, dual-execution audits and
+        # corruption-aware containment. Optional; with no config the
+        # tracker never exists and the serving path is bit-identical.
+        self.sdc_config = sdc
+        self._sdc = None
         self.service_times_ns = dict(service_times_ns or {})
         missing = [
             tenant for tenant in tenants
@@ -420,6 +440,12 @@ class FleetManager:
         self._router = make_router(self.routing)
         if self._governor is not None:
             self._router = PowerAwareRouter(self._router)
+        if self.sdc_config is not None:
+            from repro.serving.sdc import SdcAwareRouter
+
+            # Outermost wrapper: corruption suspicion is a soft
+            # avoidance applied after the governor's hard exclusions.
+            self._router = SdcAwareRouter(self._router)
         self._service_memo: dict[tuple[str, int], float] = {}
         self._group_next: list[int] = []
         self._bringup_events: list[LifecycleEvent] = []
@@ -518,6 +544,20 @@ class FleetManager:
             governor.reset(self._replicas)
             self._apply_power_signals()
             gov_next = governor.window_ns
+        self._sdc = None
+        screen_next: float | None = None
+        screen_interval: float = 0.0
+        if self.sdc_config is not None:
+            from repro.serving.sdc import SdcTracker
+
+            self._sdc = SdcTracker(
+                self.sdc_config, cfg.seed, self.schedule,
+                [replica.name for replica in self._replicas],
+                self.ras.transfers_per_request,
+            )
+            if self.sdc_config.screen_interval_ms is not None:
+                screen_interval = self.sdc_config.screen_interval_ms * 1e6
+                screen_next = screen_interval
         rngs = {
             replica.name: derive_rng(cfg.seed, "serve", replica.name)
             for replica in self._replicas
@@ -557,23 +597,34 @@ class FleetManager:
             if joined[index]:
                 continue  # coalesced into an earlier batch, accounted there
             arrival = request.arrival_ns
-            # Governor windows and autoscaler ticks interleave in time
-            # order (governor first on ties: caps land before the scale
-            # decision reads them). With no governor this reduces exactly
-            # to the historical autoscaler-only stepping.
+            # Governor windows, autoscaler ticks and SDC screen ticks
+            # interleave in time order (governor first on ties: caps land
+            # before the scale decision reads them; screens last). With
+            # no governor and no screener this reduces exactly to the
+            # historical autoscaler-only stepping.
             while True:
                 due_gov = gov_next is not None and gov_next <= arrival
                 due_scale = next_tick is not None and next_tick <= arrival
-                if due_gov and (not due_scale or gov_next <= next_tick):
+                due_screen = screen_next is not None and screen_next <= arrival
+                if (
+                    due_gov
+                    and (not due_scale or gov_next <= next_tick)
+                    and (not due_screen or gov_next <= screen_next)
+                ):
                     self._powercap_tick(gov_next)
                     gov_next += governor.window_ns
-                elif due_scale:
+                elif due_scale and (
+                    not due_screen or next_tick <= screen_next
+                ):
                     self._autoscale_tick(
                         next_tick, class_finishes, events, counters
                     )
                     next_tick += (
                         self._autoscaler.config.eval_interval_ms * 1e6
                     )
+                elif due_screen:
+                    self._screen_tick(screen_next, events, counters)
+                    screen_next += screen_interval
                 else:
                     break
             router.advance(arrival)
@@ -643,6 +694,13 @@ class FleetManager:
                         )
                     entry.push(finish)
             horizon = max(horizon, finish)
+        if screen_next is not None:
+            # Let the screener finish sweeping the served interval, so
+            # corruption served near the end of the trace still gets its
+            # conviction (and its detection-latency sample) on record.
+            while screen_next <= horizon:
+                self._screen_tick(screen_next, events, counters)
+                screen_next += screen_interval
         self._drain_repairs(events, counters)
         if governor is not None:
             # Close governor windows until every occupied interval is
@@ -952,7 +1010,7 @@ class FleetManager:
             start = max(dispatch_ns, replica.free_at)
             # Continuous batching: the launch waits for its last joiner.
             start = max(start, last_joiner_ns)
-            finish, outcome, _retries = self._attempt(
+            finish, outcome, _retries, corrupted = self._attempt(
                 replica, head.tenant, start, rngs[replica.name],
                 batch=len(members),
             )
@@ -962,7 +1020,16 @@ class FleetManager:
                 # interval feeds the governor's draw accounting.
                 self._governor.note_busy(replica.index, start, finish)
             router.update(replica)
+            if self._sdc is not None:
+                # ABFT detections inside _attempt queued containment
+                # directives; apply them at the attempt's finish time.
+                self._apply_sdc_actions(finish, events, counters)
             if outcome == "ok":
+                if self._sdc is not None:
+                    self._sdc_serve(
+                        replica, head.tenant, len(members), corrupted,
+                        finish, events, counters,
+                    )
                 replica.served += len(members)
                 replica.consecutive_fatals = 0
                 return finish, "ok", hedges
@@ -981,13 +1048,20 @@ class FleetManager:
         start: float,
         rng,
         batch: int = 1,
-    ) -> tuple[float, str, int]:
+    ) -> tuple[float, str, int, bool]:
         """One replica-local service: in-place retries, then ok/fatal.
 
         Fault pressure comes from the schedule's effective rates at each
         attempt's dispatch time on this replica — storms hit mid-flight
         requests. Zero rates consume no randomness, so quiet fleets stay
         bit-identical to the fault-free path.
+
+        The fourth return element flags a *silently corrupted* ok result
+        (always ``False`` without an SDC tracker). With result checking
+        attached, an ABFT detection re-executes the batch in place —
+        sharing the RAS retry budget, so a replica that corrupts every
+        execution escalates to a fatal outcome and the ordinary
+        quarantine machinery.
         """
         memo_key = (tenant_name, batch)
         service = self._service_memo.get(memo_key)
@@ -1000,10 +1074,16 @@ class FleetManager:
             # The power cap's performance echo: a throttled device serves
             # the same work, stretched by the governor's dilation.
             service = service * replica.power_dilation
+        tracker = self._sdc
+        if tracker is not None:
+            # Result checking costs compute: the checked path's measured
+            # slowdown (serving.sdc_overhead bench) stretches service.
+            service = service * tracker.service_multiplier()
         events_per_attempt = self.ras.transfers_per_request * batch
         now = start
         retries = 0
         while True:
+            dispatch_ns = now
             transient_rate, fatal_rate = self.schedule.rates_at(
                 now, replica.index
             )
@@ -1011,17 +1091,35 @@ class FleetManager:
             p_transient = 1.0 - (1.0 - transient_rate) ** events_per_attempt
             now += service
             if p_fatal > 0.0 and rng.random() < p_fatal:
-                return now, "fatal", retries
+                return now, "fatal", retries, False
             if p_transient > 0.0 and rng.random() < p_transient:
                 retries += 1
                 if retries > self.ras.max_retries:
-                    return now, "fatal", retries
+                    return now, "fatal", retries, False
                 now += (
                     self.ras.retry_backoff_ms * 1e6
                     * (self.ras.backoff_factor ** (retries - 1))
                 )
                 continue
-            return now, "ok", retries
+            corrupted = False
+            if tracker is not None:
+                corrupted = tracker.attempt_corrupted(
+                    replica.name, replica.index, dispatch_ns,
+                    events_per_attempt,
+                )
+                if corrupted and tracker.abft_detects(replica.name):
+                    # Caught before the result leaves the replica: the
+                    # wrong answer is discarded and the batch re-executes.
+                    tracker.note_detection(replica.index, "abft")
+                    retries += 1
+                    if retries > self.ras.max_retries:
+                        return now, "fatal", retries, False
+                    now += (
+                        self.ras.retry_backoff_ms * 1e6
+                        * (self.ras.backoff_factor ** (retries - 1))
+                    )
+                    continue
+            return now, "ok", retries, corrupted
 
     def _apply_deadline(
         self, status: str, request: Request, finish: float
@@ -1048,6 +1146,21 @@ class FleetManager:
             or replica.consecutive_fatals < self.config.quarantine_threshold
         ):
             return
+        self._quarantine(
+            replica, now,
+            f"{replica.consecutive_fatals} consecutive fatal outcomes",
+            events, counters,
+        )
+
+    def _quarantine(
+        self,
+        replica: _Replica,
+        now: float,
+        detail: str,
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+    ) -> None:
+        """Drain one active replica into quarantine, promoting a spare."""
         replica.status = ReplicaStatus.QUARANTINED
         replica.quarantines += 1
         replica.repair_due_ns = now + self.config.repair_ms * 1e6
@@ -1055,24 +1168,156 @@ class FleetManager:
         self._router.update(replica)
         counters.quarantines += 1
         events.append(
+            LifecycleEvent(now, replica.name, "quarantined", detail)
+        )
+        self._promote_spare(replica.name, now, events, counters)
+        counters.note_healthy(self._router.active_count())
+
+    def _promote_spare(
+        self,
+        replaced: str,
+        now: float,
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+    ) -> None:
+        spare = self._router.standby()
+        if spare is None:
+            return
+        spare.status = ReplicaStatus.ACTIVE
+        spare.free_at = max(spare.free_at, now)
+        self._router.update(spare)
+        counters.promotions += 1
+        events.append(
             LifecycleEvent(
-                now, replica.name, "quarantined",
-                f"{replica.consecutive_fatals} consecutive fatal outcomes",
+                now, spare.name, "promoted",
+                f"hot spare replacing {replaced}",
             )
         )
-        spare = self._router.standby()
-        if spare is not None:
-            spare.status = ReplicaStatus.ACTIVE
-            spare.free_at = max(spare.free_at, now)
-            self._router.update(spare)
-            counters.promotions += 1
-            events.append(
-                LifecycleEvent(
-                    now, spare.name, "promoted",
-                    f"hot spare replacing {replica.name}",
+
+    # -- silent-data-corruption defense (repro.serving.sdc) -------------------
+
+    def _sdc_serve(
+        self,
+        replica: _Replica,
+        tenant_name: str,
+        batch: int,
+        corrupted: bool,
+        finish: float,
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+    ) -> None:
+        """Post-serve SDC path: sampled dual-execution audit, then the
+        served-corrupted ledger for anything nothing caught."""
+        tracker = self._sdc
+        if tracker.audit_selected():
+            secondary = self._router.pick(finish, {replica.index})
+            if secondary is not None:
+                tracker.audits_run += 1
+                service = self._service_memo.get((tenant_name, batch))
+                start = max(finish, secondary.free_at)
+                audit_finish = start + service
+                secondary.free_at = audit_finish
+                if self._governor is not None:
+                    self._governor.note_busy(
+                        secondary.index, start, audit_finish
+                    )
+                self._router.update(secondary)
+                secondary_corrupted = tracker.audit_secondary_corrupted(
+                    secondary.index, start
                 )
-            )
-        counters.note_healthy(self._router.active_count())
+                if corrupted or secondary_corrupted:
+                    # Digest disagreement: a golden replay convicts the
+                    # corrupting side(s) before the response ships.
+                    if corrupted:
+                        tracker.note_detection(
+                            replica.index, "audit",
+                            latency_ms=(audit_finish - finish) / 1e6,
+                        )
+                        corrupted = False
+                    if secondary_corrupted:
+                        tracker.note_detection(
+                            secondary.index, "audit",
+                            latency_ms=(audit_finish - start) / 1e6,
+                        )
+                    self._apply_sdc_actions(audit_finish, events, counters)
+        if corrupted:
+            # Nothing caught it: a wrong answer reached the client.
+            tracker.note_served(replica.index, finish)
+
+    def _screen_tick(
+        self,
+        now: float,
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+    ) -> None:
+        """One screener cadence: golden-vector launches on idle replicas.
+
+        Screens only take replicas that are both in the pool (active or
+        standby) and idle at the tick — the screener steals no serving
+        capacity from busy boards; a screened replica is occupied for
+        ``screen_cost_ms``.
+        """
+        self._advance(now, events, counters)
+        tracker = self._sdc
+        cost_ns = tracker.config.screen_cost_ms * 1e6
+        for replica in self._replicas:
+            if replica.status not in (
+                ReplicaStatus.ACTIVE, ReplicaStatus.STANDBY
+            ):
+                continue
+            if replica.free_at > now:
+                continue
+            detections = tracker.screen_replica(replica.name, replica.index, now)
+            if cost_ns > 0.0:
+                replica.free_at = now + cost_ns
+                self._router.update(replica)
+                if self._governor is not None:
+                    self._governor.note_busy(replica.index, now, replica.free_at)
+            if detections:
+                events.append(
+                    LifecycleEvent(
+                        now, replica.name, "screen_failed",
+                        f"{detections} corrupted golden vector(s)",
+                    )
+                )
+        self._apply_sdc_actions(now, events, counters)
+
+    def _apply_sdc_actions(
+        self,
+        now: float,
+        events: list[LifecycleEvent],
+        counters: "_RunCounters",
+    ) -> None:
+        """Apply queued containment directives and refresh routing."""
+        tracker = self._sdc
+        for index, action in tracker.take_actions():
+            replica = self._replicas[index]
+            if action == "retire":
+                if replica.status is ReplicaStatus.RETIRED:
+                    continue
+                was_active = replica.status is ReplicaStatus.ACTIVE
+                replica.status = ReplicaStatus.RETIRED
+                replica.repair_due_ns = None
+                self._router.update(replica)
+                counters.retirements += 1
+                tracker.sdc_retirements += 1
+                events.append(
+                    LifecycleEvent(
+                        now, replica.name, "retired",
+                        "repeat silent-corruption offender",
+                    )
+                )
+                if was_active:
+                    self._promote_spare(replica.name, now, events, counters)
+                counters.note_healthy(self._router.active_count())
+            elif action == "quarantine":
+                if replica.status is ReplicaStatus.ACTIVE:
+                    tracker.sdc_quarantines += 1
+                    self._quarantine(
+                        replica, now, "silent corruption detected",
+                        events, counters,
+                    )
+        self._router.set_suspected(tracker.suspected_frozen())
 
     def _advance(
         self,
@@ -1095,35 +1340,75 @@ class FleetManager:
         events: list[LifecycleEvent],
         counters: "_RunCounters",
     ) -> None:
-        """One real repair launch on the quarantined board.
+        """Seeded multi-vector repair screen on the quarantined board.
 
-        The probe runs under the fault schedule's effective plan at the
-        probe time — a probe inside a still-raging storm fails and extends
-        the quarantine; a clean probe reintegrates the board (active when
-        the fleet is under strength, standby spare otherwise).
+        Each vector is one real launch under the fault schedule's
+        effective plan at the probe time — a probe inside a still-raging
+        storm fails and extends the quarantine; all vectors clean
+        reintegrates the board (active when the fleet is under strength,
+        standby spare otherwise). ``screen_vectors=1`` (the default) is
+        the historical single-launch probe, byte-identical including its
+        seed derivation; more vectors catch boards that fault only on
+        some operand patterns. With the SDC layer attached, a clean
+        launch set must additionally pass a corruption screen under the
+        same effective plan — a board that computes wrong numbers
+        without raising cannot pass a probe that only waits for raises.
         """
         cfg = self.config
         due = replica.repair_due_ns
         attempt = replica.repair_attempts
         plan = self.schedule.plan_at(due, replica.index)
-        probe_injector = FaultInjector(
-            plan,
-            seed=derive_seed(cfg.seed, "probe", replica.name, attempt),
-            device=replica.device.device_id,
-        )
-        replica.device.accelerator.attach_faults(probe_injector)
         probe_tenant = next(iter(self.tenants.values()))
-        try:
-            replica.device.launch(
-                replica.compiled[probe_tenant.name],
-                num_groups=probe_tenant.groups,
+        ok, detail = True, ""
+        for vector in range(cfg.screen_vectors):
+            # Vector 0 keeps the historical seed label; extra vectors get
+            # their own derived streams (catalogue in repro/seeding.py).
+            if vector == 0:
+                seed = derive_seed(cfg.seed, "probe", replica.name, attempt)
+            else:
+                seed = derive_seed(
+                    cfg.seed, "probe", replica.name, attempt, vector
+                )
+            probe_injector = FaultInjector(
+                plan, seed=seed, device=replica.device.device_id,
             )
-            ok, detail = True, f"probe launch clean (attempt {attempt})"
-        except HardwareFault as fault:
-            ok, detail = False, f"probe faulted: {fault}"
-        finally:
-            replica.device.accelerator.attach_faults(replica.injector)
-        replica.probe_faults += len(probe_injector.records)
+            replica.device.accelerator.attach_faults(probe_injector)
+            try:
+                replica.device.launch(
+                    replica.compiled[probe_tenant.name],
+                    num_groups=probe_tenant.groups,
+                )
+            except HardwareFault as fault:
+                ok, detail = False, f"probe faulted: {fault}"
+            finally:
+                replica.device.accelerator.attach_faults(replica.injector)
+            replica.probe_faults += len(probe_injector.records)
+            if not ok:
+                break
+        if ok:
+            detail = (
+                f"probe launch clean (attempt {attempt})"
+                if cfg.screen_vectors == 1
+                else f"{cfg.screen_vectors} probe vectors clean "
+                     f"(attempt {attempt})"
+            )
+        if ok and self._sdc is not None and plan.silent_event_rate > 0.0:
+            # Statistical corruption screen over the same vectors: any
+            # silently-wrong golden output fails the probe (the digest
+            # comparison is exact) and counts as a screen detection.
+            rng = derive_rng(cfg.seed, "probe-screen", replica.name, attempt)
+            p_vector = 1.0 - (
+                1.0 - plan.silent_event_rate
+            ) ** self.ras.transfers_per_request
+            for vector in range(cfg.screen_vectors):
+                if rng.random() < p_vector:
+                    ok = False
+                    detail = (
+                        f"probe screen caught silent corruption "
+                        f"(vector {vector}, attempt {attempt})"
+                    )
+                    self._sdc.note_probe_screen_detection(replica.index)
+                    break
         replica.repair_attempts += 1
         replica.repair_attempts_total += 1
         if ok:
@@ -1145,6 +1430,12 @@ class FleetManager:
                     f"rejoined as {replica.status.value}",
                 )
             )
+            if self._sdc is not None:
+                # A clean (multi-vector, corruption-screened) probe is
+                # the strongest evidence the board computes honestly
+                # again: stop avoiding it in routing.
+                self._sdc.clear(replica.index)
+                self._router.set_suspected(self._sdc.suspected_frozen())
             return
         counters.repair_failures += 1
         events.append(
@@ -1163,6 +1454,8 @@ class FleetManager:
         else:
             replica.repair_due_ns = due + cfg.repair_ms * 1e6
         self._router.update(replica)
+        if self._sdc is not None:
+            self._apply_sdc_actions(due, events, counters)
 
     def _drain_repairs(
         self, events: list[LifecycleEvent], counters: "_RunCounters"
@@ -1210,6 +1503,9 @@ class FleetManager:
             power = self._governor.build_report(
                 sum(entry.served for entry in stats.values())
             )
+        sdc = None
+        if self._sdc is not None:
+            sdc = self._sdc.build_section()
         return FleetReport(
             seed=self.config.seed,
             replicas=self.config.replicas,
@@ -1246,6 +1542,7 @@ class FleetManager:
                 else 0.0
             ),
             power=power,
+            sdc=sdc,
         )
 
     def _export_obs(self, report: FleetReport) -> None:
@@ -1309,6 +1606,8 @@ class FleetManager:
         self._export_serving_obs(report)
         if report.power is not None:
             self._export_power_obs(report)
+        if report.sdc is not None:
+            self._export_sdc_obs(report)
 
     def _export_serving_obs(self, report: FleetReport) -> None:
         """Admission/autoscaler metric rows (docs/observability.md)."""
@@ -1411,6 +1710,48 @@ class FleetManager:
         )
         if power["power_blocked_scaleups"]:
             blocked.inc(power["power_blocked_scaleups"])
+
+    def _export_sdc_obs(self, report: FleetReport) -> None:
+        """SDC defense counter/gauge rows (docs/observability.md)."""
+        metrics = self.obs.metrics
+        sdc = report.sdc
+        injected = metrics.counter(
+            "sdc_injected_total",
+            "silent corruption events injected at the fleet tier",
+        )
+        if sdc["injected"]:
+            injected.inc(sdc["injected"])
+        detected = metrics.counter(
+            "sdc_detected_total", "caught corruption events by method"
+        )
+        for method, count in sorted(sdc["detected"].items()):
+            if count:
+                detected.inc(count, method=method)
+        served = metrics.counter(
+            "sdc_served_total",
+            "corrupted results that reached a client undetected",
+        )
+        if sdc["served_corrupted"]:
+            served.inc(sdc["served_corrupted"])
+        screens = metrics.counter(
+            "sdc_screens_total", "golden-vector screens executed"
+        )
+        if sdc["screens_run"]:
+            screens.inc(sdc["screens_run"])
+        audits = metrics.counter(
+            "sdc_audits_total", "dual-execution audits executed"
+        )
+        if sdc["audits_run"]:
+            audits.inc(sdc["audits_run"])
+        metrics.gauge(
+            "sdc_detection_latency_max_ms",
+            "worst injection-to-detection latency of caught events",
+            unit="ms",
+        ).set(sdc["max_detection_latency_ms"])
+        metrics.gauge(
+            "sdc_suspected_replicas",
+            "replicas under routing avoidance at run end",
+        ).set(len(sdc["suspected_final"]))
 
 
 @dataclass

@@ -1,0 +1,181 @@
+"""ABFT checksums: localization, probe coverage, and the off pass-through.
+
+Covers the detection math in :mod:`repro.engines.abft`: strict row+column
+checksums localize the exact corrupted cell, the Freivalds probe catches
+single-element corruption, tolerances admit fast-path reassociation
+noise, and ``mode="off"`` is a bit-identical no-op.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.datatypes import DType
+from repro.engines.abft import (
+    DEFAULT_RTOL,
+    AbftReport,
+    checked_gemm,
+    golden_digest,
+    verify_gemm,
+)
+from repro.engines.matrix import MatrixEngine
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    MantissaBitFlipFault,
+    SilentCorruptionFault,
+    SilentCorruptor,
+)
+
+
+def _operands(seed=0, m=8, k=16, n=8):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, k)), rng.standard_normal((k, n))
+
+
+class TestVerifyGemm:
+    def test_clean_result_passes_both_modes(self):
+        a, b = _operands()
+        c = a @ b
+        for mode in ("probe", "strict"):
+            report = verify_gemm(a, b, c, mode=mode)
+            assert report.ok
+            assert report.max_residual < 1.0
+
+    def test_engine_fast_path_noise_sits_inside_tolerance(self):
+        # The engine reassociates sums; the tolerance must absorb that.
+        a, b = _operands(1, m=16, k=64, n=16)
+        c = MatrixEngine(DType.FP32).gemm(a, b)
+        assert verify_gemm(a, b, c, mode="strict").ok
+
+    def test_strict_localizes_the_corrupted_cell(self):
+        a, b = _operands(2)
+        c = a @ b
+        c[3, 5] += 0.25
+        report = verify_gemm(a, b, c, mode="strict")
+        assert not report.ok
+        assert report.bad_rows == (3,)
+        assert report.bad_cols == (5,)
+        assert report.cells == ((3, 5),)
+        assert report.max_residual > 1.0
+
+    def test_probe_detects_a_single_corruption(self):
+        a, b = _operands(3)
+        c = a @ b
+        c[2, 4] += 0.25
+        report = verify_gemm(a, b, c, mode="probe")
+        assert not report.ok
+        assert 2 in report.bad_rows  # probe localizes rows only
+        assert report.bad_cols == ()
+
+    def test_probe_vector_is_seeded(self):
+        a, b = _operands(4)
+        c = a @ b
+        c[0, 0] += 0.25
+        first = verify_gemm(a, b, c, mode="probe", probe_seed=11)
+        again = verify_gemm(a, b, c, mode="probe", probe_seed=11)
+        assert first == again
+
+    def test_off_mode_skips_everything(self):
+        a, b = _operands(5)
+        garbage = np.zeros_like(a @ b)  # blatantly wrong
+        report = verify_gemm(a, b, garbage, mode="off")
+        assert report == AbftReport(mode="off", ok=True)
+
+    def test_sub_tolerance_perturbation_is_admitted(self):
+        # Errors below rtol x magnitude are rounding, not corruption —
+        # the documented boundary of the detection pledge.
+        a, b = _operands(6)
+        c = a @ b
+        row_tolerance = DEFAULT_RTOL * float(
+            (np.abs(a) @ (np.abs(b) @ np.ones(b.shape[1])))[0]
+        )
+        c[0, 0] += row_tolerance * 0.1
+        assert verify_gemm(a, b, c, mode="strict").ok
+
+    def test_shape_and_mode_validation(self):
+        a, b = _operands(7)
+        with pytest.raises(ValueError, match="mode"):
+            verify_gemm(a, b, a @ b, mode="fuzzy")
+        with pytest.raises(ValueError, match="shapes"):
+            verify_gemm(a, b, (a @ b)[:-1], mode="strict")
+        with pytest.raises(ValueError, match="2-D"):
+            verify_gemm(a.ravel(), b, a @ b, mode="strict")
+
+    def test_empty_result_is_trivially_ok(self):
+        report = verify_gemm(
+            np.zeros((0, 4)), np.zeros((4, 3)), np.zeros((0, 3)),
+            mode="strict",
+        )
+        assert report.ok
+
+
+class TestCheckedGemm:
+    @staticmethod
+    def _corrupting_engine(seed=3):
+        # The injector is the detection ledger `undetected` consults.
+        injector = FaultInjector(FaultPlan(), seed=seed, device="dev0")
+        corruptor = SilentCorruptor(
+            plan=FaultPlan(sdc_gemm_rate=1.0), seed=seed, device="dev0",
+            injector=injector,
+        )
+        return MatrixEngine(DType.FP16, corruptor=corruptor), corruptor
+
+    def test_off_mode_is_a_bit_identical_pass_through(self):
+        a, b = _operands(8)
+        engine = MatrixEngine(DType.FP32)
+        np.testing.assert_array_equal(
+            checked_gemm(engine, a, b, mode="off"),
+            MatrixEngine(DType.FP32).gemm(a, b),
+        )
+
+    def test_clean_engine_passes_strict(self):
+        a, b = _operands(9)
+        engine = MatrixEngine(DType.FP32)
+        result = checked_gemm(engine, a, b, mode="strict")
+        np.testing.assert_allclose(result, a @ b, rtol=1e-6)
+
+    def test_corruption_raises_the_typed_fault(self):
+        a, b = _operands(10)
+        engine, _ = self._corrupting_engine()
+        with pytest.raises(MantissaBitFlipFault):
+            checked_gemm(engine, a, b, mode="strict")
+
+    def test_detection_marks_the_corruptor_events(self):
+        a, b = _operands(11)
+        engine, corruptor = self._corrupting_engine()
+        with pytest.raises(SilentCorruptionFault):
+            checked_gemm(engine, a, b, mode="strict")
+        assert corruptor.events  # it did fire
+        assert corruptor.undetected == []  # and ABFT claimed the event
+
+    def test_mismatch_without_corruptor_still_raises(self):
+        class LyingEngine(MatrixEngine):
+            def gemm(self, a, b, tile_rows=None):
+                result = super().gemm(a, b, tile_rows=tile_rows)
+                result[0, 0] += 1.0
+                return result
+
+        a, b = _operands(12)
+        with pytest.raises(SilentCorruptionFault, match="checksum mismatch"):
+            checked_gemm(LyingEngine(DType.FP32), a, b, mode="strict")
+
+
+class TestGoldenDigest:
+    def test_digest_is_stable_for_equal_tensors(self):
+        a, b = _operands(13)
+        assert golden_digest(a @ b) == golden_digest(a @ b)
+
+    def test_single_bit_corruption_changes_the_digest(self):
+        a, b = _operands(14)
+        clean = a @ b
+        corrupt = clean.copy()
+        bits = corrupt.reshape(-1).view(np.uint64)
+        bits[0] ^= np.uint64(1)  # lowest mantissa bit of one element
+        assert golden_digest(corrupt) != golden_digest(clean)
+
+    def test_digest_covers_dtype_and_shape(self):
+        array = np.ones((2, 8))
+        assert golden_digest(array) != golden_digest(array.reshape(4, 4))
+        assert golden_digest(array) != golden_digest(
+            array.astype(np.float32)
+        )

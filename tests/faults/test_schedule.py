@@ -58,6 +58,10 @@ class TestStormPhase:
         with pytest.raises(ReproRuntimeError, match="empty"):
             StormPhase(0.3, 0.2, FaultPlan())
 
+    def test_zero_duration_kill_rejected(self):
+        with pytest.raises(ReproRuntimeError, match="empty"):
+            StormPhase.kill(device=0, at_s=0.1, duration_s=0.0)
+
 
 class TestFaultSchedule:
     def test_empty_schedule_is_quiet_and_returns_base(self):
@@ -138,3 +142,81 @@ class TestFaultSchedule:
             )
         )
         assert schedule.horizon_s() == 0.7
+
+
+class TestSilentRateComposition:
+    """silent_rate_at / any_silent: the SDC defense's exposure oracle."""
+
+    def test_silent_free_schedules_report_zero(self):
+        assert not FaultSchedule().any_silent
+        noisy = FaultSchedule(
+            phases=(StormPhase(0.0, 1.0, FaultPlan(dma_corrupt_rate=0.5)),)
+        )
+        assert not noisy.any_silent  # loud faults are not silent faults
+        assert noisy.silent_rate_at(_s(0.5), 0) == 0.0
+
+    def test_silent_rates_compose_as_survival_products(self):
+        schedule = FaultSchedule(
+            base=FaultPlan(sdc_gemm_rate=0.1),
+            phases=(
+                StormPhase(0.0, 1.0, FaultPlan(sdc_dma_rate=0.2)),
+                StormPhase(0.0, 1.0, FaultPlan(sdc_sparse_rate=0.5)),
+            ),
+        )
+        assert schedule.any_silent
+        assert schedule.silent_rate_at(_s(0.5), 0) == pytest.approx(
+            1.0 - 0.9 * 0.8 * 0.5
+        )
+
+    def test_overlapping_windows_compose_only_in_the_overlap(self):
+        schedule = FaultSchedule(
+            phases=(
+                StormPhase(0.1, 0.3, FaultPlan(sdc_gemm_rate=0.2)),
+                StormPhase(0.2, 0.4, FaultPlan(sdc_gemm_rate=0.5)),
+            ),
+        )
+        assert schedule.silent_rate_at(_s(0.15), 0) == pytest.approx(0.2)
+        assert schedule.silent_rate_at(_s(0.25), 0) == pytest.approx(
+            1.0 - 0.8 * 0.5
+        )
+        assert schedule.silent_rate_at(_s(0.35), 0) == pytest.approx(0.5)
+
+    def test_rate_composition_at_half_open_window_boundaries(self):
+        # Windows are [start, end): exactly at the second phase's start
+        # both storms compose; exactly at the first phase's end only the
+        # second survives; exactly at the last end everything is quiet.
+        schedule = FaultSchedule(
+            phases=(
+                StormPhase(0.1, 0.3, FaultPlan(sdc_gemm_rate=0.2)),
+                StormPhase(0.2, 0.4, FaultPlan(sdc_gemm_rate=0.5)),
+            ),
+        )
+        assert schedule.silent_rate_at(_s(0.1), 0) == pytest.approx(0.2)
+        assert schedule.silent_rate_at(_s(0.2), 0) == pytest.approx(
+            1.0 - 0.8 * 0.5
+        )
+        assert schedule.silent_rate_at(_s(0.3), 0) == pytest.approx(0.5)
+        assert schedule.silent_rate_at(_s(0.4), 0) == 0.0
+
+    def test_device_targeted_silent_storm_spares_the_rest(self):
+        schedule = FaultSchedule(
+            phases=(
+                StormPhase(
+                    0.0, 1.0, FaultPlan(sdc_gemm_rate=0.5), devices=(1,)
+                ),
+            ),
+        )
+        assert schedule.any_silent
+        assert schedule.silent_rate_at(_s(0.5), 1) == pytest.approx(0.5)
+        assert schedule.silent_rate_at(_s(0.5), 0) == 0.0
+
+    def test_ramped_silent_storm_scales_the_rate(self):
+        schedule = FaultSchedule(
+            phases=(
+                StormPhase(
+                    0.0, 1.0, FaultPlan(sdc_gemm_rate=0.8), ramp=True
+                ),
+            )
+        )
+        assert schedule.silent_rate_at(_s(0.0), 0) == 0.0
+        assert schedule.silent_rate_at(_s(0.5), 0) == pytest.approx(0.4)

@@ -11,12 +11,14 @@ Holds the PR's acceptance pins:
 
 import dataclasses
 import json
+import pathlib
 
 import pytest
 
 from repro.chaos import (
     INVARIANTS,
     SCENARIOS,
+    declared_invariants,
     render_table,
     run_scenario,
     run_suite,
@@ -199,6 +201,144 @@ class TestChaosCli:
         assert "fleet_healthy_replicas" in out
         assert "fleet_quarantines_total" in out
         assert "fleet_availability{a}" in out
+
+
+class TestSilentCorruptionAcceptance:
+    """The SDC headline: a corruption storm serves zero wrong answers."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(SCENARIOS["silent-corruption-storm"], seed=0)
+
+    def test_passes_every_invariant(self, result):
+        assert result.violations == []
+        assert result.passed
+
+    def test_defended_fleet_serves_zero_corrupted(self, result):
+        sdc = result.report.sdc
+        assert sdc["injected"] > 0
+        assert sdc["served_corrupted"] == 0
+
+    def test_ledger_is_conserved(self, result):
+        sdc = result.report.sdc
+        assert sdc["detected_total"] == sum(sdc["detected"].values())
+        assert (
+            sdc["detected_total"] + sdc["served_corrupted"]
+            == sdc["injected"]
+        )
+
+    def test_detection_latency_is_bounded(self, result):
+        budget = SCENARIOS["silent-corruption-storm"].sdc_detection_latency_ms
+        assert result.report.sdc["max_detection_latency_ms"] <= budget
+
+    def test_undefended_control_is_actually_exposed(self, result):
+        # the zero above is only meaningful if the same storm corrupts
+        # served results once the defenses are off
+        control = result.sdc_control
+        assert control is not None
+        assert control["served_corrupted"] >= 1
+        assert control["detected_total"] == 0
+
+    def test_sdc_control_is_serialized(self, result):
+        data = result.to_dict()
+        assert data["sdc_control"]["served_corrupted"] >= 1
+        # non-sdc scenarios must not grow the key
+        baseline = run_scenario(SCENARIOS["baseline"], seed=0)
+        assert "sdc_control" not in baseline.to_dict()
+
+
+class TestDefectiveCoreOutbreak:
+    """Device-targeted outbreak: containment isolates the bad board."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(SCENARIOS["defective-core-outbreak"], seed=0)
+
+    def test_passes_every_invariant(self, result):
+        assert result.violations == []
+        assert result.passed
+
+    def test_containment_convicted_the_defective_board(self, result):
+        sdc = result.report.sdc
+        assert sdc["quarantines"] + sdc["retirements"] >= 1
+        served = SCENARIOS["defective-core-outbreak"].max_sdc_served
+        assert sdc["served_corrupted"] <= served
+
+
+class TestDetachedGolden:
+    def test_original_scenarios_match_the_pre_sdc_golden(self, capsys):
+        # The pinned pre-SDC report: running the original quick scenarios
+        # with the detection layer in-tree but detached must reproduce it
+        # byte-for-byte (the sdc-smoke CI job cmp's the same pair).
+        golden = (
+            pathlib.Path(__file__).parent / "data" / "chaos_quick_golden.json"
+        ).read_text()
+        argv = ["chaos", "--json", "--workers", "1"]
+        for name in (
+            "baseline", "transient-storm", "replica-kill", "flash-crowd",
+            "power-cap-storm",
+        ):
+            argv += ["--scenario", name]
+        assert main(argv) == 0
+        assert capsys.readouterr().out == golden
+
+
+class TestDeclaredInvariants:
+    def test_every_scenario_declares_the_core_set(self):
+        # Catalogue invariants plus the sweep checks run_scenario applies
+        # outside the catalogue (reruns at swept multipliers / defenses
+        # off, so they cannot be a pure report predicate).
+        known = {name for name, _ in INVARIANTS} | {
+            "shed-monotonicity", "cap-monotonicity", "undefended-exposure",
+        }
+        for scenario in SCENARIOS.values():
+            names = declared_invariants(scenario)
+            assert "conservation" in names
+            assert "monotone-time" in names
+            assert set(names) <= known
+
+    def test_sdc_scenarios_declare_correctness(self):
+        storm = declared_invariants(SCENARIOS["silent-corruption-storm"])
+        assert "end-to-end-correctness" in storm
+        assert "undefended-exposure" in storm
+        baseline = declared_invariants(SCENARIOS["baseline"])
+        assert "end-to-end-correctness" not in baseline
+
+    def test_list_cli_prints_per_scenario_invariants(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants:" in out
+        assert "end-to-end-correctness" in out
+
+
+class TestEndToEndCorrectnessCheck:
+    """The new invariant must detect violations, not just pass."""
+
+    def test_sdc_section_on_a_detached_scenario_is_a_violation(self):
+        result = run_scenario(SCENARIOS["baseline"], seed=0)
+        result.report.sdc = {"injected": 0}
+        violations = _invariant("end-to-end-correctness")(
+            result.scenario, result.report, None
+        )
+        assert any("detached" in v for v in violations)
+
+    def test_corrupted_serve_above_budget_is_caught(self):
+        result = run_scenario(SCENARIOS["silent-corruption-storm"], seed=0)
+        report = result.report
+        report.sdc["served_corrupted"] += 1
+        violations = _invariant("end-to-end-correctness")(
+            result.scenario, report, None
+        )
+        assert violations
+
+    def test_leaked_ledger_event_is_caught(self):
+        result = run_scenario(SCENARIOS["silent-corruption-storm"], seed=0)
+        report = result.report
+        report.sdc["injected"] += 1  # one event in no bucket
+        violations = _invariant("end-to-end-correctness")(
+            result.scenario, report, None
+        )
+        assert violations
 
 
 def test_default_stats_container_roundtrips():

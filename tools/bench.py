@@ -22,6 +22,11 @@ schema-versioned ``BENCH_<n>.json`` report (see
   power budget: the tight run must be byte-reproducible, serve no less,
   and land strictly lower energy-per-inference at bounded p99 inflation
   (the DVFS V^2 dividend — docs/power.md).
+- **serving.sdc_overhead** — ABFT-checked GEMM cost against the
+  unchecked fast path (probe <= 1.2x, strict <= 2.0x, gated) plus a
+  defended-vs-undefended silent-corruption fleet run: the defended run
+  serves zero corrupted results, the undefended run demonstrably serves
+  some (docs/robustness.md).
 - **sim.parallel_shards** — the chaos suite run serially and sharded
   across forced worker processes (:mod:`repro.sim.parallel`), byte-diffed:
   sharding must never change a result.
@@ -427,6 +432,132 @@ def bench_powercap(quick: bool) -> dict:
     }
 
 
+def bench_sdc_overhead(quick: bool) -> dict:
+    """ABFT-checked GEMM cost + end-to-end SDC defense effectiveness.
+
+    Numeric tier: min-of-reps wall time of the vectorized engine GEMM
+    unchecked vs :func:`repro.engines.abft.checked_gemm` in probe and
+    strict mode on the acceptance shape — the gated overhead budget
+    (probe <= 1.2x, strict <= 2.0x; docs/robustness.md). A rep with a
+    rate-1.0 corruptor proves strict checking actually detects
+    (``strict_detects``). Fleet tier: one fixed trace under a background
+    silent-corruption campaign runs defended (strict ABFT + screens +
+    audits) and undefended (defenses off): the defended run must serve
+    zero corrupted results while the undefended run demonstrably serves
+    some, and a same-seed repeat of the defended run is byte-identical.
+    All gated metrics are simulated/deterministic or machine-relative
+    ratios.
+    """
+    from repro.core.datatypes import DType
+    from repro.engines.abft import checked_gemm
+    from repro.engines.matrix import MatrixEngine
+    from repro.faults.errors import SilentCorruptionFault
+    from repro.faults.plan import FaultPlan
+    from repro.faults.schedule import FaultSchedule
+    from repro.faults.silent import SilentCorruptor
+    from repro.serving.fleet import FleetConfig, FleetManager
+    from repro.serving.sdc import SdcConfig
+    from repro.serving.server import TenantConfig
+    from repro.serving.workload import TrafficPattern, generate_trace
+
+    # Large enough that the O(m·k·n) engine GEMM dominates the O(mk+kn)
+    # checksum work, so the slowdown ratios measure ABFT cost rather
+    # than single-run timer noise.
+    m, k, n = 128, 256, 256
+    reps = 3 if quick else 5
+    rng = np.random.default_rng(19)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+
+    def best_of(mode: str) -> float:
+        best = float("inf")
+        for _ in range(reps):
+            engine = MatrixEngine(DType.FP16)
+            start = time.perf_counter()
+            if mode == "unchecked":
+                engine.gemm(a, b)
+            else:
+                checked_gemm(engine, a, b, mode=mode)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    wall_start = time.perf_counter()
+    unchecked_s = best_of("unchecked")
+    probe_s = best_of("probe")
+    strict_s = best_of("strict")
+
+    # Strict checking must catch a real injected corruption.
+    corrupt_engine = MatrixEngine(
+        DType.FP16,
+        corruptor=SilentCorruptor(FaultPlan(sdc_gemm_rate=1.0), seed=3),
+    )
+    try:
+        checked_gemm(corrupt_engine, a, b, mode="strict")
+        strict_detects = 0.0
+    except SilentCorruptionFault:
+        strict_detects = 1.0
+
+    tenants = [TenantConfig("a", "resnet50", groups=2, max_batch=1)]
+    duration_s = 0.15 if quick else 0.4
+    trace = generate_trace(
+        [TrafficPattern("a", 600.0)], duration_s=duration_s, seed=13
+    )
+    schedule = FaultSchedule(
+        base=FaultPlan(sdc_gemm_rate=0.004, sdc_dma_rate=0.002)
+    )
+
+    def run(sdc: SdcConfig):
+        manager = FleetManager(
+            tenants,
+            config=FleetConfig(replicas=2, hot_spares=1, seed=5),
+            schedule=schedule,
+            service_times_ns={"a": 1.0e6},
+            sdc=sdc,
+        )
+        return manager.run(trace)
+
+    defended_config = SdcConfig(
+        abft="strict", screen_interval_ms=25.0, screen_vectors=2,
+        audit_fraction=0.2, quarantine_threshold=2, retire_after=8,
+    )
+    defended = run(defended_config)
+    repeat = run(defended_config)
+    undefended = run(SdcConfig())
+    wall_s = time.perf_counter() - wall_start
+
+    identical = json.dumps(defended.to_dict(), sort_keys=True) == json.dumps(
+        repeat.to_dict(), sort_keys=True
+    )
+    return {
+        "name": "serving.sdc_overhead",
+        "wall_seconds": wall_s,
+        "metrics": {
+            "shape_m": m, "shape_k": k, "shape_n": n,
+            "unchecked_wall_seconds": unchecked_s,
+            "probe_wall_seconds": probe_s,
+            "strict_wall_seconds": strict_s,
+            "probe_slowdown": (
+                probe_s / unchecked_s if unchecked_s else float("inf")
+            ),
+            "strict_slowdown": (
+                strict_s / unchecked_s if unchecked_s else float("inf")
+            ),
+            "strict_detects": strict_detects,
+            "trace_requests": float(len(trace)),
+            "rerun_identical": 1.0 if identical else 0.0,
+            "injected_defended": float(defended.sdc["injected"]),
+            "detected_defended": float(defended.sdc["detected_total"]),
+            "served_corrupted_defended": float(
+                defended.sdc["served_corrupted"]
+            ),
+            "injected_undefended": float(undefended.sdc["injected"]),
+            "served_corrupted_undefended": float(
+                undefended.sdc["served_corrupted"]
+            ),
+        },
+    }
+
+
 def run_benchmarks(quick: bool) -> dict:
     from repro.caching import reset_global_caches
 
@@ -436,6 +567,7 @@ def run_benchmarks(quick: bool) -> dict:
     benchmarks += [bench_e2e(model, quick) for model in models]
     benchmarks.append(bench_serving(quick))
     benchmarks.append(bench_powercap(quick))
+    benchmarks.append(bench_sdc_overhead(quick))
     benchmarks.append(bench_fleet_scale(quick))
     benchmarks.append(bench_parallel_shards(quick))
     return {
@@ -637,6 +769,13 @@ def main(argv: list[str] | None = None) -> int:
             highlights.append(
                 "routing identical" if metrics["reference_identical"] == 1.0
                 else "ROUTING DIVERGED"
+            )
+        if "strict_slowdown" in metrics:
+            highlights.append(
+                f"abft strict {metrics['strict_slowdown']:.2f}x  "
+                f"probe {metrics['probe_slowdown']:.2f}x  served corrupt "
+                f"{int(metrics['served_corrupted_defended'])}/"
+                f"{int(metrics['served_corrupted_undefended'])} (def/undef)"
             )
         if "energy_per_inference_ratio" in metrics:
             highlights.append(
